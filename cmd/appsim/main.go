@@ -1,0 +1,104 @@
+// Command appsim runs one synthetic steerable application (oil reservoir,
+// CFD cavity, seismic wave, or binary inspiral) and connects it to a
+// DISCOVER server's application daemon.
+//
+// Usage:
+//
+//	appsim -server 127.0.0.1:7000 -kernel oil-reservoir -name reservoir-3 \
+//	       -grant alice:steer -grant bob:monitor
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"discover"
+	"discover/internal/app"
+	"discover/internal/appproto"
+	"discover/internal/wire"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func main() {
+	var grants multiFlag
+	serverAddr := flag.String("server", "127.0.0.1:7000", "DISCOVER daemon address")
+	name := flag.String("name", "sim1", "application name")
+	kind := flag.String("kernel", "oil-reservoir", "kernel kind: "+strings.Join(app.KernelKinds(), ", "))
+	owner := flag.String("owner", "", "owning user-id for generated records")
+	steps := flag.Int("steps", 10, "kernel steps per compute phase")
+	phaseDelay := flag.Duration("phase-delay", 10*time.Millisecond, "wall-clock pause per compute phase")
+	updateEvery := flag.Int("update-every", 1, "emit an update every N phases")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "run an auto-checkpoint interaction agent every N phases (0 disables)")
+	checkpointDir := flag.String("checkpoint-dir", ".", "directory for auto-checkpoints")
+	flag.Var(&grants, "grant", "ACL entry as user:privilege (repeatable)")
+	flag.Parse()
+
+	kernel, err := discover.NewKernel(*kind)
+	if err != nil {
+		log.Fatalf("appsim: %v", err)
+	}
+	cfg := app.Config{Name: *name, Kernel: kernel, ComputeSteps: *steps, Owner: *owner}
+	for _, g := range grants {
+		user, priv, ok := strings.Cut(g, ":")
+		if !ok {
+			log.Fatalf("appsim: -grant %q must be user:privilege", g)
+		}
+		cfg.Users = append(cfg.Users, app.UserGrant{User: user, Privilege: priv})
+	}
+	if len(cfg.Users) == 0 {
+		log.Fatal("appsim: at least one -grant is required (the server rejects ACL-less registrations)")
+	}
+	rt, err := app.NewRuntime(cfg)
+	if err != nil {
+		log.Fatalf("appsim: %v", err)
+	}
+	if *checkpointEvery > 0 {
+		// An interaction agent (§4.2's "automated periodic interactions"):
+		// snapshot the application at phase boundaries without any client.
+		rt.AddAgent(app.Agent{
+			Name:        "auto-checkpoint",
+			EveryPhases: *checkpointEvery,
+			Action: func(r *app.Runtime) {
+				resp := r.HandleCommand(wire.NewCommand("", "agent", "checkpoint"))
+				if resp.Kind != wire.KindResponse {
+					log.Printf("appsim: auto-checkpoint failed: %s", resp.Text)
+					return
+				}
+				path := filepath.Join(*checkpointDir,
+					fmt.Sprintf("%s-phase%d.ckpt", *name, r.Phases()))
+				if err := os.WriteFile(path, resp.Data, 0o644); err != nil {
+					log.Printf("appsim: writing checkpoint: %v", err)
+					return
+				}
+				log.Printf("appsim: checkpoint written to %s (%d bytes)", path, len(resp.Data))
+			},
+		})
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	sess, err := appproto.Dial(ctx, *serverAddr, rt,
+		appproto.WithUpdateEvery(*updateEvery),
+		appproto.WithPhaseDelay(*phaseDelay))
+	if err != nil {
+		log.Fatalf("appsim: connecting to %s: %v", *serverAddr, err)
+	}
+	defer sess.Close()
+	fmt.Printf("appsim: %s (%s) registered as %s\n", *name, *kind, sess.AppID())
+
+	if err := sess.Run(ctx); err != nil && err != context.Canceled {
+		log.Fatalf("appsim: %v", err)
+	}
+	fmt.Println("appsim: shutting down")
+}

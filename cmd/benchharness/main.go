@@ -1,0 +1,145 @@
+// Command benchharness regenerates every experiment in EXPERIMENTS.md:
+// the paper's §6.1 measurements, the §7 announced evaluations, and the
+// §6.2 design ablations. It prints paper-claim vs measured rows and exits
+// non-zero if any claim's shape fails to hold.
+//
+// Usage:
+//
+//	benchharness            # run everything at full size
+//	benchharness -quick     # reduced parameters (CI-sized)
+//	benchharness -run E4,E5 # a subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"discover/internal/experiments"
+)
+
+type experiment struct {
+	id  string
+	run func(quick bool) (experiments.Result, error)
+}
+
+var all = []experiment{
+	{"E1", func(q bool) (experiments.Result, error) {
+		if q {
+			return experiments.RunE1([]int{10, 41}, 200*time.Millisecond)
+		}
+		return experiments.RunE1([]int{10, 20, 41, 80}, time.Second)
+	}},
+	{"E2", func(q bool) (experiments.Result, error) {
+		if q {
+			return experiments.RunE2([]int{5, 20}, 300*time.Millisecond)
+		}
+		return experiments.RunE2([]int{5, 10, 20, 40}, time.Second)
+	}},
+	{"E3", func(q bool) (experiments.Result, error) {
+		if q {
+			return experiments.RunE3(500)
+		}
+		return experiments.RunE3(3000)
+	}},
+	{"E4", func(q bool) (experiments.Result, error) {
+		if q {
+			return experiments.RunE4([]int{4}, 10, 40*time.Millisecond)
+		}
+		return experiments.RunE4([]int{2, 4, 8}, 20, 40*time.Millisecond)
+	}},
+	{"E5", func(q bool) (experiments.Result, error) {
+		if q {
+			return experiments.RunE5(10, 40*time.Millisecond)
+		}
+		return experiments.RunE5(30, 40*time.Millisecond)
+	}},
+	{"E6", func(q bool) (experiments.Result, error) {
+		if q {
+			return experiments.RunE6(100)
+		}
+		return experiments.RunE6(1000)
+	}},
+	{"E7", func(q bool) (experiments.Result, error) {
+		if q {
+			return experiments.RunE7(9, 8)
+		}
+		return experiments.RunE7(24, 15)
+	}},
+	{"E8", func(q bool) (experiments.Result, error) {
+		if q {
+			return experiments.RunE8(800, 32)
+		}
+		return experiments.RunE8(5000, 64)
+	}},
+	{"E9", func(q bool) (experiments.Result, error) {
+		if q {
+			return experiments.RunE9(10, 40*time.Millisecond)
+		}
+		return experiments.RunE9(30, 40*time.Millisecond)
+	}},
+	{"A1", func(q bool) (experiments.Result, error) {
+		if q {
+			return experiments.RunA1(1000)
+		}
+		return experiments.RunA1(20000)
+	}},
+	{"A2", func(q bool) (experiments.Result, error) {
+		if q {
+			return experiments.RunA2(5000)
+		}
+		return experiments.RunA2(100000)
+	}},
+	{"A3", func(q bool) (experiments.Result, error) {
+		if q {
+			return experiments.RunA3(5, 80*time.Millisecond, 20*time.Millisecond)
+		}
+		return experiments.RunA3(15, 100*time.Millisecond, 20*time.Millisecond)
+	}},
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced parameters")
+	runList := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	flag.Parse()
+
+	selected := map[string]bool{}
+	if *runList != "" {
+		for _, id := range strings.Split(*runList, ",") {
+			selected[strings.TrimSpace(strings.ToUpper(id))] = true
+		}
+	}
+
+	failures := 0
+	for _, e := range all {
+		if len(selected) > 0 && !selected[e.id] {
+			continue
+		}
+		start := time.Now()
+		res, err := e.run(*quick)
+		if err != nil {
+			fmt.Printf("== %s FAILED TO RUN: %v\n\n", e.id, err)
+			failures++
+			continue
+		}
+		fmt.Printf("== %s: %s  (%s)\n", res.ID, res.Title, time.Since(start).Round(time.Millisecond))
+		for _, row := range res.Rows {
+			status := "PASS"
+			if !row.Pass {
+				status = "FAIL"
+				failures++
+			}
+			fmt.Printf("   [%s] %s\n", status, row.Name)
+			fmt.Printf("         paper   : %s\n", row.Paper)
+			fmt.Printf("         measured: %s\n", row.Measured)
+		}
+		fmt.Println()
+	}
+	if failures > 0 {
+		fmt.Printf("benchharness: %d failures\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("benchharness: all experiment shapes hold")
+}

@@ -1,0 +1,215 @@
+// Command discoverctl is a command-line web-portal client: the terminal
+// counterpart of the browser portals in the paper.
+//
+// Usage:
+//
+//	discoverctl -url http://127.0.0.1:8080 -user alice -secret pw <command>
+//
+// Commands:
+//
+//	apps                          list visible applications (local+remote)
+//	users                         list users logged in at the server
+//	status    -app <id>           query application status
+//	params    -app <id>           list application parameters
+//	get       -app <id> -param p  read one parameter
+//	steer     -app <id> -param p -value v   acquire lock, set, release
+//	view      -app <id> [-field f]          render a field as ASCII art
+//	watch     -app <id> [-for 10s]          stream updates/chat/events
+//	chat      -app <id> -text "..."         send a chat line
+//	replay    -app <id>           dump the interaction log
+//	records   -table <name>       list visible records
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"discover"
+	"discover/internal/app"
+	"discover/internal/wire"
+)
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8080", "portal base URL")
+	user := flag.String("user", "", "user-id")
+	secret := flag.String("secret", "", "login secret")
+	appID := flag.String("app", "", "application id")
+	param := flag.String("param", "", "parameter name")
+	value := flag.String("value", "", "parameter value")
+	text := flag.String("text", "", "chat text")
+	field := flag.String("field", "", "field name for the view command")
+	width := flag.Int("width", 72, "terminal width for rendered views")
+	table := flag.String("table", "responses", "record table")
+	forDur := flag.Duration("for", 30*time.Second, "watch duration")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		log.Fatal("discoverctl: exactly one command expected; see -h")
+	}
+	cmd := flag.Arg(0)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	c := discover.NewClient(*url)
+	if err := c.Login(ctx, *user, *secret); err != nil {
+		log.Fatalf("discoverctl: login: %v", err)
+	}
+	defer c.Logout(context.Background())
+
+	connect := func() {
+		if *appID == "" {
+			log.Fatalf("discoverctl: %s requires -app", cmd)
+		}
+		priv, err := c.ConnectApp(ctx, *appID)
+		if err != nil {
+			log.Fatalf("discoverctl: connect %s: %v", *appID, err)
+		}
+		fmt.Printf("connected to %s with privilege %s\n", *appID, priv)
+	}
+
+	doCmd := func(op string, params map[string]string) *wire.Message {
+		c.StartPump(nil)
+		wctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+		defer cancel()
+		resp, err := c.Do(wctx, op, params)
+		if err != nil {
+			log.Fatalf("discoverctl: %s: %v", op, err)
+		}
+		if resp.Kind == wire.KindError {
+			log.Fatalf("discoverctl: %s failed: %s (%s)", op, resp.Text, wire.StatusText(resp.Status))
+		}
+		return resp
+	}
+
+	switch cmd {
+	case "apps":
+		apps, err := c.Apps(ctx)
+		if err != nil {
+			log.Fatalf("discoverctl: %v", err)
+		}
+		fmt.Printf("%-24s %-16s %-14s %-10s %s\n", "ID", "NAME", "KIND", "SERVER", "PRIVILEGE")
+		for _, a := range apps {
+			fmt.Printf("%-24s %-16s %-14s %-10s %s\n", a.ID, a.Name, a.Kind, a.Server, a.Privilege)
+		}
+
+	case "users":
+		users, err := c.Users(ctx)
+		if err != nil {
+			log.Fatalf("discoverctl: %v", err)
+		}
+		fmt.Println(strings.Join(users, "\n"))
+
+	case "status":
+		connect()
+		resp := doCmd("status", nil)
+		fmt.Println(resp.Text)
+		for _, p := range resp.Params {
+			fmt.Printf("  %s = %s\n", p.Key, p.Value)
+		}
+
+	case "params":
+		connect()
+		resp := doCmd("list_params", nil)
+		for _, p := range resp.Params {
+			fmt.Printf("%s: %s\n", strings.TrimPrefix(p.Key, "param."), p.Value)
+		}
+
+	case "get":
+		connect()
+		resp := doCmd("get_param", map[string]string{"name": *param})
+		v, _ := resp.Get("value")
+		fmt.Printf("%s = %s\n", *param, v)
+
+	case "steer":
+		connect()
+		granted, holder, err := c.AcquireLock(ctx)
+		if err != nil {
+			log.Fatalf("discoverctl: lock: %v", err)
+		}
+		if !granted {
+			log.Fatalf("discoverctl: steering lock held by %s", holder)
+		}
+		defer c.ReleaseLock(context.Background())
+		resp := doCmd("set_param", map[string]string{"name": *param, "value": *value})
+		fmt.Println(resp.Text)
+
+	case "view":
+		connect()
+		if *field == "" {
+			resp := doCmd("view", nil)
+			fmt.Println("available fields:")
+			for _, p := range resp.Params {
+				fmt.Printf("  %s\n", strings.TrimPrefix(p.Key, "field."))
+			}
+			return
+		}
+		resp := doCmd("view", map[string]string{
+			"name":       *field,
+			"max_points": fmt.Sprint(*width * *width),
+		})
+		v, err := app.DecodeFieldView(resp.Data)
+		if err != nil {
+			log.Fatalf("discoverctl: decoding view: %v", err)
+		}
+		fmt.Print(v.RenderASCII(*width))
+
+	case "watch":
+		connect()
+		c.StartPump(func(m *wire.Message) {
+			switch m.Kind {
+			case wire.KindUpdate:
+				fmt.Printf("[update %d]", m.Seq)
+				for _, p := range m.Params {
+					fmt.Printf(" %s=%s", p.Key, p.Value)
+				}
+				fmt.Println()
+			case wire.KindChat:
+				u, _ := m.Get("user")
+				fmt.Printf("[chat] %s: %s\n", u, m.Text)
+			case wire.KindEvent:
+				fmt.Printf("[event] %s from %s: %s\n", m.Op, m.Client, m.Text)
+			case wire.KindResponse, wire.KindError:
+				fmt.Printf("[%s] %s: %s\n", m.Kind, m.Op, m.Text)
+			}
+		})
+		select {
+		case <-ctx.Done():
+		case <-time.After(*forDur):
+		}
+		c.StopPump()
+
+	case "chat":
+		connect()
+		if err := c.Chat(ctx, *text); err != nil {
+			log.Fatalf("discoverctl: chat: %v", err)
+		}
+
+	case "replay":
+		connect()
+		rr, err := c.Replay(ctx, 0)
+		if err != nil {
+			log.Fatalf("discoverctl: replay: %v", err)
+		}
+		for _, e := range rr.Entries {
+			fmt.Printf("%6d %s %-10s %s %s\n", e.Seq, e.Time.Format(time.RFC3339), e.Client, e.Msg.Kind, e.Msg.Op)
+		}
+
+	case "records":
+		recs, err := c.Records(ctx, *table, nil)
+		if err != nil {
+			log.Fatalf("discoverctl: records: %v", err)
+		}
+		for _, r := range recs {
+			fmt.Printf("%s owner=%s fields=%v\n", r.ID, r.Owner, r.Fields)
+		}
+
+	default:
+		log.Fatalf("discoverctl: unknown command %q", cmd)
+	}
+}

@@ -1,0 +1,211 @@
+package discover
+
+// End-to-end smoke test of the real binaries: builds traderd, discoverd,
+// appsim and discoverctl, wires up a one-domain deployment over loopback
+// and drives a steering session through the CLI — the closest this
+// repository gets to the paper's operational deployment.
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func buildBinaries(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	bins := map[string]string{}
+	for _, name := range []string{"traderd", "discoverd", "appsim", "discoverctl"} {
+		out := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		cmd.Env = os.Environ()
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, b)
+		}
+		bins[name] = out
+	}
+	return bins
+}
+
+func startDaemonProc(t *testing.T, bin string, args ...string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting %s: %v", bin, err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	return cmd
+}
+
+func waitTCP(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		c, err := net.DialTimeout("tcp", addr, 200*time.Millisecond)
+		if err == nil {
+			c.Close()
+			return
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("%s never came up", addr)
+}
+
+func TestBinariesEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping binary e2e in -short mode")
+	}
+	dir := t.TempDir()
+	bins := buildBinaries(t, dir)
+
+	traderAddr := freePort(t)
+	httpAddr := freePort(t)
+	daemonAddr := freePort(t)
+
+	startDaemonProc(t, bins["traderd"], "-addr", traderAddr, "-user", "globaluser:gpw")
+	waitTCP(t, traderAddr)
+
+	startDaemonProc(t, bins["discoverd"],
+		"-name", "e2e",
+		"-http", httpAddr,
+		"-daemon", daemonAddr,
+		"-trader", traderAddr,
+		"-userdir", traderAddr,
+		"-user", "alice:pw")
+	waitTCP(t, httpAddr)
+	waitTCP(t, daemonAddr)
+
+	ckptDir := t.TempDir()
+	startDaemonProc(t, bins["appsim"],
+		"-server", daemonAddr,
+		"-name", "reservoir",
+		"-kernel", "oil-reservoir",
+		"-grant", "alice:steer",
+		"-grant", "globaluser:monitor",
+		"-phase-delay", "1ms",
+		"-checkpoint-every", "50",
+		"-checkpoint-dir", ckptDir)
+	// Give the application a moment to register.
+	time.Sleep(300 * time.Millisecond)
+
+	ctl := func(user, secret string, args ...string) (string, error) {
+		full := append([]string{
+			"-url", "http://" + httpAddr, "-user", user, "-secret", secret,
+		}, args...)
+		// Under heavy parallel test load (notably -race full-suite runs)
+		// a command/poll cycle can exceed the CLI's internal timeout;
+		// retry a couple of times before declaring failure.
+		var out []byte
+		var err error
+		for attempt := 0; attempt < 3; attempt++ {
+			out, err = exec.Command(bins["discoverctl"], full...).CombinedOutput()
+			if err == nil {
+				break
+			}
+		}
+		return string(out), err
+	}
+
+	// 1. The app appears in the listing.
+	out, err := ctl("alice", "pw", "apps")
+	if err != nil {
+		t.Fatalf("discoverctl apps: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "reservoir") || !strings.Contains(out, "steer") {
+		t.Fatalf("apps output missing application:\n%s", out)
+	}
+	appID := ""
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "reservoir") {
+			appID = strings.Fields(line)[0]
+		}
+	}
+	if appID == "" {
+		t.Fatalf("could not parse app id from:\n%s", out)
+	}
+
+	// 2. Steering through the CLI (acquires and releases the lock).
+	out, err = ctl("alice", "pw", "-app", appID, "-param", "injection_rate", "-value", "3.5", "steer")
+	if err != nil {
+		t.Fatalf("discoverctl steer: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "set injection_rate") {
+		t.Fatalf("steer output:\n%s", out)
+	}
+
+	// 3. The steered value reads back.
+	out, err = ctl("alice", "pw", "-app", appID, "-param", "injection_rate", "get")
+	if err != nil {
+		t.Fatalf("discoverctl get: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "injection_rate = 3.5") {
+		t.Fatalf("get output:\n%s", out)
+	}
+
+	// 4. The directory-backed user (no home credential at the server)
+	// can log in and monitor, but not steer.
+	out, err = ctl("globaluser", "gpw", "-app", appID, "status")
+	if err != nil {
+		t.Fatalf("directory user status: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "running") {
+		t.Fatalf("status output:\n%s", out)
+	}
+	out, err = ctl("globaluser", "gpw", "-app", appID, "-param", "injection_rate", "-value", "9", "steer")
+	if err == nil {
+		t.Fatalf("monitor user steered successfully:\n%s", out)
+	}
+
+	// 5. A field view renders.
+	out, err = ctl("alice", "pw", "-app", appID, "-field", "pressure", "-width", "24", "view")
+	if err != nil {
+		t.Fatalf("discoverctl view: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "pressure step=") {
+		t.Fatalf("view output:\n%s", out)
+	}
+
+	// 6. Replay shows the archived session.
+	out, err = ctl("alice", "pw", "-app", appID, "replay")
+	if err != nil {
+		t.Fatalf("discoverctl replay: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "set_param") {
+		t.Fatalf("replay output:\n%s", out)
+	}
+
+	// 7. The auto-checkpoint interaction agent has written snapshots.
+	waitDeadline := time.Now().Add(15 * time.Second)
+	for {
+		entries, err := os.ReadDir(ckptDir)
+		if err == nil && len(entries) > 0 {
+			break
+		}
+		if time.Now().After(waitDeadline) {
+			t.Fatal("auto-checkpoint agent never wrote a snapshot")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	fmt.Println("binary end-to-end session complete")
+}

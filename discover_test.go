@@ -1,0 +1,242 @@
+package discover
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"discover/internal/wire"
+)
+
+// TestFacadeEndToEnd runs the whole public API surface: a trader, two
+// federated domains, one application each, and a client steering a remote
+// application from its local portal.
+func TestFacadeEndToEnd(t *testing.T) {
+	trader, err := StartTrader("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer trader.Close()
+
+	mk := func(name string) *Domain {
+		d, err := StartDomain(DomainConfig{
+			Name:       name,
+			HTTPAddr:   "127.0.0.1:0",
+			TraderAddr: trader.Addr(),
+			Users:      map[string]string{"alice": "pw"},
+			Logf:       func(string, ...any) {},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(d.Close)
+		return d
+	}
+	east := mk("east")
+	west := mk("west")
+	east.Substrate.DiscoverPeers()
+	west.Substrate.DiscoverPeers()
+
+	// An oil-reservoir app joins the east domain.
+	kernel, err := NewKernel("oil-reservoir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	appl, err := NewApplication(context.Background(), east.DaemonAddr(), AppConfig{
+		Name:   "reservoir",
+		Kernel: kernel,
+		Users:  []UserGrant{{User: "alice", Privilege: "steer"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer appl.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go appl.Run(ctx)
+
+	// Give registration a moment, then re-discover.
+	deadline := time.Now().Add(2 * time.Second)
+	for len(east.Server.LocalAppIDs()) == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Client logs in at WEST and steers the EAST application.
+	c := NewClient(west.BaseURL())
+	cctx, ccancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer ccancel()
+	if err := c.Login(cctx, "alice", "pw"); err != nil {
+		t.Fatal(err)
+	}
+	apps, err := c.Apps(cctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var target AppInfo
+	for _, a := range apps {
+		if a.Server == "east" {
+			target = a
+		}
+	}
+	if target.ID == "" {
+		t.Fatalf("east app not visible from west: %v", apps)
+	}
+	if priv, err := c.ConnectApp(cctx, target.ID); err != nil || priv != "steer" {
+		t.Fatalf("ConnectApp = %q, %v", priv, err)
+	}
+	c.StartPump(nil)
+	defer c.StopPump()
+	if granted, _, err := c.AcquireLock(cctx); err != nil || !granted {
+		t.Fatalf("AcquireLock = %v, %v", granted, err)
+	}
+	resp, err := c.Do(cctx, "set_param", map[string]string{"name": "injection_rate", "value": "2.5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Kind != wire.KindResponse {
+		t.Fatalf("steering failed: %s", resp.Text)
+	}
+	if v := appl.Session.Runtime().Params().MustGet("injection_rate"); v != 2.5 {
+		t.Errorf("injection_rate = %v", v)
+	}
+}
+
+// TestUserDirectoryFallback exercises §6.3's centralized directory: a
+// user registered only in the GIS-style directory can log into any domain
+// of the federation.
+func TestUserDirectoryFallback(t *testing.T) {
+	trader, err := StartTrader("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer trader.Close()
+	trader.UserDirectory().Register("globaluser", "gpw", map[string]string{"org": "ggf"})
+
+	d, err := StartDomain(DomainConfig{
+		Name:        "east",
+		HTTPAddr:    "127.0.0.1:0",
+		TraderAddr:  trader.Addr(),
+		UserDirAddr: trader.Addr(),
+		Logf:        func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	ctx := context.Background()
+	c := NewClient(d.BaseURL())
+	if err := c.Login(ctx, "globaluser", "gpw"); err != nil {
+		t.Fatalf("directory-backed login failed: %v", err)
+	}
+	if err := c.Login(ctx, "globaluser", "wrong"); err == nil {
+		t.Error("directory-backed login with wrong secret succeeded")
+	}
+	if err := c.Login(ctx, "nobody", "x"); err == nil {
+		t.Error("unknown user login succeeded")
+	}
+
+	// A standalone domain (no federation) can also use the directory.
+	solo, err := StartDomain(DomainConfig{
+		Name:        "solo2",
+		HTTPAddr:    "127.0.0.1:0",
+		UserDirAddr: trader.Addr(),
+		Logf:        func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer solo.Close()
+	c2 := NewClient(solo.BaseURL())
+	if err := c2.Login(ctx, "globaluser", "gpw"); err != nil {
+		t.Errorf("standalone directory login failed: %v", err)
+	}
+}
+
+// TestTLSPortal exercises the paper's SSL-based secure server: the portal
+// served over HTTPS with a self-signed certificate, the full steering
+// flow running through it.
+func TestTLSPortal(t *testing.T) {
+	d, err := StartDomain(DomainConfig{
+		Name:     "secure",
+		HTTPAddr: "127.0.0.1:0",
+		TLS:      &TLSConfig{SelfSigned: true},
+		Users:    map[string]string{"alice": "pw"},
+		Logf:     func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.BaseURL()[:8] != "https://" {
+		t.Fatalf("BaseURL = %q, want https", d.BaseURL())
+	}
+
+	kernel, _ := NewKernel("seismic-1d")
+	appl, err := NewApplication(context.Background(), d.DaemonAddr(), AppConfig{
+		Name: "wave", Kernel: kernel,
+		Users: []UserGrant{{User: "alice", Privilege: "steer"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer appl.Close()
+	runCtx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go appl.Run(runCtx)
+
+	ctx, cancel2 := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel2()
+
+	// A client without the cert pool must be rejected by TLS.
+	bad := NewClient(d.BaseURL())
+	if err := bad.Login(ctx, "alice", "pw"); err == nil {
+		t.Error("client without trust anchors connected to the TLS portal")
+	}
+
+	c := NewClient(d.BaseURL(), WithHTTPClient(TLSClient(d.CertPool())))
+	if err := c.Login(ctx, "alice", "pw"); err != nil {
+		t.Fatalf("TLS login: %v", err)
+	}
+	apps, err := c.Apps(ctx)
+	if err != nil || len(apps) != 1 {
+		t.Fatalf("Apps over TLS = %v, %v", apps, err)
+	}
+	if _, err := c.ConnectApp(ctx, apps[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	c.StartPump(nil)
+	defer c.StopPump()
+	if granted, _, err := c.AcquireLock(ctx); err != nil || !granted {
+		t.Fatalf("lock over TLS: %v %v", granted, err)
+	}
+	resp, err := c.Do(ctx, "set_param", map[string]string{"name": "source_freq", "value": "0.2"})
+	if err != nil || resp.Kind != wire.KindResponse {
+		t.Fatalf("steer over TLS: %v %v", resp, err)
+	}
+}
+
+func TestStandaloneDomainIsCentralizedBaseline(t *testing.T) {
+	d, err := StartDomain(DomainConfig{
+		Name:     "solo",
+		HTTPAddr: "127.0.0.1:0",
+		Users:    map[string]string{"alice": "pw"},
+		Logf:     func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.Substrate != nil {
+		t.Error("standalone domain has a substrate")
+	}
+	c := NewClient(d.BaseURL())
+	ctx := context.Background()
+	if err := c.Login(ctx, "alice", "pw"); err != nil {
+		t.Fatal(err)
+	}
+	apps, err := c.Apps(ctx)
+	if err != nil || len(apps) != 0 {
+		t.Errorf("Apps = %v, %v", apps, err)
+	}
+}

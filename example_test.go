@@ -1,0 +1,66 @@
+package discover_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"discover"
+)
+
+// Example brings up a complete single-domain collaboratory — server,
+// steerable application and web-portal client — and steers a parameter.
+func Example() {
+	domain, err := discover.StartDomain(discover.DomainConfig{
+		Name:     "example",
+		HTTPAddr: "127.0.0.1:0",
+		Users:    map[string]string{"alice": "secret"},
+		Logf:     func(string, ...any) {},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer domain.Close()
+
+	kernel, _ := discover.NewKernel("oil-reservoir")
+	app, err := discover.NewApplication(context.Background(), domain.DaemonAddr(), discover.AppConfig{
+		Name:   "reservoir",
+		Kernel: kernel,
+		Users:  []discover.UserGrant{{User: "alice", Privilege: "steer"}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer app.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	go app.Run(ctx)
+
+	client := discover.NewClient(domain.BaseURL())
+	if err := client.Login(ctx, "alice", "secret"); err != nil {
+		log.Fatal(err)
+	}
+	priv, err := client.ConnectApp(ctx, app.ID())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("privilege:", priv)
+
+	client.StartPump(nil)
+	defer client.StopPump()
+	if granted, _, err := client.AcquireLock(ctx); err != nil || !granted {
+		log.Fatal("no lock")
+	}
+	resp, err := client.Do(ctx, "set_param", map[string]string{
+		"name": "injection_rate", "value": "2.0",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("steering:", resp.Text)
+
+	// Output:
+	// privilege: steer
+	// steering: set injection_rate
+}

@@ -1,0 +1,190 @@
+// Grid services — the "pool of services" model of the paper's Section 3.
+//
+// Not every resource on the grid is a full DISCOVER server: a service may
+// expose only the second-level interface (a single service instance, like
+// a monitoring or archival service built on a CoG kit). Such services
+// export a trader offer under their own service type with a property
+// list; any collaboratory can discover them at runtime by constraint
+// query and invoke them directly over the middleware — their availability
+// "is not guaranteed and must be determined at runtime", which the offer
+// lease enforces.
+//
+// This example runs two standalone metric-archive services at different
+// sites, has a DISCOVER domain discover the one matching a constraint
+// ("site == 'piscataway' and free_gb > 100"), pushes simulation metrics
+// into it, reads them back, and then shows the lease expiring when the
+// service stops refreshing.
+//
+//	go run ./examples/gridservices
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+	"time"
+
+	"discover/internal/orb"
+)
+
+// archiveService is a minimal level-two-only grid service: it stores
+// named metric series.
+type archiveService struct {
+	name string
+	mu   sync.Mutex
+	data map[string][]float64
+}
+
+type (
+	putReq struct {
+		Series string
+		Value  float64
+	}
+	putResp struct{ Len int }
+	getReq  struct{ Series string }
+	getResp struct{ Values []float64 }
+	lsResp  struct{ Series []string }
+)
+
+func (a *archiveService) servant() orb.Servant {
+	return orb.MethodMap{
+		"put": orb.Handler(func(r putReq) (putResp, error) {
+			a.mu.Lock()
+			defer a.mu.Unlock()
+			a.data[r.Series] = append(a.data[r.Series], r.Value)
+			return putResp{Len: len(a.data[r.Series])}, nil
+		}),
+		"get": orb.Handler(func(r getReq) (getResp, error) {
+			a.mu.Lock()
+			defer a.mu.Unlock()
+			vals, ok := a.data[r.Series]
+			if !ok {
+				return getResp{}, &orb.RemoteError{Code: "NO_SERIES", Msg: r.Series}
+			}
+			return getResp{Values: append([]float64(nil), vals...)}, nil
+		}),
+		"list": orb.Handler(func(struct{}) (lsResp, error) {
+			a.mu.Lock()
+			defer a.mu.Unlock()
+			var names []string
+			for s := range a.data {
+				names = append(names, s)
+			}
+			sort.Strings(names)
+			return lsResp{Series: names}, nil
+		}),
+	}
+}
+
+func main() {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// The federation's trader.
+	traderORB := orb.New()
+	if err := traderORB.Listen("127.0.0.1:0"); err != nil {
+		log.Fatal(err)
+	}
+	defer traderORB.Close()
+	traderORB.Register(orb.TraderKey, orb.NewTrader(orb.WithOfferTTL(time.Hour)).Servant())
+	traderRef := orb.ObjRef{Addr: traderORB.Addr(), Key: orb.TraderKey}
+	fmt.Printf("trader at %s\n", traderORB.Addr())
+
+	// Two archive services at different sites join the pool.
+	type deployed struct {
+		svc     *archiveService
+		orb     *orb.ORB
+		offerID string
+	}
+	deploy := func(name, site, freeGB string, ttl time.Duration) deployed {
+		o := orb.New()
+		if err := o.Listen("127.0.0.1:0"); err != nil {
+			log.Fatal(err)
+		}
+		svc := &archiveService{name: name, data: make(map[string][]float64)}
+		o.Register("archive", svc.servant())
+		tc := orb.NewTraderClient(o, traderRef)
+		offerID, err := tc.Export(ctx, "METRIC_ARCHIVE", o.Ref("archive"), map[string]string{
+			"name": name, "site": site, "free_gb": freeGB,
+		}, ttl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("service %q exported offer %s (site=%s free_gb=%s, lease %s)\n",
+			name, offerID, site, freeGB, ttl)
+		return deployed{svc: svc, orb: o, offerID: offerID}
+	}
+	east := deploy("archive-east", "piscataway", "250", time.Hour)
+	defer east.orb.Close()
+	west := deploy("archive-west", "pasadena", "40", time.Hour)
+	defer west.orb.Close()
+
+	// A consumer (this could be a DISCOVER server's auxiliary handler)
+	// discovers the pool at runtime by constraint.
+	consumer := orb.New()
+	defer consumer.Close()
+	tc := orb.NewTraderClient(consumer, traderRef)
+
+	all, err := tc.Query(ctx, "METRIC_ARCHIVE", "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pool has %d archive services\n", len(all))
+
+	constraint := "site == 'piscataway' and free_gb > 100"
+	matches, err := tc.Query(ctx, "METRIC_ARCHIVE", constraint)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(matches) != 1 {
+		log.Fatalf("constraint %q matched %d offers, want 1", constraint, len(matches))
+	}
+	chosen := matches[0]
+	fmt.Printf("constraint %q selected %s at %s\n", constraint, chosen.Props["name"], chosen.Ref)
+
+	// Push simulation metrics into the chosen archive and read them back.
+	for i, v := range []float64{0.32, 0.35, 0.41, 0.44} {
+		var pr putResp
+		if err := consumer.Invoke(ctx, chosen.Ref, "put",
+			putReq{Series: "avg_pressure", Value: v}, &pr); err != nil {
+			log.Fatal(err)
+		}
+		if pr.Len != i+1 {
+			log.Fatalf("series length = %d, want %d", pr.Len, i+1)
+		}
+	}
+	var got getResp
+	if err := consumer.Invoke(ctx, chosen.Ref, "get", getReq{Series: "avg_pressure"}, &got); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("archived series avg_pressure = %v\n", got.Values)
+
+	var ls lsResp
+	if err := consumer.Invoke(ctx, chosen.Ref, "list", struct{}{}, &ls); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("series stored at %s: %v\n", chosen.Props["name"], ls.Series)
+
+	// Error propagation across the middleware.
+	err = consumer.Invoke(ctx, chosen.Ref, "get", getReq{Series: "nosuch"}, &got)
+	if !orb.IsRemote(err, "NO_SERIES") {
+		log.Fatalf("expected NO_SERIES error, got %v", err)
+	}
+	fmt.Println("typed remote errors propagate (NO_SERIES)")
+
+	// Availability is a runtime property: west withdraws (service going
+	// down for maintenance) and vanishes from queries immediately;
+	// unrefreshed leases would expire the same way.
+	if err := tc.Withdraw(ctx, west.offerID); err != nil {
+		log.Fatal(err)
+	}
+	remaining, err := tc.Query(ctx, "METRIC_ARCHIVE", "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after archive-west withdrew, the pool has %d service(s): %s\n",
+		len(remaining), remaining[0].Props["name"])
+	fmt.Println("pool-of-services demo complete")
+}

@@ -1,0 +1,174 @@
+// Multi-domain federation: the paper's headline scenario. Three
+// collaboratory domains (modelled on the Rutgers / UT Austin / Caltech
+// deployments) discover each other through the trader and form a
+// peer-to-peer network of servers.
+//
+// A scientist logs into her *closest* server (caltech) and gains global
+// access: she lists applications across all three domains, steers a
+// seismic simulation hosted at rutgers through the substrate, holds the
+// distributed steering lock at the host server, and chats with a
+// colleague connected at utexas — the chat crossing the WAN once per
+// server, not once per client.
+//
+//	go run ./examples/multidomain
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"discover"
+	"discover/internal/wire"
+)
+
+func main() {
+	trader, err := discover.StartTrader("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer trader.Close()
+	fmt.Printf("trader (discovery service) at %s\n", trader.Addr())
+
+	users := map[string]string{"vijay": "pw", "manish": "pw"}
+	mkDomain := func(name, site string) *discover.Domain {
+		d, err := discover.StartDomain(discover.DomainConfig{
+			Name:       name,
+			HTTPAddr:   "127.0.0.1:0",
+			TraderAddr: trader.Addr(),
+			Users:      users,
+			Props:      map[string]string{"site": site},
+			Logf:       func(string, ...any) {},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return d
+	}
+	rutgers := mkDomain("rutgers", "piscataway")
+	utexas := mkDomain("utexas", "austin")
+	caltech := mkDomain("caltech", "pasadena")
+	domains := []*discover.Domain{rutgers, utexas, caltech}
+	defer func() {
+		for _, d := range domains {
+			d.Close()
+		}
+	}()
+
+	// One application per domain.
+	grants := []discover.UserGrant{
+		{User: "vijay", Privilege: "steer"},
+		{User: "manish", Privilege: "steer"},
+	}
+	runCtx, stopApps := context.WithCancel(context.Background())
+	defer stopApps()
+	startApp := func(d *discover.Domain, name, kind string) *discover.Application {
+		kernel, err := discover.NewKernel(kind)
+		if err != nil {
+			log.Fatal(err)
+		}
+		a, err := discover.NewApplication(context.Background(), d.DaemonAddr(), discover.AppConfig{
+			Name: name, Kernel: kernel, Users: grants,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		go a.Run(runCtx)
+		fmt.Printf("application %-12s (%s) registered at %s\n", name, kind, d.Server.Name())
+		return a
+	}
+	seismicApp := startApp(rutgers, "seismic-ft", "seismic-1d")
+	defer seismicApp.Close()
+	cfdApp := startApp(utexas, "cavity-re100", "cfd-cavity")
+	defer cfdApp.Close()
+	nrApp := startApp(caltech, "bns-inspiral", "relativity")
+	defer nrApp.Close()
+
+	// Force a discovery round so every server knows its peers now.
+	for _, d := range domains {
+		if err := d.Substrate.DiscoverPeers(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s discovered peers: %v\n", d.Server.Name(), d.Substrate.Peers())
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// vijay logs in at caltech — his closest server — and sees everything.
+	vijay := discover.NewClient(caltech.BaseURL())
+	if err := vijay.Login(ctx, "vijay", "pw"); err != nil {
+		log.Fatal(err)
+	}
+	apps, err := vijay.Apps(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("vijay (at caltech) sees %d applications across the grid:\n", len(apps))
+	var target discover.AppInfo
+	for _, a := range apps {
+		fmt.Printf("  %-22s %-12s host=%s privilege=%s\n", a.ID, a.Name, a.Server, a.Privilege)
+		if a.Server == "rutgers" {
+			target = a
+		}
+	}
+	if target.ID == "" {
+		log.Fatal("rutgers application not visible from caltech")
+	}
+
+	// Connect to the remote application: level-two authorization happens
+	// at rutgers, the subscription relays its group traffic to caltech.
+	priv, err := vijay.ConnectApp(ctx, target.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("vijay connected to %s with privilege %s (authorized by its host server)\n", target.ID, priv)
+
+	vijay.StartPump(nil)
+	defer vijay.StopPump()
+
+	// The distributed lock: state lives at rutgers only.
+	granted, _, err := vijay.AcquireLock(ctx)
+	if err != nil || !granted {
+		log.Fatalf("remote lock: %v %v", granted, err)
+	}
+	holder, held := rutgers.Server.Locks().Holder(target.ID)
+	fmt.Printf("steering lock held at rutgers by %q (held=%v)\n", holder, held)
+
+	// Steer across the WAN.
+	resp, err := vijay.Do(ctx, "set_param", map[string]string{"name": "source_freq", "value": "0.11"})
+	if err != nil || resp.Kind != wire.KindResponse {
+		log.Fatalf("remote steering failed: %v %v", resp, err)
+	}
+	fmt.Println("vijay steered rutgers' seismic source_freq to 0.11 from caltech")
+
+	// manish joins the same group from utexas; chat spans three servers.
+	manish := discover.NewClient(utexas.BaseURL())
+	if err := manish.Login(ctx, "manish", "pw"); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := manish.ConnectApp(ctx, target.ID); err != nil {
+		log.Fatal(err)
+	}
+	heard := make(chan string, 4)
+	manish.StartPump(func(m *wire.Message) {
+		if m.Kind == wire.KindChat {
+			u, _ := m.Get("user")
+			heard <- fmt.Sprintf("%s: %s", u, m.Text)
+		}
+	})
+	defer manish.StopPump()
+
+	if err := vijay.Chat(ctx, "crossing two domains to say hi"); err != nil {
+		log.Fatal(err)
+	}
+	select {
+	case line := <-heard:
+		fmt.Printf("manish (at utexas) heard %q — relayed caltech→rutgers→utexas\n", line)
+	case <-time.After(15 * time.Second):
+		log.Fatal("cross-domain chat never arrived")
+	}
+	vijay.ReleaseLock(ctx)
+	fmt.Println("global access demo complete")
+}

@@ -1,0 +1,170 @@
+// Oil-reservoir collaboratory: the collaborative-engineering scenario the
+// paper's introduction motivates.
+//
+// Three people share one running reservoir simulation:
+//
+//   - alice (steer) drives the injection schedule under the steering lock,
+//
+//   - bob (monitor) watches updates and alice's shared responses but is
+//     denied steering by the ACL,
+//
+//   - carol joins late, catches up from the whiteboard replay and the
+//     session archive, then takes the lock after alice releases it.
+//
+//     go run ./examples/oilreservoir
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"discover"
+	"discover/internal/wire"
+)
+
+func main() {
+	domain, err := discover.StartDomain(discover.DomainConfig{
+		Name:     "csm",
+		HTTPAddr: "127.0.0.1:0",
+		Users: map[string]string{
+			"alice": "pw", "bob": "pw", "carol": "pw",
+		},
+		Logf: func(string, ...any) {},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer domain.Close()
+
+	kernel, _ := discover.NewKernel("oil-reservoir")
+	appl, err := discover.NewApplication(context.Background(), domain.DaemonAddr(), discover.AppConfig{
+		Name:   "gulf-block-7",
+		Kernel: kernel,
+		Owner:  "alice",
+		Users: []discover.UserGrant{
+			{User: "alice", Privilege: "steer"},
+			{User: "bob", Privilege: "monitor"},
+			{User: "carol", Privilege: "steer"},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer appl.Close()
+	runCtx, stopApp := context.WithCancel(context.Background())
+	defer stopApp()
+	go appl.Run(runCtx)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	login := func(user string) *discover.Client {
+		c := discover.NewClient(domain.BaseURL())
+		if err := c.Login(ctx, user, "pw"); err != nil {
+			log.Fatalf("%s login: %v", user, err)
+		}
+		priv, err := c.ConnectApp(ctx, appl.ID())
+		if err != nil {
+			log.Fatalf("%s connect: %v", user, err)
+		}
+		fmt.Printf("%s joined the collaboration group (privilege %s)\n", user, priv)
+		return c
+	}
+
+	alice := login("alice")
+	bob := login("bob")
+
+	// bob's pump collects what the group shares with him.
+	bobChat := make(chan string, 16)
+	bobShared := make(chan *wire.Message, 64)
+	bob.StartPump(func(m *wire.Message) {
+		switch m.Kind {
+		case wire.KindChat:
+			u, _ := m.Get("user")
+			bobChat <- fmt.Sprintf("%s: %s", u, m.Text)
+		case wire.KindResponse:
+			bobShared <- m
+		}
+	})
+	defer bob.StopPump()
+	alice.StartPump(nil)
+	defer alice.StopPump()
+
+	// The ACL denies bob the lock and steering.
+	if _, _, err := bob.AcquireLock(ctx); err == nil {
+		log.Fatal("monitor user acquired the steering lock?!")
+	}
+	fmt.Println("bob (monitor) correctly denied the steering lock")
+
+	// alice drives: lock, annotate, steer in two steps.
+	if granted, _, _ := alice.AcquireLock(ctx); !granted {
+		log.Fatal("alice could not take the lock")
+	}
+	alice.Chat(ctx, "raising injection to probe the pressure response")
+	alice.Whiteboard(ctx, []byte(`{"shape":"arrow","at":"injector"}`))
+	for _, rate := range []string{"2.0", "3.5"} {
+		resp, err := alice.Do(ctx, "set_param", map[string]string{"name": "injection_rate", "value": rate})
+		if err != nil || resp.Kind != wire.KindResponse {
+			log.Fatalf("steer to %s failed: %v %v", rate, resp, err)
+		}
+		fmt.Printf("alice steered injection_rate to %s\n", rate)
+	}
+
+	// bob sees the chat and, since both have collaboration enabled, the
+	// shared steering responses.
+	fmt.Printf("bob heard: %q\n", <-bobChat)
+	shared := <-bobShared
+	fmt.Printf("bob saw alice's shared response: %s %s\n", shared.Op, shared.Text)
+
+	// alice hands the lock over.
+	alice.ReleaseLock(ctx)
+	fmt.Println("alice released the steering lock")
+
+	// carol arrives late: whiteboard replays on join, the archive replays
+	// the session so far, then she takes over steering.
+	carol := login("carol")
+	carolWB := make(chan []byte, 16)
+	carol.StartPump(func(m *wire.Message) {
+		if m.Kind == wire.KindWhiteboard {
+			carolWB <- m.Data
+		}
+	})
+	defer carol.StopPump()
+	select {
+	case stroke := <-carolWB:
+		fmt.Printf("carol replayed whiteboard stroke: %s\n", stroke)
+	case <-time.After(10 * time.Second):
+		log.Fatal("carol never received the whiteboard replay")
+	}
+	replay, err := carol.Replay(ctx, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	steers := 0
+	for _, e := range replay.Entries {
+		if e.Msg.Kind == wire.KindCommand && e.Msg.Op == "set_param" {
+			steers++
+		}
+	}
+	fmt.Printf("carol's session replay shows %d archived steering commands\n", steers)
+
+	if granted, holder, _ := carol.AcquireLock(ctx); !granted {
+		log.Fatalf("carol could not take the lock (holder %s)", holder)
+	}
+	resp, err := carol.Do(ctx, "set_param", map[string]string{"name": "production_rate", "value": "1.5"})
+	if err != nil || resp.Kind != wire.KindResponse {
+		log.Fatalf("carol steer failed: %v %v", resp, err)
+	}
+	fmt.Println("carol now drives the simulation (production_rate = 1.5)")
+
+	// The record database holds the session's generated data under the
+	// right owners.
+	recs, err := alice.Records(ctx, "responses", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("alice's visible response records: %d\n", len(recs))
+	fmt.Println("collaborative session complete")
+}

@@ -1,0 +1,116 @@
+// Quickstart: one collaboratory domain, one steerable application, one
+// web-portal client.
+//
+// The client logs in, discovers the application, takes the steering lock,
+// doubles the injection rate of an oil-reservoir simulation and watches
+// the average pressure respond in the periodic updates.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"discover"
+	"discover/internal/wire"
+)
+
+func main() {
+	// 1. Start a standalone domain (server + application daemon + portal).
+	domain, err := discover.StartDomain(discover.DomainConfig{
+		Name:     "quickstart",
+		HTTPAddr: "127.0.0.1:0",
+		Users:    map[string]string{"alice": "wonderland"},
+		Logf:     func(string, ...any) {},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer domain.Close()
+	fmt.Printf("domain %q: portal %s, daemon %s\n",
+		domain.Server.Name(), domain.BaseURL(), domain.DaemonAddr())
+
+	// 2. Connect an oil-reservoir simulation to the domain.
+	kernel, err := discover.NewKernel("oil-reservoir")
+	if err != nil {
+		log.Fatal(err)
+	}
+	appl, err := discover.NewApplication(context.Background(), domain.DaemonAddr(), discover.AppConfig{
+		Name:   "reservoir",
+		Kernel: kernel,
+		Users:  []discover.UserGrant{{User: "alice", Privilege: "steer"}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer appl.Close()
+	runCtx, stopApp := context.WithCancel(context.Background())
+	defer stopApp()
+	go appl.Run(runCtx)
+	fmt.Printf("application %q registered\n", appl.ID())
+
+	// 3. A portal client logs in and connects.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	client := discover.NewClient(domain.BaseURL())
+	if err := client.Login(ctx, "alice", "wonderland"); err != nil {
+		log.Fatal(err)
+	}
+	apps, err := client.Apps(ctx)
+	if err != nil || len(apps) == 0 {
+		log.Fatalf("no applications visible: %v", err)
+	}
+	fmt.Printf("visible applications: %d (first: %s on %s, privilege %s)\n",
+		len(apps), apps[0].Name, apps[0].Server, apps[0].Privilege)
+	if _, err := client.ConnectApp(ctx, apps[0].ID); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Watch updates through the poll pump.
+	pressure := make(chan float64, 64)
+	client.StartPump(func(m *wire.Message) {
+		if m.Kind == wire.KindUpdate {
+			if p, ok := m.GetFloat("m.avg_pressure"); ok {
+				select {
+				case pressure <- p:
+				default:
+				}
+			}
+		}
+	})
+	defer client.StopPump()
+
+	before := <-pressure
+	fmt.Printf("avg pressure before steering: %.4f\n", before)
+
+	// 5. Take the lock and steer.
+	granted, holder, err := client.AcquireLock(ctx)
+	if err != nil || !granted {
+		log.Fatalf("lock: granted=%v holder=%q err=%v", granted, holder, err)
+	}
+	resp, err := client.Do(ctx, "set_param", map[string]string{
+		"name": "injection_rate", "value": "4.0",
+	})
+	if err != nil || resp.Kind != wire.KindResponse {
+		log.Fatalf("steering failed: %v %v", resp, err)
+	}
+	fmt.Println("steered injection_rate to 4.0")
+	client.ReleaseLock(ctx)
+
+	// 6. The pressure rises in response.
+	deadline := time.After(20 * time.Second)
+	for {
+		select {
+		case p := <-pressure:
+			if p > before*1.5 {
+				fmt.Printf("avg pressure after steering: %.4f (was %.4f) — steering observed\n", p, before)
+				return
+			}
+		case <-deadline:
+			log.Fatal("pressure never responded to steering")
+		}
+	}
+}

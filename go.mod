@@ -1,0 +1,3 @@
+module discover
+
+go 1.22

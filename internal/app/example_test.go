@@ -1,0 +1,25 @@
+package app_test
+
+import (
+	"fmt"
+
+	"discover/internal/app"
+)
+
+// ExampleFieldView_RenderASCII renders a small field snapshot the way
+// discoverctl's view command does.
+func ExampleFieldView_RenderASCII() {
+	v := app.FieldView{
+		Name:   "pressure",
+		Dims:   []int{2, 8},
+		Values: []float64{0, 1, 2, 3, 4, 5, 6, 7, 7, 6, 5, 4, 3, 2, 1, 0},
+		Min:    0, Max: 7,
+		Stride: 1,
+		Step:   42,
+	}
+	fmt.Print(v.RenderASCII(80))
+	// Output:
+	// pressure step=42 min=0 max=7 (stride 1)
+	//  .:-+*#@
+	// @#*+-:.
+}

@@ -1,0 +1,389 @@
+package app
+
+import (
+	"fmt"
+	"math"
+)
+
+// A Kernel is one numerical simulation: the computational payload the
+// control network is superimposed on. Kernels are deliberately small but
+// real — steering a parameter visibly changes their trajectories, which is
+// what the examples and experiments need.
+type Kernel interface {
+	// Kind is the application family, e.g. "oil-reservoir".
+	Kind() string
+	// DefineParams declares the kernel's parameters on a fresh table.
+	DefineParams(t *ParamTable)
+	// Init (re)initializes internal state from the table.
+	Init(t *ParamTable)
+	// Step advances one time step and returns current metrics.
+	Step(t *ParamTable) map[string]float64
+}
+
+// A FieldProvider is a kernel that can expose spatial fields for
+// visualization views (the view requests DISCOVER portals issue).
+type FieldProvider interface {
+	// FieldNames lists the available fields.
+	FieldNames() []string
+	// Field returns a copy of one field's values and its dimensions
+	// (e.g. [n, n] for a 2-D grid, [n] for a trace).
+	Field(name string) (values []float64, dims []int, ok bool)
+}
+
+// NewKernel constructs a kernel by kind name.
+func NewKernel(kind string) (Kernel, error) {
+	switch kind {
+	case "oil-reservoir":
+		return NewOilReservoir(24), nil
+	case "cfd-cavity":
+		return NewLidCavity(24), nil
+	case "seismic-1d":
+		return NewSeismic1D(256), nil
+	case "relativity":
+		return NewInspiral(), nil
+	default:
+		return nil, fmt.Errorf("app: unknown kernel kind %q", kind)
+	}
+}
+
+// KernelKinds lists the available kernel kinds.
+func KernelKinds() []string {
+	return []string{"oil-reservoir", "cfd-cavity", "seismic-1d", "relativity"}
+}
+
+// ---------------------------------------------------------------------------
+// Oil reservoir: 2-D pressure diffusion with an injector and a producer.
+// ---------------------------------------------------------------------------
+
+// OilReservoir models single-phase pressure diffusion on an N×N grid with
+// an injection well (bottom-left quadrant) and a production well
+// (top-right quadrant). Each Step performs one Jacobi sweep of
+//
+//	p' = p + dt·k/μ·∇²p + dt·(q_inj − q_prod)
+//
+// Steering injection_rate or permeability changes the pressure field's
+// equilibrium, observable in the avg_pressure metric.
+type OilReservoir struct {
+	n       int
+	p, next []float64
+	step    int64
+}
+
+// NewOilReservoir returns a reservoir kernel on an n×n grid.
+func NewOilReservoir(n int) *OilReservoir { return &OilReservoir{n: n} }
+
+// Kind implements Kernel.
+func (k *OilReservoir) Kind() string { return "oil-reservoir" }
+
+// DefineParams implements Kernel.
+func (k *OilReservoir) DefineParams(t *ParamTable) {
+	t.MustDefine(Param{Name: "injection_rate", Value: 1.0, Min: 0, Max: 10, Steerable: true,
+		Description: "injector well rate (pressure units/step)"})
+	t.MustDefine(Param{Name: "production_rate", Value: 0.8, Min: 0, Max: 10, Steerable: true,
+		Description: "producer well rate"})
+	t.MustDefine(Param{Name: "permeability", Value: 0.20, Min: 0.01, Max: 0.249, Steerable: true,
+		Description: "diffusion coefficient k/mu*dt (stability requires < 0.25)"})
+	t.MustDefine(Param{Name: "grid", Value: float64(k.n), Min: float64(k.n), Max: float64(k.n),
+		Description: "grid edge size (fixed)"})
+}
+
+// Init implements Kernel.
+func (k *OilReservoir) Init(t *ParamTable) {
+	k.p = make([]float64, k.n*k.n)
+	k.next = make([]float64, k.n*k.n)
+	k.step = 0
+}
+
+// Step implements Kernel.
+func (k *OilReservoir) Step(t *ParamTable) map[string]float64 {
+	n := k.n
+	alpha := t.MustGet("permeability")
+	inj := t.MustGet("injection_rate")
+	prod := t.MustGet("production_rate")
+	injIdx := (n/4)*n + n/4
+	prodIdx := (3*n/4)*n + 3*n/4
+
+	var sum, residual float64
+	for i := 1; i < n-1; i++ {
+		for j := 1; j < n-1; j++ {
+			idx := i*n + j
+			lap := k.p[idx-1] + k.p[idx+1] + k.p[idx-n] + k.p[idx+n] - 4*k.p[idx]
+			v := k.p[idx] + alpha*lap
+			k.next[idx] = v
+		}
+	}
+	k.next[injIdx] += inj
+	k.next[prodIdx] -= prod
+	if k.next[prodIdx] < 0 {
+		k.next[prodIdx] = 0
+	}
+	// Dirichlet boundary p=0 is implicit: border cells stay zero.
+	for i := 1; i < n-1; i++ {
+		for j := 1; j < n-1; j++ {
+			idx := i*n + j
+			residual += math.Abs(k.next[idx] - k.p[idx])
+			sum += k.next[idx]
+		}
+	}
+	k.p, k.next = k.next, k.p
+	k.step++
+	inner := float64((n - 2) * (n - 2))
+	return map[string]float64{
+		"step":         float64(k.step),
+		"avg_pressure": sum / inner,
+		"residual":     residual / inner,
+		"injector_p":   k.p[injIdx],
+		"producer_p":   k.p[prodIdx],
+	}
+}
+
+// FieldNames implements FieldProvider.
+func (k *OilReservoir) FieldNames() []string { return []string{"pressure"} }
+
+// Field implements FieldProvider.
+func (k *OilReservoir) Field(name string) ([]float64, []int, bool) {
+	if name != "pressure" || k.p == nil {
+		return nil, nil, false
+	}
+	return append([]float64(nil), k.p...), []int{k.n, k.n}, true
+}
+
+// ---------------------------------------------------------------------------
+// CFD: lid-driven cavity via stream-function relaxation.
+// ---------------------------------------------------------------------------
+
+// LidCavity is a simplified lid-driven cavity: Gauss–Seidel relaxation of
+// the stream function ψ with a moving-lid source term scaled by
+// lid_velocity and damped by 1/reynolds. It is not a full Navier–Stokes
+// solve, but steering lid_velocity or reynolds changes the converged
+// circulation, which is the point.
+type LidCavity struct {
+	n    int
+	psi  []float64
+	step int64
+}
+
+// NewLidCavity returns a cavity kernel on an n×n grid.
+func NewLidCavity(n int) *LidCavity { return &LidCavity{n: n} }
+
+// Kind implements Kernel.
+func (k *LidCavity) Kind() string { return "cfd-cavity" }
+
+// DefineParams implements Kernel.
+func (k *LidCavity) DefineParams(t *ParamTable) {
+	t.MustDefine(Param{Name: "lid_velocity", Value: 1.0, Min: 0, Max: 50, Steerable: true,
+		Description: "tangential velocity of the moving lid"})
+	t.MustDefine(Param{Name: "reynolds", Value: 100, Min: 1, Max: 5000, Steerable: true,
+		Description: "Reynolds number (controls damping)"})
+	t.MustDefine(Param{Name: "relaxation", Value: 0.8, Min: 0.1, Max: 1.9, Steerable: true,
+		Description: "SOR relaxation factor"})
+}
+
+// Init implements Kernel.
+func (k *LidCavity) Init(t *ParamTable) {
+	k.psi = make([]float64, k.n*k.n)
+	k.step = 0
+}
+
+// Step implements Kernel.
+func (k *LidCavity) Step(t *ParamTable) map[string]float64 {
+	n := k.n
+	lid := t.MustGet("lid_velocity")
+	re := t.MustGet("reynolds")
+	w := t.MustGet("relaxation")
+	damp := 1.0 / re
+
+	var residual float64
+	for i := 1; i < n-1; i++ {
+		for j := 1; j < n-1; j++ {
+			idx := i*n + j
+			src := 0.0
+			if i == 1 { // row adjacent to the moving lid
+				src = lid
+			}
+			v := 0.25*(k.psi[idx-1]+k.psi[idx+1]+k.psi[idx-n]+k.psi[idx+n]+src) - damp*k.psi[idx]
+			delta := v - k.psi[idx]
+			k.psi[idx] += w * delta
+			residual += math.Abs(delta)
+		}
+	}
+	var circ float64
+	for _, v := range k.psi {
+		circ += v
+	}
+	k.step++
+	inner := float64((n - 2) * (n - 2))
+	return map[string]float64{
+		"step":        float64(k.step),
+		"circulation": circ / inner,
+		"residual":    residual / inner,
+		"psi_center":  k.psi[(n/2)*n+n/2],
+	}
+}
+
+// FieldNames implements FieldProvider.
+func (k *LidCavity) FieldNames() []string { return []string{"stream_function"} }
+
+// Field implements FieldProvider.
+func (k *LidCavity) Field(name string) ([]float64, []int, bool) {
+	if name != "stream_function" || k.psi == nil {
+		return nil, nil, false
+	}
+	return append([]float64(nil), k.psi...), []int{k.n, k.n}, true
+}
+
+// ---------------------------------------------------------------------------
+// Seismic: 1-D wave propagation with a monochromatic source.
+// ---------------------------------------------------------------------------
+
+// Seismic1D advances the damped 1-D wave equation with a sinusoidal source
+// at the left boundary — a stand-in for seismic forward modeling. Steering
+// source_freq moves the dominant wavelength; damping controls attenuation.
+type Seismic1D struct {
+	n         int
+	prev, cur []float64
+	next      []float64
+	step      int64
+}
+
+// NewSeismic1D returns a wave kernel on n cells.
+func NewSeismic1D(n int) *Seismic1D { return &Seismic1D{n: n} }
+
+// Kind implements Kernel.
+func (k *Seismic1D) Kind() string { return "seismic-1d" }
+
+// DefineParams implements Kernel.
+func (k *Seismic1D) DefineParams(t *ParamTable) {
+	t.MustDefine(Param{Name: "source_freq", Value: 0.05, Min: 0.001, Max: 0.4, Steerable: true,
+		Description: "source frequency (cycles/step)"})
+	t.MustDefine(Param{Name: "source_amp", Value: 1.0, Min: 0, Max: 10, Steerable: true,
+		Description: "source amplitude"})
+	t.MustDefine(Param{Name: "damping", Value: 0.001, Min: 0, Max: 0.2, Steerable: true,
+		Description: "attenuation per step"})
+	t.MustDefine(Param{Name: "courant", Value: 0.9, Min: 0.1, Max: 0.999, Steerable: false,
+		Description: "Courant number (fixed for stability)"})
+}
+
+// Init implements Kernel.
+func (k *Seismic1D) Init(t *ParamTable) {
+	k.prev = make([]float64, k.n)
+	k.cur = make([]float64, k.n)
+	k.next = make([]float64, k.n)
+	k.step = 0
+}
+
+// Step implements Kernel.
+func (k *Seismic1D) Step(t *ParamTable) map[string]float64 {
+	freq := t.MustGet("source_freq")
+	amp := t.MustGet("source_amp")
+	damp := t.MustGet("damping")
+	c := t.MustGet("courant")
+	c2 := c * c
+
+	k.cur[0] = amp * math.Sin(2*math.Pi*freq*float64(k.step))
+	for i := 1; i < k.n-1; i++ {
+		k.next[i] = (2*k.cur[i] - k.prev[i] + c2*(k.cur[i+1]-2*k.cur[i]+k.cur[i-1])) * (1 - damp)
+	}
+	k.next[k.n-1] = k.cur[k.n-2] // crude absorbing boundary
+	k.prev, k.cur, k.next = k.cur, k.next, k.prev
+	k.step++
+
+	var energy, maxAmp float64
+	for _, v := range k.cur {
+		energy += v * v
+		if a := math.Abs(v); a > maxAmp {
+			maxAmp = a
+		}
+	}
+	return map[string]float64{
+		"step":     float64(k.step),
+		"energy":   energy,
+		"max_amp":  maxAmp,
+		"receiver": k.cur[k.n*3/4],
+	}
+}
+
+// FieldNames implements FieldProvider.
+func (k *Seismic1D) FieldNames() []string { return []string{"wavefield"} }
+
+// Field implements FieldProvider.
+func (k *Seismic1D) Field(name string) ([]float64, []int, bool) {
+	if name != "wavefield" || k.cur == nil {
+		return nil, nil, false
+	}
+	return append([]float64(nil), k.cur...), []int{k.n}, true
+}
+
+// ---------------------------------------------------------------------------
+// Numerical relativity: toy compact-binary inspiral.
+// ---------------------------------------------------------------------------
+
+// Inspiral integrates the quadrupole-order orbital decay of a compact
+// binary, da/dt = −β/a³ with β ∝ m1·m2·(m1+m2) — the classic toy for
+// numerical-relativity steering demos. When the separation reaches
+// r_merge the binary "merges" and the metric merged flips to 1; steering
+// the masses changes the inspiral time.
+type Inspiral struct {
+	a      float64
+	phase  float64
+	step   int64
+	merged bool
+}
+
+// NewInspiral returns an inspiral kernel.
+func NewInspiral() *Inspiral { return &Inspiral{} }
+
+// Kind implements Kernel.
+func (k *Inspiral) Kind() string { return "relativity" }
+
+// DefineParams implements Kernel.
+func (k *Inspiral) DefineParams(t *ParamTable) {
+	t.MustDefine(Param{Name: "mass1", Value: 1.4, Min: 0.1, Max: 100, Steerable: true,
+		Description: "primary mass (solar masses)"})
+	t.MustDefine(Param{Name: "mass2", Value: 1.4, Min: 0.1, Max: 100, Steerable: true,
+		Description: "secondary mass (solar masses)"})
+	t.MustDefine(Param{Name: "a0", Value: 10, Min: 1, Max: 100, Steerable: true,
+		Description: "initial separation"})
+	t.MustDefine(Param{Name: "dt", Value: 0.01, Min: 1e-5, Max: 1, Steerable: true,
+		Description: "integrator time step"})
+	t.MustDefine(Param{Name: "r_merge", Value: 1.0, Min: 0.1, Max: 5, Steerable: false,
+		Description: "separation at which the binary merges"})
+}
+
+// Init implements Kernel.
+func (k *Inspiral) Init(t *ParamTable) {
+	k.a = t.MustGet("a0")
+	k.phase = 0
+	k.step = 0
+	k.merged = false
+}
+
+// Step implements Kernel.
+func (k *Inspiral) Step(t *ParamTable) map[string]float64 {
+	m1, m2 := t.MustGet("mass1"), t.MustGet("mass2")
+	dt := t.MustGet("dt")
+	rMerge := t.MustGet("r_merge")
+	beta := m1 * m2 * (m1 + m2) / 5.0
+
+	if !k.merged {
+		k.a -= beta / (k.a * k.a * k.a) * dt
+		if k.a <= rMerge {
+			k.a = rMerge
+			k.merged = true
+		}
+		// Keplerian orbital frequency ~ sqrt(M/a^3).
+		k.phase += math.Sqrt((m1+m2)/(k.a*k.a*k.a)) * dt
+	}
+	k.step++
+	merged := 0.0
+	if k.merged {
+		merged = 1
+	}
+	return map[string]float64{
+		"step":          float64(k.step),
+		"separation":    k.a,
+		"orbital_phase": k.phase,
+		"merged":        merged,
+		"gw_freq":       math.Sqrt((m1+m2)/(k.a*k.a*k.a)) / math.Pi,
+	}
+}

@@ -1,0 +1,203 @@
+package app
+
+import (
+	"math"
+	"testing"
+)
+
+func newKernelAndTable(t *testing.T, kind string) (Kernel, *ParamTable) {
+	t.Helper()
+	k, err := NewKernel(kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := NewParamTable()
+	k.DefineParams(pt)
+	k.Init(pt)
+	return k, pt
+}
+
+func TestNewKernelKinds(t *testing.T) {
+	for _, kind := range KernelKinds() {
+		k, err := NewKernel(kind)
+		if err != nil {
+			t.Errorf("NewKernel(%q): %v", kind, err)
+			continue
+		}
+		if k.Kind() != kind {
+			t.Errorf("Kind() = %q, want %q", k.Kind(), kind)
+		}
+	}
+	if _, err := NewKernel("fusion"); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestAllKernelsStepFinite(t *testing.T) {
+	for _, kind := range KernelKinds() {
+		k, pt := newKernelAndTable(t, kind)
+		var metrics map[string]float64
+		for i := 0; i < 200; i++ {
+			metrics = k.Step(pt)
+		}
+		if len(metrics) == 0 {
+			t.Errorf("%s: no metrics", kind)
+		}
+		for name, v := range metrics {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("%s: metric %s is %v after 200 steps", kind, name, v)
+			}
+		}
+		if metrics["step"] != 200 {
+			t.Errorf("%s: step = %v, want 200", kind, metrics["step"])
+		}
+	}
+}
+
+func TestKernelInitResets(t *testing.T) {
+	for _, kind := range KernelKinds() {
+		k, pt := newKernelAndTable(t, kind)
+		for i := 0; i < 50; i++ {
+			k.Step(pt)
+		}
+		k.Init(pt)
+		m := k.Step(pt)
+		if m["step"] != 1 {
+			t.Errorf("%s: step after Init = %v, want 1", kind, m["step"])
+		}
+	}
+}
+
+func TestOilReservoirSteeringChangesEquilibrium(t *testing.T) {
+	k, pt := newKernelAndTable(t, "oil-reservoir")
+	run := func(steps int) float64 {
+		var m map[string]float64
+		for i := 0; i < steps; i++ {
+			m = k.Step(pt)
+		}
+		return m["avg_pressure"]
+	}
+	base := run(400)
+	if base <= 0 {
+		t.Fatalf("baseline avg_pressure = %v, want > 0 with net injection", base)
+	}
+	// Double the injection rate; pressure must rise.
+	if err := pt.Set("injection_rate", 2.0); err != nil {
+		t.Fatal(err)
+	}
+	boosted := run(400)
+	if boosted <= base {
+		t.Errorf("steering injection up did not raise pressure: %v -> %v", base, boosted)
+	}
+}
+
+func TestOilReservoirMassBalanceDirection(t *testing.T) {
+	k, pt := newKernelAndTable(t, "oil-reservoir")
+	// Production only: pressure stays ~0 (clamped at the producer).
+	pt.Set("injection_rate", 0)
+	var m map[string]float64
+	for i := 0; i < 200; i++ {
+		m = k.Step(pt)
+	}
+	if m["avg_pressure"] > 1e-6 {
+		t.Errorf("no injection but avg_pressure = %v", m["avg_pressure"])
+	}
+}
+
+func TestLidCavitySteeringChangesCirculation(t *testing.T) {
+	k, pt := newKernelAndTable(t, "cfd-cavity")
+	var m map[string]float64
+	for i := 0; i < 500; i++ {
+		m = k.Step(pt)
+	}
+	base := m["circulation"]
+	if base <= 0 {
+		t.Fatalf("circulation = %v, want > 0 with a moving lid", base)
+	}
+	pt.Set("lid_velocity", 10)
+	for i := 0; i < 500; i++ {
+		m = k.Step(pt)
+	}
+	if m["circulation"] <= base {
+		t.Errorf("raising lid velocity did not raise circulation: %v -> %v", base, m["circulation"])
+	}
+}
+
+func TestSeismicEnergyGrowsFromSource(t *testing.T) {
+	k, pt := newKernelAndTable(t, "seismic-1d")
+	var early, late float64
+	for i := 0; i < 20; i++ {
+		early = k.Step(pt)["energy"]
+	}
+	for i := 0; i < 300; i++ {
+		late = k.Step(pt)["energy"]
+	}
+	if late <= early {
+		t.Errorf("wavefield energy did not grow: %v -> %v", early, late)
+	}
+	// Heavy damping must reduce energy relative to light damping.
+	k2, pt2 := newKernelAndTable(t, "seismic-1d")
+	pt2.Set("damping", 0.2)
+	var damped float64
+	for i := 0; i < 320; i++ {
+		damped = k2.Step(pt2)["energy"]
+	}
+	if damped >= late {
+		t.Errorf("damping did not attenuate: damped=%v undamped=%v", damped, late)
+	}
+}
+
+func TestInspiralMerges(t *testing.T) {
+	k, pt := newKernelAndTable(t, "relativity")
+	pt.Set("mass1", 30)
+	pt.Set("mass2", 30)
+	pt.Set("dt", 0.5)
+	k.Init(pt)
+	var m map[string]float64
+	for i := 0; i < 10000; i++ {
+		m = k.Step(pt)
+		if m["merged"] == 1 {
+			break
+		}
+	}
+	if m["merged"] != 1 {
+		t.Fatalf("heavy binary did not merge; separation = %v", m["separation"])
+	}
+	if m["separation"] > pt.MustGet("r_merge")+1e-9 {
+		t.Errorf("merged at separation %v > r_merge", m["separation"])
+	}
+	// Separation must be monotonically non-increasing.
+	k.Init(pt)
+	prev := math.Inf(1)
+	for i := 0; i < 500; i++ {
+		m = k.Step(pt)
+		if m["separation"] > prev+1e-12 {
+			t.Fatalf("separation increased: %v -> %v", prev, m["separation"])
+		}
+		prev = m["separation"]
+	}
+}
+
+func TestInspiralMassSteeringChangesInspiralTime(t *testing.T) {
+	mergeSteps := func(m1, m2 float64) int {
+		k, pt := newKernelAndTable(t, "relativity")
+		pt.Set("mass1", m1)
+		pt.Set("mass2", m2)
+		pt.Set("dt", 0.5)
+		k.Init(pt)
+		for i := 1; i <= 200000; i++ {
+			if k.Step(pt)["merged"] == 1 {
+				return i
+			}
+		}
+		return -1
+	}
+	light := mergeSteps(5, 5)
+	heavy := mergeSteps(30, 30)
+	if light < 0 || heavy < 0 {
+		t.Fatalf("binaries did not merge: light=%d heavy=%d", light, heavy)
+	}
+	if heavy >= light {
+		t.Errorf("heavier binary should merge faster: heavy=%d light=%d steps", heavy, light)
+	}
+}

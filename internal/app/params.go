@@ -1,0 +1,152 @@
+// Package app implements DISCOVER's back end: the control network of
+// sensors, actuators and interaction agents superimposed on an
+// application, plus synthetic steerable simulations standing in for the
+// paper's scientific codes (oil reservoir simulation, computational fluid
+// dynamics, seismic modeling and numerical relativity).
+//
+// An application alternates compute phases and interaction phases. During
+// a compute phase the kernel advances; the server buffers client requests.
+// At each interaction phase the buffered requests are applied through
+// actuators (parameter changes, commands) and sensors (state queries), and
+// a periodic update is emitted on the Main channel.
+package app
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Param is one named application parameter. Steerable parameters may be
+// changed through an actuator by clients holding the steering lock;
+// non-steerable parameters are visible but fixed after initialization.
+type Param struct {
+	Name        string
+	Value       float64
+	Min, Max    float64 // valid range; Min == Max == 0 means unbounded
+	Steerable   bool
+	Description string
+}
+
+// bounded reports whether the parameter declares a range.
+func (p Param) bounded() bool { return p.Min != 0 || p.Max != 0 }
+
+// ParamTable is a concurrency-safe table of parameters, the state the
+// control network's sensors and actuators operate on.
+type ParamTable struct {
+	mu     sync.RWMutex
+	params map[string]*Param
+	order  []string
+	rev    uint64 // bumped on every successful Set
+}
+
+// NewParamTable returns an empty table.
+func NewParamTable() *ParamTable {
+	return &ParamTable{params: make(map[string]*Param)}
+}
+
+// Define adds a parameter. Redefining a name is an error.
+func (t *ParamTable) Define(p Param) error {
+	if p.Name == "" {
+		return fmt.Errorf("app: parameter with empty name")
+	}
+	if p.bounded() && (p.Value < p.Min || p.Value > p.Max) {
+		return fmt.Errorf("app: parameter %q default %v outside [%v,%v]", p.Name, p.Value, p.Min, p.Max)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, dup := t.params[p.Name]; dup {
+		return fmt.Errorf("app: parameter %q already defined", p.Name)
+	}
+	cp := p
+	t.params[p.Name] = &cp
+	t.order = append(t.order, p.Name)
+	return nil
+}
+
+// MustDefine is Define that panics, for kernel initialization tables.
+func (t *ParamTable) MustDefine(p Param) {
+	if err := t.Define(p); err != nil {
+		panic(err)
+	}
+}
+
+// Get returns the current value of a parameter.
+func (t *ParamTable) Get(name string) (float64, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	p, ok := t.params[name]
+	if !ok {
+		return 0, false
+	}
+	return p.Value, true
+}
+
+// MustGet returns the value of a parameter the caller knows exists.
+func (t *ParamTable) MustGet(name string) float64 {
+	v, ok := t.Get(name)
+	if !ok {
+		panic("app: undefined parameter " + name)
+	}
+	return v
+}
+
+// Set changes a steerable parameter, validating bounds. It is the
+// actuator primitive.
+func (t *ParamTable) Set(name string, v float64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p, ok := t.params[name]
+	if !ok {
+		return fmt.Errorf("app: unknown parameter %q", name)
+	}
+	if !p.Steerable {
+		return fmt.Errorf("app: parameter %q is not steerable", name)
+	}
+	if p.bounded() && (v < p.Min || v > p.Max) {
+		return fmt.Errorf("app: value %v for %q outside [%v,%v]", v, name, p.Min, p.Max)
+	}
+	p.Value = v
+	t.rev++
+	return nil
+}
+
+// Revision returns a counter that increases with every successful Set,
+// letting kernels notice steering cheaply.
+func (t *ParamTable) Revision() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rev
+}
+
+// Snapshot returns copies of all parameters in definition order.
+func (t *ParamTable) Snapshot() []Param {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]Param, 0, len(t.order))
+	for _, name := range t.order {
+		out = append(out, *t.params[name])
+	}
+	return out
+}
+
+// Names returns the parameter names sorted alphabetically.
+func (t *ParamTable) Names() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]string, len(t.order))
+	copy(out, t.order)
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns a copy of the named parameter.
+func (t *ParamTable) Lookup(name string) (Param, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	p, ok := t.params[name]
+	if !ok {
+		return Param{}, false
+	}
+	return *p, true
+}

@@ -1,0 +1,157 @@
+package app
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestParamTableDefineGetSet(t *testing.T) {
+	pt := NewParamTable()
+	if err := pt.Define(Param{Name: "x", Value: 1, Min: 0, Max: 10, Steerable: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := pt.Define(Param{Name: "x", Value: 2}); err == nil {
+		t.Error("duplicate Define succeeded")
+	}
+	if err := pt.Define(Param{Name: ""}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := pt.Define(Param{Name: "bad", Value: 11, Min: 0, Max: 10}); err == nil {
+		t.Error("out-of-range default accepted")
+	}
+	if v, ok := pt.Get("x"); !ok || v != 1 {
+		t.Errorf("Get(x) = %v, %v", v, ok)
+	}
+	if _, ok := pt.Get("y"); ok {
+		t.Error("Get of undefined param succeeded")
+	}
+	if err := pt.Set("x", 5); err != nil {
+		t.Errorf("Set: %v", err)
+	}
+	if v := pt.MustGet("x"); v != 5 {
+		t.Errorf("after Set, x = %v", v)
+	}
+	if err := pt.Set("x", 11); err == nil {
+		t.Error("out-of-range Set succeeded")
+	}
+	if err := pt.Set("y", 1); err == nil {
+		t.Error("Set of unknown param succeeded")
+	}
+}
+
+func TestParamTableSteerability(t *testing.T) {
+	pt := NewParamTable()
+	pt.MustDefine(Param{Name: "fixed", Value: 3})
+	if err := pt.Set("fixed", 4); err == nil {
+		t.Error("Set of non-steerable param succeeded")
+	}
+	if v := pt.MustGet("fixed"); v != 3 {
+		t.Errorf("fixed changed to %v", v)
+	}
+}
+
+func TestParamTableUnboundedParam(t *testing.T) {
+	pt := NewParamTable()
+	pt.MustDefine(Param{Name: "free", Value: 0, Steerable: true})
+	for _, v := range []float64{-1e9, 0, 1e9} {
+		if err := pt.Set("free", v); err != nil {
+			t.Errorf("Set(free, %v): %v", v, err)
+		}
+	}
+}
+
+func TestParamTableRevision(t *testing.T) {
+	pt := NewParamTable()
+	pt.MustDefine(Param{Name: "x", Value: 0, Steerable: true})
+	r0 := pt.Revision()
+	pt.Set("x", 1)
+	pt.Set("x", 2)
+	if got := pt.Revision(); got != r0+2 {
+		t.Errorf("revision = %d, want %d", got, r0+2)
+	}
+	pt.Set("nosuch", 1) // failed set must not bump
+	if got := pt.Revision(); got != r0+2 {
+		t.Errorf("failed set bumped revision to %d", got)
+	}
+}
+
+func TestParamTableSnapshotOrderAndIsolation(t *testing.T) {
+	pt := NewParamTable()
+	pt.MustDefine(Param{Name: "b", Value: 2, Steerable: true})
+	pt.MustDefine(Param{Name: "a", Value: 1})
+	snap := pt.Snapshot()
+	if len(snap) != 2 || snap[0].Name != "b" || snap[1].Name != "a" {
+		t.Errorf("Snapshot order = %v", snap)
+	}
+	snap[0].Value = 99
+	if v := pt.MustGet("b"); v != 2 {
+		t.Error("Snapshot aliased table storage")
+	}
+	if names := pt.Names(); !reflect.DeepEqual(names, []string{"a", "b"}) {
+		t.Errorf("Names = %v", names)
+	}
+	p, ok := pt.Lookup("a")
+	if !ok || p.Value != 1 || p.Steerable {
+		t.Errorf("Lookup(a) = %+v, %v", p, ok)
+	}
+	if _, ok := pt.Lookup("zz"); ok {
+		t.Error("Lookup of unknown succeeded")
+	}
+}
+
+// Property: concurrent Sets always leave the value inside bounds and the
+// revision equals the number of successful sets.
+func TestParamTableConcurrentSets(t *testing.T) {
+	pt := NewParamTable()
+	pt.MustDefine(Param{Name: "x", Value: 5, Min: 0, Max: 10, Steerable: true})
+	const workers, iters = 8, 200
+	var wg sync.WaitGroup
+	var successes sync.Map
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w)))
+			count := 0
+			for i := 0; i < iters; i++ {
+				v := r.Float64()*14 - 2 // some out of range
+				if err := pt.Set("x", v); err == nil {
+					count++
+				}
+			}
+			successes.Store(w, count)
+		}(w)
+	}
+	wg.Wait()
+	v := pt.MustGet("x")
+	if v < 0 || v > 10 {
+		t.Errorf("final value %v out of bounds", v)
+	}
+	var total uint64
+	successes.Range(func(_, c any) bool { total += uint64(c.(int)); return true })
+	if pt.Revision() != total {
+		t.Errorf("revision %d != successful sets %d", pt.Revision(), total)
+	}
+}
+
+func TestMustGetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGet on missing param did not panic")
+		}
+	}()
+	NewParamTable().MustGet("nope")
+}
+
+func TestMustDefinePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustDefine duplicate did not panic")
+		}
+	}()
+	pt := NewParamTable()
+	pt.MustDefine(Param{Name: "x"})
+	pt.MustDefine(Param{Name: "x"})
+}

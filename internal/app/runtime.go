@@ -1,0 +1,456 @@
+package app
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+
+	"discover/internal/wire"
+)
+
+// A Sensor exposes read-only application state to the control network.
+type Sensor interface {
+	Name() string
+	Sense() map[string]float64
+}
+
+// An Actuator applies a named state change to the application.
+type Actuator interface {
+	Name() string
+	Apply(args map[string]string) error
+}
+
+// SensorFunc adapts a function to a Sensor.
+type SensorFunc struct {
+	SensorName string
+	Fn         func() map[string]float64
+}
+
+// Name implements Sensor.
+func (s SensorFunc) Name() string { return s.SensorName }
+
+// Sense implements Sensor.
+func (s SensorFunc) Sense() map[string]float64 { return s.Fn() }
+
+// ActuatorFunc adapts a function to an Actuator.
+type ActuatorFunc struct {
+	ActuatorName string
+	Fn           func(args map[string]string) error
+}
+
+// Name implements Actuator.
+func (a ActuatorFunc) Name() string { return a.ActuatorName }
+
+// Apply implements Actuator.
+func (a ActuatorFunc) Apply(args map[string]string) error { return a.Fn(args) }
+
+// Agent is an interaction agent: a scripted action run automatically at
+// interaction-phase boundaries, the paper's "schedule automated periodic
+// interactions".
+type Agent struct {
+	Name        string
+	EveryPhases int // run every N interaction phases; <=0 disables
+	Action      func(r *Runtime)
+}
+
+// UserGrant is one entry of the user/privilege list an application
+// supplies when it registers (the source of the server-side ACL).
+type UserGrant struct {
+	User      string
+	Privilege string // "monitor", "interact" or "steer"
+}
+
+// Config describes one application instance.
+type Config struct {
+	Name         string      // human-readable application name
+	Kernel       Kernel      // the simulation payload
+	ComputeSteps int         // kernel steps per compute phase (default 10)
+	Users        []UserGrant // authorized users and privileges
+	Owner        string      // user-id owning the application's generated
+	// data (§6.3); defaults to the first user with steer privilege
+}
+
+// Runtime is the application-side half of the control network: it owns
+// the kernel, its parameter table, sensors, actuators and agents, and
+// executes steering commands delivered during interaction phases.
+//
+// The Runtime is deliberately passive — ComputePhase, InteractionPhase
+// and UpdateMessage are driven by the channel loop in internal/appproto —
+// which keeps it directly testable and benchmarkable.
+type Runtime struct {
+	cfg    Config
+	params *ParamTable
+
+	mu        sync.Mutex
+	metrics   map[string]float64
+	updateSeq uint64
+	phases    int64
+	paused    bool
+	sensors   map[string]Sensor
+	actuators map[string]Actuator
+	agents    []Agent
+}
+
+// NewRuntime builds a runtime around cfg, defining and initializing the
+// kernel's parameters.
+func NewRuntime(cfg Config) (*Runtime, error) {
+	if cfg.Kernel == nil {
+		return nil, fmt.Errorf("app: config needs a kernel")
+	}
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("app: config needs a name")
+	}
+	if cfg.ComputeSteps <= 0 {
+		cfg.ComputeSteps = 10
+	}
+	for _, u := range cfg.Users {
+		if _, err := parsePrivName(u.Privilege); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Owner == "" {
+		for _, u := range cfg.Users {
+			if u.Privilege == "steer" {
+				cfg.Owner = u.User
+				break
+			}
+		}
+	}
+	r := &Runtime{
+		cfg:       cfg,
+		params:    NewParamTable(),
+		metrics:   map[string]float64{},
+		sensors:   make(map[string]Sensor),
+		actuators: make(map[string]Actuator),
+	}
+	cfg.Kernel.DefineParams(r.params)
+	cfg.Kernel.Init(r.params)
+
+	r.AddSensor(SensorFunc{SensorName: "metrics", Fn: r.Metrics})
+	r.AddSensor(SensorFunc{SensorName: "params", Fn: func() map[string]float64 {
+		out := make(map[string]float64)
+		for _, p := range r.params.Snapshot() {
+			out[p.Name] = p.Value
+		}
+		return out
+	}})
+	r.AddActuator(ActuatorFunc{ActuatorName: "set_param", Fn: func(args map[string]string) error {
+		name, ok := args["name"]
+		if !ok {
+			return fmt.Errorf("app: set_param needs name")
+		}
+		v, err := strconv.ParseFloat(args["value"], 64)
+		if err != nil {
+			return fmt.Errorf("app: set_param %q: bad value %q", name, args["value"])
+		}
+		return r.params.Set(name, v)
+	}})
+	r.AddActuator(ActuatorFunc{ActuatorName: "reset", Fn: func(map[string]string) error {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		cfg.Kernel.Init(r.params)
+		r.metrics = map[string]float64{}
+		return nil
+	}})
+	return r, nil
+}
+
+func parsePrivName(s string) (string, error) {
+	switch s {
+	case "monitor", "interact", "steer":
+		return s, nil
+	default:
+		return "", fmt.Errorf("app: unknown privilege %q", s)
+	}
+}
+
+// Name returns the application's configured name.
+func (r *Runtime) Name() string { return r.cfg.Name }
+
+// Kind returns the kernel kind.
+func (r *Runtime) Kind() string { return r.cfg.Kernel.Kind() }
+
+// Users returns the registration user grants.
+func (r *Runtime) Users() []UserGrant { return r.cfg.Users }
+
+// Owner returns the user-id owning the application's generated data.
+func (r *Runtime) Owner() string { return r.cfg.Owner }
+
+// Params exposes the parameter table.
+func (r *Runtime) Params() *ParamTable { return r.params }
+
+// AddSensor registers a sensor.
+func (r *Runtime) AddSensor(s Sensor) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sensors[s.Name()] = s
+}
+
+// AddActuator registers an actuator.
+func (r *Runtime) AddActuator(a Actuator) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.actuators[a.Name()] = a
+}
+
+// AddAgent registers an interaction agent.
+func (r *Runtime) AddAgent(a Agent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.agents = append(r.agents, a)
+}
+
+// Metrics returns a copy of the most recent kernel metrics.
+func (r *Runtime) Metrics() map[string]float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]float64, len(r.metrics))
+	for k, v := range r.metrics {
+		out[k] = v
+	}
+	return out
+}
+
+// Phases returns the number of completed interaction phases.
+func (r *Runtime) Phases() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.phases
+}
+
+// ComputePhase advances the kernel by the configured number of steps.
+// While the application computes, the server buffers client requests.
+func (r *Runtime) ComputePhase() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.paused {
+		return
+	}
+	for i := 0; i < r.cfg.ComputeSteps; i++ {
+		r.metrics = r.cfg.Kernel.Step(r.params)
+	}
+}
+
+// InteractionPhase marks the start of an interaction window and runs any
+// due interaction agents. The caller (the channel loop) then drains
+// buffered commands through HandleCommand.
+func (r *Runtime) InteractionPhase() {
+	r.mu.Lock()
+	r.phases++
+	due := make([]Agent, 0, len(r.agents))
+	for _, a := range r.agents {
+		if a.EveryPhases > 0 && r.phases%int64(a.EveryPhases) == 0 {
+			due = append(due, a)
+		}
+	}
+	r.mu.Unlock()
+	for _, a := range due {
+		a.Action(r)
+	}
+}
+
+// UpdateMessage builds the periodic Main-channel update: current metrics
+// and parameter values. appID may be empty before registration completes.
+func (r *Runtime) UpdateMessage(appID string) *wire.Message {
+	r.mu.Lock()
+	r.updateSeq++
+	seq := r.updateSeq
+	r.mu.Unlock()
+
+	m := wire.NewUpdate(appID, seq)
+	for k, v := range r.Metrics() {
+		m.SetFloat("m."+k, v)
+	}
+	for _, p := range r.params.Snapshot() {
+		m.SetFloat("p."+p.Name, p.Value)
+	}
+	m.SortParams()
+	return m
+}
+
+// checkpoint is the gob payload of checkpoint/restore commands.
+type checkpoint struct {
+	Step    int64
+	Params  map[string]float64
+	Metrics map[string]float64
+}
+
+// HandleCommand executes one steering/view command and returns its
+// response (KindResponse or KindError). Privilege checks happen at the
+// server; the runtime executes whatever reaches it, per the paper's trust
+// placement (the server tier grants capabilities).
+func (r *Runtime) HandleCommand(req *wire.Message) *wire.Message {
+	switch req.Op {
+	case "status":
+		resp := wire.NewResponse(req, fmt.Sprintf("%s (%s) running", r.cfg.Name, r.Kind()))
+		for k, v := range r.Metrics() {
+			resp.SetFloat("m."+k, v)
+		}
+		r.mu.Lock()
+		resp.SetInt("phases", r.phases)
+		paused := r.paused
+		r.mu.Unlock()
+		resp.Set("paused", strconv.FormatBool(paused))
+		resp.SortParams()
+		return resp
+
+	case "list_params":
+		resp := wire.NewResponse(req, "parameters")
+		for _, p := range r.params.Snapshot() {
+			resp.Set("param."+p.Name, fmt.Sprintf("value=%g min=%g max=%g steerable=%t desc=%s",
+				p.Value, p.Min, p.Max, p.Steerable, p.Description))
+		}
+		resp.SortParams()
+		return resp
+
+	case "get_param":
+		name, _ := req.Get("name")
+		v, ok := r.params.Get(name)
+		if !ok {
+			return wire.NewError(req, wire.StatusNotFound, "unknown parameter "+name)
+		}
+		resp := wire.NewResponse(req, name)
+		resp.SetFloat("value", v)
+		return resp
+
+	case "set_param":
+		name, _ := req.Get("name")
+		vs, _ := req.Get("value")
+		v, err := strconv.ParseFloat(vs, 64)
+		if err != nil {
+			return wire.NewError(req, wire.StatusBadRequest, "bad value "+vs)
+		}
+		if err := r.params.Set(name, v); err != nil {
+			return wire.NewError(req, wire.StatusBadRequest, err.Error())
+		}
+		resp := wire.NewResponse(req, "set "+name)
+		resp.SetFloat("value", v)
+		return resp
+
+	case "sensor":
+		name, _ := req.Get("name")
+		r.mu.Lock()
+		s, ok := r.sensors[name]
+		r.mu.Unlock()
+		if !ok {
+			return wire.NewError(req, wire.StatusNotFound, "unknown sensor "+name)
+		}
+		resp := wire.NewResponse(req, name)
+		for k, v := range s.Sense() {
+			resp.SetFloat(k, v)
+		}
+		resp.SortParams()
+		return resp
+
+	case "actuate":
+		name, _ := req.Get("name")
+		r.mu.Lock()
+		a, ok := r.actuators[name]
+		r.mu.Unlock()
+		if !ok {
+			return wire.NewError(req, wire.StatusNotFound, "unknown actuator "+name)
+		}
+		if err := a.Apply(req.ParamMap()); err != nil {
+			return wire.NewError(req, wire.StatusBadRequest, err.Error())
+		}
+		return wire.NewResponse(req, "actuated "+name)
+
+	case "view":
+		fp, ok := r.cfg.Kernel.(FieldProvider)
+		if !ok {
+			return wire.NewError(req, wire.StatusNotFound, "application exposes no fields")
+		}
+		name, _ := req.Get("name")
+		if name == "" {
+			resp := wire.NewResponse(req, "fields")
+			r.mu.Lock()
+			names := fp.FieldNames()
+			r.mu.Unlock()
+			for _, n := range names {
+				resp.Set("field."+n, "available")
+			}
+			resp.SortParams()
+			return resp
+		}
+		maxPoints := 4096
+		if mp, ok := req.GetInt("max_points"); ok && mp > 0 {
+			maxPoints = int(mp)
+		}
+		r.mu.Lock()
+		step := int64(r.metrics["step"])
+		view, err := buildFieldView(fp, name, maxPoints, step)
+		r.mu.Unlock()
+		if err != nil {
+			return wire.NewError(req, wire.StatusNotFound, err.Error())
+		}
+		data, err := view.Encode()
+		if err != nil {
+			return wire.NewError(req, wire.StatusInternal, err.Error())
+		}
+		resp := wire.NewResponse(req, "view "+name)
+		resp.Data = data
+		resp.SetInt("points", int64(len(view.Values)))
+		resp.SetFloat("min", view.Min)
+		resp.SetFloat("max", view.Max)
+		return resp
+
+	case "pause":
+		r.mu.Lock()
+		r.paused = true
+		r.mu.Unlock()
+		return wire.NewResponse(req, "paused")
+
+	case "resume":
+		r.mu.Lock()
+		r.paused = false
+		r.mu.Unlock()
+		return wire.NewResponse(req, "resumed")
+
+	case "checkpoint":
+		cp := checkpoint{Metrics: r.Metrics(), Params: map[string]float64{}}
+		for _, p := range r.params.Snapshot() {
+			cp.Params[p.Name] = p.Value
+		}
+		if s, ok := cp.Metrics["step"]; ok {
+			cp.Step = int64(s)
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(cp); err != nil {
+			return wire.NewError(req, wire.StatusInternal, err.Error())
+		}
+		resp := wire.NewResponse(req, "checkpoint")
+		resp.Data = buf.Bytes()
+		return resp
+
+	case "restore":
+		var cp checkpoint
+		if err := gob.NewDecoder(bytes.NewReader(req.Data)).Decode(&cp); err != nil {
+			return wire.NewError(req, wire.StatusBadRequest, "bad checkpoint: "+err.Error())
+		}
+		// Restore steerable parameters, then reinitialize the kernel so it
+		// restarts from a state consistent with them.
+		names := make([]string, 0, len(cp.Params))
+		for name := range cp.Params {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if p, ok := r.params.Lookup(name); ok && p.Steerable {
+				if err := r.params.Set(name, cp.Params[name]); err != nil {
+					return wire.NewError(req, wire.StatusBadRequest, err.Error())
+				}
+			}
+		}
+		r.mu.Lock()
+		r.cfg.Kernel.Init(r.params)
+		r.metrics = map[string]float64{}
+		r.mu.Unlock()
+		return wire.NewResponse(req, "restored")
+
+	default:
+		return wire.NewError(req, wire.StatusNotFound, "unknown op "+req.Op)
+	}
+}

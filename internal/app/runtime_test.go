@@ -1,0 +1,262 @@
+package app
+
+import (
+	"strings"
+	"testing"
+
+	"discover/internal/wire"
+)
+
+func newTestRuntime(t *testing.T) *Runtime {
+	t.Helper()
+	r, err := NewRuntime(Config{
+		Name:         "wave-test",
+		Kernel:       NewSeismic1D(64),
+		ComputeSteps: 5,
+		Users: []UserGrant{
+			{User: "alice", Privilege: "steer"},
+			{User: "bob", Privilege: "monitor"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewRuntimeValidation(t *testing.T) {
+	if _, err := NewRuntime(Config{Name: "x"}); err == nil {
+		t.Error("nil kernel accepted")
+	}
+	if _, err := NewRuntime(Config{Kernel: NewInspiral()}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := NewRuntime(Config{Name: "x", Kernel: NewInspiral(),
+		Users: []UserGrant{{User: "a", Privilege: "root"}}}); err == nil {
+		t.Error("bad privilege accepted")
+	}
+}
+
+func TestRuntimeComputeAndUpdate(t *testing.T) {
+	r := newTestRuntime(t)
+	r.ComputePhase()
+	m := r.Metrics()
+	if m["step"] != 5 {
+		t.Errorf("after one compute phase, step = %v, want 5", m["step"])
+	}
+	u := r.UpdateMessage("app#1")
+	if u.Kind != wire.KindUpdate || u.App != "app#1" || u.Seq != 1 {
+		t.Errorf("update = %v", u)
+	}
+	if _, ok := u.GetFloat("m.step"); !ok {
+		t.Error("update missing metric m.step")
+	}
+	if _, ok := u.GetFloat("p.source_freq"); !ok {
+		t.Error("update missing parameter p.source_freq")
+	}
+	u2 := r.UpdateMessage("app#1")
+	if u2.Seq != 2 {
+		t.Errorf("update seq = %d, want 2", u2.Seq)
+	}
+}
+
+func TestRuntimeStatusCommand(t *testing.T) {
+	r := newTestRuntime(t)
+	r.ComputePhase()
+	resp := r.HandleCommand(wire.NewCommand("a", "c", "status"))
+	if resp.Kind != wire.KindResponse {
+		t.Fatalf("status failed: %v", resp)
+	}
+	if !strings.Contains(resp.Text, "wave-test") || !strings.Contains(resp.Text, "seismic-1d") {
+		t.Errorf("status text = %q", resp.Text)
+	}
+	if v, ok := resp.Get("paused"); !ok || v != "false" {
+		t.Errorf("paused = %q, %v", v, ok)
+	}
+}
+
+func TestRuntimeParamCommands(t *testing.T) {
+	r := newTestRuntime(t)
+
+	resp := r.HandleCommand(wire.NewCommand("a", "c", "list_params"))
+	if resp.Kind != wire.KindResponse {
+		t.Fatal(resp.Text)
+	}
+	if _, ok := resp.Get("param.source_freq"); !ok {
+		t.Error("list_params missing source_freq")
+	}
+
+	get := wire.NewCommand("a", "c", "get_param", wire.Param{Key: "name", Value: "source_freq"})
+	resp = r.HandleCommand(get)
+	if v, ok := resp.GetFloat("value"); !ok || v != 0.05 {
+		t.Errorf("get_param = %v", resp)
+	}
+
+	set := wire.NewCommand("a", "c", "set_param",
+		wire.Param{Key: "name", Value: "source_freq"}, wire.Param{Key: "value", Value: "0.1"})
+	resp = r.HandleCommand(set)
+	if resp.Kind != wire.KindResponse {
+		t.Fatalf("set_param failed: %v", resp.Text)
+	}
+	if v := r.Params().MustGet("source_freq"); v != 0.1 {
+		t.Errorf("param not set: %v", v)
+	}
+
+	for _, bad := range []*wire.Message{
+		wire.NewCommand("a", "c", "get_param", wire.Param{Key: "name", Value: "nosuch"}),
+		wire.NewCommand("a", "c", "set_param", wire.Param{Key: "name", Value: "source_freq"}, wire.Param{Key: "value", Value: "NaN-ish"}),
+		wire.NewCommand("a", "c", "set_param", wire.Param{Key: "name", Value: "source_freq"}, wire.Param{Key: "value", Value: "99"}),
+		wire.NewCommand("a", "c", "set_param", wire.Param{Key: "name", Value: "courant"}, wire.Param{Key: "value", Value: "0.5"}),
+		wire.NewCommand("a", "c", "definitely_not_an_op"),
+	} {
+		if resp := r.HandleCommand(bad); resp.Kind != wire.KindError {
+			t.Errorf("op %q with bad args should fail, got %v", bad.Op, resp)
+		}
+	}
+}
+
+func TestRuntimeSensorsAndActuators(t *testing.T) {
+	r := newTestRuntime(t)
+	r.ComputePhase()
+
+	resp := r.HandleCommand(wire.NewCommand("a", "c", "sensor", wire.Param{Key: "name", Value: "metrics"}))
+	if resp.Kind != wire.KindResponse {
+		t.Fatal(resp.Text)
+	}
+	if _, ok := resp.GetFloat("energy"); !ok {
+		t.Error("metrics sensor missing energy")
+	}
+	resp = r.HandleCommand(wire.NewCommand("a", "c", "sensor", wire.Param{Key: "name", Value: "params"}))
+	if _, ok := resp.GetFloat("source_freq"); !ok {
+		t.Error("params sensor missing source_freq")
+	}
+	resp = r.HandleCommand(wire.NewCommand("a", "c", "sensor", wire.Param{Key: "name", Value: "nosuch"}))
+	if resp.Kind != wire.KindError {
+		t.Error("unknown sensor should fail")
+	}
+
+	act := wire.NewCommand("a", "c", "actuate",
+		wire.Param{Key: "name", Value: "set_param"},
+		wire.Param{Key: "name", Value: "set_param"}, // duplicate keys resolved by ParamMap: last wins
+	)
+	act.Set("name", "set_param")
+	// Build clean: actuator args carry both the actuator name and its args.
+	act = wire.NewCommand("a", "c", "actuate")
+	act.Set("name", "set_param")
+	// set_param actuator reads "name"/"value" from args — but "name" is taken
+	// by the actuator selector. Use a custom actuator to verify plumbing.
+	called := map[string]string{}
+	r.AddActuator(ActuatorFunc{ActuatorName: "flip", Fn: func(args map[string]string) error {
+		for k, v := range args {
+			called[k] = v
+		}
+		return nil
+	}})
+	act = wire.NewCommand("a", "c", "actuate")
+	act.Set("name", "flip")
+	act.Set("direction", "up")
+	if resp := r.HandleCommand(act); resp.Kind != wire.KindResponse {
+		t.Fatalf("actuate flip failed: %v", resp.Text)
+	}
+	if called["direction"] != "up" {
+		t.Errorf("actuator args = %v", called)
+	}
+
+	bad := wire.NewCommand("a", "c", "actuate")
+	bad.Set("name", "nosuch")
+	if resp := r.HandleCommand(bad); resp.Kind != wire.KindError {
+		t.Error("unknown actuator should fail")
+	}
+}
+
+func TestRuntimePauseResume(t *testing.T) {
+	r := newTestRuntime(t)
+	r.HandleCommand(wire.NewCommand("a", "c", "pause"))
+	r.ComputePhase()
+	if m := r.Metrics(); len(m) != 0 {
+		t.Errorf("paused runtime computed: %v", m)
+	}
+	r.HandleCommand(wire.NewCommand("a", "c", "resume"))
+	r.ComputePhase()
+	if m := r.Metrics(); m["step"] != 5 {
+		t.Errorf("resumed runtime did not compute: %v", m)
+	}
+}
+
+func TestRuntimeCheckpointRestore(t *testing.T) {
+	r := newTestRuntime(t)
+	r.Params().Set("source_freq", 0.2)
+	r.ComputePhase()
+
+	cp := r.HandleCommand(wire.NewCommand("a", "c", "checkpoint"))
+	if cp.Kind != wire.KindResponse || len(cp.Data) == 0 {
+		t.Fatalf("checkpoint = %v", cp)
+	}
+
+	// Diverge, then restore.
+	r.Params().Set("source_freq", 0.01)
+	r.ComputePhase()
+
+	restore := wire.NewCommand("a", "c", "restore")
+	restore.Data = cp.Data
+	if resp := r.HandleCommand(restore); resp.Kind != wire.KindResponse {
+		t.Fatalf("restore failed: %v", resp.Text)
+	}
+	if v := r.Params().MustGet("source_freq"); v != 0.2 {
+		t.Errorf("restored source_freq = %v, want 0.2", v)
+	}
+	if m := r.Metrics(); len(m) != 0 {
+		t.Error("restore should reinitialize metrics")
+	}
+
+	bad := wire.NewCommand("a", "c", "restore")
+	bad.Data = []byte("not a checkpoint")
+	if resp := r.HandleCommand(bad); resp.Kind != wire.KindError {
+		t.Error("bad checkpoint accepted")
+	}
+}
+
+func TestRuntimeAgents(t *testing.T) {
+	r := newTestRuntime(t)
+	runs := 0
+	r.AddAgent(Agent{Name: "sampler", EveryPhases: 2, Action: func(rt *Runtime) { runs++ }})
+	r.AddAgent(Agent{Name: "disabled", EveryPhases: 0, Action: func(rt *Runtime) { t.Error("disabled agent ran") }})
+	for i := 0; i < 6; i++ {
+		r.ComputePhase()
+		r.InteractionPhase()
+	}
+	if runs != 3 {
+		t.Errorf("agent ran %d times over 6 phases, want 3", runs)
+	}
+	if r.Phases() != 6 {
+		t.Errorf("Phases() = %d", r.Phases())
+	}
+}
+
+func TestRuntimeResetActuator(t *testing.T) {
+	r := newTestRuntime(t)
+	r.ComputePhase()
+	act := wire.NewCommand("a", "c", "actuate")
+	act.Set("name", "reset")
+	if resp := r.HandleCommand(act); resp.Kind != wire.KindResponse {
+		t.Fatalf("reset failed: %v", resp.Text)
+	}
+	if m := r.Metrics(); len(m) != 0 {
+		t.Errorf("metrics after reset = %v", m)
+	}
+	r.ComputePhase()
+	if m := r.Metrics(); m["step"] != 5 {
+		t.Errorf("step after reset+compute = %v, want 5", m["step"])
+	}
+}
+
+func TestRuntimeAccessors(t *testing.T) {
+	r := newTestRuntime(t)
+	if r.Name() != "wave-test" || r.Kind() != "seismic-1d" {
+		t.Errorf("Name/Kind = %q/%q", r.Name(), r.Kind())
+	}
+	users := r.Users()
+	if len(users) != 2 || users[0].User != "alice" {
+		t.Errorf("Users = %v", users)
+	}
+}

@@ -1,0 +1,175 @@
+package app
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math"
+)
+
+// FieldView is the payload of a "view" command response: a (possibly
+// downsampled) snapshot of one spatial field, the data DISCOVER portals
+// visualize.
+type FieldView struct {
+	Name   string
+	Dims   []int     // dimensions after downsampling
+	Values []float64 // row-major
+	Min    float64
+	Max    float64
+	Stride int   // downsampling stride applied per dimension
+	Step   int64 // kernel step the snapshot was taken at
+}
+
+// Encode serializes the view for a message Data payload.
+func (v FieldView) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("app: encoding field view: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeFieldView reverses FieldView.Encode.
+func DecodeFieldView(p []byte) (FieldView, error) {
+	var v FieldView
+	if err := gob.NewDecoder(bytes.NewReader(p)).Decode(&v); err != nil {
+		return FieldView{}, fmt.Errorf("app: decoding field view: %w", err)
+	}
+	return v, nil
+}
+
+// At returns the value at the given indices (len(idx) == len(Dims)).
+func (v FieldView) At(idx ...int) float64 {
+	off := 0
+	for i, x := range idx {
+		off = off*v.Dims[i] + x
+	}
+	return v.Values[off]
+}
+
+// downsampleField reduces a field to at most maxPoints values by striding
+// every dimension uniformly. It returns the new values, dims and stride.
+func downsampleField(values []float64, dims []int, maxPoints int) ([]float64, []int, int) {
+	if maxPoints <= 0 {
+		maxPoints = 4096
+	}
+	total := 1
+	for _, d := range dims {
+		total *= d
+	}
+	stride := 1
+	for {
+		reduced := 1
+		for _, d := range dims {
+			reduced *= (d + stride - 1) / stride
+		}
+		if reduced <= maxPoints {
+			break
+		}
+		stride++
+	}
+	if stride == 1 {
+		return values, dims, 1
+	}
+	newDims := make([]int, len(dims))
+	for i, d := range dims {
+		newDims[i] = (d + stride - 1) / stride
+	}
+	switch len(dims) {
+	case 1:
+		out := make([]float64, 0, newDims[0])
+		for i := 0; i < dims[0]; i += stride {
+			out = append(out, values[i])
+		}
+		return out, newDims, stride
+	case 2:
+		out := make([]float64, 0, newDims[0]*newDims[1])
+		for i := 0; i < dims[0]; i += stride {
+			for j := 0; j < dims[1]; j += stride {
+				out = append(out, values[i*dims[1]+j])
+			}
+		}
+		return out, newDims, stride
+	default:
+		// Higher-rank fields are flattened with a plain stride.
+		out := make([]float64, 0, (total+stride-1)/stride)
+		for i := 0; i < total; i += stride {
+			out = append(out, values[i])
+		}
+		return out, []int{len(out)}, stride
+	}
+}
+
+// buildFieldView snapshots and downsamples one kernel field.
+func buildFieldView(fp FieldProvider, name string, maxPoints int, step int64) (FieldView, error) {
+	values, dims, ok := fp.Field(name)
+	if !ok {
+		return FieldView{}, fmt.Errorf("app: no field %q", name)
+	}
+	values, dims, stride := downsampleField(values, dims, maxPoints)
+	v := FieldView{Name: name, Dims: dims, Values: values, Stride: stride, Step: step,
+		Min: math.Inf(1), Max: math.Inf(-1)}
+	for _, x := range values {
+		if x < v.Min {
+			v.Min = x
+		}
+		if x > v.Max {
+			v.Max = x
+		}
+	}
+	if len(values) == 0 {
+		v.Min, v.Max = 0, 0
+	}
+	return v, nil
+}
+
+// RenderASCII draws the view as a terminal heat map (2-D) or sparkline
+// profile (1-D), for discoverctl and examples.
+func (v FieldView) RenderASCII(width int) string {
+	if width <= 0 {
+		width = 64
+	}
+	ramp := []byte(" .:-=+*#%@")
+	scale := func(x float64) byte {
+		if v.Max == v.Min {
+			return ramp[0]
+		}
+		i := int((x - v.Min) / (v.Max - v.Min) * float64(len(ramp)-1))
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(ramp) {
+			i = len(ramp) - 1
+		}
+		return ramp[i]
+	}
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "%s step=%d min=%.4g max=%.4g (stride %d)\n", v.Name, v.Step, v.Min, v.Max, v.Stride)
+	if len(v.Dims) == 2 {
+		rows, cols := v.Dims[0], v.Dims[1]
+		for i := 0; i < rows; i++ {
+			line := make([]byte, cols)
+			for j := 0; j < cols; j++ {
+				line[j] = scale(v.At(i, j))
+			}
+			buf.Write(line)
+			buf.WriteByte('\n')
+		}
+		return buf.String()
+	}
+	// 1-D profile: one character per sample, wrapped at width.
+	n := len(v.Values)
+	for start := 0; start < n; start += width {
+		end := start + width
+		if end > n {
+			end = n
+		}
+		line := make([]byte, end-start)
+		for i := start; i < end; i++ {
+			line[i-start] = scale(v.Values[i])
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	return buf.String()
+}

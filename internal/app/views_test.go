@@ -1,0 +1,184 @@
+package app
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"discover/internal/wire"
+)
+
+func TestFieldProvidersExposeFields(t *testing.T) {
+	cases := map[string]string{
+		"oil-reservoir": "pressure",
+		"cfd-cavity":    "stream_function",
+		"seismic-1d":    "wavefield",
+	}
+	for kind, field := range cases {
+		k, pt := newKernelAndTable(t, kind)
+		fp, ok := k.(FieldProvider)
+		if !ok {
+			t.Errorf("%s does not implement FieldProvider", kind)
+			continue
+		}
+		names := fp.FieldNames()
+		if len(names) != 1 || names[0] != field {
+			t.Errorf("%s fields = %v", kind, names)
+		}
+		for i := 0; i < 10; i++ {
+			k.Step(pt)
+		}
+		values, dims, ok := fp.Field(field)
+		if !ok || len(values) == 0 {
+			t.Errorf("%s Field(%s) empty", kind, field)
+			continue
+		}
+		want := 1
+		for _, d := range dims {
+			want *= d
+		}
+		if len(values) != want {
+			t.Errorf("%s: len(values)=%d, dims=%v", kind, len(values), dims)
+		}
+		if _, _, ok := fp.Field("nosuch"); ok {
+			t.Errorf("%s returned a bogus field", kind)
+		}
+		// Returned slice is a copy.
+		values[0] = math.Inf(1)
+		again, _, _ := fp.Field(field)
+		if math.IsInf(again[0], 1) {
+			t.Errorf("%s Field aliases kernel state", kind)
+		}
+	}
+	// Inspiral has no fields.
+	k, _ := newKernelAndTable(t, "relativity")
+	if _, ok := k.(FieldProvider); ok {
+		t.Error("relativity unexpectedly implements FieldProvider")
+	}
+}
+
+func TestDownsampleField(t *testing.T) {
+	// 1-D: 100 points to <= 25.
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	out, dims, stride := downsampleField(vals, []int{100}, 25)
+	if len(out) > 25 || dims[0] != len(out) || stride < 4 {
+		t.Errorf("1-D downsample: len=%d dims=%v stride=%d", len(out), dims, stride)
+	}
+	if out[0] != 0 || out[1] != float64(stride) {
+		t.Errorf("1-D stride content wrong: %v", out[:2])
+	}
+
+	// 2-D: 30x30 to <= 100 (stride 3 -> 10x10).
+	grid := make([]float64, 900)
+	for i := range grid {
+		grid[i] = float64(i)
+	}
+	out, dims, stride = downsampleField(grid, []int{30, 30}, 100)
+	if dims[0]*dims[1] != len(out) || len(out) > 100 {
+		t.Errorf("2-D downsample: dims=%v len=%d", dims, len(out))
+	}
+	if out[1] != float64(stride) { // second sample on first row
+		t.Errorf("2-D stride content: out[1]=%v stride=%d", out[1], stride)
+	}
+
+	// No-op when already small.
+	out, dims, stride = downsampleField(vals[:10], []int{10}, 100)
+	if stride != 1 || len(out) != 10 {
+		t.Errorf("small field resampled: stride=%d len=%d", stride, len(out))
+	}
+}
+
+func TestViewCommand(t *testing.T) {
+	r, err := NewRuntime(Config{
+		Name: "res", Kernel: NewOilReservoir(24), ComputeSteps: 20,
+		Users: []UserGrant{{User: "a", Privilege: "steer"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.ComputePhase()
+
+	// Listing fields.
+	resp := r.HandleCommand(wire.NewCommand("a", "c", "view"))
+	if resp.Kind != wire.KindResponse {
+		t.Fatalf("field list failed: %v", resp.Text)
+	}
+	if _, ok := resp.Get("field.pressure"); !ok {
+		t.Errorf("field list = %v", resp.Params)
+	}
+
+	// Fetching a downsampled view.
+	cmd := wire.NewCommand("a", "c", "view", wire.Param{Key: "name", Value: "pressure"})
+	cmd.SetInt("max_points", 64)
+	resp = r.HandleCommand(cmd)
+	if resp.Kind != wire.KindResponse || len(resp.Data) == 0 {
+		t.Fatalf("view failed: %v", resp.Text)
+	}
+	view, err := DecodeFieldView(resp.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Name != "pressure" || len(view.Values) > 64 || len(view.Dims) != 2 {
+		t.Errorf("view = %+v", view)
+	}
+	if view.Max < view.Min {
+		t.Errorf("min/max inverted: %v/%v", view.Min, view.Max)
+	}
+	if view.Max <= 0 {
+		t.Errorf("pressure view has no signal: max=%v", view.Max)
+	}
+	if view.Step != 20 {
+		t.Errorf("view step = %d", view.Step)
+	}
+
+	// Unknown field.
+	bad := wire.NewCommand("a", "c", "view", wire.Param{Key: "name", Value: "nosuch"})
+	if resp := r.HandleCommand(bad); resp.Kind != wire.KindError {
+		t.Error("unknown field view succeeded")
+	}
+
+	// Kernel without fields.
+	r2, _ := NewRuntime(Config{Name: "nr", Kernel: NewInspiral(),
+		Users: []UserGrant{{User: "a", Privilege: "steer"}}})
+	if resp := r2.HandleCommand(wire.NewCommand("a", "c", "view")); resp.Kind != wire.KindError {
+		t.Error("fieldless kernel view succeeded")
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	v := FieldView{
+		Name: "pressure", Dims: []int{3, 4}, Stride: 2, Step: 7,
+		Values: []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11},
+		Min:    0, Max: 11,
+	}
+	out := v.RenderASCII(80)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header + 3 rows
+		t.Fatalf("rendered %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "pressure") || !strings.Contains(lines[0], "step=7") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines[1]) != 4 {
+		t.Errorf("row width = %d", len(lines[1]))
+	}
+	// Highest value renders with the densest glyph.
+	if lines[3][3] != '@' {
+		t.Errorf("max cell glyph = %q", lines[3][3])
+	}
+
+	// 1-D wrap.
+	v1 := FieldView{Name: "trace", Dims: []int{10}, Values: make([]float64, 10), Stride: 1}
+	out = v1.RenderASCII(4)
+	lines = strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 1+3 { // header + ceil(10/4) rows
+		t.Errorf("1-D wrap lines = %d:\n%s", len(lines), out)
+	}
+	// Flat field renders without dividing by zero.
+	if !strings.Contains(out, "trace") {
+		t.Error("1-D header missing")
+	}
+}

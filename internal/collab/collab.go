@@ -1,0 +1,328 @@
+// Package collab implements the collaboration handler: collaboration
+// groups and sub-groups, shared updates and responses, chat, whiteboard
+// and explicit view sharing.
+//
+// All clients connected to an application form its collaboration group by
+// default. Global updates are broadcast to the whole group. A client may
+// disable collaboration so its own requests/responses are not broadcast,
+// may still explicitly share views, and may join named sub-groups whose
+// traffic stays within the sub-group.
+//
+// Groups can span servers: the middleware substrate joins a *relay member*
+// per peer server, so an update crosses the WAN once per server rather
+// than once per remote client — the traffic reduction of §5.2.3.
+package collab
+
+import (
+	"sort"
+	"sync"
+
+	"discover/internal/wire"
+)
+
+// DeliverFunc delivers one message toward a member (into a local session
+// FIFO, or across the substrate for relay members). It must not block.
+type DeliverFunc func(m *wire.Message)
+
+// member is one participant in a group.
+type member struct {
+	id      string
+	deliver DeliverFunc
+	enabled bool   // collaboration mode; relays are always enabled
+	sub     string // sub-group name; "" is the main group
+	relay   bool   // true for peer-server relay members
+}
+
+// Group is the collaboration group of one application.
+type Group struct {
+	app string
+
+	mu      sync.Mutex
+	members map[string]*member
+	wb      []*wire.Message // whiteboard strokes, in order, for latecomers
+}
+
+// Hub manages all collaboration groups at a server.
+type Hub struct {
+	mu     sync.Mutex
+	groups map[string]*Group
+}
+
+// NewHub returns an empty hub.
+func NewHub() *Hub { return &Hub{groups: make(map[string]*Group)} }
+
+// Group returns the group for an application, creating it on first use.
+func (h *Hub) Group(app string) *Group {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	g, ok := h.groups[app]
+	if !ok {
+		g = &Group{app: app, members: make(map[string]*member)}
+		h.groups[app] = g
+	}
+	return g
+}
+
+// Drop removes an application's group entirely (application exited).
+func (h *Hub) Drop(app string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.groups, app)
+}
+
+// Groups lists applications with active groups.
+func (h *Hub) Groups() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, 0, len(h.groups))
+	for app := range h.groups {
+		out = append(out, app)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Join adds a client to the group's main sub-group with collaboration
+// enabled, and replays the whiteboard so latecomers catch up.
+func (g *Group) Join(clientID string, deliver DeliverFunc) {
+	g.mu.Lock()
+	g.members[clientID] = &member{id: clientID, deliver: deliver, enabled: true}
+	wb := append([]*wire.Message(nil), g.wb...)
+	g.mu.Unlock()
+	for _, stroke := range wb {
+		deliver(stroke)
+	}
+}
+
+// JoinRelay adds a peer server as a relay member: it receives every group
+// message exactly once and fans it out to its own local clients.
+func (g *Group) JoinRelay(serverName string, deliver DeliverFunc) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.members["relay/"+serverName] = &member{
+		id: "relay/" + serverName, deliver: deliver, enabled: true, relay: true,
+	}
+}
+
+// Leave removes a client (or relay, by its "relay/" prefixed id).
+func (g *Group) Leave(clientID string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.members, clientID)
+}
+
+// LeaveRelay removes a peer server relay.
+func (g *Group) LeaveRelay(serverName string) { g.Leave("relay/" + serverName) }
+
+// SetEnabled switches a client's collaboration mode.
+func (g *Group) SetEnabled(clientID string, on bool) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	m, ok := g.members[clientID]
+	if !ok {
+		return false
+	}
+	m.enabled = on
+	return true
+}
+
+// Enabled reports a client's collaboration mode.
+func (g *Group) Enabled(clientID string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	m, ok := g.members[clientID]
+	return ok && m.enabled
+}
+
+// JoinSub moves a client into a named sub-group ("" returns it to the
+// main group).
+func (g *Group) JoinSub(clientID, sub string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	m, ok := g.members[clientID]
+	if !ok {
+		return false
+	}
+	m.sub = sub
+	return true
+}
+
+// Sub reports the client's sub-group.
+func (g *Group) Sub(clientID string) string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if m, ok := g.members[clientID]; ok {
+		return m.sub
+	}
+	return ""
+}
+
+// Members lists client ids (excluding relays), sorted.
+func (g *Group) Members() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]string, 0, len(g.members))
+	for id, m := range g.members {
+		if !m.relay {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Relays lists relay member server names, sorted.
+func (g *Group) Relays() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var out []string
+	for id, m := range g.members {
+		if m.relay {
+			out = append(out, id[len("relay/"):])
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// snapshot returns the current member set.
+func (g *Group) snapshot() []*member {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]*member, 0, len(g.members))
+	for _, m := range g.members {
+		out = append(out, m)
+	}
+	return out
+}
+
+// BroadcastUpdate delivers a global application update to every member:
+// all clients (regardless of collaboration mode — status is never
+// private) and every relay. except suppresses one member (typically the
+// relay the message arrived from, to prevent echo).
+func (g *Group) BroadcastUpdate(m *wire.Message, except string) int {
+	n := 0
+	for _, mem := range g.snapshot() {
+		if mem.id == except {
+			continue
+		}
+		mem.deliver(m)
+		n++
+	}
+	return n
+}
+
+// ShareResponse delivers a client's command response. The requester
+// always receives it; if the requester has collaboration enabled it is
+// also broadcast to the requester's sub-group peers (enabled ones) and to
+// relays.
+func (g *Group) ShareResponse(requester string, m *wire.Message) int {
+	g.mu.Lock()
+	req, ok := g.members[requester]
+	var sub string
+	var share bool
+	if ok {
+		sub = req.sub
+		share = req.enabled
+	}
+	g.mu.Unlock()
+
+	n := 0
+	if ok {
+		req.deliver(m)
+		n++
+	}
+	if !share {
+		return n
+	}
+	for _, mem := range g.snapshot() {
+		if mem.id == requester {
+			continue
+		}
+		if mem.relay || (mem.enabled && mem.sub == sub) {
+			mem.deliver(m)
+			n++
+		}
+	}
+	return n
+}
+
+// DeliverToRelay sends one message to a specific peer-server relay,
+// returning false if that server has no relay joined. Used to route a
+// remote client's response to exactly its own server.
+func (g *Group) DeliverToRelay(serverName string, m *wire.Message) bool {
+	g.mu.Lock()
+	mem, ok := g.members["relay/"+serverName]
+	g.mu.Unlock()
+	if !ok {
+		return false
+	}
+	mem.deliver(m)
+	return true
+}
+
+// ShareView explicitly shares a view with the sender's sub-group,
+// regardless of the sender's collaboration mode (the paper: "Individual
+// views can still be explicitly shared in this mode").
+func (g *Group) ShareView(from string, m *wire.Message) int {
+	g.mu.Lock()
+	sender, ok := g.members[from]
+	var sub string
+	if ok {
+		sub = sender.sub
+	}
+	g.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	n := 0
+	for _, mem := range g.snapshot() {
+		if mem.id == from {
+			continue
+		}
+		if mem.relay || mem.sub == sub {
+			mem.deliver(m)
+			n++
+		}
+	}
+	return n
+}
+
+// Chat broadcasts a chat line to the sender's sub-group and relays.
+func (g *Group) Chat(from, user, text string) int {
+	m := &wire.Message{Kind: wire.KindChat, App: g.app, Client: from, Text: text}
+	m.Set("user", user)
+	return g.ShareView(from, m)
+}
+
+// Whiteboard appends a stroke and broadcasts it; strokes are retained so
+// Join can replay them to latecomers.
+func (g *Group) Whiteboard(from string, stroke *wire.Message) int {
+	g.mu.Lock()
+	g.wb = append(g.wb, stroke)
+	g.mu.Unlock()
+	return g.ShareView(from, stroke)
+}
+
+// RecordStroke retains a whiteboard stroke for latecomer replay without
+// broadcasting it (used when the stroke arrived from a peer server and
+// has already been delivered to local members).
+func (g *Group) RecordStroke(stroke *wire.Message) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.wb = append(g.wb, stroke)
+}
+
+// WhiteboardLen reports the retained stroke count.
+func (g *Group) WhiteboardLen() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.wb)
+}
+
+// ClearWhiteboard erases the retained strokes.
+func (g *Group) ClearWhiteboard() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.wb = nil
+}

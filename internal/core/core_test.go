@@ -1,0 +1,820 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"discover/internal/app"
+	"discover/internal/appproto"
+	"discover/internal/orb"
+	"discover/internal/policy"
+	"discover/internal/server"
+	"discover/internal/wire"
+)
+
+// testNet is a federation of DISCOVER domains plus shared naming/trader.
+type testNet struct {
+	t         *testing.T
+	traderORB *orb.ORB
+	traderRef orb.ObjRef
+	namingRef orb.ObjRef
+	naming    *orb.Naming
+	domains   map[string]*domain
+}
+
+type domain struct {
+	srv *server.Server
+	orb *orb.ORB
+	sub *Substrate
+	app *appproto.Session // optional
+}
+
+func newTestNet(t *testing.T) *testNet {
+	t.Helper()
+	to := orb.New()
+	if err := to.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { to.Close() })
+	naming := orb.NewNaming()
+	to.Register(orb.TraderKey, orb.NewTrader().Servant())
+	to.Register(orb.NamingKey, naming.Servant())
+	return &testNet{
+		t:         t,
+		traderORB: to,
+		traderRef: orb.ObjRef{Addr: to.Addr(), Key: orb.TraderKey},
+		namingRef: orb.ObjRef{Addr: to.Addr(), Key: orb.NamingKey},
+		naming:    naming,
+		domains:   make(map[string]*domain),
+	}
+}
+
+func (n *testNet) addDomain(name string, mode UpdateMode) *domain {
+	n.t.Helper()
+	srv, err := server.New(server.Config{Name: name, RecordUpdates: true, Logf: func(string, ...any) {}})
+	if err != nil {
+		n.t.Fatal(err)
+	}
+	if err := srv.ListenDaemon("127.0.0.1:0"); err != nil {
+		n.t.Fatal(err)
+	}
+	n.t.Cleanup(srv.Close)
+	srv.Auth().SetUserSecret("alice", "pw")
+	srv.Auth().SetUserSecret("bob", "pw")
+
+	o := orb.New()
+	if err := o.Listen("127.0.0.1:0"); err != nil {
+		n.t.Fatal(err)
+	}
+	n.t.Cleanup(func() { o.Close() })
+
+	sub, err := New(Config{
+		Server:        srv,
+		ORB:           o,
+		TraderRef:     n.traderRef,
+		NamingRef:     n.namingRef,
+		Mode:          mode,
+		PollInterval:  20 * time.Millisecond,
+		DiscoverEvery: 200 * time.Millisecond,
+		Logf:          func(string, ...any) {},
+	})
+	if err != nil {
+		n.t.Fatal(err)
+	}
+	if err := sub.Start(); err != nil {
+		n.t.Fatal(err)
+	}
+	n.t.Cleanup(sub.Close)
+
+	d := &domain{srv: srv, orb: o, sub: sub}
+	n.domains[name] = d
+	return d
+}
+
+// discoverAll forces every domain to refresh its peer table now.
+func (n *testNet) discoverAll() {
+	for _, d := range n.domains {
+		if err := d.sub.DiscoverPeers(); err != nil {
+			n.t.Fatal(err)
+		}
+	}
+}
+
+// attachApp connects a synthetic application to a domain's server.
+func (n *testNet) attachApp(d *domain, name string, users []app.UserGrant) *appproto.Session {
+	n.t.Helper()
+	rt, err := app.NewRuntime(app.Config{
+		Name: name, Kernel: app.NewSeismic1D(64), ComputeSteps: 2, Users: users,
+	})
+	if err != nil {
+		n.t.Fatal(err)
+	}
+	as, err := appproto.Dial(context.Background(), d.srv.Daemon().Addr(), rt)
+	if err != nil {
+		n.t.Fatal(err)
+	}
+	n.t.Cleanup(func() { as.Close() })
+	deadline := time.Now().Add(2 * time.Second)
+	for len(d.srv.LocalAppIDs()) == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	d.app = as
+	return as
+}
+
+func defaultUsers() []app.UserGrant {
+	return []app.UserGrant{
+		{User: "alice", Privilege: "steer"},
+		{User: "bob", Privilege: "monitor"},
+	}
+}
+
+// waitFor polls a predicate driving optional phase pumps.
+func waitFor(t *testing.T, timeout time.Duration, step func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if step() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition never satisfied")
+}
+
+func TestDiscoveryViaTrader(t *testing.T) {
+	n := newTestNet(t)
+	a := n.addDomain("rutgers", Push)
+	b := n.addDomain("caltech", Push)
+	c := n.addDomain("utexas", Push)
+	n.discoverAll()
+
+	for _, d := range []*domain{a, b, c} {
+		peers := d.sub.Peers()
+		if len(peers) != 2 {
+			t.Errorf("%s sees peers %v", d.srv.Name(), peers)
+		}
+		for _, p := range peers {
+			if p == d.srv.Name() {
+				t.Errorf("%s discovered itself", p)
+			}
+		}
+	}
+}
+
+func TestSubstrateCloseWithdrawsOffer(t *testing.T) {
+	n := newTestNet(t)
+	a := n.addDomain("rutgers", Push)
+	b := n.addDomain("caltech", Push)
+	n.discoverAll()
+	if len(a.sub.Peers()) != 1 {
+		t.Fatal("setup failed")
+	}
+	b.sub.Close()
+	if err := a.sub.DiscoverPeers(); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.sub.Peers()) != 0 {
+		t.Errorf("withdrawn peer still discovered: %v", a.sub.Peers())
+	}
+}
+
+func TestGlobalAppListMergesDomains(t *testing.T) {
+	n := newTestNet(t)
+	a := n.addDomain("rutgers", Push)
+	b := n.addDomain("caltech", Push)
+	n.attachApp(a, "wave-a", defaultUsers())
+	n.attachApp(b, "wave-b", defaultUsers())
+	n.discoverAll()
+
+	apps := a.srv.Apps("alice")
+	if len(apps) != 2 {
+		t.Fatalf("alice sees %v", apps)
+	}
+	servers := map[string]bool{}
+	for _, ai := range apps {
+		servers[ai.Server] = true
+		if ai.Privilege != "steer" {
+			t.Errorf("privilege = %q", ai.Privilege)
+		}
+	}
+	if !servers["rutgers"] || !servers["caltech"] {
+		t.Errorf("servers = %v", servers)
+	}
+
+	// ACL filtering is enforced at each peer: an unknown user sees nothing.
+	if apps := a.srv.Apps("mallory"); len(apps) != 0 {
+		t.Errorf("mallory sees %v", apps)
+	}
+}
+
+func TestNamingBindingForProxies(t *testing.T) {
+	n := newTestNet(t)
+	a := n.addDomain("rutgers", Push)
+	as := n.attachApp(a, "wave", defaultUsers())
+	waitFor(t, 2*time.Second, func() bool {
+		_, err := n.naming.Resolve(as.AppID())
+		return err == nil
+	})
+	ref, err := n.naming.Resolve(as.AppID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Key != ProxyKey(as.AppID()) || ref.Addr != a.orb.Addr() {
+		t.Errorf("naming ref = %v", ref)
+	}
+	// On close the binding disappears.
+	as.Close()
+	waitFor(t, 2*time.Second, func() bool {
+		_, err := n.naming.Resolve(as.AppID())
+		return err != nil
+	})
+}
+
+// remoteSteeringTest exercises the full remote path in the given mode.
+func remoteSteeringTest(t *testing.T, mode UpdateMode) {
+	n := newTestNet(t)
+	a := n.addDomain("rutgers", mode) // host domain
+	b := n.addDomain("caltech", mode) // client's local domain
+	as := n.attachApp(a, "wave", defaultUsers())
+	n.discoverAll()
+	appID := as.AppID()
+
+	// Client logs in at caltech (their "closest" server) and connects to
+	// the rutgers-hosted application.
+	sess, err := b.srv.Login("alice", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap, err := b.srv.ConnectApp(sess, appID)
+	if err != nil {
+		t.Fatalf("remote connect: %v", err)
+	}
+	if cap.Priv.String() != "steer" {
+		t.Errorf("remote privilege = %v", cap.Priv)
+	}
+
+	// Remote lock acquisition relays to the host server's lock table.
+	granted, _, err := b.srv.LockOp(sess, true)
+	if err != nil || !granted {
+		t.Fatalf("remote lock: %v %v", granted, err)
+	}
+	if holder, held := a.srv.Locks().Holder(appID); !held || holder != sess.ClientID {
+		t.Errorf("host lock table holder = %q, %v", holder, held)
+	}
+	if _, held := b.srv.Locks().Holder(appID); held {
+		t.Error("lock state leaked to the remote server")
+	}
+
+	// Remote steering command.
+	if _, err := b.srv.SubmitCommand(sess, "set_param", []wire.Param{
+		{Key: "name", Value: "source_freq"}, {Key: "value", Value: "0.22"},
+	}); err != nil {
+		t.Fatalf("remote command: %v", err)
+	}
+
+	// Drive the application; the response must arrive at caltech.
+	var resp *wire.Message
+	waitFor(t, 5*time.Second, func() bool {
+		as.RunPhase()
+		for _, m := range sess.Buffer.Drain(0) {
+			if m.Kind == wire.KindResponse && m.Op == "set_param" {
+				resp = m
+			}
+		}
+		return resp != nil
+	})
+	if v := as.Runtime().Params().MustGet("source_freq"); v != 0.22 {
+		t.Errorf("remote steering did not land: %v", v)
+	}
+
+	// Periodic updates cross the substrate too.
+	var sawUpdate bool
+	waitFor(t, 5*time.Second, func() bool {
+		as.RunPhase()
+		for _, m := range sess.Buffer.Drain(0) {
+			if m.Kind == wire.KindUpdate {
+				sawUpdate = true
+			}
+		}
+		return sawUpdate
+	})
+
+	// Release remotely.
+	if _, _, err := b.srv.LockOp(sess, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, held := a.srv.Locks().Holder(appID); held {
+		t.Error("remote release did not clear host lock")
+	}
+}
+
+func TestRemoteSteeringPushMode(t *testing.T) { remoteSteeringTest(t, Push) }
+func TestRemoteSteeringPollMode(t *testing.T) { remoteSteeringTest(t, Poll) }
+
+func TestDistributedLockMutualExclusion(t *testing.T) {
+	n := newTestNet(t)
+	a := n.addDomain("rutgers", Push)
+	b := n.addDomain("caltech", Push)
+	as := n.attachApp(a, "wave", defaultUsers())
+	n.discoverAll()
+	appID := as.AppID()
+
+	// alice local at rutgers, alice2 remote at caltech contend.
+	local, _ := a.srv.Login("alice", "pw")
+	remote, _ := b.srv.Login("alice", "pw")
+	if _, err := a.srv.ConnectApp(local, appID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.srv.ConnectApp(remote, appID); err != nil {
+		t.Fatal(err)
+	}
+
+	granted, _, _ := a.srv.LockOp(local, true)
+	if !granted {
+		t.Fatal("local lock denied")
+	}
+	granted, holder, err := b.srv.LockOp(remote, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if granted {
+		t.Fatal("lock granted to two clients across servers")
+	}
+	if holder != local.ClientID {
+		t.Errorf("holder reported to remote = %q", holder)
+	}
+	// Remote steering without the lock is rejected AT THE HOST.
+	_, err = b.srv.SubmitCommand(remote, "set_param", []wire.Param{
+		{Key: "name", Value: "source_freq"}, {Key: "value", Value: "0.3"},
+	})
+	if err == nil {
+		t.Error("remote steer without lock accepted")
+	}
+	// Hand over.
+	a.srv.LockOp(local, false)
+	if granted, _, _ := b.srv.LockOp(remote, true); !granted {
+		t.Error("remote lock denied after local release")
+	}
+}
+
+func TestCrossServerCollaboration(t *testing.T) {
+	n := newTestNet(t)
+	a := n.addDomain("rutgers", Push)
+	b := n.addDomain("caltech", Push)
+	as := n.attachApp(a, "wave", defaultUsers())
+	n.discoverAll()
+	appID := as.AppID()
+
+	aliceA, _ := a.srv.Login("alice", "pw")
+	bobB, _ := b.srv.Login("bob", "pw")
+	if _, err := a.srv.ConnectApp(aliceA, appID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.srv.ConnectApp(bobB, appID); err != nil {
+		t.Fatal(err)
+	}
+
+	// Chat from the remote member must reach the host domain's member.
+	if err := b.srv.Chat(bobB, "hello from caltech"); err != nil {
+		t.Fatal(err)
+	}
+	var gotChat bool
+	waitFor(t, 5*time.Second, func() bool {
+		for _, m := range aliceA.Buffer.Drain(0) {
+			if m.Kind == wire.KindChat && m.Text == "hello from caltech" {
+				gotChat = true
+			}
+		}
+		return gotChat
+	})
+
+	// Chat from the host domain reaches the remote member via its relay.
+	if err := a.srv.Chat(aliceA, "hello from rutgers"); err != nil {
+		t.Fatal(err)
+	}
+	var gotBack bool
+	waitFor(t, 5*time.Second, func() bool {
+		for _, m := range bobB.Buffer.Drain(0) {
+			if m.Kind == wire.KindChat && m.Text == "hello from rutgers" {
+				gotBack = true
+			}
+		}
+		return gotBack
+	})
+
+	// Whiteboard strokes recorded at both servers for latecomers.
+	if err := b.srv.Whiteboard(bobB, []byte("stroke")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool {
+		return a.srv.Hub().Group(appID).WhiteboardLen() == 1
+	})
+}
+
+func TestControlChannelEvents(t *testing.T) {
+	n := newTestNet(t)
+	a := n.addDomain("rutgers", Push)
+	b := n.addDomain("caltech", Push)
+	n.discoverAll()
+
+	// A logged-in client at caltech hears about an app joining rutgers.
+	sess, _ := b.srv.Login("alice", "pw")
+	n.attachApp(a, "wave", defaultUsers())
+	var heard bool
+	waitFor(t, 5*time.Second, func() bool {
+		for _, m := range sess.Buffer.Drain(0) {
+			if m.Kind == wire.KindEvent && m.Op == "app-registered" {
+				heard = true
+			}
+		}
+		return heard
+	})
+}
+
+func TestRemoteUsers(t *testing.T) {
+	n := newTestNet(t)
+	a := n.addDomain("rutgers", Push)
+	b := n.addDomain("caltech", Push)
+	n.attachApp(b, "wave", defaultUsers())
+	n.discoverAll()
+	b.srv.Login("bob", "pw")
+
+	users, err := a.sub.RemoteUsers("caltech")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(users) != 1 || users[0] != "bob" {
+		t.Errorf("remote users = %v", users)
+	}
+	if _, err := a.sub.RemoteUsers("nosuch"); err == nil {
+		t.Error("unknown peer accepted")
+	}
+}
+
+func TestRemotePrivilegeDenied(t *testing.T) {
+	n := newTestNet(t)
+	a := n.addDomain("rutgers", Push)
+	b := n.addDomain("caltech", Push)
+	as := n.attachApp(a, "wave", defaultUsers())
+	n.discoverAll()
+
+	// eve has no ACL entry anywhere; connecting must fail with no access.
+	b.srv.Auth().SetUserSecret("eve", "pw")
+	sess, _ := b.srv.Login("eve", "pw")
+	if _, err := b.srv.ConnectApp(sess, as.AppID()); err == nil {
+		t.Error("remote connect for unauthorized user succeeded")
+	}
+	// bob is monitor: connect fine, steer denied locally.
+	bob, _ := b.srv.Login("bob", "pw")
+	if _, err := b.srv.ConnectApp(bob, as.AppID()); err != nil {
+		t.Fatalf("bob connect: %v", err)
+	}
+	if _, err := b.srv.SubmitCommand(bob, "set_param", []wire.Param{
+		{Key: "name", Value: "source_freq"}, {Key: "value", Value: "0.4"},
+	}); err == nil {
+		t.Error("monitor steer via substrate accepted")
+	}
+}
+
+func TestUnsubscribeStopsTraffic(t *testing.T) {
+	n := newTestNet(t)
+	a := n.addDomain("rutgers", Push)
+	b := n.addDomain("caltech", Push)
+	as := n.attachApp(a, "wave", defaultUsers())
+	n.discoverAll()
+
+	sess, _ := b.srv.Login("alice", "pw")
+	if _, err := b.srv.ConnectApp(sess, as.AppID()); err != nil {
+		t.Fatal(err)
+	}
+	// Receive at least one update, then unsubscribe.
+	waitFor(t, 5*time.Second, func() bool {
+		as.RunPhase()
+		return len(sess.Buffer.Drain(0)) > 0
+	})
+	if err := b.sub.Unsubscribe(as.AppID()); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	sess.Buffer.Drain(0) // clear in-flight
+	for i := 0; i < 10; i++ {
+		as.RunPhase()
+	}
+	time.Sleep(100 * time.Millisecond)
+	for _, m := range sess.Buffer.Drain(0) {
+		if m.Kind == wire.KindUpdate {
+			t.Error("update delivered after unsubscribe")
+			break
+		}
+	}
+}
+
+// TestFederationChaos drives a three-domain federation with concurrent
+// clients performing random operations while applications pump phases.
+// It asserts liveness (no deadlock within the deadline) and the global
+// mutual-exclusion invariant: every successful mutating command was
+// issued by the lock holder of the moment, so the two contended counters
+// never interleave within one client's read-modify-write.
+func TestFederationChaos(t *testing.T) {
+	n := newTestNet(t)
+	domains := []*domain{
+		n.addDomain("d0", Push),
+		n.addDomain("d1", Push),
+		n.addDomain("d2", Push),
+	}
+	apps := []*appproto.Session{
+		n.attachApp(domains[0], "chaos-a", defaultUsers()),
+		n.attachApp(domains[1], "chaos-b", defaultUsers()),
+	}
+	n.discoverAll()
+
+	// Applications pump phases continuously.
+	pumpCtx, stopPump := context.WithCancel(context.Background())
+	defer stopPump()
+	for _, as := range apps {
+		as := as
+		go func() {
+			for pumpCtx.Err() == nil {
+				if _, err := as.RunPhase(); err != nil {
+					return
+				}
+			}
+		}()
+	}
+
+	const clients = 6
+	var wg sync.WaitGroup
+	var steers atomic.Int64
+	deadline := time.Now().Add(1500 * time.Millisecond)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(c)))
+			d := domains[c%len(domains)]
+			sess, err := d.srv.Login("alice", "pw")
+			if err != nil {
+				t.Errorf("client %d login: %v", c, err)
+				return
+			}
+			appID := apps[c%len(apps)].AppID()
+			if _, err := d.srv.ConnectApp(sess, appID); err != nil {
+				t.Errorf("client %d connect: %v", c, err)
+				return
+			}
+			for time.Now().Before(deadline) {
+				switch r.Intn(6) {
+				case 0: // try to steer under the lock
+					granted, _, err := d.srv.LockOp(sess, true)
+					if err != nil || !granted {
+						continue
+					}
+					if _, err := d.srv.SubmitCommand(sess, "set_param", []wire.Param{
+						{Key: "name", Value: "source_amp"},
+						{Key: "value", Value: "1.5"},
+					}); err == nil {
+						steers.Add(1)
+					}
+					d.srv.LockOp(sess, false)
+				case 1:
+					d.srv.SubmitCommand(sess, "status", nil)
+				case 2:
+					d.srv.Chat(sess, "chaos")
+				case 3:
+					sess.Buffer.Drain(0)
+				case 4:
+					d.srv.Apps("alice")
+				case 5:
+					d.srv.SubmitCommand(sess, "get_param", []wire.Param{{Key: "name", Value: "source_amp"}})
+				}
+			}
+			d.srv.Logout(sess)
+		}(c)
+	}
+	waitDone := make(chan struct{})
+	go func() { wg.Wait(); close(waitDone) }()
+	select {
+	case <-waitDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("chaos clients deadlocked")
+	}
+	if steers.Load() == 0 {
+		t.Error("no successful steering under contention")
+	}
+	// All locks released after every client logged out.
+	for _, as := range apps {
+		if holder, held := serverOf(domains, as.AppID()).Locks().Holder(as.AppID()); held {
+			t.Errorf("lock on %s leaked to %s", as.AppID(), holder)
+		}
+	}
+}
+
+func serverOf(domains []*domain, appID string) *server.Server {
+	for _, d := range domains {
+		if d.srv.Name() == server.ServerOfApp(appID) {
+			return d.srv
+		}
+	}
+	return nil
+}
+
+// TestLinkedTraderDiscovery runs two administrative domains with their
+// own traders, linked CosTrading-style; substrates configured with a hop
+// budget discover peers registered at the other trader.
+func TestLinkedTraderDiscovery(t *testing.T) {
+	mkTrader := func() (*orb.Trader, *orb.ORB) {
+		o := orb.New()
+		if err := o.Listen("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { o.Close() })
+		tr := orb.NewTrader(orb.WithLinkORB(o))
+		o.Register(orb.TraderKey, tr.Servant())
+		o.Register(orb.NamingKey, orb.NewNaming().Servant())
+		return tr, o
+	}
+	trA, orbA := mkTrader()
+	trB, orbB := mkTrader()
+	if err := trA.AddLink("b", orb.ObjRef{Addr: orbB.Addr(), Key: orb.TraderKey}); err != nil {
+		t.Fatal(err)
+	}
+	if err := trB.AddLink("a", orb.ObjRef{Addr: orbA.Addr(), Key: orb.TraderKey}); err != nil {
+		t.Fatal(err)
+	}
+
+	mkDomain := func(name string, traderORB *orb.ORB) *Substrate {
+		srv, err := server.New(server.Config{Name: name, Logf: func(string, ...any) {}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.ListenDaemon("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(srv.Close)
+		o := orb.New()
+		if err := o.Listen("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { o.Close() })
+		sub, err := New(Config{
+			Server: srv, ORB: o,
+			TraderRef:    orb.ObjRef{Addr: traderORB.Addr(), Key: orb.TraderKey},
+			DiscoverHops: 1,
+			Logf:         func(string, ...any) {},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sub.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(sub.Close)
+		return sub
+	}
+	subA := mkDomain("alpha", orbA) // registers at trader A
+	subB := mkDomain("beta", orbB)  // registers at trader B
+
+	if err := subA.DiscoverPeers(); err != nil {
+		t.Fatal(err)
+	}
+	if err := subB.DiscoverPeers(); err != nil {
+		t.Fatal(err)
+	}
+	if peers := subA.Peers(); len(peers) != 1 || peers[0] != "beta" {
+		t.Errorf("alpha peers across linked traders = %v", peers)
+	}
+	if peers := subB.Peers(); len(peers) != 1 || peers[0] != "alpha" {
+		t.Errorf("beta peers across linked traders = %v", peers)
+	}
+}
+
+// TestPeerFailureHandledCleanly kills the host domain abruptly and checks
+// that the remote server degrades gracefully: remote operations fail with
+// errors (never hang or panic), and discovery prunes the dead peer once
+// its trader offer lapses/withdraws.
+func TestPeerFailureHandledCleanly(t *testing.T) {
+	n := newTestNet(t)
+	a := n.addDomain("rutgers", Push)
+	b := n.addDomain("caltech", Push)
+	as := n.attachApp(a, "wave", defaultUsers())
+	n.discoverAll()
+	appID := as.AppID()
+
+	sess, _ := b.srv.Login("alice", "pw")
+	if _, err := b.srv.ConnectApp(sess, appID); err != nil {
+		t.Fatal(err)
+	}
+
+	// Abrupt death: close the host's ORB and server without withdrawing.
+	as.Close()
+	a.sub.Close()
+	a.orb.Close()
+	a.srv.Close()
+	b.orb.DropConn(a.orb.Addr())
+
+	// Remote operations fail with errors, promptly.
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.srv.SubmitCommand(sess, "status", nil)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("command to dead peer succeeded")
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("command to dead peer hung")
+	}
+	if _, _, err := b.srv.LockOp(sess, true); err == nil {
+		t.Error("lock relay to dead peer succeeded")
+	}
+	// Remote app listing skips the dead peer rather than failing.
+	if apps := b.srv.Apps("alice"); len(apps) != 0 {
+		t.Errorf("apps from dead peer: %v", apps)
+	}
+}
+
+// TestResourcePolicyThrottlesPeer exercises §6.3's access policies: a
+// peer exceeding its request-rate budget is denied at the host with a
+// RESOURCE_POLICY error, and its consumption is accounted.
+func TestResourcePolicyThrottlesPeer(t *testing.T) {
+	n := newTestNet(t)
+	a := n.addDomain("rutgers", Push)
+	b := n.addDomain("caltech", Push)
+	as := n.attachApp(a, "wave", defaultUsers())
+	n.discoverAll()
+	appID := as.AppID()
+
+	// rutgers (the host) restricts caltech to 2 requests with no refill.
+	a.sub.Accounting().SetPolicy("caltech", policy.Policy{RequestsPerSec: 0.0001, RequestBurst: 2})
+
+	sess, _ := b.srv.Login("alice", "pw")
+	if _, err := b.srv.ConnectApp(sess, appID); err != nil {
+		t.Fatal(err)
+	}
+	granted, _, err := b.srv.LockOp(sess, true)
+	if err != nil || !granted {
+		t.Fatalf("first lock consumed budget unexpectedly: %v %v", granted, err)
+	}
+	if _, _, err := b.srv.LockOp(sess, false); err != nil {
+		t.Fatal(err)
+	}
+	// Third relayed request exceeds the burst of 2.
+	if _, _, err := b.srv.LockOp(sess, true); err == nil {
+		t.Fatal("request over policy budget was admitted")
+	}
+	usage := a.sub.Accounting().Usage("caltech")
+	if usage.Requests != 2 || usage.Denied == 0 {
+		t.Errorf("usage = %+v", usage)
+	}
+}
+
+func TestPollModeFiltersForeignResponses(t *testing.T) {
+	n := newTestNet(t)
+	a := n.addDomain("rutgers", Poll)
+	b := n.addDomain("caltech", Poll)
+	c := n.addDomain("utexas", Poll)
+	as := n.attachApp(a, "wave", defaultUsers())
+	n.discoverAll()
+	appID := as.AppID()
+
+	sb, _ := b.srv.Login("alice", "pw")
+	sc, _ := c.srv.Login("bob", "pw")
+	if _, err := b.srv.ConnectApp(sb, appID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.srv.ConnectApp(sc, appID); err != nil {
+		t.Fatal(err)
+	}
+	if granted, _, _ := b.srv.LockOp(sb, true); !granted {
+		t.Fatal("lock")
+	}
+	if _, err := b.srv.SubmitCommand(sb, "set_param", []wire.Param{
+		{Key: "name", Value: "source_freq"}, {Key: "value", Value: "0.19"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var got bool
+	waitFor(t, 5*time.Second, func() bool {
+		as.RunPhase()
+		for _, m := range sb.Buffer.Drain(0) {
+			if m.Kind == wire.KindResponse && m.Op == "set_param" {
+				got = true
+			}
+		}
+		return got
+	})
+	// utexas's client must not see alice's response (responses are scoped
+	// to the requester's server; updates are shared).
+	for _, m := range sc.Buffer.Drain(0) {
+		if m.Kind == wire.KindResponse && m.Client == sb.ClientID {
+			t.Error("foreign response leaked through poll filter")
+		}
+	}
+}

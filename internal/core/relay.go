@@ -1,0 +1,147 @@
+package core
+
+import (
+	"context"
+	"time"
+
+	"discover/internal/server"
+	"discover/internal/wire"
+)
+
+// relaySender is the host-side push path for one subscribed peer: an
+// ordered, bounded queue drained by a single goroutine that invokes the
+// peer's Control.deliver. One sender serves every application that peer
+// subscribed to, so per-application ordering is preserved.
+type relaySender struct {
+	sub   *Substrate
+	peer  peerInfo
+	queue chan relayItem
+	done  chan struct{}
+}
+
+type relayItem struct {
+	app string
+	msg *wire.Message
+}
+
+// relayQueueDepth bounds the per-peer push queue; beyond it messages are
+// dropped (slow-peer shedding, same policy as client FIFOs).
+const relayQueueDepth = 1024
+
+func newRelaySender(s *Substrate, peer peerInfo) *relaySender {
+	r := &relaySender{
+		sub:   s,
+		peer:  peer,
+		queue: make(chan relayItem, relayQueueDepth),
+		done:  make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go r.loop()
+	return r
+}
+
+// deliverFunc adapts the sender to a collab.DeliverFunc for one app.
+func (r *relaySender) deliverFunc(appID string) func(*wire.Message) {
+	return func(m *wire.Message) {
+		select {
+		case r.queue <- relayItem{app: appID, msg: m}:
+		case <-r.done:
+		default:
+			// Queue full: drop, as with slow clients. The peer catches up
+			// from the application log if it cares (pollUpdates).
+		}
+	}
+}
+
+func (r *relaySender) loop() {
+	defer r.sub.wg.Done()
+	for {
+		select {
+		case <-r.done:
+			return
+		case it := <-r.queue:
+			// Oneway delivery: the push is pipelined, never blocked on a
+			// WAN round trip per message.
+			ctx, cancel := r.sub.rpcCtx()
+			err := r.sub.orb.InvokeOneway(ctx, r.peer.controlRef(), "deliver",
+				deliverReq{App: it.app, Msg: it.msg, From: r.sub.srv.Name()})
+			cancel()
+			if err != nil {
+				r.sub.cfg.Logf("core %s: relay to %s: %v", r.sub.srv.Name(), r.peer.name, err)
+			}
+		}
+	}
+}
+
+func (r *relaySender) close() {
+	select {
+	case <-r.done:
+	default:
+		close(r.done)
+	}
+}
+
+// poller is the subscriber-side poll path for one remote application: it
+// periodically pulls new group traffic from the host's application log
+// and feeds it to the local fan-out, filtering responses addressed to
+// other servers' clients.
+type poller struct {
+	sub     *Substrate
+	peer    peerInfo
+	appID   string
+	lastSeq uint64
+	done    chan struct{}
+}
+
+func newPoller(s *Substrate, peer peerInfo, appID string, every time.Duration) *poller {
+	p := &poller{sub: s, peer: peer, appID: appID, done: make(chan struct{})}
+	s.wg.Add(1)
+	go p.loop(every)
+	return p
+}
+
+func (p *poller) loop(every time.Duration) {
+	defer p.sub.wg.Done()
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.done:
+			return
+		case <-ticker.C:
+			p.pollOnce()
+		}
+	}
+}
+
+// pollOnce pulls and dispatches one batch.
+func (p *poller) pollOnce() {
+	ctx, cancel := context.WithTimeout(context.Background(), p.sub.cfg.RPCTimeout)
+	defer cancel()
+	var resp pollResp
+	err := p.sub.orb.Invoke(ctx, p.sub.proxyRef(p.peer, p.appID), "pollUpdates",
+		pollReq{SinceSeq: p.lastSeq, From: p.sub.srv.Name()}, &resp)
+	if err != nil {
+		p.sub.cfg.Logf("core %s: poll %s: %v", p.sub.srv.Name(), p.appID, err)
+		return
+	}
+	p.lastSeq = resp.LastSeq
+	self := p.sub.srv.Name()
+	for _, m := range resp.Msgs {
+		switch m.Kind {
+		case wire.KindResponse, wire.KindError:
+			if server.ServerOfClient(m.Client) != self {
+				continue // another server's client
+			}
+		}
+		p.sub.srv.DeliverRemoteMessage(p.appID, m, p.peer.name)
+	}
+}
+
+func (p *poller) close() {
+	select {
+	case <-p.done:
+	default:
+		close(p.done)
+	}
+}

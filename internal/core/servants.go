@@ -1,0 +1,230 @@
+// Package core implements the paper's primary contribution: the
+// middleware substrate for peer-to-peer integration of DISCOVER servers.
+//
+// Each server's substrate exposes the two interface levels of Section 3
+// over the mini-ORB (internal/orb):
+//
+//   - DiscoverCorbaServer (level one, object key "DiscoverServer"):
+//     authenticate peer-asserted users, list active applications and
+//     logged-in users, answer level-two privilege queries, and manage
+//     relay subscriptions.
+//
+//   - CorbaProxy (level two, one servant per local application, object key
+//     "CorbaProxy/<appID>", also bound in the naming service under the
+//     application id): forward commands, relay lock requests, fan
+//     collaboration messages out, and serve update polls.
+//
+// A Control servant carries the fourth inter-server channel: error and
+// system events plus pushed group traffic (the Salamander-style
+// notification service of §5.1).
+//
+// Server discovery uses the trader service: every substrate exports a
+// service offer of type DISCOVER with its name and endpoint in the
+// property list, refreshes the offer's lease while alive, and queries the
+// trader to find peers.
+package core
+
+import (
+	"sort"
+
+	"discover/internal/orb"
+	"discover/internal/server"
+	"discover/internal/wire"
+)
+
+// Object keys for the substrate's servants.
+const (
+	ServerKey      = "DiscoverServer"
+	ControlKey     = "Control"
+	proxyKeyPrefix = "CorbaProxy/"
+)
+
+// ProxyKey returns the object key of an application's CorbaProxy.
+func ProxyKey(appID string) string { return proxyKeyPrefix + appID }
+
+// Wire types for the level-one DiscoverCorbaServer interface.
+type (
+	authUserReq   struct{ User string }
+	authUserResp  struct{ OK bool }
+	listAppsReq   struct{ User string }
+	listAppsResp  struct{ Apps []server.AppInfo }
+	listUsersReq  struct{}
+	listUsersResp struct{ Users []string }
+	privilegeReq  struct{ User, App string }
+	privilegeResp struct{ Privilege string }
+	subscribeReq  struct {
+		App      string
+		Peer     string // subscribing server's name
+		PeerAddr string // subscribing server's ORB address
+	}
+	subscribeResp struct{}
+	pingReq       struct{}
+	pingResp      struct{ Name string }
+)
+
+// Wire types for the level-two CorbaProxy interface.
+type (
+	commandReq  struct{ Cmd *wire.Message }
+	commandResp struct{}
+	lockReq     struct {
+		Owner   string
+		Acquire bool
+	}
+	lockResp struct {
+		Granted bool
+		Holder  string
+	}
+	collabReq struct {
+		Msg  *wire.Message
+		From string
+	}
+	collabResp struct{}
+	pollReq    struct {
+		SinceSeq uint64
+		From     string // polling server, for resource accounting
+	}
+	pollResp struct {
+		Msgs    []*wire.Message
+		LastSeq uint64
+	}
+)
+
+// Wire types for the Control channel.
+type (
+	deliverReq struct {
+		App  string
+		Msg  *wire.Message
+		From string
+	}
+	deliverResp struct{}
+	eventReq    struct {
+		Ev   *wire.Message
+		From string
+	}
+	eventResp struct{}
+)
+
+// registerServants installs the substrate's servants on its ORB.
+func (s *Substrate) registerServants() {
+	s.orb.Register(ServerKey, s.serverServant())
+	s.orb.Register(ControlKey, s.controlServant())
+}
+
+// serverServant is the DiscoverCorbaServer: the server's gateway for all
+// other DISCOVER servers.
+func (s *Substrate) serverServant() orb.Servant {
+	return orb.MethodMap{
+		"authenticateUser": orb.Handler(func(r authUserReq) (authUserResp, error) {
+			err := s.srv.LoginAsserted(r.User)
+			return authUserResp{OK: err == nil}, nil
+		}),
+		"listApplications": orb.Handler(func(r listAppsReq) (listAppsResp, error) {
+			return listAppsResp{Apps: s.srv.LocalApps(r.User)}, nil
+		}),
+		"listUsers": orb.Handler(func(listUsersReq) (listUsersResp, error) {
+			return listUsersResp{Users: s.srv.LoggedInUsers()}, nil
+		}),
+		"privilege": orb.Handler(func(r privilegeReq) (privilegeResp, error) {
+			return privilegeResp{Privilege: s.srv.PrivilegeName(r.User, r.App)}, nil
+		}),
+		"subscribe": orb.Handler(func(r subscribeReq) (subscribeResp, error) {
+			return subscribeResp{}, s.acceptSubscription(r)
+		}),
+		"unsubscribe": orb.Handler(func(r subscribeReq) (subscribeResp, error) {
+			s.srv.UnsubscribeRelay(r.App, r.Peer)
+			return subscribeResp{}, nil
+		}),
+		"ping": orb.Handler(func(pingReq) (pingResp, error) {
+			return pingResp{Name: s.srv.Name()}, nil
+		}),
+	}
+}
+
+// controlServant receives pushed group traffic and system events from
+// peers.
+func (s *Substrate) controlServant() orb.Servant {
+	return orb.MethodMap{
+		"deliver": orb.Handler(func(r deliverReq) (deliverResp, error) {
+			s.srv.DeliverRemoteMessage(r.App, r.Msg, r.From)
+			return deliverResp{}, nil
+		}),
+		"event": orb.Handler(func(r eventReq) (eventResp, error) {
+			s.srv.HandleControlEvent(r.Ev)
+			return eventResp{}, nil
+		}),
+	}
+}
+
+// CodePolicy is the error code returned when a peer exceeds its resource
+// policy (§6.3 resource utilization).
+const CodePolicy = "RESOURCE_POLICY"
+
+// meter applies the host's per-peer resource accounting; the principal is
+// the peer server on whose behalf the request arrives.
+func (s *Substrate) meter(principal string, bytes int) error {
+	if principal == "" || s.acct.Allow(principal, bytes) {
+		return nil
+	}
+	return &orb.RemoteError{Code: CodePolicy, Msg: principal + " exceeded its access policy"}
+}
+
+// proxyServant is the CorbaProxy for one local application: the
+// application's gateway for all other servers.
+func (s *Substrate) proxyServant(appID string) orb.Servant {
+	return orb.MethodMap{
+		"command": orb.Handler(func(r commandReq) (commandResp, error) {
+			if err := s.meter(server.ServerOfClient(r.Cmd.Client), r.Cmd.ApproxSize()); err != nil {
+				return commandResp{}, err
+			}
+			return commandResp{}, s.srv.EnqueueLocalCommand(appID, r.Cmd)
+		}),
+		"lock": orb.Handler(func(r lockReq) (lockResp, error) {
+			if err := s.meter(server.ServerOfClient(r.Owner), 0); err != nil {
+				return lockResp{}, err
+			}
+			granted, holder, err := s.srv.LockRequest(appID, r.Owner, r.Acquire)
+			if err != nil {
+				return lockResp{}, err
+			}
+			return lockResp{Granted: granted, Holder: holder}, nil
+		}),
+		"collab": orb.Handler(func(r collabReq) (collabResp, error) {
+			if err := s.meter(r.From, r.Msg.ApproxSize()); err != nil {
+				return collabResp{}, err
+			}
+			s.srv.DeliverCollabFromPeer(appID, r.Msg, r.From)
+			return collabResp{}, nil
+		}),
+		"pollUpdates": orb.Handler(func(r pollReq) (pollResp, error) {
+			if err := s.meter(r.From, 0); err != nil {
+				return pollResp{}, err
+			}
+			return s.pollUpdates(appID, r.SinceSeq), nil
+		}),
+	}
+}
+
+// pollUpdates serves the poll-mode propagation path (§5.2.3: "the
+// CorbaProxy objects poll each other for updates and responses"). It
+// returns group traffic from the application log after SinceSeq.
+// Responses are included only for clients of no particular server —
+// pollers filter on their own clients.
+func (s *Substrate) pollUpdates(appID string, since uint64) pollResp {
+	log := s.srv.Archive().ApplicationLog(appID)
+	entries := log.Since(since)
+	resp := pollResp{LastSeq: since}
+	for _, e := range entries {
+		resp.LastSeq = e.Seq
+		switch e.Msg.Kind {
+		case wire.KindUpdate, wire.KindChat, wire.KindWhiteboard,
+			wire.KindViewShare, wire.KindResponse, wire.KindError:
+			resp.Msgs = append(resp.Msgs, e.Msg)
+		}
+	}
+	return resp
+}
+
+// sortAppInfos keeps merged app lists deterministic for clients.
+func sortAppInfos(apps []server.AppInfo) {
+	sort.Slice(apps, func(i, j int) bool { return apps[i].ID < apps[j].ID })
+}

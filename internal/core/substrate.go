@@ -1,0 +1,552 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"discover/internal/orb"
+	"discover/internal/policy"
+	"discover/internal/server"
+	"discover/internal/wire"
+)
+
+// UpdateMode selects how group traffic crosses servers.
+type UpdateMode int
+
+const (
+	// Push delivers host-side group messages to subscribed peers over the
+	// control channel as they happen (one message per peer server).
+	Push UpdateMode = iota
+	// Poll has the subscribing server's CorbaProxy stubs poll the host
+	// periodically — the mode the paper's prototype used.
+	Poll
+)
+
+// Config wires a Substrate to its server and discovery services.
+type Config struct {
+	Server        *server.Server
+	ORB           *orb.ORB   // must already be listening
+	TraderRef     orb.ObjRef // the shared trader service
+	NamingRef     orb.ObjRef // the shared naming service (optional)
+	Props         map[string]string
+	OfferTTL      time.Duration // trader lease (default 60s)
+	Mode          UpdateMode
+	PollInterval  time.Duration      // poll mode update interval (default 100ms)
+	DiscoverEvery time.Duration      // peer re-discovery period (default 5s)
+	DiscoverHops  int                // trader links to follow during discovery (default 0)
+	RPCTimeout    time.Duration      // per-invocation budget (default 10s)
+	Accounting    *policy.Accountant // per-peer resource policies (§6.3); nil = metering only
+	Logf          func(format string, args ...any)
+}
+
+// Substrate is the per-server middleware endpoint. Create it with New,
+// then Start it; it registers the servants, exports the trader offer and
+// begins discovery.
+type Substrate struct {
+	cfg    Config
+	srv    *server.Server
+	orb    *orb.ORB
+	trader *orb.TraderClient
+	naming *orb.NamingClient
+	acct   *policy.Accountant
+
+	mu      sync.Mutex
+	peers   map[string]peerInfo     // by server name
+	relays  map[string]*relaySender // by peer name (host side, push mode)
+	polls   map[string]*poller      // by app id (subscriber side, poll mode)
+	subs    map[string]bool         // app ids subscribed (push mode)
+	offerID string
+	closed  bool
+
+	wg   sync.WaitGroup
+	stop chan struct{}
+}
+
+type peerInfo struct {
+	name string
+	addr string
+}
+
+func (p peerInfo) serverRef() orb.ObjRef  { return orb.ObjRef{Addr: p.addr, Key: ServerKey} }
+func (p peerInfo) controlRef() orb.ObjRef { return orb.ObjRef{Addr: p.addr, Key: ControlKey} }
+
+// New creates a substrate. Call Start to go live.
+func New(cfg Config) (*Substrate, error) {
+	if cfg.Server == nil || cfg.ORB == nil {
+		return nil, fmt.Errorf("core: config needs Server and ORB")
+	}
+	if cfg.ORB.Addr() == "" {
+		return nil, fmt.Errorf("core: ORB must be listening before the substrate starts")
+	}
+	if cfg.OfferTTL <= 0 {
+		cfg.OfferTTL = 60 * time.Second
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 100 * time.Millisecond
+	}
+	if cfg.DiscoverEvery <= 0 {
+		cfg.DiscoverEvery = 5 * time.Second
+	}
+	if cfg.RPCTimeout <= 0 {
+		cfg.RPCTimeout = 10 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	if cfg.Accounting == nil {
+		cfg.Accounting = policy.NewAccountant()
+	}
+	s := &Substrate{
+		cfg:    cfg,
+		srv:    cfg.Server,
+		orb:    cfg.ORB,
+		acct:   cfg.Accounting,
+		peers:  make(map[string]peerInfo),
+		relays: make(map[string]*relaySender),
+		polls:  make(map[string]*poller),
+		subs:   make(map[string]bool),
+		stop:   make(chan struct{}),
+	}
+	if !cfg.TraderRef.IsZero() {
+		s.trader = orb.NewTraderClient(cfg.ORB, cfg.TraderRef)
+	}
+	if !cfg.NamingRef.IsZero() {
+		s.naming = orb.NewNamingClient(cfg.ORB, cfg.NamingRef)
+	}
+	return s, nil
+}
+
+// Start registers servants, exports the trader offer, attaches to the
+// server as its Federation, and begins discovery and lease refresh.
+func (s *Substrate) Start() error {
+	s.registerServants()
+	s.srv.SetFederation(s)
+
+	if s.trader != nil {
+		props := map[string]string{
+			"name": s.srv.Name(),
+			"addr": s.orb.Addr(),
+		}
+		for k, v := range s.cfg.Props {
+			props[k] = v
+		}
+		ctx, cancel := s.rpcCtx()
+		defer cancel()
+		id, err := s.trader.Export(ctx, orb.DiscoverServiceType,
+			orb.ObjRef{Addr: s.orb.Addr(), Key: ServerKey}, props, s.cfg.OfferTTL)
+		if err != nil {
+			return fmt.Errorf("core: exporting trader offer: %w", err)
+		}
+		s.mu.Lock()
+		s.offerID = id
+		s.mu.Unlock()
+
+		s.wg.Add(1)
+		go s.maintenanceLoop()
+		if err := s.DiscoverPeers(); err != nil {
+			s.cfg.Logf("core %s: initial discovery: %v", s.srv.Name(), err)
+		}
+	}
+	return nil
+}
+
+// Close withdraws the trader offer and stops background work.
+func (s *Substrate) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	offerID := s.offerID
+	for _, r := range s.relays {
+		r.close()
+	}
+	for _, p := range s.polls {
+		p.close()
+	}
+	s.mu.Unlock()
+	close(s.stop)
+	s.wg.Wait()
+	if s.trader != nil && offerID != "" {
+		ctx, cancel := s.rpcCtx()
+		defer cancel()
+		s.trader.Withdraw(ctx, offerID)
+	}
+}
+
+func (s *Substrate) rpcCtx() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), s.cfg.RPCTimeout)
+}
+
+// goTracked runs fn on a goroutine tracked by the substrate's WaitGroup,
+// unless the substrate is closed. The closed check and the Add happen
+// under the same lock Close uses before Wait, so Add can never race with
+// Wait — the servant callbacks (application lifecycle events arriving
+// during teardown) would otherwise trigger exactly that.
+func (s *Substrate) goTracked(fn func()) bool {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return false
+	}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	go func() {
+		defer s.wg.Done()
+		fn()
+	}()
+	return true
+}
+
+// maintenanceLoop refreshes the trader lease and re-discovers peers.
+func (s *Substrate) maintenanceLoop() {
+	defer s.wg.Done()
+	refresh := time.NewTicker(s.cfg.OfferTTL / 2)
+	discover := time.NewTicker(s.cfg.DiscoverEvery)
+	defer refresh.Stop()
+	defer discover.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-refresh.C:
+			s.mu.Lock()
+			id := s.offerID
+			s.mu.Unlock()
+			ctx, cancel := s.rpcCtx()
+			if err := s.trader.Refresh(ctx, id, s.cfg.OfferTTL); err != nil {
+				s.cfg.Logf("core %s: offer refresh: %v", s.srv.Name(), err)
+			}
+			cancel()
+		case <-discover.C:
+			if err := s.DiscoverPeers(); err != nil {
+				s.cfg.Logf("core %s: discovery: %v", s.srv.Name(), err)
+			}
+			s.reassertSubscriptions()
+		}
+	}
+}
+
+// reassertSubscriptions re-sends push subscriptions so that a host server
+// that restarted (losing its relay table) resumes pushing to us. The
+// subscribe operation is idempotent at the host.
+func (s *Substrate) reassertSubscriptions() {
+	if s.cfg.Mode != Push {
+		return
+	}
+	s.mu.Lock()
+	apps := make([]string, 0, len(s.subs))
+	for appID := range s.subs {
+		apps = append(apps, appID)
+	}
+	s.mu.Unlock()
+	for _, appID := range apps {
+		p, err := s.peerFor(appID)
+		if err != nil {
+			continue // host currently unknown; discovery will bring it back
+		}
+		ctx, cancel := s.rpcCtx()
+		err = s.orb.Invoke(ctx, p.serverRef(), "subscribe", subscribeReq{
+			App: appID, Peer: s.srv.Name(), PeerAddr: s.orb.Addr(),
+		}, nil)
+		cancel()
+		if err != nil {
+			s.cfg.Logf("core %s: re-subscribe %s at %s: %v", s.srv.Name(), appID, p.name, err)
+		}
+	}
+}
+
+// DiscoverPeers queries the trader for live DISCOVER offers and replaces
+// the peer table. The offer lease means a dead server disappears once its
+// lease lapses — availability "determined at runtime".
+func (s *Substrate) DiscoverPeers() error {
+	if s.trader == nil {
+		return nil
+	}
+	ctx, cancel := s.rpcCtx()
+	defer cancel()
+	offers, err := s.trader.QueryFederated(ctx, orb.DiscoverServiceType,
+		fmt.Sprintf("name != '%s'", s.srv.Name()), s.cfg.DiscoverHops)
+	if err != nil {
+		return err
+	}
+	next := make(map[string]peerInfo, len(offers))
+	for _, o := range offers {
+		name := o.Props["name"]
+		addr := o.Props["addr"]
+		if name == "" || addr == "" {
+			continue
+		}
+		next[name] = peerInfo{name: name, addr: addr}
+	}
+	s.mu.Lock()
+	s.peers = next
+	s.mu.Unlock()
+	return nil
+}
+
+// Accounting exposes the per-peer resource accountant: set policies with
+// SetPolicy and inspect consumption with Usage.
+func (s *Substrate) Accounting() *policy.Accountant { return s.acct }
+
+// Peers lists discovered peer server names.
+func (s *Substrate) Peers() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.peers))
+	for name := range s.peers {
+		out = append(out, name)
+	}
+	return out
+}
+
+// peerList snapshots the peer table.
+func (s *Substrate) peerList() []peerInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]peerInfo, 0, len(s.peers))
+	for _, p := range s.peers {
+		out = append(out, p)
+	}
+	return out
+}
+
+// peerFor maps an application id to its host server's peer entry.
+func (s *Substrate) peerFor(appID string) (peerInfo, error) {
+	host := server.ServerOfApp(appID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.peers[host]
+	if !ok {
+		return peerInfo{}, fmt.Errorf("core: no known peer %q for application %s", host, appID)
+	}
+	return p, nil
+}
+
+func (s *Substrate) proxyRef(p peerInfo, appID string) orb.ObjRef {
+	return orb.ObjRef{Addr: p.addr, Key: ProxyKey(appID)}
+}
+
+// ---------------------------------------------------------------------------
+// server.Federation implementation.
+// ---------------------------------------------------------------------------
+
+// RemoteApps asks every peer for the applications this user may access;
+// the peer authenticates the asserted user-id and filters by its ACLs.
+func (s *Substrate) RemoteApps(user string) []server.AppInfo {
+	var out []server.AppInfo
+	for _, p := range s.peerList() {
+		ctx, cancel := s.rpcCtx()
+		var resp listAppsResp
+		err := s.orb.Invoke(ctx, p.serverRef(), "listApplications", listAppsReq{User: user}, &resp)
+		cancel()
+		if err != nil {
+			s.cfg.Logf("core %s: listApplications at %s: %v", s.srv.Name(), p.name, err)
+			continue
+		}
+		out = append(out, resp.Apps...)
+	}
+	sortAppInfos(out)
+	return out
+}
+
+// RemoteUsers lists users logged in at a named peer.
+func (s *Substrate) RemoteUsers(peerName string) ([]string, error) {
+	s.mu.Lock()
+	p, ok := s.peers[peerName]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("core: unknown peer %q", peerName)
+	}
+	ctx, cancel := s.rpcCtx()
+	defer cancel()
+	var resp listUsersResp
+	if err := s.orb.Invoke(ctx, p.serverRef(), "listUsers", listUsersReq{}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Users, nil
+}
+
+// RemotePrivilege performs level-two authorization at the host server.
+func (s *Substrate) RemotePrivilege(user, appID string) (string, error) {
+	p, err := s.peerFor(appID)
+	if err != nil {
+		return "", err
+	}
+	ctx, cancel := s.rpcCtx()
+	defer cancel()
+	var resp privilegeResp
+	if err := s.orb.Invoke(ctx, p.serverRef(), "privilege", privilegeReq{User: user, App: appID}, &resp); err != nil {
+		return "", err
+	}
+	return resp.Privilege, nil
+}
+
+// ForwardCommand relays a client command to the application's host.
+func (s *Substrate) ForwardCommand(appID string, cmd *wire.Message) error {
+	p, err := s.peerFor(appID)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := s.rpcCtx()
+	defer cancel()
+	return s.orb.Invoke(ctx, s.proxyRef(p, appID), "command", commandReq{Cmd: cmd}, nil)
+}
+
+// RemoteLock relays a lock request; lock state lives at the host only.
+func (s *Substrate) RemoteLock(appID, owner string, acquire bool) (bool, string, error) {
+	p, err := s.peerFor(appID)
+	if err != nil {
+		return false, "", err
+	}
+	ctx, cancel := s.rpcCtx()
+	defer cancel()
+	var resp lockResp
+	if err := s.orb.Invoke(ctx, s.proxyRef(p, appID), "lock",
+		lockReq{Owner: owner, Acquire: acquire}, &resp); err != nil {
+		return false, "", err
+	}
+	return resp.Granted, resp.Holder, nil
+}
+
+// ForwardCollab relays a collaboration message for group-wide fan-out at
+// the host server.
+func (s *Substrate) ForwardCollab(appID string, m *wire.Message) error {
+	p, err := s.peerFor(appID)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := s.rpcCtx()
+	defer cancel()
+	return s.orb.Invoke(ctx, s.proxyRef(p, appID), "collab",
+		collabReq{Msg: m, From: s.srv.Name()}, nil)
+}
+
+// Subscribe arranges for the application's group traffic to reach this
+// server: a push relay at the host (Push mode) or a local poller (Poll
+// mode). Idempotent.
+func (s *Substrate) Subscribe(appID string) error {
+	p, err := s.peerFor(appID)
+	if err != nil {
+		return err
+	}
+	switch s.cfg.Mode {
+	case Push:
+		s.mu.Lock()
+		if s.subs[appID] {
+			s.mu.Unlock()
+			return nil
+		}
+		s.mu.Unlock()
+		ctx, cancel := s.rpcCtx()
+		defer cancel()
+		err := s.orb.Invoke(ctx, p.serverRef(), "subscribe", subscribeReq{
+			App: appID, Peer: s.srv.Name(), PeerAddr: s.orb.Addr(),
+		}, nil)
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		s.subs[appID] = true
+		s.mu.Unlock()
+		return nil
+	default: // Poll
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.closed {
+			return fmt.Errorf("core: substrate closed")
+		}
+		if _, ok := s.polls[appID]; ok {
+			return nil
+		}
+		pl := newPoller(s, p, appID, s.cfg.PollInterval)
+		s.polls[appID] = pl
+		return nil
+	}
+}
+
+// Unsubscribe reverses Subscribe.
+func (s *Substrate) Unsubscribe(appID string) error {
+	switch s.cfg.Mode {
+	case Push:
+		s.mu.Lock()
+		delete(s.subs, appID)
+		s.mu.Unlock()
+		p, err := s.peerFor(appID)
+		if err != nil {
+			return err
+		}
+		ctx, cancel := s.rpcCtx()
+		defer cancel()
+		return s.orb.Invoke(ctx, p.serverRef(), "unsubscribe", subscribeReq{
+			App: appID, Peer: s.srv.Name(),
+		}, nil)
+	default:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if pl, ok := s.polls[appID]; ok {
+			pl.close()
+			delete(s.polls, appID)
+		}
+		return nil
+	}
+}
+
+// NotifyEvent fans a control-channel event out to every peer. It also
+// reacts to the local server's own application lifecycle events by
+// installing or removing the application's CorbaProxy servant and naming
+// binding.
+func (s *Substrate) NotifyEvent(ev *wire.Message) {
+	if ev.Client == s.srv.Name() {
+		switch ev.Op {
+		case "app-registered":
+			s.orb.Register(ProxyKey(ev.App), s.proxyServant(ev.App))
+			if s.naming != nil {
+				ctx, cancel := s.rpcCtx()
+				if err := s.naming.Rebind(ctx, ev.App, s.orb.Ref(ProxyKey(ev.App))); err != nil {
+					s.cfg.Logf("core %s: naming bind %s: %v", s.srv.Name(), ev.App, err)
+				}
+				cancel()
+			}
+		case "app-closed":
+			s.orb.Unregister(ProxyKey(ev.App))
+			if s.naming != nil {
+				ctx, cancel := s.rpcCtx()
+				s.naming.Unbind(ctx, ev.App)
+				cancel()
+			}
+		}
+	}
+	for _, p := range s.peerList() {
+		p := p
+		s.goTracked(func() {
+			ctx, cancel := s.rpcCtx()
+			defer cancel()
+			if err := s.orb.InvokeOneway(ctx, p.controlRef(), "event",
+				eventReq{Ev: ev, From: s.srv.Name()}); err != nil {
+				s.cfg.Logf("core %s: event to %s: %v", s.srv.Name(), p.name, err)
+			}
+		})
+	}
+}
+
+// acceptSubscription (host side) joins a relay member for the subscribing
+// peer into the application's collaboration group.
+func (s *Substrate) acceptSubscription(r subscribeReq) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("core: substrate closed")
+	}
+	sender, ok := s.relays[r.Peer]
+	if !ok {
+		sender = newRelaySender(s, peerInfo{name: r.Peer, addr: r.PeerAddr})
+		s.relays[r.Peer] = sender
+	}
+	s.mu.Unlock()
+	return s.srv.SubscribeRelay(r.App, r.Peer, sender.deliverFunc(r.App))
+}

@@ -1,0 +1,277 @@
+// Package lockmgr implements DISCOVER's steering concurrency control: a
+// simple locking protocol that guarantees only one client "drives" an
+// application at a time.
+//
+// In the distributed server framework, locking information is maintained
+// only at the application's host server; servers providing remote access
+// relay lock requests there (see internal/core). Locks carry leases so a
+// departed client cannot wedge an application, and released or expired
+// locks pass to the longest-waiting requester in FIFO order.
+package lockmgr
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// DefaultLease is how long a granted lock lives without renewal.
+const DefaultLease = 30 * time.Second
+
+// Errors.
+var (
+	ErrNotHolder = errors.New("lockmgr: caller does not hold the lock")
+	ErrHeld      = errors.New("lockmgr: lock held by another owner")
+)
+
+type waiter struct {
+	owner string
+	lease time.Duration
+	grant chan struct{} // closed when granted
+	done  <-chan struct{}
+}
+
+type lock struct {
+	holder  string
+	expires time.Time
+	queue   []*waiter
+	timer   *time.Timer
+}
+
+// Manager is the per-server lock table. Owners are opaque strings; the
+// server uses "clientID" for local steerers and "server/<name>/clientID"
+// for relayed remote steerers.
+type Manager struct {
+	mu           sync.Mutex
+	locks        map[string]*lock
+	defaultLease time.Duration
+	now          func() time.Time
+}
+
+// Option configures a Manager.
+type Option func(*Manager)
+
+// WithLease sets the default lease duration.
+func WithLease(d time.Duration) Option { return func(m *Manager) { m.defaultLease = d } }
+
+// WithClock injects a clock for expiry tests. Note that expiry timers
+// still use real time; tests combine both.
+func WithClock(now func() time.Time) Option { return func(m *Manager) { m.now = now } }
+
+// NewManager returns an empty lock table.
+func NewManager(opts ...Option) *Manager {
+	m := &Manager{
+		locks:        make(map[string]*lock),
+		defaultLease: DefaultLease,
+		now:          time.Now,
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+// TryAcquire attempts to take the steering lock for app without waiting.
+// Re-acquiring by the current holder renews the lease. Returns whether
+// the lock was granted and the current holder either way.
+func (m *Manager) TryAcquire(app, owner string, lease time.Duration) (granted bool, holder string) {
+	if lease <= 0 {
+		lease = m.defaultLease
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l := m.lockFor(app)
+	m.reapLocked(app, l)
+	if l.holder == "" || l.holder == owner {
+		m.grantLocked(app, l, owner, lease)
+		return true, owner
+	}
+	return false, l.holder
+}
+
+// Acquire takes the lock, waiting in FIFO order behind the current holder
+// and earlier waiters until ctx is done.
+func (m *Manager) Acquire(ctx context.Context, app, owner string, lease time.Duration) error {
+	if lease <= 0 {
+		lease = m.defaultLease
+	}
+	m.mu.Lock()
+	l := m.lockFor(app)
+	m.reapLocked(app, l)
+	if l.holder == "" || l.holder == owner {
+		m.grantLocked(app, l, owner, lease)
+		m.mu.Unlock()
+		return nil
+	}
+	w := &waiter{owner: owner, lease: lease, grant: make(chan struct{}), done: ctx.Done()}
+	l.queue = append(l.queue, w)
+	m.mu.Unlock()
+
+	select {
+	case <-w.grant:
+		return nil
+	case <-ctx.Done():
+		m.mu.Lock()
+		// Remove ourselves if still queued; if we were granted in the
+		// race, release so the next waiter proceeds.
+		granted := true
+		for i, q := range l.queue {
+			if q == w {
+				l.queue = append(l.queue[:i], l.queue[i+1:]...)
+				granted = false
+				break
+			}
+		}
+		if granted && l.holder == owner {
+			m.releaseLocked(app, l, owner)
+		}
+		m.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// Release gives the lock up; it passes to the next queued waiter.
+func (m *Manager) Release(app, owner string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l, ok := m.locks[app]
+	if !ok {
+		return ErrNotHolder
+	}
+	m.reapLocked(app, l)
+	if l.holder != owner {
+		return ErrNotHolder
+	}
+	m.releaseLocked(app, l, owner)
+	return nil
+}
+
+// Holder reports the current lock holder for app, if any.
+func (m *Manager) Holder(app string) (string, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l, ok := m.locks[app]
+	if !ok {
+		return "", false
+	}
+	m.reapLocked(app, l)
+	if l.holder == "" {
+		return "", false
+	}
+	return l.holder, true
+}
+
+// QueueLen reports how many requesters wait for app's lock.
+func (m *Manager) QueueLen(app string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l, ok := m.locks[app]
+	if !ok {
+		return 0
+	}
+	return len(l.queue)
+}
+
+// Break forcibly clears the lock and queue for app (application exit).
+func (m *Manager) Break(app string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l, ok := m.locks[app]
+	if !ok {
+		return
+	}
+	if l.timer != nil {
+		l.timer.Stop()
+	}
+	for _, w := range l.queue {
+		close(w.grant) // granted-on-break: waiters find the app gone anyway
+	}
+	delete(m.locks, app)
+}
+
+// ReleaseAllOwnedBy releases every lock held by owner (client departure)
+// and removes it from every queue. Returns the apps whose locks moved.
+func (m *Manager) ReleaseAllOwnedBy(owner string) []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var apps []string
+	for app, l := range m.locks {
+		for i := 0; i < len(l.queue); {
+			if l.queue[i].owner == owner {
+				l.queue = append(l.queue[:i], l.queue[i+1:]...)
+			} else {
+				i++
+			}
+		}
+		if l.holder == owner {
+			m.releaseLocked(app, l, owner)
+			apps = append(apps, app)
+		}
+	}
+	return apps
+}
+
+func (m *Manager) lockFor(app string) *lock {
+	l, ok := m.locks[app]
+	if !ok {
+		l = &lock{}
+		m.locks[app] = l
+	}
+	return l
+}
+
+// reapLocked expires a stale holder and promotes the next waiter.
+func (m *Manager) reapLocked(app string, l *lock) {
+	if l.holder != "" && m.now().After(l.expires) {
+		m.releaseLocked(app, l, l.holder)
+	}
+}
+
+// grantLocked installs owner as holder and arms the lease timer.
+func (m *Manager) grantLocked(app string, l *lock, owner string, lease time.Duration) {
+	l.holder = owner
+	l.expires = m.now().Add(lease)
+	if l.timer != nil {
+		l.timer.Stop()
+	}
+	l.timer = time.AfterFunc(lease, func() { m.expire(app, owner) })
+}
+
+// expire runs when a lease timer fires.
+func (m *Manager) expire(app, owner string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l, ok := m.locks[app]
+	if !ok || l.holder != owner {
+		return
+	}
+	if m.now().Before(l.expires) {
+		return // lease was renewed
+	}
+	m.releaseLocked(app, l, owner)
+}
+
+// releaseLocked hands the lock to the next live waiter, if any.
+func (m *Manager) releaseLocked(app string, l *lock, owner string) {
+	if l.timer != nil {
+		l.timer.Stop()
+		l.timer = nil
+	}
+	l.holder = ""
+	for len(l.queue) > 0 {
+		w := l.queue[0]
+		l.queue = l.queue[1:]
+		select {
+		case <-w.done:
+			continue // waiter gave up
+		default:
+		}
+		m.grantLocked(app, l, w.owner, w.lease)
+		close(w.grant)
+		return
+	}
+	if len(l.queue) == 0 && l.holder == "" {
+		delete(m.locks, app)
+	}
+}

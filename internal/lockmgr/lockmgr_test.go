@@ -1,0 +1,217 @@
+package lockmgr
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTryAcquireBasics(t *testing.T) {
+	m := NewManager()
+	ok, holder := m.TryAcquire("app", "alice", 0)
+	if !ok || holder != "alice" {
+		t.Fatalf("first TryAcquire = %v, %q", ok, holder)
+	}
+	ok, holder = m.TryAcquire("app", "bob", 0)
+	if ok || holder != "alice" {
+		t.Errorf("second TryAcquire = %v, %q", ok, holder)
+	}
+	// Re-acquire by holder renews.
+	if ok, _ := m.TryAcquire("app", "alice", 0); !ok {
+		t.Error("holder re-acquire failed")
+	}
+	if h, held := m.Holder("app"); !held || h != "alice" {
+		t.Errorf("Holder = %q, %v", h, held)
+	}
+	if err := m.Release("app", "bob"); err != ErrNotHolder {
+		t.Errorf("non-holder release: %v", err)
+	}
+	if err := m.Release("app", "alice"); err != nil {
+		t.Errorf("Release: %v", err)
+	}
+	if _, held := m.Holder("app"); held {
+		t.Error("lock still held after release")
+	}
+	if err := m.Release("app", "alice"); err != ErrNotHolder {
+		t.Errorf("double release: %v", err)
+	}
+}
+
+func TestLocksAreIndependentAcrossApps(t *testing.T) {
+	m := NewManager()
+	m.TryAcquire("app1", "alice", 0)
+	if ok, _ := m.TryAcquire("app2", "bob", 0); !ok {
+		t.Error("lock on app1 blocked app2")
+	}
+}
+
+func TestAcquireWaitsFIFO(t *testing.T) {
+	m := NewManager()
+	m.TryAcquire("app", "alice", 0)
+
+	order := make(chan string, 2)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for _, who := range []string{"bob", "carol"} {
+		wg.Add(1)
+		go func(who string) {
+			defer wg.Done()
+			if who == "carol" {
+				time.Sleep(50 * time.Millisecond) // ensure bob queues first
+			}
+			<-start
+			if err := m.Acquire(context.Background(), "app", who, 0); err != nil {
+				t.Errorf("%s: %v", who, err)
+				return
+			}
+			order <- who
+			time.Sleep(10 * time.Millisecond)
+			m.Release("app", who)
+		}(who)
+	}
+	close(start)
+	time.Sleep(150 * time.Millisecond) // both queued
+	if q := m.QueueLen("app"); q != 2 {
+		t.Errorf("queue len = %d, want 2", q)
+	}
+	m.Release("app", "alice")
+	wg.Wait()
+	first, second := <-order, <-order
+	if first != "bob" || second != "carol" {
+		t.Errorf("grant order = %s, %s; want bob, carol", first, second)
+	}
+}
+
+func TestAcquireContextCancel(t *testing.T) {
+	m := NewManager()
+	m.TryAcquire("app", "alice", 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	err := m.Acquire(ctx, "app", "bob", 0)
+	if err != context.DeadlineExceeded {
+		t.Errorf("err = %v", err)
+	}
+	if q := m.QueueLen("app"); q != 0 {
+		t.Errorf("cancelled waiter still queued: %d", q)
+	}
+	// The abandoned waiter must not receive the lock later.
+	m.Release("app", "alice")
+	if h, held := m.Holder("app"); held {
+		t.Errorf("lock granted to %q after cancel", h)
+	}
+}
+
+func TestLeaseExpiry(t *testing.T) {
+	m := NewManager(WithLease(40 * time.Millisecond))
+	m.TryAcquire("app", "alice", 0)
+	// bob waits; alice's lease expires; bob is promoted by the timer.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := m.Acquire(ctx, "app", "bob", time.Minute); err != nil {
+		t.Fatalf("bob never got the expired lock: %v", err)
+	}
+	if h, _ := m.Holder("app"); h != "bob" {
+		t.Errorf("holder = %q", h)
+	}
+}
+
+func TestLeaseRenewalPreventsExpiry(t *testing.T) {
+	m := NewManager(WithLease(50 * time.Millisecond))
+	m.TryAcquire("app", "alice", 0)
+	for i := 0; i < 4; i++ {
+		time.Sleep(25 * time.Millisecond)
+		if ok, _ := m.TryAcquire("app", "alice", 0); !ok {
+			t.Fatal("renewal failed")
+		}
+	}
+	if h, held := m.Holder("app"); !held || h != "alice" {
+		t.Errorf("after renewals holder = %q, %v", h, held)
+	}
+}
+
+func TestBreak(t *testing.T) {
+	m := NewManager()
+	m.TryAcquire("app", "alice", 0)
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(context.Background(), "app", "bob", 0) }()
+	time.Sleep(30 * time.Millisecond)
+	m.Break("app")
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("waiter after Break: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Break did not release waiter")
+	}
+	if _, held := m.Holder("app"); held {
+		t.Error("lock survives Break")
+	}
+}
+
+func TestReleaseAllOwnedBy(t *testing.T) {
+	m := NewManager()
+	m.TryAcquire("app1", "alice", 0)
+	m.TryAcquire("app2", "alice", 0)
+	m.TryAcquire("app3", "bob", 0)
+	apps := m.ReleaseAllOwnedBy("alice")
+	if len(apps) != 2 {
+		t.Errorf("released %v", apps)
+	}
+	if _, held := m.Holder("app1"); held {
+		t.Error("app1 still locked")
+	}
+	if h, _ := m.Holder("app3"); h != "bob" {
+		t.Error("bob's lock disturbed")
+	}
+}
+
+// Invariant: at most one holder at any time, and every grant is observed
+// while no other owner believes it holds the lock.
+func TestMutualExclusionProperty(t *testing.T) {
+	m := NewManager()
+	const workers = 8
+	const iters = 30
+	var inCritical int32
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	violations := 0
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w)))
+			owner := fmt.Sprintf("owner-%d", w)
+			for i := 0; i < iters; i++ {
+				if err := m.Acquire(context.Background(), "app", owner, time.Minute); err != nil {
+					t.Errorf("%s: %v", owner, err)
+					return
+				}
+				mu.Lock()
+				inCritical++
+				if inCritical != 1 {
+					violations++
+				}
+				mu.Unlock()
+				time.Sleep(time.Duration(r.Intn(200)) * time.Microsecond)
+				mu.Lock()
+				inCritical--
+				mu.Unlock()
+				if err := m.Release("app", owner); err != nil {
+					t.Errorf("%s release: %v", owner, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if violations != 0 {
+		t.Errorf("%d mutual-exclusion violations", violations)
+	}
+	if _, held := m.Holder("app"); held {
+		t.Error("lock leaked after all workers finished")
+	}
+}

@@ -1,0 +1,105 @@
+package lockmgr
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// Model-based test: a random sequence of TryAcquire/Release/Holder calls
+// across multiple apps and owners must match a trivial reference model.
+// Leases are long so expiry never interferes.
+func TestLockManagerMatchesModel(t *testing.T) {
+	owners := []string{"o1", "o2", "o3"}
+	apps := []string{"a1", "a2"}
+	r := rand.New(rand.NewSource(7))
+
+	for trial := 0; trial < 80; trial++ {
+		m := NewManager(WithLease(time.Hour))
+		model := map[string]string{} // app -> holder ("" = free)
+
+		for step := 0; step < 150; step++ {
+			app := apps[r.Intn(len(apps))]
+			owner := owners[r.Intn(len(owners))]
+			switch r.Intn(3) {
+			case 0: // TryAcquire
+				granted, holder := m.TryAcquire(app, owner, 0)
+				cur := model[app]
+				wantGranted := cur == "" || cur == owner
+				if granted != wantGranted {
+					t.Fatalf("trial %d step %d: TryAcquire(%s,%s) granted=%v model holder %q",
+						trial, step, app, owner, granted, cur)
+				}
+				if granted {
+					model[app] = owner
+					if holder != owner {
+						t.Fatalf("granted but holder = %q", holder)
+					}
+				} else if holder != cur {
+					t.Fatalf("denied holder = %q, model %q", holder, cur)
+				}
+			case 1: // Release
+				err := m.Release(app, owner)
+				cur := model[app]
+				if cur == owner {
+					if err != nil {
+						t.Fatalf("holder release failed: %v", err)
+					}
+					model[app] = ""
+				} else if err != ErrNotHolder {
+					t.Fatalf("non-holder release err = %v (model holder %q)", err, cur)
+				}
+			case 2: // Holder
+				holder, held := m.Holder(app)
+				cur := model[app]
+				if held != (cur != "") || holder != cur {
+					t.Fatalf("Holder(%s) = %q,%v; model %q", app, holder, held, cur)
+				}
+			}
+		}
+		// Final invariant: every held lock agrees with the model.
+		for _, app := range apps {
+			holder, held := m.Holder(app)
+			if (model[app] != "") != held || holder != model[app] {
+				t.Fatalf("final state: %s holder %q/%v, model %q", app, holder, held, model[app])
+			}
+		}
+	}
+}
+
+// ReleaseAllOwnedBy must behave like releasing each held lock in the
+// model.
+func TestReleaseAllMatchesModel(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		m := NewManager(WithLease(time.Hour))
+		model := map[string]string{}
+		for i := 0; i < 20; i++ {
+			app := fmt.Sprintf("app%d", r.Intn(6))
+			owner := fmt.Sprintf("o%d", r.Intn(3))
+			if granted, _ := m.TryAcquire(app, owner, 0); granted {
+				model[app] = owner
+			}
+		}
+		victim := fmt.Sprintf("o%d", r.Intn(3))
+		released := m.ReleaseAllOwnedBy(victim)
+		want := map[string]bool{}
+		for app, owner := range model {
+			if owner == victim {
+				want[app] = true
+			}
+		}
+		if len(released) != len(want) {
+			t.Fatalf("released %v, want %v", released, want)
+		}
+		for _, app := range released {
+			if !want[app] {
+				t.Fatalf("released %s not owned by %s", app, victim)
+			}
+			if _, held := m.Holder(app); held {
+				t.Fatalf("%s still held after ReleaseAllOwnedBy", app)
+			}
+		}
+	}
+}

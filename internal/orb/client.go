@@ -1,0 +1,150 @@
+package orb
+
+import (
+	"context"
+	"net"
+	"sync"
+
+	"discover/internal/wire"
+)
+
+// poolConn is one multiplexed client connection: many in-flight requests
+// share it, matched to replies by request id.
+type poolConn struct {
+	conn    net.Conn
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan *reply
+	err     error
+}
+
+func newPoolConn(conn net.Conn) *poolConn {
+	pc := &poolConn{conn: conn, pending: make(map[uint64]chan *reply)}
+	go pc.readLoop()
+	return pc
+}
+
+func (pc *poolConn) dead() bool {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.err != nil
+}
+
+// close fails all pending invocations and closes the connection.
+func (pc *poolConn) close(err error) {
+	pc.mu.Lock()
+	if pc.err == nil {
+		pc.err = err
+	}
+	pending := pc.pending
+	pc.pending = make(map[uint64]chan *reply)
+	pc.mu.Unlock()
+	pc.conn.Close()
+	for _, ch := range pending {
+		close(ch)
+	}
+}
+
+func (pc *poolConn) readLoop() {
+	for {
+		payload, err := wire.ReadFrame(pc.conn)
+		if err != nil {
+			pc.close(&RemoteError{Code: CodeComm, Msg: "connection lost: " + err.Error()})
+			return
+		}
+		_, rp, err := decodeFrame(payload)
+		if err != nil || rp == nil {
+			pc.close(&RemoteError{Code: CodeComm, Msg: "protocol violation"})
+			return
+		}
+		pc.mu.Lock()
+		ch, ok := pc.pending[rp.id]
+		delete(pc.pending, rp.id)
+		pc.mu.Unlock()
+		if ok {
+			ch <- rp
+		}
+	}
+}
+
+// sendOneway writes a request that expects no reply.
+func (pc *poolConn) sendOneway(key, method string, args []byte) error {
+	pc.mu.Lock()
+	if pc.err != nil {
+		err := pc.err
+		pc.mu.Unlock()
+		return err
+	}
+	pc.nextID++
+	id := pc.nextID
+	pc.mu.Unlock()
+
+	payload := encodeRequest(&request{id: id, key: key, method: method, args: args, oneway: true})
+	pc.writeMu.Lock()
+	err := wire.WriteFrame(pc.conn, payload)
+	pc.writeMu.Unlock()
+	if err != nil {
+		pc.close(&RemoteError{Code: CodeComm, Msg: "write failed: " + err.Error()})
+		return &RemoteError{Code: CodeComm, Msg: err.Error()}
+	}
+	return nil
+}
+
+// roundTrip sends one request and waits for its reply or ctx cancellation.
+func (pc *poolConn) roundTrip(ctx context.Context, key, method string, args []byte) ([]byte, error) {
+	pc.mu.Lock()
+	if pc.err != nil {
+		err := pc.err
+		pc.mu.Unlock()
+		return nil, err
+	}
+	pc.nextID++
+	id := pc.nextID
+	ch := make(chan *reply, 1)
+	pc.pending[id] = ch
+	pc.mu.Unlock()
+
+	payload := encodeRequest(&request{id: id, key: key, method: method, args: args})
+	pc.writeMu.Lock()
+	err := wire.WriteFrame(pc.conn, payload)
+	pc.writeMu.Unlock()
+	if err != nil {
+		pc.mu.Lock()
+		delete(pc.pending, id)
+		pc.mu.Unlock()
+		pc.close(&RemoteError{Code: CodeComm, Msg: "write failed: " + err.Error()})
+		return nil, &RemoteError{Code: CodeComm, Msg: err.Error()}
+	}
+
+	select {
+	case rp, ok := <-ch:
+		if !ok {
+			pc.mu.Lock()
+			err := pc.err
+			pc.mu.Unlock()
+			if err == nil {
+				err = &RemoteError{Code: CodeComm, Msg: "connection closed"}
+			}
+			return nil, err
+		}
+		switch rp.status {
+		case replyOK:
+			return rp.body, nil
+		case replyUserError, replySysError:
+			re := &RemoteError{}
+			if err := Unmarshal(rp.body, re); err != nil {
+				return nil, &RemoteError{Code: CodeMarshal, Msg: "undecodable remote error"}
+			}
+			return nil, re
+		default:
+			return nil, &RemoteError{Code: CodeComm, Msg: "unknown reply status"}
+		}
+	case <-ctx.Done():
+		pc.mu.Lock()
+		delete(pc.pending, id)
+		pc.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}

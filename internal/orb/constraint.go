@@ -1,0 +1,385 @@
+package orb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// The trader's constraint language is a practical subset of the OMG
+// Trading Object Service constraint language:
+//
+//	expr       := or-expr
+//	or-expr    := and-expr ( ("or" | "||") and-expr )*
+//	and-expr   := not-expr ( ("and" | "&&") not-expr )*
+//	not-expr   := ("not" | "!") not-expr | primary
+//	primary    := "(" expr ")" | "exist" ident | "true" | "false" | comparison
+//	comparison := operand ( "==" | "!=" | "<" | "<=" | ">" | ">=" ) operand
+//	operand    := ident | 'string literal' | number
+//
+// Identifiers name offer properties. A comparison is numeric when both
+// operands evaluate to numbers, string (lexicographic) otherwise. Any
+// comparison touching a property the offer lacks is false — test presence
+// with "exist". The empty constraint matches every offer.
+
+// Constraint is a compiled constraint expression.
+type Constraint struct {
+	src  string
+	root node
+}
+
+// ParseConstraint compiles a constraint expression.
+func ParseConstraint(src string) (*Constraint, error) {
+	if strings.TrimSpace(src) == "" {
+		return &Constraint{src: src, root: boolNode(true)}, nil
+	}
+	toks, err := lexConstraint(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	root, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEnd() {
+		return nil, fmt.Errorf("orb: constraint: unexpected %q", p.peek().text)
+	}
+	return &Constraint{src: src, root: root}, nil
+}
+
+// String returns the source text.
+func (c *Constraint) String() string { return c.src }
+
+// Eval evaluates the constraint against an offer's properties.
+func (c *Constraint) Eval(props map[string]string) bool { return c.root.eval(props) }
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+type tokKind int
+
+const (
+	tokIdent tokKind = iota
+	tokString
+	tokNumber
+	tokOp  // comparison operators
+	tokAnd // and &&
+	tokOr  // or ||
+	tokNot // not !
+	tokExist
+	tokTrue
+	tokFalse
+	tokLParen
+	tokRParen
+	tokEOF
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+func lexConstraint(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		ch := src[i]
+		switch {
+		case ch == ' ' || ch == '\t' || ch == '\n' || ch == '\r':
+			i++
+		case ch == '(':
+			toks = append(toks, token{tokLParen, "("})
+			i++
+		case ch == ')':
+			toks = append(toks, token{tokRParen, ")"})
+			i++
+		case ch == '\'':
+			j := i + 1
+			var sb strings.Builder
+			for {
+				if j >= len(src) {
+					return nil, fmt.Errorf("orb: constraint: unterminated string at %d", i)
+				}
+				if src[j] == '\\' && j+1 < len(src) {
+					sb.WriteByte(src[j+1])
+					j += 2
+					continue
+				}
+				if src[j] == '\'' {
+					break
+				}
+				sb.WriteByte(src[j])
+				j++
+			}
+			toks = append(toks, token{tokString, sb.String()})
+			i = j + 1
+		case strings.HasPrefix(src[i:], "=="), strings.HasPrefix(src[i:], "!="),
+			strings.HasPrefix(src[i:], "<="), strings.HasPrefix(src[i:], ">="):
+			toks = append(toks, token{tokOp, src[i : i+2]})
+			i += 2
+		case ch == '<' || ch == '>':
+			toks = append(toks, token{tokOp, string(ch)})
+			i++
+		case strings.HasPrefix(src[i:], "&&"):
+			toks = append(toks, token{tokAnd, "&&"})
+			i += 2
+		case strings.HasPrefix(src[i:], "||"):
+			toks = append(toks, token{tokOr, "||"})
+			i += 2
+		case ch == '!':
+			toks = append(toks, token{tokNot, "!"})
+			i++
+		case ch == '-' || ch == '+' || (ch >= '0' && ch <= '9'):
+			j := i + 1
+			for j < len(src) && (src[j] == '.' || src[j] == 'e' || src[j] == 'E' ||
+				src[j] == '-' || src[j] == '+' || (src[j] >= '0' && src[j] <= '9')) {
+				j++
+			}
+			text := src[i:j]
+			if _, err := strconv.ParseFloat(text, 64); err != nil {
+				return nil, fmt.Errorf("orb: constraint: bad number %q", text)
+			}
+			toks = append(toks, token{tokNumber, text})
+			i = j
+		case isIdentStart(rune(ch)):
+			j := i + 1
+			for j < len(src) && isIdentPart(rune(src[j])) {
+				j++
+			}
+			word := src[i:j]
+			switch word {
+			case "and":
+				toks = append(toks, token{tokAnd, word})
+			case "or":
+				toks = append(toks, token{tokOr, word})
+			case "not":
+				toks = append(toks, token{tokNot, word})
+			case "exist":
+				toks = append(toks, token{tokExist, word})
+			case "true":
+				toks = append(toks, token{tokTrue, word})
+			case "false":
+				toks = append(toks, token{tokFalse, word})
+			default:
+				toks = append(toks, token{tokIdent, word})
+			}
+			i = j
+		default:
+			return nil, fmt.Errorf("orb: constraint: unexpected character %q at %d", ch, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, ""})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '.' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) atEnd() bool { return p.peek().kind == tokEOF }
+
+func (p *parser) parseOr() (node, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokOr {
+		p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &binNode{op: "or", l: left, r: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (node, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokAnd {
+		p.next()
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &binNode{op: "and", l: left, r: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (node, error) {
+	if p.peek().kind == tokNot {
+		p.next()
+		inner, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &notNode{inner}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (node, error) {
+	switch t := p.peek(); t.kind {
+	case tokLParen:
+		p.next()
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().kind != tokRParen {
+			return nil, fmt.Errorf("orb: constraint: expected ')', got %q", p.peek().text)
+		}
+		p.next()
+		return inner, nil
+	case tokExist:
+		p.next()
+		id := p.next()
+		if id.kind != tokIdent {
+			return nil, fmt.Errorf("orb: constraint: 'exist' needs a property name, got %q", id.text)
+		}
+		return &existNode{prop: id.text}, nil
+	case tokTrue:
+		p.next()
+		return boolNode(true), nil
+	case tokFalse:
+		p.next()
+		return boolNode(false), nil
+	case tokIdent, tokString, tokNumber:
+		left := p.next()
+		op := p.next()
+		if op.kind != tokOp {
+			return nil, fmt.Errorf("orb: constraint: expected comparison operator, got %q", op.text)
+		}
+		right := p.next()
+		if right.kind != tokIdent && right.kind != tokString && right.kind != tokNumber {
+			return nil, fmt.Errorf("orb: constraint: bad comparison operand %q", right.text)
+		}
+		return &cmpNode{op: op.text, l: operand(left), r: operand(right)}, nil
+	default:
+		return nil, fmt.Errorf("orb: constraint: unexpected %q", t.text)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation
+// ---------------------------------------------------------------------------
+
+type node interface {
+	eval(props map[string]string) bool
+}
+
+type boolNode bool
+
+func (b boolNode) eval(map[string]string) bool { return bool(b) }
+
+type notNode struct{ inner node }
+
+func (n *notNode) eval(p map[string]string) bool { return !n.inner.eval(p) }
+
+type binNode struct {
+	op   string
+	l, r node
+}
+
+func (n *binNode) eval(p map[string]string) bool {
+	if n.op == "and" {
+		return n.l.eval(p) && n.r.eval(p)
+	}
+	return n.l.eval(p) || n.r.eval(p)
+}
+
+type existNode struct{ prop string }
+
+func (n *existNode) eval(p map[string]string) bool {
+	_, ok := p[n.prop]
+	return ok
+}
+
+// opnd is one comparison operand: a property reference or a literal.
+type opnd struct {
+	isProp  bool
+	prop    string
+	literal string
+}
+
+func operand(t token) opnd {
+	if t.kind == tokIdent {
+		return opnd{isProp: true, prop: t.text}
+	}
+	return opnd{literal: t.text}
+}
+
+// value resolves the operand to a string; ok is false for missing props.
+func (o opnd) value(p map[string]string) (string, bool) {
+	if !o.isProp {
+		return o.literal, true
+	}
+	v, ok := p[o.prop]
+	return v, ok
+}
+
+type cmpNode struct {
+	op   string
+	l, r opnd
+}
+
+func (n *cmpNode) eval(p map[string]string) bool {
+	lv, lok := n.l.value(p)
+	rv, rok := n.r.value(p)
+	if !lok || !rok {
+		return false // missing property: comparison is false (use exist)
+	}
+	lf, lerr := strconv.ParseFloat(lv, 64)
+	rf, rerr := strconv.ParseFloat(rv, 64)
+	if lerr == nil && rerr == nil {
+		switch n.op {
+		case "==":
+			return lf == rf
+		case "!=":
+			return lf != rf
+		case "<":
+			return lf < rf
+		case "<=":
+			return lf <= rf
+		case ">":
+			return lf > rf
+		case ">=":
+			return lf >= rf
+		}
+		return false
+	}
+	switch n.op {
+	case "==":
+		return lv == rv
+	case "!=":
+		return lv != rv
+	case "<":
+		return lv < rv
+	case "<=":
+		return lv <= rv
+	case ">":
+		return lv > rv
+	case ">=":
+		return lv >= rv
+	}
+	return false
+}

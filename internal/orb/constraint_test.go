@@ -1,0 +1,228 @@
+package orb
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *Constraint {
+	t.Helper()
+	c, err := ParseConstraint(src)
+	if err != nil {
+		t.Fatalf("ParseConstraint(%q): %v", src, err)
+	}
+	return c
+}
+
+func TestConstraintBasics(t *testing.T) {
+	props := map[string]string{
+		"name":    "rutgers",
+		"domain":  "caip.rutgers.edu",
+		"apps":    "12",
+		"load":    "0.75",
+		"version": "2",
+	}
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"", true},
+		{"   ", true},
+		{"true", true},
+		{"false", false},
+		{"name == 'rutgers'", true},
+		{"name == 'caltech'", false},
+		{"name != 'caltech'", true},
+		{"apps > 10", true},
+		{"apps > 12", false},
+		{"apps >= 12", true},
+		{"load < 1", true},
+		{"load <= 0.75", true},
+		{"load < 0.5", false},
+		{"apps > 10 and load < 1", true},
+		{"apps > 10 && load < 1", true},
+		{"apps > 20 or name == 'rutgers'", true},
+		{"apps > 20 || name == 'pittsburgh'", false},
+		{"not (apps > 20)", true},
+		{"!(name == 'rutgers')", false},
+		{"exist name", true},
+		{"exist missing", false},
+		{"missing == 'x'", false},    // missing property: false
+		{"missing != 'x'", false},    // still false; use exist
+		{"not missing == 'x'", true}, // negation of the false comparison
+		{"domain == 'caip.rutgers.edu'", true},
+		{"version == 2", true},   // numeric comparison
+		{"version == '2'", true}, // both parse as numbers
+		{"name < 'sdsc'", true},  // lexicographic fallback
+		{"10 < 9", false},        // literal-only comparison
+		{"-1 < 0", true},
+		{"1e3 == 1000", true},
+		{"apps == apps", true}, // property on both sides
+	}
+	for _, tc := range cases {
+		c := mustParse(t, tc.src)
+		if got := c.Eval(props); got != tc.want {
+			t.Errorf("Eval(%q) = %v, want %v", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestConstraintPrecedence(t *testing.T) {
+	props := map[string]string{"a": "1", "b": "2", "c": "3"}
+	// or binds looser than and: a==1 or (b==9 and c==9) is true.
+	if !mustParse(t, "a == 1 or b == 9 and c == 9").Eval(props) {
+		t.Error("or/and precedence wrong")
+	}
+	// (a==9 or b==2) and c==3 needs parens to be true.
+	if mustParse(t, "a == 9 or b == 2 and c == 9").Eval(props) {
+		t.Error("expected false without parens")
+	}
+	if !mustParse(t, "(a == 9 or b == 2) and c == 3").Eval(props) {
+		t.Error("parenthesised or/and wrong")
+	}
+	// not binds tightest.
+	if mustParse(t, "not a == 1 and b == 2").Eval(props) {
+		t.Error("not precedence wrong: not(a==1) && b==2 should be false")
+	}
+}
+
+func TestConstraintStringEscapes(t *testing.T) {
+	c := mustParse(t, `name == 'o\'brien'`)
+	if !c.Eval(map[string]string{"name": "o'brien"}) {
+		t.Error("escaped quote not handled")
+	}
+}
+
+func TestConstraintParseErrors(t *testing.T) {
+	bad := []string{
+		"name ==",
+		"== 'x'",
+		"(name == 'x'",
+		"name = 'x'",
+		"name == 'unterminated",
+		"exist",
+		"exist 'literal'",
+		"name == 'x' garbage",
+		"and and",
+		"name <> 'x'",
+		"1..2 == 3",
+		"@name == 'x'",
+	}
+	for _, src := range bad {
+		if _, err := ParseConstraint(src); err == nil {
+			t.Errorf("ParseConstraint(%q) unexpectedly succeeded", src)
+		}
+	}
+}
+
+func TestConstraintStringMethod(t *testing.T) {
+	src := "a == 'b'"
+	if got := mustParse(t, src).String(); got != src {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+// Property test: parsed expressions evaluate identically to a brute-force
+// interpreter over randomly generated expression trees.
+func TestConstraintAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	propsPool := []string{"a", "b", "c", "d"}
+	valuesPool := []string{"1", "2", "x", "y", "10.5"}
+
+	// gen returns (source, evaluator)
+	var gen func(depth int) (string, func(map[string]string) bool)
+	gen = func(depth int) (string, func(map[string]string) bool) {
+		if depth <= 0 || r.Intn(3) == 0 {
+			switch r.Intn(3) {
+			case 0: // exist
+				p := propsPool[r.Intn(len(propsPool))]
+				return "exist " + p, func(m map[string]string) bool {
+					_, ok := m[p]
+					return ok
+				}
+			case 1: // numeric-ish compare prop vs literal
+				p := propsPool[r.Intn(len(propsPool))]
+				v := valuesPool[r.Intn(len(valuesPool))]
+				return p + " == '" + v + "'", func(m map[string]string) bool {
+					mv, ok := m[p]
+					return ok && mv == v
+				}
+			default:
+				p := propsPool[r.Intn(len(propsPool))]
+				n := r.Intn(10)
+				src := p + " < " + itoa(n)
+				return src, func(m map[string]string) bool {
+					mv, ok := m[p]
+					if !ok {
+						return false
+					}
+					f, err := atof(mv)
+					if err != nil {
+						return mv < itoa(n)
+					}
+					return f < float64(n)
+				}
+			}
+		}
+		switch r.Intn(3) {
+		case 0:
+			ls, lf := gen(depth - 1)
+			rs, rf := gen(depth - 1)
+			return "(" + ls + " and " + rs + ")", func(m map[string]string) bool { return lf(m) && rf(m) }
+		case 1:
+			ls, lf := gen(depth - 1)
+			rs, rf := gen(depth - 1)
+			return "(" + ls + " or " + rs + ")", func(m map[string]string) bool { return lf(m) || rf(m) }
+		default:
+			is, f := gen(depth - 1)
+			return "not (" + is + ")", func(m map[string]string) bool { return !f(m) }
+		}
+	}
+
+	for trial := 0; trial < 300; trial++ {
+		src, ref := gen(4)
+		c, err := ParseConstraint(src)
+		if err != nil {
+			t.Fatalf("generated constraint failed to parse: %q: %v", src, err)
+		}
+		props := make(map[string]string)
+		for _, p := range propsPool {
+			if r.Intn(2) == 0 {
+				props[p] = valuesPool[r.Intn(len(valuesPool))]
+			}
+		}
+		if got, want := c.Eval(props), ref(props); got != want {
+			t.Fatalf("constraint %q on %v: parsed=%v brute=%v", src, props, got, want)
+		}
+	}
+}
+
+func itoa(n int) string { return string(rune('0' + n)) }
+
+func atof(s string) (float64, error) {
+	var f float64
+	var seen bool
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			if s[i] == '.' {
+				// crude decimal handling for the pool values used here
+				frac, err := atof(s[i+1:])
+				if err != nil {
+					return 0, err
+				}
+				div := 1.0
+				for j := i + 1; j < len(s); j++ {
+					div *= 10
+				}
+				return f + frac/div, nil
+			}
+			return 0, errBadFrame
+		}
+		f = f*10 + float64(s[i]-'0')
+		seen = true
+	}
+	if !seen {
+		return 0, errBadFrame
+	}
+	return f, nil
+}

@@ -1,0 +1,44 @@
+package orb_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"discover/internal/orb"
+)
+
+// ExampleParseConstraint shows the trader's CosTrading-style constraint
+// language.
+func ExampleParseConstraint() {
+	c, err := orb.ParseConstraint("site == 'piscataway' and apps > 10 and exist version")
+	if err != nil {
+		log.Fatal(err)
+	}
+	offer := map[string]string{"site": "piscataway", "apps": "12", "version": "2"}
+	fmt.Println(c.Eval(offer))
+	delete(offer, "version")
+	fmt.Println(c.Eval(offer))
+	// Output:
+	// true
+	// false
+}
+
+// ExampleTrader shows exporting and querying service offers.
+func ExampleTrader() {
+	trader := orb.NewTrader()
+	trader.Export("DISCOVER", orb.ObjRef{Addr: "rutgers:7000", Key: "DiscoverServer"},
+		map[string]string{"name": "rutgers", "apps": "12"}, time.Minute)
+	trader.Export("DISCOVER", orb.ObjRef{Addr: "caltech:7000", Key: "DiscoverServer"},
+		map[string]string{"name": "caltech", "apps": "3"}, time.Minute)
+
+	offers, err := trader.Query("DISCOVER", "apps > 10")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, o := range offers {
+		fmt.Println(o.Props["name"], o.Ref.Addr)
+	}
+	// Output:
+	// rutgers rutgers:7000
+}

@@ -1,0 +1,61 @@
+package orb
+
+import "testing"
+
+// FuzzParseConstraint hardens the trader constraint parser: arbitrary
+// input must parse-or-reject without panicking, and whatever parses must
+// evaluate without panicking on arbitrary property sets.
+func FuzzParseConstraint(f *testing.F) {
+	for _, s := range []string{
+		"",
+		"true",
+		"name == 'rutgers'",
+		"apps > 10 and load < 1.5",
+		"not (a == b) or exist c",
+		"x == 'quo\\'ted'",
+		"((((",
+		"a == == b",
+		"-1e99 <= a",
+	} {
+		f.Add(s)
+	}
+	props := map[string]string{"name": "rutgers", "apps": "12", "load": "0.75"}
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := ParseConstraint(src)
+		if err != nil {
+			return
+		}
+		_ = c.Eval(props)
+		_ = c.Eval(map[string]string{})
+		_ = c.String()
+	})
+}
+
+// FuzzDecodeFrame hardens the GIOP-like protocol decoder.
+func FuzzDecodeFrame(f *testing.F) {
+	f.Add(encodeRequest(&request{id: 1, key: "k", method: "m", args: []byte{1}}))
+	f.Add(encodeRequest(&request{id: 2, key: "k", method: "m", oneway: true}))
+	f.Add(encodeReply(&reply{id: 1, status: replyOK, body: []byte("x")}))
+	f.Add([]byte("DORB"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rq, rp, err := decodeFrame(data)
+		if err != nil {
+			return
+		}
+		if rq == nil && rp == nil {
+			t.Fatal("decodeFrame returned neither request nor reply without error")
+		}
+		if rq != nil {
+			re := encodeRequest(rq)
+			rq2, _, err := decodeFrame(re)
+			if err != nil || rq2 == nil {
+				t.Fatalf("request re-round-trip failed: %v", err)
+			}
+			if rq2.id != rq.id || rq2.key != rq.key || rq2.method != rq.method || rq2.oneway != rq.oneway {
+				t.Fatal("request mutated in re-round-trip")
+			}
+		}
+	})
+}

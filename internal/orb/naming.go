@@ -1,0 +1,151 @@
+package orb
+
+import (
+	"context"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// NamingKey is the well-known object key of a naming service.
+const NamingKey = "CosNaming"
+
+// Naming is the CORBA Naming Service analogue: a flat name → ObjRef table.
+// DISCOVER binds every application's CorbaProxy under the application's
+// globally unique identifier so it can be reached from any server.
+type Naming struct {
+	mu    sync.RWMutex
+	table map[string]ObjRef
+}
+
+// NewNaming returns an empty naming service.
+func NewNaming() *Naming { return &Naming{table: make(map[string]ObjRef)} }
+
+// Naming wire types.
+type (
+	bindReq struct {
+		Name   string
+		Ref    ObjRef
+		Rebind bool
+	}
+	bindResp    struct{}
+	resolveReq  struct{ Name string }
+	resolveResp struct{ Ref ObjRef }
+	unbindReq   struct{ Name string }
+	listReq     struct{ Prefix string }
+	listResp    struct{ Names []string }
+)
+
+// ErrAlreadyBound and ErrNotFound are the naming service's error codes.
+const (
+	CodeAlreadyBound = "ALREADY_BOUND"
+	CodeNotFound     = "NOT_FOUND"
+)
+
+// Bind binds name to ref locally. Rebind semantics when rebind is true.
+func (n *Naming) Bind(name string, ref ObjRef, rebind bool) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, exists := n.table[name]; exists && !rebind {
+		return &RemoteError{Code: CodeAlreadyBound, Msg: name}
+	}
+	n.table[name] = ref
+	return nil
+}
+
+// Resolve looks a name up locally.
+func (n *Naming) Resolve(name string) (ObjRef, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	ref, ok := n.table[name]
+	if !ok {
+		return ObjRef{}, &RemoteError{Code: CodeNotFound, Msg: name}
+	}
+	return ref, nil
+}
+
+// Unbind removes a binding locally; unbinding an unknown name is not an
+// error (the application may already have unregistered).
+func (n *Naming) Unbind(name string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.table, name)
+}
+
+// List returns the bound names with the given prefix, sorted.
+func (n *Naming) List(prefix string) []string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	var out []string
+	for name := range n.table {
+		if strings.HasPrefix(name, prefix) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Servant exposes the naming service over the ORB.
+func (n *Naming) Servant() Servant {
+	return MethodMap{
+		"bind": Handler(func(r bindReq) (bindResp, error) {
+			return bindResp{}, n.Bind(r.Name, r.Ref, r.Rebind)
+		}),
+		"resolve": Handler(func(r resolveReq) (resolveResp, error) {
+			ref, err := n.Resolve(r.Name)
+			return resolveResp{Ref: ref}, err
+		}),
+		"unbind": Handler(func(r unbindReq) (bindResp, error) {
+			n.Unbind(r.Name)
+			return bindResp{}, nil
+		}),
+		"list": Handler(func(r listReq) (listResp, error) {
+			return listResp{Names: n.List(r.Prefix)}, nil
+		}),
+	}
+}
+
+// NamingClient is the remote stub for a naming service.
+type NamingClient struct {
+	orb *ORB
+	ref ObjRef
+}
+
+// NewNamingClient returns a stub bound to the naming service at ref.
+func NewNamingClient(o *ORB, ref ObjRef) *NamingClient {
+	return &NamingClient{orb: o, ref: ref}
+}
+
+// Bind binds name to ref remotely.
+func (c *NamingClient) Bind(ctx context.Context, name string, ref ObjRef) error {
+	return c.orb.Invoke(ctx, c.ref, "bind", bindReq{Name: name, Ref: ref}, nil)
+}
+
+// Rebind binds name to ref, replacing any existing binding.
+func (c *NamingClient) Rebind(ctx context.Context, name string, ref ObjRef) error {
+	return c.orb.Invoke(ctx, c.ref, "bind", bindReq{Name: name, Ref: ref, Rebind: true}, nil)
+}
+
+// Resolve looks up a name remotely.
+func (c *NamingClient) Resolve(ctx context.Context, name string) (ObjRef, error) {
+	var resp resolveResp
+	if err := c.orb.Invoke(ctx, c.ref, "resolve", resolveReq{Name: name}, &resp); err != nil {
+		return ObjRef{}, err
+	}
+	return resp.Ref, nil
+}
+
+// Unbind removes a binding remotely.
+func (c *NamingClient) Unbind(ctx context.Context, name string) error {
+	return c.orb.Invoke(ctx, c.ref, "unbind", unbindReq{Name: name}, nil)
+}
+
+// List returns bound names with the given prefix.
+func (c *NamingClient) List(ctx context.Context, prefix string) ([]string, error) {
+	var resp listResp
+	if err := c.orb.Invoke(ctx, c.ref, "list", listReq{Prefix: prefix}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Names, nil
+}

@@ -1,0 +1,345 @@
+package orb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"discover/internal/wire"
+)
+
+// A Servant handles invocations on one object key.
+type Servant interface {
+	// Dispatch executes method with gob-encoded args and returns a
+	// gob-encoded result. Returning a *RemoteError propagates that error
+	// verbatim; any other error is wrapped as an APPLICATION error.
+	Dispatch(method string, args []byte) ([]byte, error)
+}
+
+// MethodMap is a convenience Servant: a map from method name to handler.
+type MethodMap map[string]func(args []byte) ([]byte, error)
+
+// Dispatch implements Servant.
+func (m MethodMap) Dispatch(method string, args []byte) ([]byte, error) {
+	fn, ok := m[method]
+	if !ok {
+		return nil, &RemoteError{Code: CodeNoMethod, Msg: method}
+	}
+	return fn(args)
+}
+
+// Handler adapts a typed function into a MethodMap entry, handling the
+// marshalling symmetrically with Invoke.
+func Handler[Req, Resp any](fn func(Req) (Resp, error)) func([]byte) ([]byte, error) {
+	return func(args []byte) ([]byte, error) {
+		var req Req
+		if err := Unmarshal(args, &req); err != nil {
+			return nil, &RemoteError{Code: CodeMarshal, Msg: err.Error()}
+		}
+		resp, err := fn(req)
+		if err != nil {
+			return nil, err
+		}
+		return Marshal(resp)
+	}
+}
+
+// Dialer matches net.Dialer.DialContext and netsim.Network dialers.
+type Dialer func(ctx context.Context, network, addr string) (net.Conn, error)
+
+// Option configures an ORB.
+type Option func(*ORB)
+
+// WithDialer plugs a custom dialer (e.g. a netsim shaped dialer) into the
+// ORB's client side.
+func WithDialer(d Dialer) Option { return func(o *ORB) { o.dial = d } }
+
+// ORB hosts servants on a listening endpoint and invokes methods on remote
+// objects through a pool of multiplexed connections.
+type ORB struct {
+	dial Dialer
+
+	mu       sync.RWMutex
+	servants map[string]Servant
+	ln       net.Listener
+	addr     string
+	closed   bool
+	accepted map[net.Conn]struct{}
+
+	poolMu sync.Mutex
+	pool   map[string]*poolConn
+
+	wg sync.WaitGroup
+}
+
+// New creates an ORB. Call Listen to host servants; a client-only ORB
+// (no Listen) can still Invoke.
+func New(opts ...Option) *ORB {
+	o := &ORB{
+		servants: make(map[string]Servant),
+		pool:     make(map[string]*poolConn),
+		accepted: make(map[net.Conn]struct{}),
+	}
+	var d net.Dialer
+	o.dial = d.DialContext
+	for _, opt := range opts {
+		opt(o)
+	}
+	return o
+}
+
+// Listen binds the ORB to addr (e.g. "127.0.0.1:0") and starts serving.
+func (o *ORB) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	o.mu.Lock()
+	if o.closed {
+		o.mu.Unlock()
+		ln.Close()
+		return errors.New("orb: closed")
+	}
+	o.ln = ln
+	o.addr = ln.Addr().String()
+	o.mu.Unlock()
+
+	o.wg.Add(1)
+	go o.acceptLoop(ln)
+	return nil
+}
+
+// Addr returns the listening address, empty for client-only ORBs.
+func (o *ORB) Addr() string {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.addr
+}
+
+// Register installs a servant under key, replacing any previous one.
+func (o *ORB) Register(key string, s Servant) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.servants[key] = s
+}
+
+// Unregister removes the servant under key.
+func (o *ORB) Unregister(key string) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	delete(o.servants, key)
+}
+
+// Ref returns an object reference to a locally registered key.
+func (o *ORB) Ref(key string) ObjRef { return ObjRef{Addr: o.Addr(), Key: key} }
+
+// Close stops serving, closes accepted and pooled connections, and waits
+// for in-flight handlers to finish.
+func (o *ORB) Close() error {
+	o.mu.Lock()
+	o.closed = true
+	ln := o.ln
+	o.ln = nil
+	for c := range o.accepted {
+		c.Close()
+	}
+	o.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	o.poolMu.Lock()
+	for addr, pc := range o.pool {
+		pc.close(errors.New("orb: closed"))
+		delete(o.pool, addr)
+	}
+	o.poolMu.Unlock()
+	o.wg.Wait()
+	return nil
+}
+
+func (o *ORB) acceptLoop(ln net.Listener) {
+	defer o.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		o.mu.Lock()
+		if o.closed {
+			o.mu.Unlock()
+			conn.Close()
+			return
+		}
+		o.accepted[conn] = struct{}{}
+		o.mu.Unlock()
+		o.wg.Add(1)
+		go o.serveConn(conn)
+	}
+}
+
+func (o *ORB) serveConn(conn net.Conn) {
+	defer o.wg.Done()
+	defer func() {
+		conn.Close()
+		o.mu.Lock()
+		delete(o.accepted, conn)
+		o.mu.Unlock()
+	}()
+	var writeMu sync.Mutex
+	var handlers sync.WaitGroup
+	defer handlers.Wait()
+	for {
+		payload, err := wire.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		rq, _, err := decodeFrame(payload)
+		if err != nil || rq == nil {
+			return // protocol violation: drop the connection
+		}
+		handlers.Add(1)
+		go func(rq *request) {
+			defer handlers.Done()
+			rp := o.execute(rq)
+			if rq.oneway {
+				return // oneway: no reply travels back
+			}
+			writeMu.Lock()
+			err := wire.WriteFrame(conn, encodeReply(rp))
+			writeMu.Unlock()
+			if err != nil {
+				conn.Close()
+			}
+		}(rq)
+	}
+}
+
+func (o *ORB) execute(rq *request) *reply {
+	o.mu.RLock()
+	sv, ok := o.servants[rq.key]
+	o.mu.RUnlock()
+	if !ok {
+		return errorReply(rq.id, replySysError, &RemoteError{Code: CodeNoServant, Msg: rq.key})
+	}
+	body, err := sv.Dispatch(rq.method, rq.args)
+	if err != nil {
+		var re *RemoteError
+		if !errors.As(err, &re) {
+			re = &RemoteError{Code: CodeApplication, Msg: err.Error()}
+		}
+		return errorReply(rq.id, replyUserError, re)
+	}
+	return &reply{id: rq.id, status: replyOK, body: body}
+}
+
+func errorReply(id uint64, status uint8, re *RemoteError) *reply {
+	body, err := Marshal(re)
+	if err != nil {
+		body = nil
+	}
+	return &reply{id: id, status: status, body: body}
+}
+
+// Invoke calls method on the object identified by ref, marshalling in and
+// unmarshalling the result into out (which may be nil when the method
+// returns nothing of interest).
+func (o *ORB) Invoke(ctx context.Context, ref ObjRef, method string, in, out any) error {
+	if ref.IsZero() {
+		return errors.New("orb: invoke on zero ObjRef")
+	}
+	args, err := Marshal(in)
+	if err != nil {
+		return err
+	}
+	for attempt := 0; ; attempt++ {
+		pc, err := o.getConn(ctx, ref.Addr)
+		if err != nil {
+			return &RemoteError{Code: CodeComm, Msg: err.Error()}
+		}
+		body, err := pc.roundTrip(ctx, ref.Key, method, args)
+		if err != nil {
+			// A connection that died under us is retried once on a fresh
+			// connection; real remote errors propagate.
+			var re *RemoteError
+			if errors.As(err, &re) && re.Code == CodeComm && attempt == 0 {
+				continue
+			}
+			return err
+		}
+		if out == nil {
+			return nil
+		}
+		return Unmarshal(body, out)
+	}
+}
+
+// getConn returns a live pooled connection to addr, dialing if needed.
+func (o *ORB) getConn(ctx context.Context, addr string) (*poolConn, error) {
+	o.poolMu.Lock()
+	pc, ok := o.pool[addr]
+	if ok && !pc.dead() {
+		o.poolMu.Unlock()
+		return pc, nil
+	}
+	delete(o.pool, addr)
+	o.poolMu.Unlock()
+
+	conn, err := o.dial(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	pc = newPoolConn(conn)
+
+	o.poolMu.Lock()
+	if existing, ok := o.pool[addr]; ok && !existing.dead() {
+		// Lost the race; use the winner.
+		o.poolMu.Unlock()
+		pc.close(errors.New("orb: duplicate connection"))
+		return existing, nil
+	}
+	o.pool[addr] = pc
+	o.poolMu.Unlock()
+	return pc, nil
+}
+
+// InvokeOneway sends a request that expects no reply — the CORBA oneway
+// operation. It returns once the request is written; delivery shares the
+// pooled connection's ordering with other invocations but success of the
+// remote execution is not observed.
+func (o *ORB) InvokeOneway(ctx context.Context, ref ObjRef, method string, in any) error {
+	if ref.IsZero() {
+		return errors.New("orb: oneway invoke on zero ObjRef")
+	}
+	args, err := Marshal(in)
+	if err != nil {
+		return err
+	}
+	for attempt := 0; ; attempt++ {
+		pc, err := o.getConn(ctx, ref.Addr)
+		if err != nil {
+			return &RemoteError{Code: CodeComm, Msg: err.Error()}
+		}
+		err = pc.sendOneway(ref.Key, method, args)
+		if err == nil {
+			return nil
+		}
+		var re *RemoteError
+		if errors.As(err, &re) && re.Code == CodeComm && attempt == 0 {
+			continue
+		}
+		return err
+	}
+}
+
+// DropConn discards any pooled connection to addr, forcing the next
+// Invoke to redial. Used when a peer is believed restarted.
+func (o *ORB) DropConn(addr string) {
+	o.poolMu.Lock()
+	defer o.poolMu.Unlock()
+	if pc, ok := o.pool[addr]; ok {
+		pc.close(fmt.Errorf("orb: connection to %s dropped", addr))
+		delete(o.pool, addr)
+	}
+}

@@ -1,0 +1,438 @@
+package orb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestProtoRoundTrip(t *testing.T) {
+	rq := &request{id: 42, key: "obj/1", method: "ping", args: []byte{1, 2, 3}}
+	gotReq, gotRep, err := decodeFrame(encodeRequest(rq))
+	if err != nil || gotRep != nil || gotReq == nil {
+		t.Fatalf("decode request: %v %v %v", gotReq, gotRep, err)
+	}
+	if gotReq.id != 42 || gotReq.key != "obj/1" || gotReq.method != "ping" || string(gotReq.args) != "\x01\x02\x03" {
+		t.Errorf("request round trip: %+v", gotReq)
+	}
+
+	rp := &reply{id: 42, status: replyUserError, body: []byte("oops")}
+	gotReq, gotRep, err = decodeFrame(encodeReply(rp))
+	if err != nil || gotReq != nil || gotRep == nil {
+		t.Fatalf("decode reply: %v %v %v", gotReq, gotRep, err)
+	}
+	if gotRep.id != 42 || gotRep.status != replyUserError || string(gotRep.body) != "oops" {
+		t.Errorf("reply round trip: %+v", gotRep)
+	}
+}
+
+func TestProtoRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("XXXX\x01\x01"),
+		[]byte("DORB"),
+		[]byte("DORB\x02\x01"), // wrong version
+		[]byte("DORB\x01\x09"), // unknown message type
+		encodeRequest(&request{id: 1, key: "k", method: "m"})[:8],
+	}
+	for i, p := range cases {
+		if _, _, err := decodeFrame(p); err == nil {
+			t.Errorf("case %d: decodeFrame accepted garbage", i)
+		}
+	}
+}
+
+func TestObjRef(t *testing.T) {
+	var zero ObjRef
+	if !zero.IsZero() {
+		t.Error("zero ref not zero")
+	}
+	r := ObjRef{Addr: "127.0.0.1:5", Key: "obj"}
+	if r.IsZero() {
+		t.Error("ref reported zero")
+	}
+	if r.String() != "orb://127.0.0.1:5/obj" {
+		t.Errorf("String() = %q", r.String())
+	}
+}
+
+// echo servant types
+type echoReq struct {
+	Text string
+	N    int
+}
+type echoResp struct {
+	Text string
+	N    int
+}
+
+func newServerORB(t *testing.T) *ORB {
+	t.Helper()
+	o := New()
+	if err := o.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { o.Close() })
+	o.Register("echo", MethodMap{
+		"echo": Handler(func(r echoReq) (echoResp, error) {
+			return echoResp{Text: r.Text, N: r.N + 1}, nil
+		}),
+		"fail": Handler(func(r echoReq) (echoResp, error) {
+			return echoResp{}, fmt.Errorf("deliberate failure on %q", r.Text)
+		}),
+		"failRemote": Handler(func(r echoReq) (echoResp, error) {
+			return echoResp{}, &RemoteError{Code: "CUSTOM", Msg: "typed"}
+		}),
+		"slow": Handler(func(r echoReq) (echoResp, error) {
+			time.Sleep(200 * time.Millisecond)
+			return echoResp{Text: "late"}, nil
+		}),
+	})
+	return o
+}
+
+func TestInvokeEndToEnd(t *testing.T) {
+	server := newServerORB(t)
+	client := New()
+	defer client.Close()
+
+	var resp echoResp
+	err := client.Invoke(context.Background(), server.Ref("echo"), "echo", echoReq{Text: "hi", N: 4}, &resp)
+	if err != nil {
+		t.Fatalf("Invoke: %v", err)
+	}
+	if resp.Text != "hi" || resp.N != 5 {
+		t.Errorf("resp = %+v", resp)
+	}
+
+	// nil out: result discarded.
+	if err := client.Invoke(context.Background(), server.Ref("echo"), "echo", echoReq{}, nil); err != nil {
+		t.Errorf("Invoke with nil out: %v", err)
+	}
+}
+
+func TestInvokeErrors(t *testing.T) {
+	server := newServerORB(t)
+	client := New()
+	defer client.Close()
+	ctx := context.Background()
+
+	var resp echoResp
+	err := client.Invoke(ctx, server.Ref("echo"), "fail", echoReq{Text: "x"}, &resp)
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Code != CodeApplication {
+		t.Errorf("untyped servant error: %v", err)
+	}
+
+	err = client.Invoke(ctx, server.Ref("echo"), "failRemote", echoReq{}, &resp)
+	if !IsRemote(err, "CUSTOM") {
+		t.Errorf("typed servant error: %v", err)
+	}
+
+	err = client.Invoke(ctx, server.Ref("nosuch"), "echo", echoReq{}, &resp)
+	if !IsRemote(err, CodeNoServant) {
+		t.Errorf("missing servant: %v", err)
+	}
+
+	err = client.Invoke(ctx, server.Ref("echo"), "nosuchmethod", echoReq{}, &resp)
+	if !IsRemote(err, CodeNoMethod) {
+		t.Errorf("missing method: %v", err)
+	}
+
+	err = client.Invoke(ctx, ObjRef{}, "echo", echoReq{}, &resp)
+	if err == nil {
+		t.Error("zero ref should fail")
+	}
+
+	err = client.Invoke(ctx, ObjRef{Addr: "127.0.0.1:1", Key: "echo"}, "echo", echoReq{}, &resp)
+	if !IsRemote(err, CodeComm) {
+		t.Errorf("unreachable: %v", err)
+	}
+}
+
+func TestInvokeConcurrentMultiplexing(t *testing.T) {
+	server := newServerORB(t)
+	client := New()
+	defer client.Close()
+	ref := server.Ref("echo")
+
+	const workers, calls = 16, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*calls)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < calls; i++ {
+				var resp echoResp
+				req := echoReq{Text: fmt.Sprintf("w%d-%d", w, i), N: i}
+				if err := client.Invoke(context.Background(), ref, "echo", req, &resp); err != nil {
+					errs <- err
+					return
+				}
+				if resp.Text != req.Text || resp.N != i+1 {
+					errs <- fmt.Errorf("mismatched reply %+v for %+v", resp, req)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestInvokeContextCancel(t *testing.T) {
+	server := newServerORB(t)
+	client := New()
+	defer client.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	var resp echoResp
+	start := time.Now()
+	err := client.Invoke(ctx, server.Ref("echo"), "slow", echoReq{}, &resp)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) > 150*time.Millisecond {
+		t.Error("cancel did not take effect promptly")
+	}
+}
+
+func TestInvokeRetriesAfterConnDrop(t *testing.T) {
+	server := newServerORB(t)
+	client := New()
+	defer client.Close()
+	ref := server.Ref("echo")
+	ctx := context.Background()
+
+	var resp echoResp
+	if err := client.Invoke(ctx, ref, "echo", echoReq{Text: "a"}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a dropped connection (e.g. peer restarted its NAT binding):
+	// mark the pooled conn dead; the next Invoke must redial transparently.
+	client.DropConn(ref.Addr)
+	if err := client.Invoke(ctx, ref, "echo", echoReq{Text: "b"}, &resp); err != nil {
+		t.Fatalf("Invoke after drop: %v", err)
+	}
+	if resp.Text != "b" {
+		t.Errorf("resp = %+v", resp)
+	}
+}
+
+func TestORBCloseStopsServing(t *testing.T) {
+	server := newServerORB(t)
+	addr := server.Addr()
+	client := New()
+	defer client.Close()
+	ctx := context.Background()
+	var resp echoResp
+	if err := client.Invoke(ctx, ObjRef{Addr: addr, Key: "echo"}, "echo", echoReq{}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	server.Close()
+	cctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	client.DropConn(addr)
+	err := client.Invoke(cctx, ObjRef{Addr: addr, Key: "echo"}, "echo", echoReq{}, &resp)
+	if err == nil {
+		t.Error("invoke after Close succeeded")
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	server := newServerORB(t)
+	client := New()
+	defer client.Close()
+	server.Unregister("echo")
+	var resp echoResp
+	err := client.Invoke(context.Background(), server.Ref("echo"), "echo", echoReq{}, &resp)
+	if !IsRemote(err, CodeNoServant) {
+		t.Errorf("after Unregister: %v", err)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Naming service
+// ---------------------------------------------------------------------------
+
+func TestNamingLocal(t *testing.T) {
+	n := NewNaming()
+	ref := ObjRef{Addr: "h:1", Key: "k"}
+	if err := n.Bind("app#1", ref, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Bind("app#1", ref, false); !IsRemote(err, CodeAlreadyBound) {
+		t.Errorf("duplicate bind: %v", err)
+	}
+	if err := n.Bind("app#1", ObjRef{Addr: "h:2", Key: "k"}, true); err != nil {
+		t.Errorf("rebind: %v", err)
+	}
+	got, err := n.Resolve("app#1")
+	if err != nil || got.Addr != "h:2" {
+		t.Errorf("Resolve = %v, %v", got, err)
+	}
+	if _, err := n.Resolve("nosuch"); !IsRemote(err, CodeNotFound) {
+		t.Errorf("resolve missing: %v", err)
+	}
+	n.Bind("app#2", ref, false)
+	n.Bind("svc/x", ref, false)
+	if got := n.List("app#"); len(got) != 2 || got[0] != "app#1" {
+		t.Errorf("List(app#) = %v", got)
+	}
+	n.Unbind("app#1")
+	n.Unbind("app#1") // idempotent
+	if _, err := n.Resolve("app#1"); err == nil {
+		t.Error("resolve after unbind succeeded")
+	}
+}
+
+func TestNamingRemote(t *testing.T) {
+	server := New()
+	if err := server.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	naming := NewNaming()
+	server.Register(NamingKey, naming.Servant())
+
+	client := New()
+	defer client.Close()
+	nc := NewNamingClient(client, server.Ref(NamingKey))
+	ctx := context.Background()
+
+	want := ObjRef{Addr: "apphost:9", Key: "app/42"}
+	if err := nc.Bind(ctx, "app#42", want); err != nil {
+		t.Fatal(err)
+	}
+	if err := nc.Bind(ctx, "app#42", want); !IsRemote(err, CodeAlreadyBound) {
+		t.Errorf("remote duplicate bind: %v", err)
+	}
+	if err := nc.Rebind(ctx, "app#42", want); err != nil {
+		t.Errorf("remote rebind: %v", err)
+	}
+	got, err := nc.Resolve(ctx, "app#42")
+	if err != nil || got != want {
+		t.Errorf("remote Resolve = %v, %v", got, err)
+	}
+	names, err := nc.List(ctx, "app#")
+	if err != nil || len(names) != 1 {
+		t.Errorf("remote List = %v, %v", names, err)
+	}
+	if err := nc.Unbind(ctx, "app#42"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nc.Resolve(ctx, "app#42"); !IsRemote(err, CodeNotFound) {
+		t.Errorf("remote resolve after unbind: %v", err)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Trader service
+// ---------------------------------------------------------------------------
+
+func TestTraderLocal(t *testing.T) {
+	now := time.Now()
+	clock := &now
+	tr := NewTrader(WithOfferTTL(time.Minute), WithTraderClock(func() time.Time { return *clock }))
+
+	id1 := tr.Export(DiscoverServiceType, ObjRef{Addr: "a:1", Key: "srv"},
+		map[string]string{"name": "rutgers", "apps": "12"}, 0)
+	id2 := tr.Export(DiscoverServiceType, ObjRef{Addr: "b:1", Key: "srv"},
+		map[string]string{"name": "caltech", "apps": "3"}, 0)
+	tr.Export("ARCHIVE", ObjRef{Addr: "c:1", Key: "arch"}, nil, 0)
+
+	offers, err := tr.Query(DiscoverServiceType, "")
+	if err != nil || len(offers) != 2 {
+		t.Fatalf("Query all = %v, %v", offers, err)
+	}
+	offers, err = tr.Query(DiscoverServiceType, "apps > 10")
+	if err != nil || len(offers) != 1 || offers[0].Props["name"] != "rutgers" {
+		t.Errorf("Query constrained = %v, %v", offers, err)
+	}
+	if _, err := tr.Query(DiscoverServiceType, "((("); !IsRemote(err, CodeBadConstraint) {
+		t.Errorf("bad constraint: %v", err)
+	}
+	types := tr.ListTypes()
+	if len(types) != 2 || types[0] != "ARCHIVE" || types[1] != "DISCOVER" {
+		t.Errorf("ListTypes = %v", types)
+	}
+
+	// Mutating a returned offer's props must not corrupt the trader.
+	offers, _ = tr.Query(DiscoverServiceType, "name == 'rutgers'")
+	offers[0].Props["name"] = "mallory"
+	offers, _ = tr.Query(DiscoverServiceType, "name == 'rutgers'")
+	if len(offers) != 1 {
+		t.Error("trader state corrupted by caller mutation")
+	}
+
+	if err := tr.Withdraw(id2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Withdraw(id2); !IsRemote(err, CodeUnknownOffer) {
+		t.Errorf("double withdraw: %v", err)
+	}
+
+	// Lease expiry: advance past TTL; unrefreshed offers disappear.
+	if err := tr.Refresh(id1, 10*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(5 * time.Minute)
+	offers, _ = tr.Query(DiscoverServiceType, "")
+	if len(offers) != 1 || offers[0].ID != id1 {
+		t.Errorf("after expiry: %v", offers)
+	}
+	now = now.Add(10 * time.Minute)
+	offers, _ = tr.Query(DiscoverServiceType, "")
+	if len(offers) != 0 {
+		t.Errorf("refreshed offer should also expire eventually: %v", offers)
+	}
+	if err := tr.Refresh(id1, 0); !IsRemote(err, CodeUnknownOffer) {
+		t.Errorf("refresh expired: %v", err)
+	}
+}
+
+func TestTraderRemote(t *testing.T) {
+	server := New()
+	if err := server.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	server.Register(TraderKey, NewTrader().Servant())
+
+	client := New()
+	defer client.Close()
+	tc := NewTraderClient(client, server.Ref(TraderKey))
+	ctx := context.Background()
+
+	id, err := tc.Export(ctx, DiscoverServiceType, ObjRef{Addr: "x:1", Key: "srv"},
+		map[string]string{"name": "utexas", "domain": "csm"}, time.Minute)
+	if err != nil || id == "" {
+		t.Fatalf("Export = %q, %v", id, err)
+	}
+	offers, err := tc.Query(ctx, DiscoverServiceType, "domain == 'csm'")
+	if err != nil || len(offers) != 1 || offers[0].Ref.Addr != "x:1" {
+		t.Fatalf("Query = %v, %v", offers, err)
+	}
+	if err := tc.Refresh(ctx, id, time.Minute); err != nil {
+		t.Errorf("Refresh: %v", err)
+	}
+	types, err := tc.ListTypes(ctx)
+	if err != nil || len(types) != 1 {
+		t.Errorf("ListTypes = %v, %v", types, err)
+	}
+	if err := tc.Withdraw(ctx, id); err != nil {
+		t.Errorf("Withdraw: %v", err)
+	}
+	offers, err = tc.Query(ctx, DiscoverServiceType, "")
+	if err != nil || len(offers) != 0 {
+		t.Errorf("Query after withdraw = %v, %v", offers, err)
+	}
+}

@@ -1,0 +1,257 @@
+// Package orb is a from-scratch object request broker: the repository's
+// stand-in for CORBA/IIOP.
+//
+// The DISCOVER middleware substrate builds on CORBA for peer-to-peer
+// server connectivity and uses the CORBA Naming and Trader services for
+// application and server discovery. No CORBA ORB is available here (and
+// the paper itself treats the ORB as a commodity it merely evaluates), so
+// this package implements the part of the object model DISCOVER needs:
+//
+//   - object references (ObjRef = endpoint address + object key),
+//   - synchronous remote method invocation with request multiplexing over
+//     pooled connections (GIOP-like framed request/reply),
+//   - servant registration and dispatch,
+//   - a Naming service (bind/resolve), and
+//   - a Trader service (service offers with property lists and a
+//     constraint query language), as specified for the paper's prototype
+//     which layered a minimal trader over the naming service.
+//
+// Argument marshalling uses encoding/gob, mirroring the prototype's use of
+// Java object serialization over IIOP.
+package orb
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+)
+
+// ObjRef locates an object: the ORB endpoint that hosts it and its object
+// key. It is the analogue of a CORBA interoperable object reference.
+type ObjRef struct {
+	Addr string // host:port of the hosting ORB
+	Key  string // object key within that ORB
+}
+
+// IsZero reports whether the reference is unset.
+func (r ObjRef) IsZero() bool { return r.Addr == "" && r.Key == "" }
+
+// String renders the reference like an IOR-ish URL.
+func (r ObjRef) String() string { return "orb://" + r.Addr + "/" + r.Key }
+
+// Protocol constants.
+const (
+	protoMagic   = "DORB"
+	protoVersion = 1
+
+	msgRequest = 1
+	msgReply   = 2
+	msgOneway  = 3 // request with no reply, like a CORBA oneway operation
+)
+
+// Reply statuses.
+const (
+	replyOK        = 0 // body is the gob-encoded result
+	replyUserError = 1 // body is a gob-encoded RemoteError raised by the servant
+	replySysError  = 2 // body is a gob-encoded RemoteError raised by the ORB
+)
+
+// System error codes, mirroring the CORBA system exceptions DISCOVER
+// would observe.
+const (
+	CodeNoServant   = "OBJECT_NOT_EXIST"
+	CodeNoMethod    = "BAD_OPERATION"
+	CodeMarshal     = "MARSHAL"
+	CodeComm        = "COMM_FAILURE"
+	CodeApplication = "APPLICATION" // user-raised
+)
+
+// RemoteError is an error raised on the remote side of an invocation.
+type RemoteError struct {
+	Code string
+	Msg  string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string { return fmt.Sprintf("orb: %s: %s", e.Code, e.Msg) }
+
+// IsRemote reports whether err is a RemoteError with the given code.
+func IsRemote(err error, code string) bool {
+	var re *RemoteError
+	return errors.As(err, &re) && re.Code == code
+}
+
+// request is the wire form of one invocation.
+type request struct {
+	id     uint64
+	key    string
+	method string
+	args   []byte
+	oneway bool
+}
+
+// reply is the wire form of one invocation result.
+type reply struct {
+	id     uint64
+	status uint8
+	body   []byte
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return append(dst, b[:]...)
+}
+
+func appendStr(dst []byte, s string) []byte {
+	var b [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(b[:], uint64(len(s)))
+	dst = append(dst, b[:n]...)
+	return append(dst, s...)
+}
+
+func appendBlob(dst []byte, p []byte) []byte {
+	var b [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(b[:], uint64(len(p)))
+	dst = append(dst, b[:n]...)
+	return append(dst, p...)
+}
+
+var errBadFrame = errors.New("orb: malformed protocol frame")
+
+type frameReader struct {
+	src []byte
+	off int
+}
+
+func (r *frameReader) u8() (byte, error) {
+	if r.off >= len(r.src) {
+		return 0, errBadFrame
+	}
+	b := r.src[r.off]
+	r.off++
+	return b, nil
+}
+
+func (r *frameReader) u64() (uint64, error) {
+	if r.off+8 > len(r.src) {
+		return 0, errBadFrame
+	}
+	v := binary.BigEndian.Uint64(r.src[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+func (r *frameReader) str() (string, error) {
+	n, sz := binary.Uvarint(r.src[r.off:])
+	if sz <= 0 || r.off+sz+int(n) > len(r.src) || n > 1<<20 {
+		return "", errBadFrame
+	}
+	r.off += sz
+	s := string(r.src[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s, nil
+}
+
+func (r *frameReader) blob() ([]byte, error) {
+	n, sz := binary.Uvarint(r.src[r.off:])
+	if sz <= 0 || r.off+sz+int(n) > len(r.src) || n > 1<<26 {
+		return nil, errBadFrame
+	}
+	r.off += sz
+	b := make([]byte, n)
+	copy(b, r.src[r.off:r.off+int(n)])
+	r.off += int(n)
+	return b, nil
+}
+
+// encodeRequest renders a request frame payload.
+func encodeRequest(rq *request) []byte {
+	mt := byte(msgRequest)
+	if rq.oneway {
+		mt = msgOneway
+	}
+	buf := make([]byte, 0, 64+len(rq.args))
+	buf = append(buf, protoMagic...)
+	buf = append(buf, protoVersion, mt)
+	buf = appendU64(buf, rq.id)
+	buf = appendStr(buf, rq.key)
+	buf = appendStr(buf, rq.method)
+	buf = appendBlob(buf, rq.args)
+	return buf
+}
+
+// encodeReply renders a reply frame payload.
+func encodeReply(rp *reply) []byte {
+	buf := make([]byte, 0, 32+len(rp.body))
+	buf = append(buf, protoMagic...)
+	buf = append(buf, protoVersion, msgReply)
+	buf = appendU64(buf, rp.id)
+	buf = append(buf, rp.status)
+	buf = appendBlob(buf, rp.body)
+	return buf
+}
+
+// decodeFrame parses a frame payload into either a request or a reply.
+func decodeFrame(p []byte) (*request, *reply, error) {
+	if len(p) < 6 || string(p[:4]) != protoMagic || p[4] != protoVersion {
+		return nil, nil, errBadFrame
+	}
+	r := &frameReader{src: p, off: 5}
+	mt, err := r.u8()
+	if err != nil {
+		return nil, nil, err
+	}
+	switch mt {
+	case msgRequest, msgOneway:
+		rq := &request{oneway: mt == msgOneway}
+		if rq.id, err = r.u64(); err != nil {
+			return nil, nil, err
+		}
+		if rq.key, err = r.str(); err != nil {
+			return nil, nil, err
+		}
+		if rq.method, err = r.str(); err != nil {
+			return nil, nil, err
+		}
+		if rq.args, err = r.blob(); err != nil {
+			return nil, nil, err
+		}
+		return rq, nil, nil
+	case msgReply:
+		rp := &reply{}
+		if rp.id, err = r.u64(); err != nil {
+			return nil, nil, err
+		}
+		st, err := r.u8()
+		if err != nil {
+			return nil, nil, err
+		}
+		rp.status = st
+		if rp.body, err = r.blob(); err != nil {
+			return nil, nil, err
+		}
+		return nil, rp, nil
+	default:
+		return nil, nil, errBadFrame
+	}
+}
+
+// Marshal gob-encodes an invocation argument or result.
+func Marshal(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("orb: marshal: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal gob-decodes an invocation argument or result.
+func Unmarshal(p []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(p)).Decode(v); err != nil {
+		return fmt.Errorf("orb: unmarshal: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,366 @@
+package orb
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// TraderKey is the well-known object key of a trader service.
+const TraderKey = "CosTrading"
+
+// DiscoverServiceType is the service type every DISCOVER server exports,
+// as fixed by the paper's prototype.
+const DiscoverServiceType = "DISCOVER"
+
+// Offer is one service offer: a reference plus a property list, the
+// CosTrading service-offer pair.
+type Offer struct {
+	ID          string
+	ServiceType string
+	Ref         ObjRef
+	Props       map[string]string
+}
+
+// Trader is the CORBA Trader Service analogue. Offers carry a lease (TTL)
+// because, as the paper notes, "the availability of these servers is not
+// guaranteed and must be determined at runtime": an exporter that stops
+// refreshing its offer disappears from query results.
+//
+// Traders can be linked, CosTrading-style: a query with a hop budget also
+// consults linked traders, so federations can run one trader per
+// administrative domain instead of a single global one. Results are
+// deduplicated by object reference and hops bound any link cycles.
+type Trader struct {
+	mu         sync.Mutex
+	offers     map[string]*offerEntry
+	links      map[string]ObjRef
+	nextID     uint64
+	defaultTTL time.Duration
+	now        func() time.Time
+	linkORB    *ORB
+}
+
+type offerEntry struct {
+	offer   Offer
+	expires time.Time
+}
+
+// TraderOption configures a Trader.
+type TraderOption func(*Trader)
+
+// WithOfferTTL sets the default offer lease (default 5 minutes).
+func WithOfferTTL(d time.Duration) TraderOption { return func(t *Trader) { t.defaultTTL = d } }
+
+// WithTraderClock injects a clock for lease tests.
+func WithTraderClock(now func() time.Time) TraderOption { return func(t *Trader) { t.now = now } }
+
+// WithLinkORB provides the ORB used to follow trader links. Required
+// before AddLink.
+func WithLinkORB(o *ORB) TraderOption { return func(t *Trader) { t.linkORB = o } }
+
+// NewTrader returns an empty trader.
+func NewTrader(opts ...TraderOption) *Trader {
+	t := &Trader{
+		offers:     make(map[string]*offerEntry),
+		links:      make(map[string]ObjRef),
+		defaultTTL: 5 * time.Minute,
+		now:        time.Now,
+	}
+	for _, o := range opts {
+		o(t)
+	}
+	return t
+}
+
+// AddLink links another trader under a name; federated queries follow it.
+func (t *Trader) AddLink(name string, ref ObjRef) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.linkORB == nil {
+		return fmt.Errorf("orb: trader needs WithLinkORB before AddLink")
+	}
+	t.links[name] = ref
+	return nil
+}
+
+// RemoveLink unlinks a trader.
+func (t *Trader) RemoveLink(name string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.links, name)
+}
+
+// Links lists link names, sorted.
+func (t *Trader) Links() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, 0, len(t.links))
+	for n := range t.links {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Trader wire types.
+type (
+	exportReq struct {
+		ServiceType string
+		Ref         ObjRef
+		Props       map[string]string
+		TTLSeconds  int64 // 0 means the trader default
+	}
+	exportResp  struct{ OfferID string }
+	withdrawReq struct{ OfferID string }
+	refreshReq  struct {
+		OfferID    string
+		TTLSeconds int64
+	}
+	queryReq struct {
+		ServiceType, Constraint string
+		Hops                    int // how many trader links to follow
+	}
+	queryResp     struct{ Offers []Offer }
+	listTypesReq  struct{}
+	listTypesResp struct{ Types []string }
+)
+
+// Trader error codes.
+const (
+	CodeUnknownOffer  = "UNKNOWN_OFFER"
+	CodeBadConstraint = "INVALID_CONSTRAINT"
+)
+
+func (t *Trader) purgeLocked() {
+	now := t.now()
+	for id, e := range t.offers {
+		if now.After(e.expires) {
+			delete(t.offers, id)
+		}
+	}
+}
+
+// Export registers an offer and returns its id.
+func (t *Trader) Export(serviceType string, ref ObjRef, props map[string]string, ttl time.Duration) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ttl <= 0 {
+		ttl = t.defaultTTL
+	}
+	t.nextID++
+	id := fmt.Sprintf("offer-%d", t.nextID)
+	cp := make(map[string]string, len(props))
+	for k, v := range props {
+		cp[k] = v
+	}
+	t.offers[id] = &offerEntry{
+		offer:   Offer{ID: id, ServiceType: serviceType, Ref: ref, Props: cp},
+		expires: t.now().Add(ttl),
+	}
+	return id
+}
+
+// Withdraw removes an offer.
+func (t *Trader) Withdraw(offerID string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.offers[offerID]; !ok {
+		return &RemoteError{Code: CodeUnknownOffer, Msg: offerID}
+	}
+	delete(t.offers, offerID)
+	return nil
+}
+
+// Refresh renews an offer's lease.
+func (t *Trader) Refresh(offerID string, ttl time.Duration) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.purgeLocked()
+	e, ok := t.offers[offerID]
+	if !ok {
+		return &RemoteError{Code: CodeUnknownOffer, Msg: offerID}
+	}
+	if ttl <= 0 {
+		ttl = t.defaultTTL
+	}
+	e.expires = t.now().Add(ttl)
+	return nil
+}
+
+// Query returns live local offers of the given service type matching the
+// constraint, sorted by offer id for determinism.
+func (t *Trader) Query(serviceType, constraint string) ([]Offer, error) {
+	return t.QueryFederated(serviceType, constraint, 0)
+}
+
+// QueryFederated is Query that additionally follows trader links up to
+// hops times, deduplicating offers by object reference.
+func (t *Trader) QueryFederated(serviceType, constraint string, hops int) ([]Offer, error) {
+	c, err := ParseConstraint(constraint)
+	if err != nil {
+		return nil, &RemoteError{Code: CodeBadConstraint, Msg: err.Error()}
+	}
+	t.mu.Lock()
+	t.purgeLocked()
+	var out []Offer
+	for _, e := range t.offers {
+		if e.offer.ServiceType != serviceType {
+			continue
+		}
+		if !c.Eval(e.offer.Props) {
+			continue
+		}
+		o := e.offer
+		o.Props = make(map[string]string, len(e.offer.Props))
+		for k, v := range e.offer.Props {
+			o.Props[k] = v
+		}
+		out = append(out, o)
+	}
+	links := make(map[string]ObjRef, len(t.links))
+	for n, ref := range t.links {
+		links[n] = ref
+	}
+	linkORB := t.linkORB
+	t.mu.Unlock()
+
+	if hops > 0 && linkORB != nil {
+		seen := make(map[ObjRef]bool, len(out))
+		for _, o := range out {
+			seen[o.Ref] = true
+		}
+		for name, ref := range links {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			var resp queryResp
+			err := linkORB.Invoke(ctx, ref, "query", queryReq{
+				ServiceType: serviceType, Constraint: constraint, Hops: hops - 1,
+			}, &resp)
+			cancel()
+			if err != nil {
+				// A dead link must not fail the whole query; CosTrading
+				// treats linked traders as best-effort.
+				_ = name
+				continue
+			}
+			for _, o := range resp.Offers {
+				if !seen[o.Ref] {
+					seen[o.Ref] = true
+					out = append(out, o)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ID != out[j].ID {
+			return out[i].ID < out[j].ID
+		}
+		return out[i].Ref.Addr < out[j].Ref.Addr
+	})
+	return out, nil
+}
+
+// ListTypes returns the distinct live service types, sorted.
+func (t *Trader) ListTypes() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.purgeLocked()
+	seen := make(map[string]bool)
+	for _, e := range t.offers {
+		seen[e.offer.ServiceType] = true
+	}
+	out := make([]string, 0, len(seen))
+	for ty := range seen {
+		out = append(out, ty)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Servant exposes the trader over the ORB.
+func (t *Trader) Servant() Servant {
+	return MethodMap{
+		"export": Handler(func(r exportReq) (exportResp, error) {
+			id := t.Export(r.ServiceType, r.Ref, r.Props, time.Duration(r.TTLSeconds)*time.Second)
+			return exportResp{OfferID: id}, nil
+		}),
+		"withdraw": Handler(func(r withdrawReq) (bindResp, error) {
+			return bindResp{}, t.Withdraw(r.OfferID)
+		}),
+		"refresh": Handler(func(r refreshReq) (bindResp, error) {
+			return bindResp{}, t.Refresh(r.OfferID, time.Duration(r.TTLSeconds)*time.Second)
+		}),
+		"query": Handler(func(r queryReq) (queryResp, error) {
+			hops := r.Hops
+			if hops > 8 {
+				hops = 8 // bound malicious/cyclic hop budgets
+			}
+			offers, err := t.QueryFederated(r.ServiceType, r.Constraint, hops)
+			return queryResp{Offers: offers}, err
+		}),
+		"listTypes": Handler(func(listTypesReq) (listTypesResp, error) {
+			return listTypesResp{Types: t.ListTypes()}, nil
+		}),
+	}
+}
+
+// TraderClient is the remote stub for a trader.
+type TraderClient struct {
+	orb *ORB
+	ref ObjRef
+}
+
+// NewTraderClient returns a stub bound to the trader at ref.
+func NewTraderClient(o *ORB, ref ObjRef) *TraderClient {
+	return &TraderClient{orb: o, ref: ref}
+}
+
+// Ref returns the trader's object reference.
+func (c *TraderClient) Ref() ObjRef { return c.ref }
+
+// Export registers an offer remotely and returns its id.
+func (c *TraderClient) Export(ctx context.Context, serviceType string, ref ObjRef, props map[string]string, ttl time.Duration) (string, error) {
+	var resp exportResp
+	err := c.orb.Invoke(ctx, c.ref, "export", exportReq{
+		ServiceType: serviceType, Ref: ref, Props: props, TTLSeconds: int64(ttl / time.Second),
+	}, &resp)
+	return resp.OfferID, err
+}
+
+// Withdraw removes an offer remotely.
+func (c *TraderClient) Withdraw(ctx context.Context, offerID string) error {
+	return c.orb.Invoke(ctx, c.ref, "withdraw", withdrawReq{OfferID: offerID}, nil)
+}
+
+// Refresh renews an offer's lease remotely.
+func (c *TraderClient) Refresh(ctx context.Context, offerID string, ttl time.Duration) error {
+	return c.orb.Invoke(ctx, c.ref, "refresh", refreshReq{OfferID: offerID, TTLSeconds: int64(ttl / time.Second)}, nil)
+}
+
+// Query finds matching offers remotely (local to the queried trader).
+func (c *TraderClient) Query(ctx context.Context, serviceType, constraint string) ([]Offer, error) {
+	return c.QueryFederated(ctx, serviceType, constraint, 0)
+}
+
+// QueryFederated finds matching offers, following up to hops trader
+// links from the queried trader.
+func (c *TraderClient) QueryFederated(ctx context.Context, serviceType, constraint string, hops int) ([]Offer, error) {
+	var resp queryResp
+	if err := c.orb.Invoke(ctx, c.ref, "query", queryReq{
+		ServiceType: serviceType, Constraint: constraint, Hops: hops,
+	}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Offers, nil
+}
+
+// ListTypes lists service types remotely.
+func (c *TraderClient) ListTypes(ctx context.Context) ([]string, error) {
+	var resp listTypesResp
+	if err := c.orb.Invoke(ctx, c.ref, "listTypes", listTypesReq{}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Types, nil
+}

@@ -1,0 +1,113 @@
+package orb
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// linkedTraders deploys n traders, each on its own ORB, linked in a ring.
+func linkedTraders(t *testing.T, n int) ([]*Trader, []*ORB) {
+	t.Helper()
+	traders := make([]*Trader, n)
+	orbs := make([]*ORB, n)
+	for i := 0; i < n; i++ {
+		o := New()
+		if err := o.Listen("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { o.Close() })
+		tr := NewTrader(WithLinkORB(o))
+		o.Register(TraderKey, tr.Servant())
+		traders[i], orbs[i] = tr, o
+	}
+	for i := 0; i < n; i++ {
+		next := (i + 1) % n
+		if err := traders[i].AddLink("next", ObjRef{Addr: orbs[next].Addr(), Key: TraderKey}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return traders, orbs
+}
+
+func TestLinkedTradersFederatedQuery(t *testing.T) {
+	traders, orbs := linkedTraders(t, 3)
+	// One offer per trader.
+	for i, tr := range traders {
+		tr.Export(DiscoverServiceType, ObjRef{Addr: orbs[i].Addr(), Key: "srv"},
+			map[string]string{"name": string(rune('a' + i))}, time.Minute)
+	}
+
+	// Local query sees only the local offer.
+	local, err := traders[0].Query(DiscoverServiceType, "")
+	if err != nil || len(local) != 1 {
+		t.Fatalf("local query = %v, %v", local, err)
+	}
+	// One hop: local + next.
+	one, err := traders[0].QueryFederated(DiscoverServiceType, "", 1)
+	if err != nil || len(one) != 2 {
+		t.Fatalf("1-hop query = %d offers, %v", len(one), err)
+	}
+	// Two hops cover the ring.
+	two, err := traders[0].QueryFederated(DiscoverServiceType, "", 2)
+	if err != nil || len(two) != 3 {
+		t.Fatalf("2-hop query = %d offers, %v", len(two), err)
+	}
+	// More hops than traders: the ring cycles but dedup + hop budget keep
+	// the result exact and the query terminating.
+	many, err := traders[0].QueryFederated(DiscoverServiceType, "", 6)
+	if err != nil || len(many) != 3 {
+		t.Fatalf("6-hop query = %d offers, %v", len(many), err)
+	}
+	// Constraints apply across links.
+	con, err := traders[0].QueryFederated(DiscoverServiceType, "name == 'c'", 2)
+	if err != nil || len(con) != 1 || con[0].Props["name"] != "c" {
+		t.Fatalf("constrained federated query = %v, %v", con, err)
+	}
+}
+
+func TestLinkedTraderClientAndDeadLink(t *testing.T) {
+	traders, orbs := linkedTraders(t, 2)
+	traders[1].Export("SVC", ObjRef{Addr: "x:1", Key: "k"}, map[string]string{"n": "far"}, time.Minute)
+
+	client := New()
+	defer client.Close()
+	tc := NewTraderClient(client, ObjRef{Addr: orbs[0].Addr(), Key: TraderKey})
+	ctx := context.Background()
+
+	offers, err := tc.QueryFederated(ctx, "SVC", "", 1)
+	if err != nil || len(offers) != 1 || offers[0].Props["n"] != "far" {
+		t.Fatalf("client federated query = %v, %v", offers, err)
+	}
+	// Plain Query stays local.
+	offers, err = tc.Query(ctx, "SVC", "")
+	if err != nil || len(offers) != 0 {
+		t.Fatalf("client local query = %v, %v", offers, err)
+	}
+
+	// Kill the linked trader; the federated query degrades to local
+	// results instead of failing.
+	orbs[1].Close()
+	client2 := New()
+	defer client2.Close()
+	tc2 := NewTraderClient(client2, ObjRef{Addr: orbs[0].Addr(), Key: TraderKey})
+	cctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	offers, err = tc2.QueryFederated(cctx, "SVC", "", 1)
+	if err != nil {
+		t.Fatalf("query with dead link failed: %v", err)
+	}
+	if len(offers) != 0 {
+		t.Fatalf("dead link yielded offers: %v", offers)
+	}
+}
+
+func TestAddLinkRequiresORB(t *testing.T) {
+	tr := NewTrader()
+	if err := tr.AddLink("x", ObjRef{Addr: "a:1", Key: TraderKey}); err == nil {
+		t.Error("AddLink without WithLinkORB succeeded")
+	}
+	if len(tr.Links()) != 0 {
+		t.Error("failed link recorded")
+	}
+}

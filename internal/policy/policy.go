@@ -1,0 +1,180 @@
+// Package policy implements the resource-utilization controls §6.3 of the
+// paper describes as the way to "account for the resources used by any
+// remote server": per-principal access policies expressed as request-rate
+// and byte-rate limits, with usage accounting.
+//
+// The middleware substrate attaches an Accountant to its host-side
+// servants so that each peer server's relayed traffic is metered and,
+// when a policy is set, throttled. Principals are free-form strings — the
+// substrate uses peer server names.
+package policy
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Policy bounds one principal's resource use. Zero fields mean unlimited.
+type Policy struct {
+	RequestsPerSec float64 // sustained request rate
+	RequestBurst   float64 // burst allowance (defaults to RequestsPerSec)
+	BytesPerSec    float64 // sustained payload byte rate
+	ByteBurst      float64 // byte burst allowance (defaults to BytesPerSec)
+}
+
+// Usage is a snapshot of one principal's consumption.
+type Usage struct {
+	Requests uint64
+	Denied   uint64
+	Bytes    uint64
+}
+
+// bucket is a token bucket.
+type bucket struct {
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newBucket(rate, burst float64, now time.Time) *bucket {
+	if burst <= 0 {
+		burst = rate
+	}
+	return &bucket{rate: rate, burst: burst, tokens: burst, last: now}
+}
+
+// take attempts to consume n tokens at time now.
+func (b *bucket) take(n float64, now time.Time) bool {
+	if elapsed := now.Sub(b.last).Seconds(); elapsed > 0 {
+		b.tokens += elapsed * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+	}
+	if b.tokens < n {
+		return false
+	}
+	b.tokens -= n
+	return true
+}
+
+type principalState struct {
+	policy   Policy
+	requests *bucket
+	bytes    *bucket
+	usage    Usage
+}
+
+// Accountant meters and optionally throttles principals.
+type Accountant struct {
+	mu         sync.Mutex
+	principals map[string]*principalState
+	defaultPol *Policy
+	now        func() time.Time
+}
+
+// Option configures an Accountant.
+type Option func(*Accountant)
+
+// WithClock injects a clock for tests.
+func WithClock(now func() time.Time) Option { return func(a *Accountant) { a.now = now } }
+
+// NewAccountant returns an accountant with no policies (metering only).
+func NewAccountant(opts ...Option) *Accountant {
+	a := &Accountant{
+		principals: make(map[string]*principalState),
+		now:        time.Now,
+	}
+	for _, o := range opts {
+		o(a)
+	}
+	return a
+}
+
+func (a *Accountant) state(principal string) *principalState {
+	st, ok := a.principals[principal]
+	if !ok {
+		st = &principalState{}
+		if a.defaultPol != nil {
+			a.applyPolicyLocked(st, *a.defaultPol)
+		}
+		a.principals[principal] = st
+	}
+	return st
+}
+
+func (a *Accountant) applyPolicyLocked(st *principalState, p Policy) {
+	st.policy = p
+	now := a.now()
+	if p.RequestsPerSec > 0 {
+		st.requests = newBucket(p.RequestsPerSec, p.RequestBurst, now)
+	} else {
+		st.requests = nil
+	}
+	if p.BytesPerSec > 0 {
+		st.bytes = newBucket(p.BytesPerSec, p.ByteBurst, now)
+	} else {
+		st.bytes = nil
+	}
+}
+
+// SetPolicy installs a policy for one principal.
+func (a *Accountant) SetPolicy(principal string, p Policy) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.applyPolicyLocked(a.state(principal), p)
+}
+
+// SetDefaultPolicy applies a policy to principals seen afterwards that
+// have no explicit policy.
+func (a *Accountant) SetDefaultPolicy(p Policy) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.defaultPol = &p
+}
+
+// Allow records one request of the given payload size by the principal
+// and reports whether policy admits it. Denied requests are counted but
+// consume no tokens.
+func (a *Accountant) Allow(principal string, bytes int) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := a.state(principal)
+	now := a.now()
+	if st.requests != nil && !st.requests.take(1, now) {
+		st.usage.Denied++
+		return false
+	}
+	if st.bytes != nil && !st.bytes.take(float64(bytes), now) {
+		st.usage.Denied++
+		return false
+	}
+	st.usage.Requests++
+	st.usage.Bytes += uint64(bytes)
+	return true
+}
+
+// Usage returns a principal's consumption snapshot.
+func (a *Accountant) Usage(principal string) Usage {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if st, ok := a.principals[principal]; ok {
+		return st.usage
+	}
+	return Usage{}
+}
+
+// Principals lists metered principals, sorted.
+func (a *Accountant) Principals() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, 0, len(a.principals))
+	for p := range a.principals {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

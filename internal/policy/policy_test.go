@@ -1,0 +1,130 @@
+package policy
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func clockAt(t0 time.Time) (*time.Time, func() time.Time) {
+	now := t0
+	return &now, func() time.Time { return now }
+}
+
+func TestMeteringWithoutPolicy(t *testing.T) {
+	a := NewAccountant()
+	for i := 0; i < 100; i++ {
+		if !a.Allow("caltech", 50) {
+			t.Fatal("unlimited principal denied")
+		}
+	}
+	u := a.Usage("caltech")
+	if u.Requests != 100 || u.Bytes != 5000 || u.Denied != 0 {
+		t.Errorf("usage = %+v", u)
+	}
+	if u := a.Usage("ghost"); u != (Usage{}) {
+		t.Errorf("unmetered usage = %+v", u)
+	}
+	if got := a.Principals(); !reflect.DeepEqual(got, []string{"caltech"}) {
+		t.Errorf("Principals = %v", got)
+	}
+}
+
+func TestRequestRateLimit(t *testing.T) {
+	clock, now := clockAt(time.Unix(1000, 0))
+	a := NewAccountant(WithClock(now))
+	a.SetPolicy("peer", Policy{RequestsPerSec: 10, RequestBurst: 5})
+
+	// The burst admits 5 immediately, then denial.
+	for i := 0; i < 5; i++ {
+		if !a.Allow("peer", 0) {
+			t.Fatalf("burst request %d denied", i)
+		}
+	}
+	if a.Allow("peer", 0) {
+		t.Error("over-burst request admitted")
+	}
+	// 100ms refills one token at 10/s.
+	*clock = clock.Add(100 * time.Millisecond)
+	if !a.Allow("peer", 0) {
+		t.Error("refilled token not granted")
+	}
+	if a.Allow("peer", 0) {
+		t.Error("second token granted without refill")
+	}
+	u := a.Usage("peer")
+	if u.Requests != 6 || u.Denied != 2 {
+		t.Errorf("usage = %+v", u)
+	}
+}
+
+func TestByteRateLimit(t *testing.T) {
+	clock, now := clockAt(time.Unix(2000, 0))
+	a := NewAccountant(WithClock(now))
+	a.SetPolicy("peer", Policy{BytesPerSec: 1000, ByteBurst: 1000})
+	if !a.Allow("peer", 800) {
+		t.Fatal("first payload denied")
+	}
+	if a.Allow("peer", 800) {
+		t.Error("payload above remaining byte budget admitted")
+	}
+	*clock = clock.Add(time.Second)
+	if !a.Allow("peer", 800) {
+		t.Error("payload denied after refill")
+	}
+}
+
+func TestBurstCapsAccumulation(t *testing.T) {
+	clock, now := clockAt(time.Unix(3000, 0))
+	a := NewAccountant(WithClock(now))
+	a.SetPolicy("peer", Policy{RequestsPerSec: 10}) // burst defaults to rate
+	*clock = clock.Add(time.Hour)                   // refill far beyond burst
+	granted := 0
+	for i := 0; i < 100; i++ {
+		if a.Allow("peer", 0) {
+			granted++
+		}
+	}
+	if granted != 10 {
+		t.Errorf("granted %d after long idle, want burst cap 10", granted)
+	}
+}
+
+func TestDefaultPolicy(t *testing.T) {
+	clock, now := clockAt(time.Unix(4000, 0))
+	_ = clock
+	a := NewAccountant(WithClock(now))
+	a.SetDefaultPolicy(Policy{RequestsPerSec: 1, RequestBurst: 1})
+	if !a.Allow("newpeer", 0) {
+		t.Fatal("first request denied")
+	}
+	if a.Allow("newpeer", 0) {
+		t.Error("default policy not applied to new principal")
+	}
+	// An explicit policy overrides the default.
+	a.SetPolicy("vip", Policy{}) // unlimited
+	for i := 0; i < 50; i++ {
+		if !a.Allow("vip", 0) {
+			t.Fatal("vip denied")
+		}
+	}
+}
+
+func TestPolicyReplacementResetsBuckets(t *testing.T) {
+	clock, now := clockAt(time.Unix(5000, 0))
+	_ = clock
+	a := NewAccountant(WithClock(now))
+	a.SetPolicy("peer", Policy{RequestsPerSec: 1, RequestBurst: 1})
+	a.Allow("peer", 0)
+	if a.Allow("peer", 0) {
+		t.Fatal("limit not enforced")
+	}
+	a.SetPolicy("peer", Policy{RequestsPerSec: 100, RequestBurst: 100})
+	if !a.Allow("peer", 0) {
+		t.Error("new policy not in effect")
+	}
+	usage := a.Usage("peer")
+	if usage.Requests != 2 || usage.Denied != 1 {
+		t.Errorf("usage across policy change = %+v", usage)
+	}
+}

@@ -1,0 +1,453 @@
+// Package portal is the client-side library for DISCOVER web portals: the
+// thin HTTP client the paper's browser applets correspond to. It speaks
+// the poll-and-pull protocol (commands are acknowledged immediately;
+// responses and updates arrive by draining the server-side FIFO buffer)
+// and runs the "dedicated thread" for collaboration as a poll pump that
+// dispatches messages by kind — exactly how DISCOVER clients discriminated
+// Response, Error and Update objects.
+package portal
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"time"
+
+	"discover/internal/server"
+	"discover/internal/wire"
+)
+
+// Client is one portal session against a DISCOVER server.
+type Client struct {
+	base string
+	hc   *http.Client
+
+	mu       sync.Mutex
+	clientID string
+	token    string
+	server   string
+	user     string
+	app      string
+
+	pumpMu   sync.Mutex
+	pending  map[uint64]chan *wire.Message
+	onEvent  func(*wire.Message)
+	pumping  bool
+	pumpStop chan struct{}
+	pumpDone chan struct{}
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the HTTP client (e.g. one whose transport
+// dials through netsim).
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// New creates a portal client for a server's base URL
+// (e.g. "http://127.0.0.1:8080").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base:    baseURL,
+		hc:      http.DefaultClient,
+		pending: make(map[uint64]chan *wire.Message),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// apiError is a non-2xx API response.
+type apiError struct {
+	Status int
+	Msg    string
+}
+
+func (e *apiError) Error() string { return fmt.Sprintf("portal: HTTP %d: %s", e.Status, e.Msg) }
+
+// IsDenied reports whether err is a 403 privilege failure.
+func IsDenied(err error) bool {
+	ae, ok := err.(*apiError)
+	return ok && ae.Status == http.StatusForbidden
+}
+
+// IsLockConflict reports whether err is a 409 lock failure.
+func IsLockConflict(err error) bool {
+	ae, ok := err.(*apiError)
+	return ok && ae.Status == http.StatusConflict
+}
+
+func (c *Client) post(ctx context.Context, path string, body, out any) error {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(body); err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, &buf)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
+}
+
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var er server.ErrorResponse
+		json.NewDecoder(resp.Body).Decode(&er)
+		return &apiError{Status: resp.StatusCode, Msg: er.Error}
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}
+
+// ClientID returns the server-assigned client id ("" before Login).
+func (c *Client) ClientID() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.clientID
+}
+
+// App returns the connected application id ("" if none).
+func (c *Client) App() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.app
+}
+
+// Login performs level-one authentication.
+func (c *Client) Login(ctx context.Context, user, secret string) error {
+	var lr server.LoginResponse
+	if err := c.post(ctx, "/api/login", server.LoginRequest{User: user, Secret: secret}, &lr); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.clientID = lr.ClientID
+	c.token = lr.Token
+	c.server = lr.Server
+	c.user = user
+	return nil
+}
+
+// Handle captures the session's identity so a detached portal can resume
+// it later with Attach — DISCOVER portals are detachable: the session,
+// its buffer and its application binding live at the server.
+type Handle struct {
+	ClientID string `json:"clientId"`
+	Token    string `json:"token"`
+	Server   string `json:"server"`
+	User     string `json:"user"`
+}
+
+// Detach stops the pump and returns the handle for a later Attach. The
+// server-side session stays alive (until the idle janitor reaps it).
+func (c *Client) Detach() Handle {
+	c.StopPump()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Handle{ClientID: c.clientID, Token: c.token, Server: c.server, User: c.user}
+}
+
+// Attach resumes a detached session on this client and reports the
+// session's application binding and privilege ("" when not connected).
+func (c *Client) Attach(ctx context.Context, h Handle) (app, privilege string, err error) {
+	var ar server.AttachResponse
+	err = c.post(ctx, "/api/attach", server.AttachRequest{ClientID: h.ClientID, Token: h.Token}, &ar)
+	if err != nil {
+		return "", "", err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.clientID = h.ClientID
+	c.token = h.Token
+	c.server = h.Server
+	c.user = ar.User
+	c.app = ar.App
+	return ar.App, ar.Privilege, nil
+}
+
+// Logout ends the session (stopping the pump first).
+func (c *Client) Logout(ctx context.Context) error {
+	c.StopPump()
+	id := c.ClientID()
+	if id == "" {
+		return nil
+	}
+	err := c.post(ctx, "/api/logout", map[string]string{"clientId": id}, nil)
+	c.mu.Lock()
+	c.clientID, c.token, c.app = "", "", ""
+	c.mu.Unlock()
+	return err
+}
+
+// Apps lists all applications (local and remote) visible to the user.
+func (c *Client) Apps(ctx context.Context) ([]server.AppInfo, error) {
+	var ar server.AppsResponse
+	if err := c.get(ctx, "/api/apps?client="+url.QueryEscape(c.ClientID()), &ar); err != nil {
+		return nil, err
+	}
+	return ar.Apps, nil
+}
+
+// ConnectApp performs level-two authorization and joins the application's
+// collaboration group; it returns the granted privilege name.
+func (c *Client) ConnectApp(ctx context.Context, appID string) (string, error) {
+	var cr server.ConnectResponse
+	err := c.post(ctx, "/api/connect", server.ConnectRequest{ClientID: c.ClientID(), App: appID}, &cr)
+	if err != nil {
+		return "", err
+	}
+	c.mu.Lock()
+	c.app = appID
+	c.mu.Unlock()
+	return cr.Privilege, nil
+}
+
+// DisconnectApp leaves the application.
+func (c *Client) DisconnectApp(ctx context.Context) error {
+	err := c.post(ctx, "/api/disconnect", map[string]string{"clientId": c.ClientID()}, nil)
+	c.mu.Lock()
+	c.app = ""
+	c.mu.Unlock()
+	return err
+}
+
+// Command submits a command; the response arrives asynchronously (see
+// WaitResponse or the pump). It returns the command sequence number.
+func (c *Client) Command(ctx context.Context, op string, params map[string]string) (uint64, error) {
+	var cr server.CommandResponse
+	err := c.post(ctx, "/api/command", server.CommandRequest{
+		ClientID: c.ClientID(), Op: op, Params: params,
+	}, &cr)
+	return cr.Seq, err
+}
+
+// SetParam issues a set_param steering command.
+func (c *Client) SetParam(ctx context.Context, name string, value float64) (uint64, error) {
+	return c.Command(ctx, "set_param", map[string]string{
+		"name": name, "value": strconv.FormatFloat(value, 'g', -1, 64),
+	})
+}
+
+// GetParam issues a get_param query.
+func (c *Client) GetParam(ctx context.Context, name string) (uint64, error) {
+	return c.Command(ctx, "get_param", map[string]string{"name": name})
+}
+
+// Status issues a status query.
+func (c *Client) Status(ctx context.Context) (uint64, error) {
+	return c.Command(ctx, "status", nil)
+}
+
+// Poll drains up to max messages, long-polling up to wait.
+func (c *Client) Poll(ctx context.Context, max int, wait time.Duration) ([]*wire.Message, error) {
+	var pr server.PollResponse
+	path := fmt.Sprintf("/api/poll?client=%s&max=%d&waitms=%d",
+		url.QueryEscape(c.ClientID()), max, wait.Milliseconds())
+	if err := c.get(ctx, path, &pr); err != nil {
+		return nil, err
+	}
+	return pr.Messages, nil
+}
+
+// AcquireLock requests the steering lock; granted=false reports the
+// current holder.
+func (c *Client) AcquireLock(ctx context.Context) (granted bool, holder string, err error) {
+	var lr server.LockResponse
+	err = c.post(ctx, "/api/lock", server.LockRequestBody{ClientID: c.ClientID(), Acquire: true}, &lr)
+	return lr.Granted, lr.Holder, err
+}
+
+// ReleaseLock gives the steering lock back.
+func (c *Client) ReleaseLock(ctx context.Context) error {
+	return c.post(ctx, "/api/lock", server.LockRequestBody{ClientID: c.ClientID(), Acquire: false}, nil)
+}
+
+// Chat sends a chat line to the collaboration group.
+func (c *Client) Chat(ctx context.Context, text string) error {
+	return c.post(ctx, "/api/chat", server.ChatRequest{ClientID: c.ClientID(), Text: text}, nil)
+}
+
+// Whiteboard sends a whiteboard stroke.
+func (c *Client) Whiteboard(ctx context.Context, stroke []byte) error {
+	return c.post(ctx, "/api/whiteboard", server.WhiteboardRequest{ClientID: c.ClientID(), Stroke: stroke}, nil)
+}
+
+// ShareView explicitly shares a view with the sub-group.
+func (c *Client) ShareView(ctx context.Context, view []byte) error {
+	return c.post(ctx, "/api/share", server.ShareRequest{ClientID: c.ClientID(), View: view}, nil)
+}
+
+// SetCollaboration flips collaboration mode.
+func (c *Client) SetCollaboration(ctx context.Context, enabled bool) error {
+	return c.post(ctx, "/api/collab", server.CollabRequest{ClientID: c.ClientID(), Enabled: &enabled}, nil)
+}
+
+// JoinSubGroup moves into a named sub-group ("" = main group).
+func (c *Client) JoinSubGroup(ctx context.Context, sub string) error {
+	return c.post(ctx, "/api/collab", server.CollabRequest{ClientID: c.ClientID(), Sub: &sub}, nil)
+}
+
+// Replay fetches the archived interaction log from a sequence number.
+func (c *Client) Replay(ctx context.Context, from uint64) (server.ReplayResponse, error) {
+	var rr server.ReplayResponse
+	path := fmt.Sprintf("/api/replay?client=%s&from=%d", url.QueryEscape(c.ClientID()), from)
+	err := c.get(ctx, path, &rr)
+	return rr, err
+}
+
+// Records queries the record database.
+func (c *Client) Records(ctx context.Context, table string, filter map[string]string) ([]server.RecordView, error) {
+	q := url.Values{}
+	q.Set("client", c.ClientID())
+	q.Set("table", table)
+	for k, v := range filter {
+		q.Set("f."+k, v)
+	}
+	var rr server.RecordsResponse
+	if err := c.get(ctx, "/api/records?"+q.Encode(), &rr); err != nil {
+		return nil, err
+	}
+	return rr.Records, nil
+}
+
+// Users lists users logged in at the server.
+func (c *Client) Users(ctx context.Context) ([]string, error) {
+	var ur server.UsersResponse
+	if err := c.get(ctx, "/api/users?client="+url.QueryEscape(c.ClientID()), &ur); err != nil {
+		return nil, err
+	}
+	return ur.Users, nil
+}
+
+// ---------------------------------------------------------------------------
+// The poll pump: the client-side collaboration thread.
+// ---------------------------------------------------------------------------
+
+// StartPump begins background polling. Responses and errors matching a
+// WaitResponse call wake that caller; everything else (updates, chat,
+// whiteboard, events, unsolicited responses) goes to onEvent (which may
+// be nil). Safe to call once per client.
+func (c *Client) StartPump(onEvent func(*wire.Message)) {
+	c.pumpMu.Lock()
+	defer c.pumpMu.Unlock()
+	if c.pumping {
+		return
+	}
+	c.pumping = true
+	c.onEvent = onEvent
+	c.pumpStop = make(chan struct{})
+	c.pumpDone = make(chan struct{})
+	go c.pumpLoop(c.pumpStop, c.pumpDone)
+}
+
+// StopPump stops background polling.
+func (c *Client) StopPump() {
+	c.pumpMu.Lock()
+	if !c.pumping {
+		c.pumpMu.Unlock()
+		return
+	}
+	c.pumping = false
+	stop, done := c.pumpStop, c.pumpDone
+	c.pumpMu.Unlock()
+	close(stop)
+	<-done
+}
+
+func (c *Client) pumpLoop(stop, done chan struct{}) {
+	defer close(done)
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		msgs, err := c.Poll(ctx, 64, 1*time.Second)
+		cancel()
+		if err != nil {
+			select {
+			case <-stop:
+				return
+			case <-time.After(100 * time.Millisecond):
+				continue
+			}
+		}
+		for _, m := range msgs {
+			c.dispatch(m)
+		}
+	}
+}
+
+func (c *Client) dispatch(m *wire.Message) {
+	if m.Kind == wire.KindResponse || m.Kind == wire.KindError {
+		c.pumpMu.Lock()
+		ch, ok := c.pending[m.Seq]
+		if ok && m.Client == c.clientID {
+			delete(c.pending, m.Seq)
+			c.pumpMu.Unlock()
+			ch <- m
+			return
+		}
+		c.pumpMu.Unlock()
+	}
+	c.pumpMu.Lock()
+	h := c.onEvent
+	c.pumpMu.Unlock()
+	if h != nil {
+		h(m)
+	}
+}
+
+// WaitResponse blocks until the response to command seq arrives via the
+// pump (StartPump must be active).
+func (c *Client) WaitResponse(ctx context.Context, seq uint64) (*wire.Message, error) {
+	ch := make(chan *wire.Message, 1)
+	c.pumpMu.Lock()
+	if !c.pumping {
+		c.pumpMu.Unlock()
+		return nil, fmt.Errorf("portal: WaitResponse requires StartPump")
+	}
+	c.pending[seq] = ch
+	c.pumpMu.Unlock()
+	select {
+	case m := <-ch:
+		return m, nil
+	case <-ctx.Done():
+		c.pumpMu.Lock()
+		delete(c.pending, seq)
+		c.pumpMu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// Do submits a command and waits for its response (pump must be running).
+func (c *Client) Do(ctx context.Context, op string, params map[string]string) (*wire.Message, error) {
+	seq, err := c.Command(ctx, op, params)
+	if err != nil {
+		return nil, err
+	}
+	return c.WaitResponse(ctx, seq)
+}

@@ -1,0 +1,145 @@
+package recorddb
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// The security invariant of §6.3: a user can read exactly the records
+// they own or were granted. This model-based test drives the table with a
+// random operation sequence and checks every visibility observation
+// against a brute-force model.
+func TestAccessControlMatchesModel(t *testing.T) {
+	users := []string{"alice", "bob", "carol", "dave"}
+	r := rand.New(rand.NewSource(99))
+
+	for trial := 0; trial < 60; trial++ {
+		db := New()
+		tb := db.Table("t")
+		model := map[string]*modelRec{} // id -> record
+
+		for step := 0; step < 120; step++ {
+			switch r.Intn(5) {
+			case 0: // insert
+				owner := users[r.Intn(len(users))]
+				var readers []string
+				for _, u := range users {
+					if r.Intn(3) == 0 {
+						readers = append(readers, u)
+					}
+				}
+				id := tb.Insert(owner, map[string]string{"n": fmt.Sprint(step)}, readers)
+				mr := &modelRec{owner: owner, readers: map[string]bool{}}
+				for _, u := range readers {
+					mr.readers[u] = true
+				}
+				model[id] = mr
+
+			case 1: // grant by random user (may not be owner)
+				id, ok := randomID(r, model)
+				if !ok {
+					continue
+				}
+				grantor := users[r.Intn(len(users))]
+				grantee := users[r.Intn(len(users))]
+				err := tb.GrantRead(grantor, id, grantee)
+				mr := model[id]
+				if mr.deleted {
+					if err != ErrNoRecord {
+						t.Fatalf("grant on deleted: %v", err)
+					}
+					continue
+				}
+				if grantor == mr.owner {
+					if err != nil {
+						t.Fatalf("owner grant failed: %v", err)
+					}
+					mr.readers[grantee] = true
+				} else if err != ErrDenied {
+					t.Fatalf("non-owner grant: err = %v", err)
+				}
+
+			case 2: // delete by random user
+				id, ok := randomID(r, model)
+				if !ok {
+					continue
+				}
+				deleter := users[r.Intn(len(users))]
+				err := tb.Delete(deleter, id)
+				mr := model[id]
+				if mr.deleted {
+					if err != ErrNoRecord {
+						t.Fatalf("double delete: %v", err)
+					}
+					continue
+				}
+				if deleter == mr.owner {
+					if err != nil {
+						t.Fatalf("owner delete failed: %v", err)
+					}
+					mr.deleted = true
+				} else if err != ErrDenied {
+					t.Fatalf("non-owner delete: err = %v", err)
+				}
+
+			case 3: // point read
+				id, ok := randomID(r, model)
+				if !ok {
+					continue
+				}
+				reader := users[r.Intn(len(users))]
+				_, err := tb.Get(reader, id)
+				mr := model[id]
+				switch {
+				case mr.deleted:
+					if err != ErrNoRecord {
+						t.Fatalf("read deleted: %v", err)
+					}
+				case reader == mr.owner || mr.readers[reader]:
+					if err != nil {
+						t.Fatalf("authorized read denied: %v", err)
+					}
+				default:
+					if err != ErrDenied {
+						t.Fatalf("unauthorized read: err = %v", err)
+					}
+				}
+
+			case 4: // full visibility scan
+				reader := users[r.Intn(len(users))]
+				visible := map[string]bool{}
+				for _, rec := range tb.Filter(reader, nil) {
+					visible[rec.ID] = true
+				}
+				for id, mr := range model {
+					want := !mr.deleted && (reader == mr.owner || mr.readers[reader])
+					if visible[id] != want {
+						t.Fatalf("trial %d: %s visibility of %s = %v, want %v",
+							trial, reader, id, visible[id], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+type modelRec struct {
+	owner   string
+	readers map[string]bool
+	deleted bool
+}
+
+func randomID(r *rand.Rand, model map[string]*modelRec) (string, bool) {
+	if len(model) == 0 {
+		return "", false
+	}
+	i := r.Intn(len(model))
+	for id := range model {
+		if i == 0 {
+			return id, true
+		}
+		i--
+	}
+	return "", false
+}

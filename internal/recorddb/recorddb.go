@@ -1,0 +1,223 @@
+// Package recorddb is the relational-database stand-in of §6.3: generated
+// data is stored as records under the ownership of the user who caused
+// them to exist, with read-only grants for other authorized users.
+//
+// Placement follows the paper: data produced in response to a client's
+// request is written at the client's local server under that user;
+// periodic application data is written at the application's host server
+// under the application owner, with read-only access for every user on
+// the application's ACL. Clients can never create records at a remote
+// server.
+package recorddb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Errors.
+var (
+	ErrNoTable  = errors.New("recorddb: no such table")
+	ErrNoRecord = errors.New("recorddb: no such record")
+	ErrDenied   = errors.New("recorddb: access denied")
+)
+
+// Record is one stored row.
+type Record struct {
+	ID      string
+	Owner   string
+	Created time.Time
+	Fields  map[string]string
+	readers map[string]bool
+}
+
+// CanRead reports whether user may read the record.
+func (r *Record) CanRead(user string) bool {
+	return user == r.Owner || r.readers[user]
+}
+
+// Readers lists users with read-only grants, sorted.
+func (r *Record) Readers() []string {
+	out := make([]string, 0, len(r.readers))
+	for u := range r.readers {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Table is one named collection of records.
+type Table struct {
+	name string
+
+	mu      sync.RWMutex
+	records map[string]*Record
+	order   []string
+	nextID  uint64
+}
+
+// DB is a server's record store.
+type DB struct {
+	mu     sync.Mutex
+	tables map[string]*Table
+}
+
+// New returns an empty store.
+func New() *DB { return &DB{tables: make(map[string]*Table)} }
+
+// Table returns a table, creating it on first use.
+func (db *DB) Table(name string) *Table {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[name]
+	if !ok {
+		t = &Table{name: name, records: make(map[string]*Record)}
+		db.tables[name] = t
+	}
+	return t
+}
+
+// Lookup returns an existing table.
+func (db *DB) Lookup(name string) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, ErrNoTable
+	}
+	return t, nil
+}
+
+// Tables lists table names, sorted.
+func (db *DB) Tables() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Insert creates a record owned by owner with read-only grants for
+// readers, returning its id.
+func (t *Table) Insert(owner string, fields map[string]string, readers []string) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	id := fmt.Sprintf("%s-%d", t.name, t.nextID)
+	cp := make(map[string]string, len(fields))
+	for k, v := range fields {
+		cp[k] = v
+	}
+	rs := make(map[string]bool, len(readers))
+	for _, u := range readers {
+		if u != "" {
+			rs[u] = true
+		}
+	}
+	t.records[id] = &Record{ID: id, Owner: owner, Created: time.Now(), Fields: cp, readers: rs}
+	t.order = append(t.order, id)
+	return id
+}
+
+// Get returns a record if user may read it. The returned record's Fields
+// are a copy.
+func (t *Table) Get(user, id string) (Record, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	r, ok := t.records[id]
+	if !ok {
+		return Record{}, ErrNoRecord
+	}
+	if !r.CanRead(user) {
+		return Record{}, ErrDenied
+	}
+	return r.copyOut(), nil
+}
+
+func (r *Record) copyOut() Record {
+	cp := *r
+	cp.Fields = make(map[string]string, len(r.Fields))
+	for k, v := range r.Fields {
+		cp.Fields[k] = v
+	}
+	cp.readers = make(map[string]bool, len(r.readers))
+	for k := range r.readers {
+		cp.readers[k] = true
+	}
+	return cp
+}
+
+// GrantRead adds a read-only grant; only the owner may grant.
+func (t *Table) GrantRead(owner, id, user string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r, ok := t.records[id]
+	if !ok {
+		return ErrNoRecord
+	}
+	if r.Owner != owner {
+		return ErrDenied
+	}
+	r.readers[user] = true
+	return nil
+}
+
+// Delete removes a record; only the owner may delete.
+func (t *Table) Delete(owner, id string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r, ok := t.records[id]
+	if !ok {
+		return ErrNoRecord
+	}
+	if r.Owner != owner {
+		return ErrDenied
+	}
+	delete(t.records, id)
+	for i, oid := range t.order {
+		if oid == id {
+			t.order = append(t.order[:i], t.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Filter selects records by field prefix match; an empty filter matches
+// all. Only records user may read are returned, in insertion order.
+func (t *Table) Filter(user string, filter map[string]string) []Record {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []Record
+	for _, id := range t.order {
+		r := t.records[id]
+		if !r.CanRead(user) {
+			continue
+		}
+		match := true
+		for k, want := range filter {
+			if !strings.HasPrefix(r.Fields[k], want) {
+				match = false
+				break
+			}
+		}
+		if match {
+			out = append(out, r.copyOut())
+		}
+	}
+	return out
+}
+
+// Len reports the number of records.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.records)
+}

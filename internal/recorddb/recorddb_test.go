@@ -1,0 +1,174 @@
+package recorddb
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestTablesCreateAndList(t *testing.T) {
+	db := New()
+	ta := db.Table("runs")
+	if db.Table("runs") != ta {
+		t.Error("Table not idempotent")
+	}
+	db.Table("sessions")
+	if got := db.Tables(); !reflect.DeepEqual(got, []string{"runs", "sessions"}) {
+		t.Errorf("Tables = %v", got)
+	}
+	if _, err := db.Lookup("nosuch"); err != ErrNoTable {
+		t.Errorf("Lookup missing: %v", err)
+	}
+	if got, err := db.Lookup("runs"); err != nil || got != ta {
+		t.Errorf("Lookup = %v, %v", got, err)
+	}
+}
+
+func TestInsertGetOwnership(t *testing.T) {
+	db := New()
+	tb := db.Table("runs")
+	id := tb.Insert("alice", map[string]string{"app": "wave", "result": "42"}, []string{"bob", ""})
+	if id == "" {
+		t.Fatal("empty id")
+	}
+
+	r, err := tb.Get("alice", id)
+	if err != nil || r.Fields["result"] != "42" {
+		t.Fatalf("owner Get = %v, %v", r, err)
+	}
+	if r.Owner != "alice" {
+		t.Errorf("owner = %q", r.Owner)
+	}
+	if _, err := tb.Get("bob", id); err != nil {
+		t.Errorf("reader Get: %v", err)
+	}
+	if _, err := tb.Get("mallory", id); err != ErrDenied {
+		t.Errorf("stranger Get: %v", err)
+	}
+	if _, err := tb.Get("alice", "runs-999"); err != ErrNoRecord {
+		t.Errorf("missing record: %v", err)
+	}
+	if got := r.Readers(); !reflect.DeepEqual(got, []string{"bob"}) {
+		t.Errorf("Readers = %v (empty user must be skipped)", got)
+	}
+}
+
+func TestReturnedRecordIsIsolated(t *testing.T) {
+	db := New()
+	tb := db.Table("t")
+	id := tb.Insert("alice", map[string]string{"k": "v"}, nil)
+	r, _ := tb.Get("alice", id)
+	r.Fields["k"] = "tampered"
+	again, _ := tb.Get("alice", id)
+	if again.Fields["k"] != "v" {
+		t.Error("caller mutation reached storage")
+	}
+}
+
+func TestGrantRead(t *testing.T) {
+	db := New()
+	tb := db.Table("t")
+	id := tb.Insert("alice", nil, nil)
+	if err := tb.GrantRead("bob", id, "carol"); err != ErrDenied {
+		t.Errorf("non-owner grant: %v", err)
+	}
+	if err := tb.GrantRead("alice", id, "carol"); err != nil {
+		t.Fatalf("owner grant: %v", err)
+	}
+	if _, err := tb.Get("carol", id); err != nil {
+		t.Errorf("granted reader denied: %v", err)
+	}
+	if err := tb.GrantRead("alice", "t-99", "x"); err != ErrNoRecord {
+		t.Errorf("grant on missing: %v", err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	db := New()
+	tb := db.Table("t")
+	id := tb.Insert("alice", nil, []string{"bob"})
+	if err := tb.Delete("bob", id); err != ErrDenied {
+		t.Errorf("reader delete: %v", err)
+	}
+	if err := tb.Delete("alice", id); err != nil {
+		t.Fatalf("owner delete: %v", err)
+	}
+	if err := tb.Delete("alice", id); err != ErrNoRecord {
+		t.Errorf("double delete: %v", err)
+	}
+	if tb.Len() != 0 {
+		t.Errorf("Len = %d", tb.Len())
+	}
+}
+
+func TestFilterVisibilityAndPrefix(t *testing.T) {
+	db := New()
+	tb := db.Table("t")
+	tb.Insert("alice", map[string]string{"app": "wave-1", "kind": "periodic"}, []string{"bob"})
+	tb.Insert("alice", map[string]string{"app": "wave-2", "kind": "response"}, nil)
+	tb.Insert("carol", map[string]string{"app": "wave-3", "kind": "periodic"}, nil)
+
+	// bob sees only the record he was granted.
+	got := tb.Filter("bob", nil)
+	if len(got) != 1 || got[0].Fields["app"] != "wave-1" {
+		t.Errorf("bob sees %v", got)
+	}
+	// alice sees her two, in insertion order.
+	got = tb.Filter("alice", nil)
+	if len(got) != 2 || got[0].Fields["app"] != "wave-1" || got[1].Fields["app"] != "wave-2" {
+		t.Errorf("alice sees %v", got)
+	}
+	// prefix filter
+	got = tb.Filter("alice", map[string]string{"kind": "per"})
+	if len(got) != 1 || got[0].Fields["kind"] != "periodic" {
+		t.Errorf("prefix filter = %v", got)
+	}
+	// non-matching filter
+	if got := tb.Filter("alice", map[string]string{"kind": "zzz"}); len(got) != 0 {
+		t.Errorf("bad filter = %v", got)
+	}
+	// filter on missing field never matches non-empty prefix
+	if got := tb.Filter("alice", map[string]string{"nosuch": "x"}); len(got) != 0 {
+		t.Errorf("missing-field filter = %v", got)
+	}
+}
+
+// Invariant: a user can never read a record they neither own nor were
+// granted; concurrent inserts never produce duplicate ids.
+func TestConcurrentInsertsUniqueIDs(t *testing.T) {
+	db := New()
+	tb := db.Table("t")
+	var wg sync.WaitGroup
+	ids := make(chan string, 400)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				ids <- tb.Insert("alice", nil, nil)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(ids)
+	seen := make(map[string]bool)
+	for id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate id %q", id)
+		}
+		seen[id] = true
+	}
+	if tb.Len() != 400 {
+		t.Errorf("Len = %d", tb.Len())
+	}
+}
+
+func TestErrorsAreSentinel(t *testing.T) {
+	db := New()
+	tb := db.Table("t")
+	_, err := tb.Get("u", "missing")
+	if !errors.Is(err, ErrNoRecord) {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,562 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"discover/internal/archive"
+	"discover/internal/auth"
+	"discover/internal/session"
+	"discover/internal/wire"
+)
+
+// The HTTP API is the web-portal surface of the paper's servlets. It is
+// deliberately request/response (poll-and-pull): clients poll /api/poll
+// to drain their server-side FIFO buffer, exactly the commodity-HTTP
+// trade-off §6.2 discusses. Bodies are JSON — the modern stand-in for the
+// prototype's serialized Java objects over HTTP GET/POST.
+
+// API request/response bodies.
+type (
+	// LoginRequest authenticates a user at their home server.
+	LoginRequest struct {
+		User   string `json:"user"`
+		Secret string `json:"secret"`
+	}
+	// LoginResponse returns the session identity.
+	LoginResponse struct {
+		ClientID string `json:"clientId"`
+		Token    string `json:"token"`
+		Server   string `json:"server"`
+	}
+	// AppsResponse lists visible applications, local and remote.
+	AppsResponse struct {
+		Apps []AppInfo `json:"apps"`
+	}
+	// ConnectRequest performs level-two authorization.
+	ConnectRequest struct {
+		ClientID string `json:"clientId"`
+		App      string `json:"app"`
+	}
+	// ConnectResponse reports the granted privilege.
+	ConnectResponse struct {
+		App       string `json:"app"`
+		Privilege string `json:"privilege"`
+	}
+	// CommandRequest submits a steering/view command.
+	CommandRequest struct {
+		ClientID string            `json:"clientId"`
+		Op       string            `json:"op"`
+		Params   map[string]string `json:"params,omitempty"`
+	}
+	// CommandResponse acknowledges an accepted command.
+	CommandResponse struct {
+		Seq uint64 `json:"seq"`
+	}
+	// PollResponse drains the client's FIFO buffer.
+	PollResponse struct {
+		Messages []*wire.Message `json:"messages"`
+	}
+	// LockRequestBody acquires or releases the steering lock.
+	LockRequestBody struct {
+		ClientID string `json:"clientId"`
+		Acquire  bool   `json:"acquire"`
+	}
+	// LockResponse reports the outcome and current holder.
+	LockResponse struct {
+		Granted bool   `json:"granted"`
+		Holder  string `json:"holder,omitempty"`
+	}
+	// ChatRequest sends a chat line to the collaboration group.
+	ChatRequest struct {
+		ClientID string `json:"clientId"`
+		Text     string `json:"text"`
+	}
+	// WhiteboardRequest adds a whiteboard stroke.
+	WhiteboardRequest struct {
+		ClientID string `json:"clientId"`
+		Stroke   []byte `json:"stroke"`
+	}
+	// ShareRequest explicitly shares a view.
+	ShareRequest struct {
+		ClientID string `json:"clientId"`
+		View     []byte `json:"view"`
+	}
+	// CollabRequest changes collaboration mode or sub-group.
+	CollabRequest struct {
+		ClientID string  `json:"clientId"`
+		Enabled  *bool   `json:"enabled,omitempty"`
+		Sub      *string `json:"sub,omitempty"`
+	}
+	// ReplayResponse returns archived interaction entries.
+	ReplayResponse struct {
+		Entries []archive.Entry `json:"entries"`
+	}
+	// RecordsResponse returns visible database records.
+	RecordsResponse struct {
+		Records []RecordView `json:"records"`
+	}
+	// RecordView is the JSON shape of one record.
+	RecordView struct {
+		ID     string            `json:"id"`
+		Owner  string            `json:"owner"`
+		Fields map[string]string `json:"fields"`
+	}
+	// UsersResponse lists logged-in users.
+	UsersResponse struct {
+		Users []string `json:"users"`
+	}
+	// InfoResponse describes the server.
+	InfoResponse struct {
+		Name     string `json:"name"`
+		Apps     int    `json:"apps"`
+		Sessions int    `json:"sessions"`
+	}
+	// AttachRequest re-attaches a detached portal to its session.
+	AttachRequest struct {
+		ClientID string `json:"clientId"`
+		Token    string `json:"token"`
+	}
+	// AttachResponse reports the resumed session's state.
+	AttachResponse struct {
+		User      string `json:"user"`
+		App       string `json:"app,omitempty"`
+		Privilege string `json:"privilege,omitempty"`
+		Buffered  int    `json:"buffered"`
+	}
+	// ErrorResponse carries an API error.
+	ErrorResponse struct {
+		Error string `json:"error"`
+	}
+)
+
+// HTTPHandler returns the server's web API.
+func (s *Server) HTTPHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/login", s.handleLogin)
+	mux.HandleFunc("POST /api/attach", s.handleAttach)
+	mux.HandleFunc("POST /api/logout", s.handleLogout)
+	mux.HandleFunc("GET /api/apps", s.handleApps)
+	mux.HandleFunc("POST /api/connect", s.handleConnect)
+	mux.HandleFunc("POST /api/disconnect", s.handleDisconnect)
+	mux.HandleFunc("POST /api/command", s.handleCommand)
+	mux.HandleFunc("GET /api/poll", s.handlePoll)
+	mux.HandleFunc("POST /api/lock", s.handleLock)
+	mux.HandleFunc("POST /api/chat", s.handleChat)
+	mux.HandleFunc("POST /api/whiteboard", s.handleWhiteboard)
+	mux.HandleFunc("POST /api/share", s.handleShare)
+	mux.HandleFunc("POST /api/collab", s.handleCollab)
+	mux.HandleFunc("GET /api/replay", s.handleReplay)
+	mux.HandleFunc("GET /api/records", s.handleRecords)
+	mux.HandleFunc("GET /api/users", s.handleUsers)
+	mux.HandleFunc("GET /api/info", s.handleInfo)
+	mux.HandleFunc("GET /api/stats", s.handleStats)
+	return mux
+}
+
+// StatsResponse is the operational snapshot of one server.
+type StatsResponse struct {
+	Name     string         `json:"name"`
+	Apps     []AppStats     `json:"apps"`
+	Sessions []SessionStats `json:"sessions"`
+}
+
+// AppStats describes one local application's server-side state.
+type AppStats struct {
+	ID         string   `json:"id"`
+	Name       string   `json:"name"`
+	Kind       string   `json:"kind"`
+	Buffered   int      `json:"bufferedCommands"`
+	LockHolder string   `json:"lockHolder,omitempty"`
+	Members    []string `json:"members"`
+	Relays     []string `json:"relays"`
+	LogLen     int      `json:"applicationLogLen"`
+}
+
+// SessionStats describes one client session's delivery buffer.
+type SessionStats struct {
+	ClientID  string `json:"clientId"`
+	User      string `json:"user"`
+	App       string `json:"app,omitempty"`
+	Buffered  int    `json:"buffered"`
+	Dropped   uint64 `json:"dropped"`
+	HighWater int    `json:"highWater"`
+}
+
+// handleStats reports buffers, locks, groups and logs — the operational
+// visibility an administrator of the middle tier needs.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := StatsResponse{Name: s.cfg.Name}
+	for _, id := range s.LocalAppIDs() {
+		p, ok := s.Proxy(id)
+		if !ok {
+			continue
+		}
+		g := s.hub.Group(id)
+		as := AppStats{
+			ID:       id,
+			Name:     p.Registration().Name,
+			Kind:     p.Registration().Kind,
+			Buffered: p.BufferedCommands(),
+			Members:  g.Members(),
+			Relays:   g.Relays(),
+			LogLen:   s.store.ApplicationLog(id).Len(),
+		}
+		if holder, held := s.locks.Holder(id); held {
+			as.LockHolder = holder
+		}
+		resp.Apps = append(resp.Apps, as)
+	}
+	for _, sess := range s.sessions.List() {
+		dropped, hw := sess.Buffer.Stats()
+		resp.Sessions = append(resp.Sessions, SessionStats{
+			ClientID:  sess.ClientID,
+			User:      sess.User,
+			App:       sess.App(),
+			Buffered:  sess.Buffer.Len(),
+			Dropped:   dropped,
+			HighWater: hw,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, auth.ErrBadSecret), errors.Is(err, auth.ErrUnknownUser),
+		errors.Is(err, auth.ErrBadToken), errors.Is(err, auth.ErrExpired),
+		errors.Is(err, auth.ErrNoAccess), errors.Is(err, ErrDenied):
+		status = http.StatusForbidden
+	case errors.Is(err, ErrUnknownApp), errors.Is(err, ErrNotConnected):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrNeedLock):
+		status = http.StatusConflict
+	}
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "bad request body: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+// lookupSession resolves and validates the client's session.
+func (s *Server) lookupSession(w http.ResponseWriter, clientID string) (*session.Session, bool) {
+	sess, ok := s.sessions.Get(clientID)
+	if !ok {
+		writeJSON(w, http.StatusUnauthorized, ErrorResponse{Error: "unknown client id"})
+		return nil, false
+	}
+	if err := s.auth.VerifyToken(sess.Token); err != nil {
+		writeJSON(w, http.StatusUnauthorized, ErrorResponse{Error: err.Error()})
+		return nil, false
+	}
+	return sess, true
+}
+
+func (s *Server) handleLogin(w http.ResponseWriter, r *http.Request) {
+	var req LoginRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	sess, err := s.Login(req.User, req.Secret)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, LoginResponse{
+		ClientID: sess.ClientID,
+		Token:    sess.Token.Encode(),
+		Server:   s.cfg.Name,
+	})
+}
+
+// handleAttach resumes a detached portal: the paper's clients are
+// "detachable" — the session, its FIFO buffer, application binding and
+// capability live at the server, so a portal can disconnect and re-attach
+// (from another browser, even) with its client-id and token.
+func (s *Server) handleAttach(w http.ResponseWriter, r *http.Request) {
+	var req AttachRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	sess, ok := s.sessions.Get(req.ClientID)
+	if !ok {
+		writeJSON(w, http.StatusUnauthorized, ErrorResponse{Error: "unknown client id"})
+		return
+	}
+	tok, err := auth.ParseToken(req.Token)
+	if err != nil {
+		writeJSON(w, http.StatusUnauthorized, ErrorResponse{Error: err.Error()})
+		return
+	}
+	if err := s.auth.VerifyToken(tok); err != nil || tok.User != sess.User {
+		writeJSON(w, http.StatusUnauthorized, ErrorResponse{Error: "token does not match session"})
+		return
+	}
+	resp := AttachResponse{User: sess.User, App: sess.App(), Buffered: sess.Buffer.Len()}
+	if resp.App != "" {
+		resp.Privilege = sess.Capability().Priv.String()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleLogout(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		ClientID string `json:"clientId"`
+	}
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if sess, ok := s.sessions.Peek(req.ClientID); ok {
+		s.Logout(sess)
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (s *Server) handleApps(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookupSession(w, r.URL.Query().Get("client"))
+	if !ok {
+		return
+	}
+	apps := s.Apps(sess.User)
+	if apps == nil {
+		apps = []AppInfo{}
+	}
+	writeJSON(w, http.StatusOK, AppsResponse{Apps: apps})
+}
+
+func (s *Server) handleConnect(w http.ResponseWriter, r *http.Request) {
+	var req ConnectRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	sess, ok := s.lookupSession(w, req.ClientID)
+	if !ok {
+		return
+	}
+	cap, err := s.ConnectApp(sess, req.App)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ConnectResponse{App: req.App, Privilege: cap.Priv.String()})
+}
+
+func (s *Server) handleDisconnect(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		ClientID string `json:"clientId"`
+	}
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	sess, ok := s.lookupSession(w, req.ClientID)
+	if !ok {
+		return
+	}
+	s.DisconnectApp(sess)
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (s *Server) handleCommand(w http.ResponseWriter, r *http.Request) {
+	var req CommandRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	sess, ok := s.lookupSession(w, req.ClientID)
+	if !ok {
+		return
+	}
+	params := make([]wire.Param, 0, len(req.Params))
+	for k, v := range req.Params {
+		params = append(params, wire.Param{Key: k, Value: v})
+	}
+	cmd, err := s.SubmitCommand(sess, req.Op, params)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, CommandResponse{Seq: cmd.Seq})
+}
+
+func (s *Server) handlePoll(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	sess, ok := s.lookupSession(w, q.Get("client"))
+	if !ok {
+		return
+	}
+	max, _ := strconv.Atoi(q.Get("max"))
+	waitMs, _ := strconv.Atoi(q.Get("waitms"))
+	if waitMs > 30000 {
+		waitMs = 30000
+	}
+	msgs := s.Poll(sess, max, waitMs)
+	if msgs == nil {
+		msgs = []*wire.Message{}
+	}
+	writeJSON(w, http.StatusOK, PollResponse{Messages: msgs})
+}
+
+func (s *Server) handleLock(w http.ResponseWriter, r *http.Request) {
+	var req LockRequestBody
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	sess, ok := s.lookupSession(w, req.ClientID)
+	if !ok {
+		return
+	}
+	granted, holder, err := s.LockOp(sess, req.Acquire)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, LockResponse{Granted: granted, Holder: holder})
+}
+
+func (s *Server) handleChat(w http.ResponseWriter, r *http.Request) {
+	var req ChatRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	sess, ok := s.lookupSession(w, req.ClientID)
+	if !ok {
+		return
+	}
+	if err := s.Chat(sess, req.Text); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (s *Server) handleWhiteboard(w http.ResponseWriter, r *http.Request) {
+	var req WhiteboardRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	sess, ok := s.lookupSession(w, req.ClientID)
+	if !ok {
+		return
+	}
+	if err := s.Whiteboard(sess, req.Stroke); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (s *Server) handleShare(w http.ResponseWriter, r *http.Request) {
+	var req ShareRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	sess, ok := s.lookupSession(w, req.ClientID)
+	if !ok {
+		return
+	}
+	if err := s.ShareView(sess, req.View); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (s *Server) handleCollab(w http.ResponseWriter, r *http.Request) {
+	var req CollabRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	sess, ok := s.lookupSession(w, req.ClientID)
+	if !ok {
+		return
+	}
+	if req.Enabled != nil {
+		if err := s.SetCollaboration(sess, *req.Enabled); err != nil {
+			writeErr(w, err)
+			return
+		}
+	}
+	if req.Sub != nil {
+		if err := s.JoinSubGroup(sess, *req.Sub); err != nil {
+			writeErr(w, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	sess, ok := s.lookupSession(w, q.Get("client"))
+	if !ok {
+		return
+	}
+	from, _ := strconv.ParseUint(q.Get("from"), 10, 64)
+	entries, err := s.Replay(sess, from)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if entries == nil {
+		entries = []archive.Entry{}
+	}
+	writeJSON(w, http.StatusOK, ReplayResponse{Entries: entries})
+}
+
+func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	sess, ok := s.lookupSession(w, q.Get("client"))
+	if !ok {
+		return
+	}
+	table := q.Get("table")
+	filter := make(map[string]string)
+	for key, vals := range q {
+		if strings.HasPrefix(key, "f.") && len(vals) > 0 {
+			filter[strings.TrimPrefix(key, "f.")] = vals[0]
+		}
+	}
+	records, err := s.QueryRecords(sess, table, filter)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: err.Error()})
+		return
+	}
+	views := make([]RecordView, 0, len(records))
+	for _, rec := range records {
+		views = append(views, RecordView{ID: rec.ID, Owner: rec.Owner, Fields: rec.Fields})
+	}
+	writeJSON(w, http.StatusOK, RecordsResponse{Records: views})
+}
+
+func (s *Server) handleUsers(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.lookupSession(w, r.URL.Query().Get("client")); !ok {
+		return
+	}
+	users := s.LoggedInUsers()
+	if users == nil {
+		users = []string{}
+	}
+	writeJSON(w, http.StatusOK, UsersResponse{Users: users})
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, InfoResponse{
+		Name:     s.cfg.Name,
+		Apps:     len(s.LocalAppIDs()),
+		Sessions: len(s.sessions.List()),
+	})
+}

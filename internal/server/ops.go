@@ -1,0 +1,301 @@
+package server
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"discover/internal/archive"
+	"discover/internal/auth"
+	"discover/internal/recorddb"
+	"discover/internal/session"
+	"discover/internal/wire"
+)
+
+// Operation errors surfaced to clients.
+var (
+	ErrNotConnected = errors.New("server: session not connected to an application")
+	ErrDenied       = errors.New("server: privilege too low for this operation")
+	ErrNeedLock     = errors.New("server: steering lock required")
+	ErrUnknownApp   = errors.New("server: unknown application")
+)
+
+// opPrivilege maps each command to the minimum privilege it needs.
+// Unknown operations require Steer, the safe default.
+var opPrivilege = map[string]auth.Privilege{
+	"status":      auth.Monitor,
+	"get_param":   auth.Monitor,
+	"list_params": auth.Monitor,
+	"sensor":      auth.Interact,
+	"checkpoint":  auth.Interact,
+	"view":        auth.Interact,
+	"set_param":   auth.Steer,
+	"actuate":     auth.Steer,
+	"pause":       auth.Steer,
+	"resume":      auth.Steer,
+	"restore":     auth.Steer,
+}
+
+// opMutating marks commands that drive the application and therefore
+// require holding the steering lock.
+var opMutating = map[string]bool{
+	"set_param": true,
+	"actuate":   true,
+	"pause":     true,
+	"resume":    true,
+	"restore":   true,
+}
+
+func requiredPrivilege(op string) auth.Privilege {
+	if p, ok := opPrivilege[op]; ok {
+		return p
+	}
+	return auth.Steer
+}
+
+var cmdSeq atomic.Uint64
+
+// ConnectApp performs level-two authorization for a session and joins it
+// to the application's collaboration group. For remote applications the
+// authorization happens at the host server through the substrate and a
+// relay subscription is established.
+func (s *Server) ConnectApp(sess *session.Session, appID string) (auth.Capability, error) {
+	var cap auth.Capability
+	if ServerOfApp(appID) == s.cfg.Name {
+		if _, ok := s.Proxy(appID); !ok {
+			return cap, ErrUnknownApp
+		}
+		var err error
+		cap, err = s.auth.Authorize(sess.Token, appID)
+		if err != nil {
+			return cap, err
+		}
+	} else {
+		fed := s.federation()
+		if fed == nil {
+			return cap, ErrUnknownApp
+		}
+		privName, err := fed.RemotePrivilege(sess.User, appID)
+		if err != nil {
+			return cap, err
+		}
+		priv, err := auth.ParsePrivilege(privName)
+		if err != nil || priv == auth.None {
+			return cap, auth.ErrNoAccess
+		}
+		if err := fed.Subscribe(appID); err != nil {
+			return cap, err
+		}
+		cap = s.auth.MintCapability(sess.User, appID, priv)
+	}
+	sess.Connect(appID, cap)
+	s.hub.Group(appID).Join(sess.ClientID, func(m *wire.Message) { sess.Buffer.Push(m) })
+	return cap, nil
+}
+
+// DisconnectApp leaves the application's collaboration group and releases
+// any steering lock the client still holds.
+func (s *Server) DisconnectApp(sess *session.Session) {
+	appID := sess.App()
+	if appID == "" {
+		return
+	}
+	s.hub.Group(appID).Leave(sess.ClientID)
+	if ServerOfApp(appID) == s.cfg.Name {
+		s.locks.ReleaseAllOwnedBy(sess.ClientID)
+	} else if fed := s.federation(); fed != nil {
+		fed.RemoteLock(appID, sess.ClientID, false) // best-effort release
+	}
+	sess.Disconnect()
+}
+
+// Logout removes the session entirely.
+func (s *Server) Logout(sess *session.Session) {
+	s.DisconnectApp(sess)
+	s.sessions.Remove(sess.ClientID)
+}
+
+// SubmitCommand validates and routes one client command. The response
+// arrives asynchronously in the client's FIFO buffer. The returned
+// message is the accepted command (carrying its sequence number).
+func (s *Server) SubmitCommand(sess *session.Session, op string, params []wire.Param) (*wire.Message, error) {
+	appID := sess.App()
+	if appID == "" {
+		return nil, ErrNotConnected
+	}
+	cap := sess.Capability()
+	if err := s.auth.VerifyCapability(cap); err != nil {
+		return nil, err
+	}
+	if !cap.Priv.AtLeast(requiredPrivilege(op)) {
+		return nil, ErrDenied
+	}
+	cmd := wire.NewCommand(appID, sess.ClientID, op, params...)
+	cmd.Seq = cmdSeq.Add(1)
+	cmd.Set("_user", sess.User)
+
+	// The interaction log lives at the client's server.
+	s.store.InteractionLog(appID).Append(sess.ClientID, cmd)
+
+	if ServerOfApp(appID) == s.cfg.Name {
+		return cmd, s.EnqueueLocalCommand(appID, cmd)
+	}
+	fed := s.federation()
+	if fed == nil {
+		return nil, ErrUnknownApp
+	}
+	return cmd, fed.ForwardCommand(appID, cmd)
+}
+
+// EnqueueLocalCommand is extended with host-side enforcement: privilege
+// (from the ACL the application registered) and the steering lock for
+// mutating operations are checked here, at the application's host server,
+// for local and relayed commands alike.
+func (s *Server) enforceAtHost(appID string, cmd *wire.Message) error {
+	user, _ := cmd.Get("_user")
+	if !s.auth.Privilege(user, appID).AtLeast(requiredPrivilege(cmd.Op)) {
+		return ErrDenied
+	}
+	if opMutating[cmd.Op] {
+		holder, held := s.locks.Holder(appID)
+		if !held || holder != cmd.Client {
+			return ErrNeedLock
+		}
+	}
+	return nil
+}
+
+// LockOp acquires or releases the steering lock for the session's
+// application, relaying to the host server when the application is
+// remote. Lock state lives only at the host server (§5.2.4).
+func (s *Server) LockOp(sess *session.Session, acquire bool) (granted bool, holder string, err error) {
+	appID := sess.App()
+	if appID == "" {
+		return false, "", ErrNotConnected
+	}
+	if !sess.Capability().Priv.AtLeast(auth.Steer) {
+		return false, "", ErrDenied
+	}
+	if ServerOfApp(appID) == s.cfg.Name {
+		return s.LockRequest(appID, sess.ClientID, acquire)
+	}
+	fed := s.federation()
+	if fed == nil {
+		return false, "", ErrUnknownApp
+	}
+	return fed.RemoteLock(appID, sess.ClientID, acquire)
+}
+
+// collabForward sends a collaboration message originated by a local
+// client toward the rest of a cross-server group.
+func (s *Server) collabForward(appID string, m *wire.Message) {
+	if ServerOfApp(appID) == s.cfg.Name {
+		return // local group's relays already received it
+	}
+	if fed := s.federation(); fed != nil {
+		fed.ForwardCollab(appID, m)
+	}
+}
+
+// Chat sends a chat line to the session's collaboration (sub-)group,
+// across servers when the group spans them.
+func (s *Server) Chat(sess *session.Session, text string) error {
+	appID := sess.App()
+	if appID == "" {
+		return ErrNotConnected
+	}
+	g := s.hub.Group(appID)
+	g.Chat(sess.ClientID, sess.User, text)
+	m := &wire.Message{Kind: wire.KindChat, App: appID, Client: sess.ClientID, Text: text}
+	m.Set("user", sess.User)
+	s.collabForward(appID, m)
+	return nil
+}
+
+// Whiteboard adds a stroke, retained for latecomers and broadcast across
+// the group.
+func (s *Server) Whiteboard(sess *session.Session, stroke []byte) error {
+	appID := sess.App()
+	if appID == "" {
+		return ErrNotConnected
+	}
+	m := &wire.Message{Kind: wire.KindWhiteboard, App: appID, Client: sess.ClientID, Data: stroke}
+	s.hub.Group(appID).Whiteboard(sess.ClientID, m)
+	s.collabForward(appID, m)
+	return nil
+}
+
+// ShareView explicitly shares a view with the session's sub-group even
+// when the session has collaboration disabled.
+func (s *Server) ShareView(sess *session.Session, view []byte) error {
+	appID := sess.App()
+	if appID == "" {
+		return ErrNotConnected
+	}
+	m := &wire.Message{Kind: wire.KindViewShare, App: appID, Client: sess.ClientID, Data: view}
+	s.hub.Group(appID).ShareView(sess.ClientID, m)
+	s.collabForward(appID, m)
+	return nil
+}
+
+// SetCollaboration flips the session's collaboration mode.
+func (s *Server) SetCollaboration(sess *session.Session, enabled bool) error {
+	appID := sess.App()
+	if appID == "" {
+		return ErrNotConnected
+	}
+	if !s.hub.Group(appID).SetEnabled(sess.ClientID, enabled) {
+		return ErrNotConnected
+	}
+	return nil
+}
+
+// JoinSubGroup moves the session into a named sub-group ("" = main).
+func (s *Server) JoinSubGroup(sess *session.Session, sub string) error {
+	appID := sess.App()
+	if appID == "" {
+		return ErrNotConnected
+	}
+	if !s.hub.Group(appID).JoinSub(sess.ClientID, sub) {
+		return ErrNotConnected
+	}
+	return nil
+}
+
+// DeliverCollabFromPeer fans a collaboration message that arrived from a
+// peer server out to this (host) server's group: local members plus every
+// relay except the origin.
+func (s *Server) DeliverCollabFromPeer(appID string, m *wire.Message, fromServer string) {
+	g := s.hub.Group(appID)
+	if m.Kind == wire.KindWhiteboard {
+		g.RecordStroke(m)
+	}
+	g.BroadcastUpdate(m, "relay/"+fromServer)
+}
+
+// Replay returns the session's application interaction log from a
+// sequence number, supporting client replay and latecomer catch-up.
+func (s *Server) Replay(sess *session.Session, fromSeq uint64) ([]archive.Entry, error) {
+	appID := sess.App()
+	if appID == "" {
+		return nil, ErrNotConnected
+	}
+	return s.store.InteractionLog(appID).Since(fromSeq), nil
+}
+
+// QueryRecords lists records visible to the session's user.
+func (s *Server) QueryRecords(sess *session.Session, table string, filter map[string]string) ([]recorddb.Record, error) {
+	t, err := s.db.Lookup(table)
+	if err != nil {
+		return nil, err
+	}
+	return t.Filter(sess.User, filter), nil
+}
+
+// Poll drains the session's FIFO buffer (long-polling when waitMs > 0).
+func (s *Server) Poll(sess *session.Session, max int, waitMs int) []*wire.Message {
+	if waitMs > 0 {
+		return sess.Buffer.DrainWait(max, time.Duration(waitMs)*time.Millisecond)
+	}
+	return sess.Buffer.Drain(max)
+}

@@ -1,0 +1,33 @@
+package server
+
+import (
+	"discover/internal/appproto"
+	"discover/internal/wire"
+)
+
+// ApplicationProxy encapsulates the entire server-side context of one
+// *local* application: its unique identifier, registration (interface
+// descriptor, ACL source, owner) and its three channels via the daemon
+// endpoint. Remote applications have no local proxy; their traffic is
+// routed through the Federation to the CorbaProxy at the host server, as
+// in the paper.
+type ApplicationProxy struct {
+	srv *Server
+	ep  *appproto.AppEndpoint
+}
+
+func newLocalProxy(s *Server, ep *appproto.AppEndpoint) *ApplicationProxy {
+	return &ApplicationProxy{srv: s, ep: ep}
+}
+
+// ID returns the application's globally unique identifier.
+func (p *ApplicationProxy) ID() string { return p.ep.ID() }
+
+// Registration returns what the application registered.
+func (p *ApplicationProxy) Registration() appproto.Registration { return p.ep.Registration() }
+
+// Enqueue buffers a command for the application's next interaction phase.
+func (p *ApplicationProxy) Enqueue(cmd *wire.Message) error { return p.ep.Enqueue(cmd) }
+
+// BufferedCommands reports commands awaiting the next interaction phase.
+func (p *ApplicationProxy) BufferedCommands() int { return p.ep.BufferedCommands() }

@@ -1,0 +1,181 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"discover/internal/wire"
+)
+
+// These tests exercise the server's remote-facing surface directly (the
+// paths the substrate normally drives), without standing up an ORB.
+
+func TestLoginAsserted(t *testing.T) {
+	d := deploy(t)
+	if err := d.srv.LoginAsserted("alice"); err != nil {
+		t.Errorf("asserted login for ACL user: %v", err)
+	}
+	if err := d.srv.LoginAsserted("mallory"); err == nil {
+		t.Error("asserted login for unknown user succeeded")
+	}
+}
+
+func TestRelaySubscriptionAndRemoteDelivery(t *testing.T) {
+	d := deploy(t)
+	appID := d.app.AppID()
+
+	var mu sync.Mutex
+	var relayed []*wire.Message
+	deliver := func(m *wire.Message) {
+		mu.Lock()
+		relayed = append(relayed, m)
+		mu.Unlock()
+	}
+	if err := d.srv.SubscribeRelay(appID, "caltech", deliver); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.srv.SubscribeRelay("nosuch#1", "caltech", deliver); err == nil {
+		t.Error("relay subscription for unknown app succeeded")
+	}
+
+	// A phase produces one update; the relay receives exactly one copy.
+	if _, err := d.app.RunPhase(); err != nil {
+		t.Fatal(err)
+	}
+	waitRelayed := func(want int) {
+		t.Helper()
+		d.pump(t, func() bool {
+			mu.Lock()
+			defer mu.Unlock()
+			return len(relayed) >= want
+		})
+	}
+	waitRelayed(1)
+	mu.Lock()
+	if relayed[0].Kind != wire.KindUpdate {
+		t.Errorf("relayed kind = %v", relayed[0].Kind)
+	}
+	n := len(relayed)
+	mu.Unlock()
+
+	// A response for a remote requester goes to exactly its server relay.
+	cmd := wire.NewCommand(appID, "caltech/client-9", "status")
+	cmd.Set("_user", "alice")
+	if err := d.srv.EnqueueLocalCommand(appID, cmd); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.app.RunPhase(); err != nil {
+		t.Fatal(err)
+	}
+	waitRelayed(n + 2) // the phase's update + the relayed response
+	mu.Lock()
+	var gotResp bool
+	for _, m := range relayed {
+		if m.Kind == wire.KindResponse && m.Client == "caltech/client-9" {
+			gotResp = true
+		}
+	}
+	mu.Unlock()
+	if !gotResp {
+		t.Error("remote requester's response never reached its relay")
+	}
+
+	d.srv.UnsubscribeRelay(appID, "caltech")
+	mu.Lock()
+	n = len(relayed)
+	mu.Unlock()
+	d.app.RunPhase()
+	mu.Lock()
+	if len(relayed) != n {
+		t.Error("relay received traffic after unsubscribe")
+	}
+	mu.Unlock()
+}
+
+func TestDeliverRemoteMessageFansOutLocally(t *testing.T) {
+	d := deploy(t)
+	alice := d.login(t, "alice")
+	// Connect alice to a *remote* app id by hand: join the local group.
+	remoteID := "caltech#7"
+	d.srv.Hub().Group(remoteID).Join(alice.ClientID, func(m *wire.Message) { alice.Buffer.Push(m) })
+
+	// An update relayed from the host is broadcast to local members.
+	d.srv.DeliverRemoteMessage(remoteID, wire.NewUpdate(remoteID, 3), "caltech")
+	msgs := alice.Buffer.Drain(0)
+	if len(msgs) != 1 || msgs[0].Kind != wire.KindUpdate {
+		t.Fatalf("remote update fan-out = %v", msgs)
+	}
+
+	// A response addressed to the local client is archived and delivered.
+	resp := wire.NewResponse(wire.NewCommand(remoteID, alice.ClientID, "status"), "ok")
+	d.srv.DeliverRemoteMessage(remoteID, resp, "caltech")
+	msgs = alice.Buffer.Drain(0)
+	if len(msgs) != 1 || msgs[0].Kind != wire.KindResponse {
+		t.Fatalf("remote response fan-out = %v", msgs)
+	}
+	if d.srv.Archive().InteractionLog(remoteID).Len() == 0 {
+		t.Error("remote response not archived at the client's server")
+	}
+
+	// A whiteboard stroke from the peer is recorded for latecomers.
+	stroke := &wire.Message{Kind: wire.KindWhiteboard, App: remoteID, Client: "caltech/client-1", Data: []byte{1}}
+	d.srv.DeliverRemoteMessage(remoteID, stroke, "caltech")
+	if d.srv.Hub().Group(remoteID).WhiteboardLen() != 1 {
+		t.Error("relayed stroke not recorded")
+	}
+
+	// DeliverCollabFromPeer (the host side of forwarded collab) reaches
+	// local members and records strokes too.
+	d.srv.DeliverCollabFromPeer(remoteID, stroke, "utexas")
+	if d.srv.Hub().Group(remoteID).WhiteboardLen() != 2 {
+		t.Error("DeliverCollabFromPeer did not record the stroke")
+	}
+}
+
+func TestHTTPShareAndAttach(t *testing.T) {
+	d := deploy(t)
+	ts := httptest.NewServer(d.srv.HTTPHandler())
+	t.Cleanup(ts.Close)
+	c := &httpClient{t: t, base: ts.URL}
+	a, _ := c.login("alice", "pw")
+	b, _ := c.login("bob", "pw")
+	appID := d.app.AppID()
+	c.post("/api/connect", ConnectRequest{ClientID: a.ClientID, App: appID}, nil)
+	c.post("/api/connect", ConnectRequest{ClientID: b.ClientID, App: appID}, nil)
+
+	// Explicit view share reaches bob.
+	if code := c.post("/api/share", ShareRequest{ClientID: a.ClientID, View: []byte("png")}, nil); code != 200 {
+		t.Fatalf("share -> %d", code)
+	}
+	var pr PollResponse
+	c.get("/api/poll?client="+b.ClientID, &pr)
+	var shared bool
+	for _, m := range pr.Messages {
+		if m.Kind == wire.KindViewShare && string(m.Data) == "png" {
+			shared = true
+		}
+	}
+	if !shared {
+		t.Error("shared view never delivered")
+	}
+
+	// Attach over HTTP with the login token.
+	var ar AttachResponse
+	if code := c.post("/api/attach", AttachRequest{ClientID: a.ClientID, Token: a.Token}, &ar); code != 200 {
+		t.Fatalf("attach -> %d", code)
+	}
+	if ar.User != "alice" || ar.App != appID || ar.Privilege != "steer" {
+		t.Errorf("attach = %+v", ar)
+	}
+	if code := c.post("/api/attach", AttachRequest{ClientID: a.ClientID, Token: "junk"}, nil); code != http.StatusUnauthorized {
+		t.Errorf("attach with junk token -> %d", code)
+	}
+	if code := c.post("/api/attach", AttachRequest{ClientID: a.ClientID, Token: b.Token}, nil); code != http.StatusUnauthorized {
+		t.Errorf("cross-user attach -> %d", code)
+	}
+	if code := c.post("/api/attach", AttachRequest{ClientID: "ghost", Token: a.Token}, nil); code != http.StatusUnauthorized {
+		t.Errorf("attach to unknown session -> %d", code)
+	}
+}

@@ -1,0 +1,525 @@
+// Package server implements the DISCOVER interaction and collaboration
+// server: a commodity web server (net/http) extended with the paper's
+// "servlet" handlers —
+//
+//	Master handler        — client gateway, sessions, client-ids
+//	Command handler       — routes view/steering requests to proxies
+//	Collaboration handler — groups, broadcast, chat, whiteboard
+//	Security handler      — two-level authentication and ACLs
+//	Daemon servlet        — listens for application connections, creates
+//	                        an ApplicationProxy per application, buffers
+//	                        requests while the application computes
+//	Session archival      — interaction and application logs
+//
+// Federation with peer servers (the middleware substrate, internal/core)
+// is attached through the Federation interface, keeping this package
+// independent of the ORB: a standalone server works with no federation at
+// all, which is also the centralized baseline for the experiments.
+package server
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"sync"
+	"time"
+
+	"discover/internal/appproto"
+	"discover/internal/archive"
+	"discover/internal/auth"
+	"discover/internal/collab"
+	"discover/internal/lockmgr"
+	"discover/internal/recorddb"
+	"discover/internal/session"
+	"discover/internal/wire"
+)
+
+// AppInfo is the client-visible description of one application, local or
+// remote.
+type AppInfo struct {
+	ID        string `json:"id"`
+	Name      string `json:"name"`
+	Kind      string `json:"kind"`
+	Server    string `json:"server"`
+	Privilege string `json:"privilege"` // the asking user's privilege
+}
+
+// Federation is the substrate's surface as seen by a server. A nil
+// Federation means a standalone (centralized) deployment.
+type Federation interface {
+	// RemoteApps lists applications at peer servers the user may access.
+	RemoteApps(user string) []AppInfo
+	// RemotePrivilege performs level-two authorization at the app's host
+	// server and returns the privilege name.
+	RemotePrivilege(user, appID string) (string, error)
+	// ForwardCommand relays a client command to the app's host server.
+	ForwardCommand(appID string, cmd *wire.Message) error
+	// RemoteLock relays a lock request to the app's host server.
+	RemoteLock(appID, owner string, acquire bool) (granted bool, holder string, err error)
+	// ForwardCollab relays a collaboration message (chat, whiteboard,
+	// view share) to the app's host server for group-wide fan-out.
+	ForwardCollab(appID string, m *wire.Message) error
+	// Subscribe asks the app's host server to relay the app's group
+	// traffic to this server (idempotent); Unsubscribe reverses it.
+	Subscribe(appID string) error
+	Unsubscribe(appID string) error
+	// NotifyEvent fans a control-channel event out to all peers.
+	NotifyEvent(ev *wire.Message)
+}
+
+// ServerOfApp extracts the host server name from an application id of the
+// form "server#count" — the analogue of recovering the server's IP
+// address from the identifier in the paper.
+func ServerOfApp(appID string) string {
+	if i := strings.LastIndex(appID, "#"); i >= 0 {
+		return appID[:i]
+	}
+	return ""
+}
+
+// ServerOfClient extracts the server name from a client id of the form
+// "server/client-N".
+func ServerOfClient(clientID string) string {
+	if i := strings.Index(clientID, "/"); i >= 0 {
+		return clientID[:i]
+	}
+	return ""
+}
+
+// Config configures a Server.
+type Config struct {
+	Name              string // unique server name; no '/' or '#'
+	FifoCapacity      int    // per-client buffer capacity (0 = default)
+	ArchiveLimit      int    // per-log retention (0 = unlimited)
+	RecordUpdates     bool   // insert periodic updates into the record DB
+	UpdateRecordEvery int    // record every Nth update (0 = 1)
+	Logf              func(format string, args ...any)
+}
+
+// Server is one interaction/collaboration server instance.
+type Server struct {
+	cfg      Config
+	auth     *auth.Service
+	sessions *session.Manager
+	hub      *collab.Hub
+	locks    *lockmgr.Manager
+	store    *archive.Store
+	db       *recorddb.DB
+	daemon   *appproto.Daemon
+
+	mu       sync.Mutex
+	counter  uint64
+	proxies  map[string]*ApplicationProxy
+	fed      Federation
+	updateCt map[string]uint64 // per-app update counter for recording
+}
+
+// New creates a server. Call ListenDaemon (and ServeHTTP via an
+// http.Server) to make it reachable.
+func New(cfg Config) (*Server, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("server: config needs a name")
+	}
+	if strings.ContainsAny(cfg.Name, "/#") {
+		return nil, fmt.Errorf("server: name %q must not contain '/' or '#'", cfg.Name)
+	}
+	if cfg.UpdateRecordEvery <= 0 {
+		cfg.UpdateRecordEvery = 1
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	s := &Server{
+		cfg:      cfg,
+		auth:     auth.NewService(cfg.Name),
+		sessions: session.NewManager(cfg.Name, session.WithCapacity(cfg.FifoCapacity)),
+		hub:      collab.NewHub(),
+		locks:    lockmgr.NewManager(),
+		store:    archive.NewStore(cfg.ArchiveLimit),
+		db:       recorddb.New(),
+		proxies:  make(map[string]*ApplicationProxy),
+		updateCt: make(map[string]uint64),
+	}
+	s.daemon = appproto.NewDaemon((*daemonHandler)(s))
+	return s, nil
+}
+
+// Name returns the server's unique name.
+func (s *Server) Name() string { return s.cfg.Name }
+
+// Auth exposes the security handler (for registering home users).
+func (s *Server) Auth() *auth.Service { return s.auth }
+
+// Sessions exposes the session manager.
+func (s *Server) Sessions() *session.Manager { return s.sessions }
+
+// Hub exposes the collaboration hub.
+func (s *Server) Hub() *collab.Hub { return s.hub }
+
+// Locks exposes the lock manager.
+func (s *Server) Locks() *lockmgr.Manager { return s.locks }
+
+// Archive exposes the session-archival store.
+func (s *Server) Archive() *archive.Store { return s.store }
+
+// Records exposes the record database.
+func (s *Server) Records() *recorddb.DB { return s.db }
+
+// Daemon exposes the application daemon (for its address).
+func (s *Server) Daemon() *appproto.Daemon { return s.daemon }
+
+// SetFederation attaches the middleware substrate.
+func (s *Server) SetFederation(f Federation) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fed = f
+}
+
+func (s *Server) federation() Federation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fed
+}
+
+// ListenDaemon starts accepting application connections on addr.
+func (s *Server) ListenDaemon(addr string) error { return s.daemon.Listen(addr) }
+
+// StartJanitor launches a background reaper that logs out sessions idle
+// (not polling) longer than maxIdle — releasing their collaboration
+// memberships and steering locks so a vanished browser cannot wedge an
+// application. It returns a stop function.
+func (s *Server) StartJanitor(every, maxIdle time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		ticker := time.NewTicker(every)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				s.ReapIdleSessions(maxIdle)
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// ReapIdleSessions logs out every session idle longer than maxIdle and
+// returns how many were removed.
+func (s *Server) ReapIdleSessions(maxIdle time.Duration) int {
+	reaped := 0
+	cutoff := time.Now().Add(-maxIdle)
+	for _, sess := range s.sessions.List() {
+		if sess.LastSeen().Before(cutoff) {
+			s.cfg.Logf("server %s: reaping idle session %s (user %s)",
+				s.cfg.Name, sess.ClientID, sess.User)
+			s.Logout(sess)
+			reaped++
+		}
+	}
+	return reaped
+}
+
+// Close shuts the daemon down.
+func (s *Server) Close() { s.daemon.Close() }
+
+// ---------------------------------------------------------------------------
+// Level-one interfaces (§3): server-level queries, used by HTTP clients
+// and by peer servers through the substrate.
+// ---------------------------------------------------------------------------
+
+// Login authenticates a user by secret at this (home) server and creates
+// a session.
+func (s *Server) Login(user, secret string) (*session.Session, error) {
+	tok, err := s.auth.Login(user, secret)
+	if err != nil {
+		return nil, err
+	}
+	return s.sessions.Create(user, tok), nil
+}
+
+// LoginAsserted authenticates a peer-asserted user-id (the paper's
+// cross-server trust model) without creating a session.
+func (s *Server) LoginAsserted(user string) error {
+	_, err := s.auth.LoginAsserted(user)
+	return err
+}
+
+// LocalApps lists this server's applications visible to user.
+func (s *Server) LocalApps(user string) []AppInfo {
+	s.mu.Lock()
+	proxies := make([]*ApplicationProxy, 0, len(s.proxies))
+	for _, p := range s.proxies {
+		proxies = append(proxies, p)
+	}
+	s.mu.Unlock()
+	var out []AppInfo
+	for _, p := range proxies {
+		priv := s.auth.Privilege(user, p.ID())
+		if priv == auth.None {
+			continue
+		}
+		out = append(out, AppInfo{
+			ID: p.ID(), Name: p.Registration().Name, Kind: p.Registration().Kind,
+			Server: s.cfg.Name, Privilege: priv.String(),
+		})
+	}
+	return out
+}
+
+// Apps lists local plus federated applications visible to user.
+func (s *Server) Apps(user string) []AppInfo {
+	out := s.LocalApps(user)
+	if fed := s.federation(); fed != nil {
+		out = append(out, fed.RemoteApps(user)...)
+	}
+	return out
+}
+
+// LoggedInUsers lists users with active sessions here.
+func (s *Server) LoggedInUsers() []string { return s.sessions.Users() }
+
+// PrivilegeName returns the user's privilege for a local application, as
+// a name ("none" when absent) — the level-two check peers invoke.
+func (s *Server) PrivilegeName(user, appID string) string {
+	return s.auth.Privilege(user, appID).String()
+}
+
+// Proxy returns the local ApplicationProxy for an app id.
+func (s *Server) Proxy(appID string) (*ApplicationProxy, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.proxies[appID]
+	return p, ok
+}
+
+// LocalAppIDs lists the ids of locally connected applications.
+func (s *Server) LocalAppIDs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.proxies))
+	for id := range s.proxies {
+		out = append(out, id)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Remote-facing operations invoked by the substrate (the Host role).
+// ---------------------------------------------------------------------------
+
+// EnqueueLocalCommand buffers a command (possibly from a remote client)
+// for a local application. Privilege (from the registered ACL) and the
+// steering lock for mutating operations are enforced here, at the host
+// server, for local and relayed commands alike.
+func (s *Server) EnqueueLocalCommand(appID string, cmd *wire.Message) error {
+	p, ok := s.Proxy(appID)
+	if !ok {
+		return fmt.Errorf("server: no local application %s", appID)
+	}
+	if err := s.enforceAtHost(appID, cmd); err != nil {
+		return err
+	}
+	// The application log lives at the host server.
+	s.store.ApplicationLog(appID).Append(cmd.Client, cmd)
+	return p.Enqueue(cmd)
+}
+
+// LockRequest performs a (possibly relayed) lock operation on a local
+// application. Lock state lives only here, at the host server.
+func (s *Server) LockRequest(appID, owner string, acquire bool) (granted bool, holder string, err error) {
+	if _, ok := s.Proxy(appID); !ok {
+		return false, "", fmt.Errorf("server: no local application %s", appID)
+	}
+	if acquire {
+		granted, holder = s.locks.TryAcquire(appID, owner, 0)
+		return granted, holder, nil
+	}
+	if err := s.locks.Release(appID, owner); err != nil {
+		return false, "", err
+	}
+	return true, "", nil
+}
+
+// SubscribeRelay registers a peer server as a relay member of a local
+// application's collaboration group; deliver sends one message to that
+// peer.
+func (s *Server) SubscribeRelay(appID, peer string, deliver collab.DeliverFunc) error {
+	if _, ok := s.Proxy(appID); !ok {
+		return fmt.Errorf("server: no local application %s", appID)
+	}
+	s.hub.Group(appID).JoinRelay(peer, deliver)
+	return nil
+}
+
+// UnsubscribeRelay removes a peer relay.
+func (s *Server) UnsubscribeRelay(appID, peer string) {
+	s.hub.Group(appID).LeaveRelay(peer)
+}
+
+// DeliverRemoteMessage fans a message relayed from the app's host server
+// out to this server's local clients — the second hop of the substrate's
+// one-message-per-server collaboration scheme.
+func (s *Server) DeliverRemoteMessage(appID string, m *wire.Message, fromServer string) {
+	g := s.hub.Group(appID)
+	switch m.Kind {
+	case wire.KindUpdate, wire.KindEvent:
+		g.BroadcastUpdate(m, "relay/"+fromServer)
+	case wire.KindResponse, wire.KindError:
+		// The requester is one of our clients; archive at their server.
+		s.store.InteractionLog(appID).Append(m.Client, m)
+		s.recordResponse(appID, m)
+		g.ShareResponse(m.Client, m)
+	case wire.KindChat, wire.KindWhiteboard, wire.KindViewShare:
+		if m.Kind == wire.KindWhiteboard {
+			g.RecordStroke(m) // latecomers here replay the shared board
+		}
+		g.BroadcastUpdate(m, "relay/"+fromServer)
+	}
+}
+
+// HandleControlEvent processes a control-channel event from a peer
+// (application arrival/departure, errors): it is delivered to every local
+// session so portals can refresh.
+func (s *Server) HandleControlEvent(ev *wire.Message) {
+	for _, sess := range s.sessions.List() {
+		sess.Buffer.Push(ev)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Daemon handler: the Daemon-servlet role.
+// ---------------------------------------------------------------------------
+
+// daemonHandler adapts Server to appproto.Handler without exporting the
+// methods on Server itself.
+type daemonHandler Server
+
+func (d *daemonHandler) srv() *Server { return (*Server)(d) }
+
+// AssignAppID mints "serverName#count": globally unique because server
+// names are unique, and host-recoverable via ServerOfApp.
+func (d *daemonHandler) AssignAppID(reg appproto.Registration) (string, error) {
+	s := d.srv()
+	if reg.Name == "" {
+		return "", fmt.Errorf("server: registration without a name")
+	}
+	if len(reg.Users) == 0 {
+		return "", fmt.Errorf("server: registration without an authorized user list")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.counter++
+	return fmt.Sprintf("%s#%d", s.cfg.Name, s.counter), nil
+}
+
+func (d *daemonHandler) AppRegistered(ep *appproto.AppEndpoint) {
+	s := d.srv()
+	reg := ep.Registration()
+	entries := make([]auth.Entry, 0, len(reg.Users))
+	for _, u := range reg.Users {
+		p, err := auth.ParsePrivilege(u.Privilege)
+		if err != nil {
+			continue
+		}
+		entries = append(entries, auth.Entry{User: u.User, Priv: p})
+	}
+	s.auth.RegisterApp(ep.ID(), auth.NewACL(entries...))
+
+	proxy := newLocalProxy(s, ep)
+	s.mu.Lock()
+	s.proxies[ep.ID()] = proxy
+	s.mu.Unlock()
+	s.hub.Group(ep.ID()) // materialize the collaboration group
+
+	s.cfg.Logf("server %s: application %s registered as %s", s.cfg.Name, reg.Name, ep.ID())
+	ev := wire.NewEvent(s.cfg.Name, "app-registered", ep.ID())
+	ev.App = ep.ID()
+	s.HandleControlEvent(ev)
+	if fed := s.federation(); fed != nil {
+		fed.NotifyEvent(ev)
+	}
+}
+
+func (d *daemonHandler) AppClosed(appID string, err error) {
+	s := d.srv()
+	s.mu.Lock()
+	delete(s.proxies, appID)
+	delete(s.updateCt, appID)
+	s.mu.Unlock()
+	s.auth.UnregisterApp(appID)
+	s.locks.Break(appID)
+
+	ev := wire.NewEvent(s.cfg.Name, "app-closed", appID)
+	ev.App = appID
+	s.hub.Group(appID).BroadcastUpdate(ev, "")
+	s.hub.Drop(appID)
+	s.cfg.Logf("server %s: application %s closed (%v)", s.cfg.Name, appID, err)
+	if fed := s.federation(); fed != nil {
+		fed.NotifyEvent(ev)
+	}
+}
+
+// HandleUpdate archives a periodic update at the host server, records it
+// in the database under the application owner, and broadcasts it to the
+// collaboration group — local members and one relay per peer server.
+func (d *daemonHandler) HandleUpdate(appID string, m *wire.Message) {
+	s := d.srv()
+	s.store.ApplicationLog(appID).Append("", m)
+	p, ok := s.Proxy(appID)
+	if ok && s.cfg.RecordUpdates {
+		s.mu.Lock()
+		s.updateCt[appID]++
+		due := s.updateCt[appID]%uint64(s.cfg.UpdateRecordEvery) == 0
+		s.mu.Unlock()
+		if due {
+			reg := p.Registration()
+			readers := make([]string, 0, len(reg.Users))
+			for _, u := range reg.Users {
+				readers = append(readers, u.User)
+			}
+			fields := map[string]string{"app": appID, "kind": "periodic", "seq": fmt.Sprint(m.Seq)}
+			for _, kv := range m.Params {
+				fields[kv.Key] = kv.Value
+			}
+			s.db.Table("updates").Insert(reg.Owner, fields, readers)
+		}
+	}
+	s.hub.Group(appID).BroadcastUpdate(m, "")
+}
+
+// HandleResponse routes an application's response: if the requester is a
+// local client it is archived and shared here; otherwise it is forwarded
+// once to the requester's server relay.
+func (d *daemonHandler) HandleResponse(appID string, m *wire.Message) {
+	s := d.srv()
+	s.store.ApplicationLog(appID).Append(m.Client, m)
+	if ServerOfClient(m.Client) == s.cfg.Name {
+		s.store.InteractionLog(appID).Append(m.Client, m)
+		s.recordResponse(appID, m)
+		s.hub.Group(appID).ShareResponse(m.Client, m)
+		return
+	}
+	// Remote requester: one message to their server's relay. If the peer
+	// never subscribed, the response is archived only.
+	s.hub.Group(appID).DeliverToRelay(ServerOfClient(m.Client), m)
+}
+
+// recordResponse stores response payloads as records owned by the
+// requesting user, at the requester's server (§6.3).
+func (s *Server) recordResponse(appID string, m *wire.Message) {
+	sess, ok := s.sessions.Peek(m.Client)
+	if !ok {
+		return
+	}
+	fields := map[string]string{
+		"app": appID, "kind": "response", "op": m.Op,
+		"status": fmt.Sprint(m.Status), "seq": fmt.Sprint(m.Seq),
+	}
+	for _, kv := range m.Params {
+		fields[kv.Key] = kv.Value
+	}
+	s.db.Table("responses").Insert(sess.User, fields, nil)
+}

@@ -1,0 +1,292 @@
+// Package session manages client sessions at an interaction/collaboration
+// server: client identifiers, per-session state, and the per-client FIFO
+// delivery buffers that the paper's poll-and-pull HTTP model requires
+// ("the poll and pull mechanism makes it necessary to maintain FIFO
+// buffers at the server for each client to support slow clients").
+package session
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"discover/internal/auth"
+	"discover/internal/wire"
+)
+
+// DefaultCapacity bounds each client's FIFO buffer. When a slow client
+// falls this far behind, the oldest messages are dropped (and counted) so
+// that one stalled browser cannot hold server memory hostage.
+const DefaultCapacity = 256
+
+// Fifo is a bounded FIFO of messages for one client. Push never blocks;
+// overflow drops the oldest entry. Drain empties it; DrainWait performs a
+// bounded wait for the long-poll variant of the client protocol.
+type Fifo struct {
+	mu        sync.Mutex
+	buf       []*wire.Message
+	capacity  int
+	dropped   uint64
+	highWater int
+	notify    chan struct{}
+}
+
+// NewFifo returns a FIFO with the given capacity (DefaultCapacity if <=0).
+func NewFifo(capacity int) *Fifo {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Fifo{capacity: capacity, notify: make(chan struct{}, 1)}
+}
+
+// Push appends m, dropping the oldest entry if the buffer is full.
+func (f *Fifo) Push(m *wire.Message) {
+	f.mu.Lock()
+	if len(f.buf) >= f.capacity {
+		copy(f.buf, f.buf[1:])
+		f.buf = f.buf[:len(f.buf)-1]
+		f.dropped++
+	}
+	f.buf = append(f.buf, m)
+	if len(f.buf) > f.highWater {
+		f.highWater = len(f.buf)
+	}
+	f.mu.Unlock()
+	select {
+	case f.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Drain removes and returns up to max buffered messages (all if max <= 0).
+func (f *Fifo) Drain(max int) []*wire.Message {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := len(f.buf)
+	if max > 0 && max < n {
+		n = max
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]*wire.Message, n)
+	copy(out, f.buf[:n])
+	remaining := copy(f.buf, f.buf[n:])
+	f.buf = f.buf[:remaining]
+	return out
+}
+
+// DrainWait behaves like Drain but, when empty, waits up to timeout for a
+// message to arrive (long poll). It may still return nil on timeout.
+func (f *Fifo) DrainWait(max int, timeout time.Duration) []*wire.Message {
+	if out := f.Drain(max); out != nil {
+		return out
+	}
+	if timeout <= 0 {
+		return nil
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	for {
+		select {
+		case <-f.notify:
+			if out := f.Drain(max); out != nil {
+				return out
+			}
+		case <-timer.C:
+			return f.Drain(max)
+		}
+	}
+}
+
+// Len reports the number of buffered messages.
+func (f *Fifo) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.buf)
+}
+
+// Stats reports drop count and high-water mark.
+func (f *Fifo) Stats() (dropped uint64, highWater int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dropped, f.highWater
+}
+
+// Session is one client's server-side state. The client-id plus the
+// application-id identify a client-server-application session, as in the
+// master servlet of the paper.
+type Session struct {
+	ClientID string
+	User     string
+	Token    auth.Token
+	Buffer   *Fifo
+
+	mu       sync.Mutex
+	app      string // application currently connected to ("" if none)
+	cap      auth.Capability
+	lastSeen time.Time
+}
+
+// App returns the application this session is connected to.
+func (s *Session) App() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.app
+}
+
+// Capability returns the level-two capability for the connected app.
+func (s *Session) Capability() auth.Capability {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cap
+}
+
+// Connect binds the session to an application with its capability.
+func (s *Session) Connect(app string, cap auth.Capability) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.app = app
+	s.cap = cap
+}
+
+// Disconnect unbinds the session from its application.
+func (s *Session) Disconnect() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.app = ""
+	s.cap = auth.Capability{}
+}
+
+// LastSeen reports the last poll/request time.
+func (s *Session) LastSeen() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastSeen
+}
+
+func (s *Session) touch(t time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lastSeen = t
+}
+
+// Manager is the master-servlet session table.
+type Manager struct {
+	serverName string
+	capacity   int
+	now        func() time.Time
+
+	mu       sync.Mutex
+	counter  uint64
+	sessions map[string]*Session
+}
+
+// Option configures a Manager.
+type Option func(*Manager)
+
+// WithCapacity sets each session's FIFO capacity.
+func WithCapacity(n int) Option { return func(m *Manager) { m.capacity = n } }
+
+// WithClock injects a clock for idle-expiry tests.
+func WithClock(now func() time.Time) Option { return func(m *Manager) { m.now = now } }
+
+// NewManager creates a session manager for the named server.
+func NewManager(serverName string, opts ...Option) *Manager {
+	m := &Manager{
+		serverName: serverName,
+		capacity:   DefaultCapacity,
+		now:        time.Now,
+		sessions:   make(map[string]*Session),
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+// Create mints a session with a unique client-id for an authenticated
+// user.
+func (m *Manager) Create(user string, token auth.Token) *Session {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.counter++
+	s := &Session{
+		ClientID: fmt.Sprintf("%s/client-%d", m.serverName, m.counter),
+		User:     user,
+		Token:    token,
+		Buffer:   NewFifo(m.capacity),
+		lastSeen: m.now(),
+	}
+	m.sessions[s.ClientID] = s
+	return s
+}
+
+// Get returns a session by client-id and marks it active.
+func (m *Manager) Get(clientID string) (*Session, bool) {
+	m.mu.Lock()
+	s, ok := m.sessions[clientID]
+	m.mu.Unlock()
+	if ok {
+		s.touch(m.now())
+	}
+	return s, ok
+}
+
+// Peek returns a session without touching its activity clock.
+func (m *Manager) Peek(clientID string) (*Session, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[clientID]
+	return s, ok
+}
+
+// Remove deletes a session.
+func (m *Manager) Remove(clientID string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.sessions, clientID)
+}
+
+// List returns all sessions.
+func (m *Manager) List() []*Session {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Users returns the distinct logged-in user names, for the level-one
+// "list users" interface.
+func (m *Manager) Users() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	seen := make(map[string]bool)
+	var out []string
+	for _, s := range m.sessions {
+		if !seen[s.User] {
+			seen[s.User] = true
+			out = append(out, s.User)
+		}
+	}
+	return out
+}
+
+// ExpireIdle removes sessions idle longer than maxIdle and returns the
+// removed client ids.
+func (m *Manager) ExpireIdle(maxIdle time.Duration) []string {
+	cutoff := m.now().Add(-maxIdle)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var removed []string
+	for id, s := range m.sessions {
+		if s.LastSeen().Before(cutoff) {
+			delete(m.sessions, id)
+			removed = append(removed, id)
+		}
+	}
+	return removed
+}

@@ -1,0 +1,78 @@
+package tlsutil
+
+import (
+	"crypto/tls"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestSelfSignedServesHTTPS(t *testing.T) {
+	cert, pool, err := SelfSigned("127.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "secure")
+	}))
+	ts.TLS = ServerConfig(cert)
+	ts.StartTLS()
+	// httptest.StartTLS swaps in its own cert; dial our own listener
+	// config instead by building a raw TLS server.
+	ts.Close()
+
+	srv := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "secure")
+	}))
+	srv.Listener = tls.NewListener(srv.Listener, ServerConfig(cert))
+	srv.Start()
+	defer srv.Close()
+
+	client := &http.Client{Transport: &http.Transport{TLSClientConfig: ClientConfig(pool)}}
+	resp, err := client.Get("https://" + srv.Listener.Addr().String())
+	if err != nil {
+		t.Fatalf("HTTPS request with trusted pool: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "secure" {
+		t.Errorf("body = %q", body)
+	}
+
+	// Without the pool the certificate is untrusted.
+	plain := &http.Client{}
+	if _, err := plain.Get("https://" + srv.Listener.Addr().String()); err == nil {
+		t.Error("untrusted client accepted the self-signed certificate")
+	}
+}
+
+func TestSelfSignedHostMatching(t *testing.T) {
+	cert, _, err := SelfSigned("example.internal", "10.0.0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf := cert.Leaf
+	if err := leaf.VerifyHostname("example.internal"); err != nil {
+		t.Errorf("DNS host: %v", err)
+	}
+	if err := leaf.VerifyHostname("10.0.0.5"); err != nil {
+		t.Errorf("IP host: %v", err)
+	}
+	if err := leaf.VerifyHostname("evil.example"); err == nil {
+		t.Error("foreign hostname verified")
+	}
+}
+
+func TestDefaultHosts(t *testing.T) {
+	cert, _, err := SelfSigned()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cert.Leaf.VerifyHostname("127.0.0.1"); err != nil {
+		t.Errorf("default 127.0.0.1: %v", err)
+	}
+	if err := cert.Leaf.VerifyHostname("localhost"); err != nil {
+		t.Errorf("default localhost: %v", err)
+	}
+}

@@ -1,0 +1,195 @@
+// Package userdir implements the centralized user directory that §6.3 of
+// the paper proposes as the way past per-server authentication: "One way
+// to get around this problem is to have a centralized directory service
+// like the GIS that maintains user-IDs and other global information. All
+// the servers in the system can now use this directory service."
+//
+// The directory holds user-ids, their login secrets (salted hashes) and
+// free-form attributes. It is exposed as an ORB servant (typically
+// co-hosted with the trader) so every DISCOVER server in a federation can
+// verify a login for a user who has no home credential at that server.
+// Secrets transit the middle tier in the clear, as they did inside the
+// paper's SSL-protected server network; transport security is the
+// deployment's concern, not this package's.
+package userdir
+
+import (
+	"context"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"sort"
+	"sync"
+
+	"discover/internal/orb"
+)
+
+// Key is the well-known object key of a user directory servant.
+const Key = "UserDirectory"
+
+type entry struct {
+	salt  []byte
+	hash  []byte
+	attrs map[string]string
+}
+
+// Directory is the central user-id registry.
+type Directory struct {
+	mu    sync.RWMutex
+	users map[string]*entry
+}
+
+// New returns an empty directory.
+func New() *Directory { return &Directory{users: make(map[string]*entry)} }
+
+func hashSecret(salt []byte, secret string) []byte {
+	h := sha256.Sum256(append(append([]byte{}, salt...), secret...))
+	return h[:]
+}
+
+// Register adds or replaces a user with a login secret and attributes.
+func (d *Directory) Register(user, secret string, attrs map[string]string) {
+	salt := make([]byte, 16)
+	if _, err := rand.Read(salt); err != nil {
+		panic("userdir: cannot read random salt: " + err.Error())
+	}
+	cp := make(map[string]string, len(attrs))
+	for k, v := range attrs {
+		cp[k] = v
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.users[user] = &entry{salt: salt, hash: hashSecret(salt, secret), attrs: cp}
+}
+
+// Remove deletes a user.
+func (d *Directory) Remove(user string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.users, user)
+}
+
+// Verify checks a user's secret.
+func (d *Directory) Verify(user, secret string) bool {
+	d.mu.RLock()
+	e, ok := d.users[user]
+	d.mu.RUnlock()
+	if !ok {
+		return false
+	}
+	return hmac.Equal(e.hash, hashSecret(e.salt, secret))
+}
+
+// Exists reports whether the user is registered.
+func (d *Directory) Exists(user string) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	_, ok := d.users[user]
+	return ok
+}
+
+// Attributes returns a copy of a user's attributes.
+func (d *Directory) Attributes(user string) (map[string]string, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	e, ok := d.users[user]
+	if !ok {
+		return nil, false
+	}
+	out := make(map[string]string, len(e.attrs))
+	for k, v := range e.attrs {
+		out[k] = v
+	}
+	return out, true
+}
+
+// Users lists registered user-ids, sorted.
+func (d *Directory) Users() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]string, 0, len(d.users))
+	for u := range d.users {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Wire types.
+type (
+	verifyReq  struct{ User, Secret string }
+	verifyResp struct{ OK bool }
+	existsReq  struct{ User string }
+	attrsReq   struct{ User string }
+	attrsResp  struct {
+		OK    bool
+		Attrs map[string]string
+	}
+	listReq  struct{}
+	listResp struct{ Users []string }
+)
+
+// Servant exposes the directory over the ORB. Registration is a local,
+// administrative operation and is deliberately not remoted.
+func (d *Directory) Servant() orb.Servant {
+	return orb.MethodMap{
+		"verify": orb.Handler(func(r verifyReq) (verifyResp, error) {
+			return verifyResp{OK: d.Verify(r.User, r.Secret)}, nil
+		}),
+		"exists": orb.Handler(func(r existsReq) (verifyResp, error) {
+			return verifyResp{OK: d.Exists(r.User)}, nil
+		}),
+		"attributes": orb.Handler(func(r attrsReq) (attrsResp, error) {
+			attrs, ok := d.Attributes(r.User)
+			return attrsResp{OK: ok, Attrs: attrs}, nil
+		}),
+		"list": orb.Handler(func(listReq) (listResp, error) {
+			return listResp{Users: d.Users()}, nil
+		}),
+	}
+}
+
+// Client is the remote stub servers use to consult the directory.
+type Client struct {
+	orb *orb.ORB
+	ref orb.ObjRef
+}
+
+// NewClient returns a stub bound to the directory at ref.
+func NewClient(o *orb.ORB, ref orb.ObjRef) *Client { return &Client{orb: o, ref: ref} }
+
+// Verify checks a user's secret remotely.
+func (c *Client) Verify(ctx context.Context, user, secret string) (bool, error) {
+	var resp verifyResp
+	if err := c.orb.Invoke(ctx, c.ref, "verify", verifyReq{User: user, Secret: secret}, &resp); err != nil {
+		return false, err
+	}
+	return resp.OK, nil
+}
+
+// Exists checks user registration remotely.
+func (c *Client) Exists(ctx context.Context, user string) (bool, error) {
+	var resp verifyResp
+	if err := c.orb.Invoke(ctx, c.ref, "exists", existsReq{User: user}, &resp); err != nil {
+		return false, err
+	}
+	return resp.OK, nil
+}
+
+// Attributes fetches a user's attributes remotely.
+func (c *Client) Attributes(ctx context.Context, user string) (map[string]string, bool, error) {
+	var resp attrsResp
+	if err := c.orb.Invoke(ctx, c.ref, "attributes", attrsReq{User: user}, &resp); err != nil {
+		return nil, false, err
+	}
+	return resp.Attrs, resp.OK, nil
+}
+
+// Users lists registered user-ids remotely.
+func (c *Client) Users(ctx context.Context) ([]string, error) {
+	var resp listResp
+	if err := c.orb.Invoke(ctx, c.ref, "list", listReq{}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Users, nil
+}

@@ -1,0 +1,87 @@
+package userdir
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"discover/internal/orb"
+)
+
+func TestDirectoryLocal(t *testing.T) {
+	d := New()
+	d.Register("vijay", "secret1", map[string]string{"org": "rutgers"})
+	d.Register("manish", "secret2", nil)
+
+	if !d.Verify("vijay", "secret1") {
+		t.Error("valid secret rejected")
+	}
+	if d.Verify("vijay", "wrong") {
+		t.Error("wrong secret accepted")
+	}
+	if d.Verify("ghost", "x") {
+		t.Error("unknown user accepted")
+	}
+	if !d.Exists("manish") || d.Exists("ghost") {
+		t.Error("Exists wrong")
+	}
+	attrs, ok := d.Attributes("vijay")
+	if !ok || attrs["org"] != "rutgers" {
+		t.Errorf("Attributes = %v, %v", attrs, ok)
+	}
+	attrs["org"] = "tampered"
+	if again, _ := d.Attributes("vijay"); again["org"] != "rutgers" {
+		t.Error("attributes aliased")
+	}
+	if _, ok := d.Attributes("ghost"); ok {
+		t.Error("Attributes for unknown user")
+	}
+	if got := d.Users(); !reflect.DeepEqual(got, []string{"manish", "vijay"}) {
+		t.Errorf("Users = %v", got)
+	}
+
+	// Re-register replaces the secret.
+	d.Register("vijay", "rotated", nil)
+	if d.Verify("vijay", "secret1") || !d.Verify("vijay", "rotated") {
+		t.Error("rotation failed")
+	}
+	d.Remove("vijay")
+	if d.Exists("vijay") {
+		t.Error("Remove failed")
+	}
+}
+
+func TestDirectoryRemote(t *testing.T) {
+	host := orb.New()
+	if err := host.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer host.Close()
+	d := New()
+	d.Register("alice", "pw", map[string]string{"role": "pi"})
+	host.Register(Key, d.Servant())
+
+	c := NewClient(orb.New(), host.Ref(Key))
+	ctx := context.Background()
+
+	ok, err := c.Verify(ctx, "alice", "pw")
+	if err != nil || !ok {
+		t.Fatalf("Verify = %v, %v", ok, err)
+	}
+	ok, err = c.Verify(ctx, "alice", "nope")
+	if err != nil || ok {
+		t.Errorf("wrong secret Verify = %v, %v", ok, err)
+	}
+	ok, err = c.Exists(ctx, "alice")
+	if err != nil || !ok {
+		t.Errorf("Exists = %v, %v", ok, err)
+	}
+	attrs, ok, err := c.Attributes(ctx, "alice")
+	if err != nil || !ok || attrs["role"] != "pi" {
+		t.Errorf("Attributes = %v, %v, %v", attrs, ok, err)
+	}
+	users, err := c.Users(ctx)
+	if err != nil || len(users) != 1 {
+		t.Errorf("Users = %v, %v", users, err)
+	}
+}

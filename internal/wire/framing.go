@@ -1,0 +1,134 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// MaxFrameSize bounds a single frame on any DISCOVER stream. It is sized to
+// admit a maximal Data payload plus envelope overhead.
+const MaxFrameSize = MaxDataLen + 1<<20
+
+// ErrFrameTooLarge is returned when a peer announces a frame above
+// MaxFrameSize; the connection should be dropped.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrameSize")
+
+// WriteFrame writes one length-prefixed frame (big-endian uint32 length
+// followed by payload) to w.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame from r. The returned slice is
+// freshly allocated.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return payload, nil
+}
+
+// Conn couples a stream with a codec and frames messages over it. Send is
+// safe for concurrent use; Recv must be called from a single goroutine at a
+// time, which is how every channel loop in this repository is structured.
+type Conn struct {
+	raw     net.Conn
+	codec   Codec
+	sendMu  sync.Mutex
+	sendBuf []byte
+
+	statMu    sync.Mutex
+	sentMsgs  uint64
+	sentBytes uint64
+	recvMsgs  uint64
+	recvBytes uint64
+}
+
+// NewConn wraps raw with codec. The Conn takes ownership of raw.
+func NewConn(raw net.Conn, codec Codec) *Conn {
+	return &Conn{raw: raw, codec: codec}
+}
+
+// Raw exposes the underlying connection (for deadlines and addresses).
+func (c *Conn) Raw() net.Conn { return c.raw }
+
+// Codec returns the codec in use.
+func (c *Conn) Codec() Codec { return c.codec }
+
+// Send encodes and writes one message. The header and payload go out in a
+// single Write so that one message corresponds to one write on shaped
+// links (see internal/netsim).
+func (c *Conn) Send(m *Message) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	buf := append(c.sendBuf[:0], 0, 0, 0, 0) // room for the length prefix
+	buf, err := c.codec.Encode(buf, m)
+	if err != nil {
+		return err
+	}
+	c.sendBuf = buf[:0] // retain capacity for the next send
+	if len(buf)-4 > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(buf)-4))
+	if _, err := c.raw.Write(buf); err != nil {
+		return err
+	}
+	c.statMu.Lock()
+	c.sentMsgs++
+	c.sentBytes += uint64(len(buf))
+	c.statMu.Unlock()
+	return nil
+}
+
+// Recv reads and decodes one message.
+func (c *Conn) Recv() (*Message, error) {
+	payload, err := ReadFrame(c.raw)
+	if err != nil {
+		return nil, err
+	}
+	m, err := c.codec.Decode(payload)
+	if err != nil {
+		return nil, fmt.Errorf("wire: decoding frame: %w", err)
+	}
+	c.statMu.Lock()
+	c.recvMsgs++
+	c.recvBytes += uint64(len(payload)) + 4
+	c.statMu.Unlock()
+	return m, nil
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.raw.Close() }
+
+// Stats reports cumulative message and byte counts in both directions.
+func (c *Conn) Stats() (sentMsgs, sentBytes, recvMsgs, recvBytes uint64) {
+	c.statMu.Lock()
+	defer c.statMu.Unlock()
+	return c.sentMsgs, c.sentBytes, c.recvMsgs, c.recvBytes
+}

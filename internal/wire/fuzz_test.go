@@ -1,0 +1,69 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzBinaryDecode hardens the compact codec against hostile frames: any
+// input must either fail cleanly or decode to a message that re-encodes
+// and re-decodes to the same value (no panics, no allocation bombs).
+func FuzzBinaryDecode(f *testing.F) {
+	seed := []*Message{
+		{Kind: KindBye},
+		NewCommand("srv#1", "srv/client-1", "set_param",
+			Param{Key: "name", Value: "x"}, Param{Key: "value", Value: "1.5"}),
+		NewUpdate("srv#1", 42, Param{Key: "m.step", Value: "7"}),
+		{Kind: KindWhiteboard, Data: []byte{0, 1, 2, 3}},
+	}
+	for _, m := range seed {
+		enc, err := BinaryCodec{}.Encode(nil, m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := BinaryCodec{}.Decode(data)
+		if err != nil {
+			return // clean rejection
+		}
+		re, err := BinaryCodec{}.Encode(nil, m)
+		if err != nil {
+			t.Fatalf("decoded message fails to re-encode: %v", err)
+		}
+		m2, err := BinaryCodec{}.Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded message fails to decode: %v", err)
+		}
+		if !m.Equal(m2) {
+			t.Fatalf("re-round-trip mutated message:\n first %v\n second %v", m, m2)
+		}
+	})
+}
+
+// FuzzFrameReader hardens the length-prefixed framing against truncation
+// and hostile lengths.
+func FuzzFrameReader(f *testing.F) {
+	var buf bytes.Buffer
+	WriteFrame(&buf, []byte("hello"))
+	f.Add(buf.Bytes())
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for {
+			payload, err := ReadFrame(r)
+			if err != nil {
+				return
+			}
+			if len(payload) > MaxFrameSize {
+				t.Fatalf("frame above MaxFrameSize accepted: %d", len(payload))
+			}
+		}
+	})
+}

@@ -1,0 +1,187 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	if got := KindUpdate.String(); got != "update" {
+		t.Errorf("KindUpdate.String() = %q, want %q", got, "update")
+	}
+	if got := Kind(200).String(); got != "kind(200)" {
+		t.Errorf("unknown kind String() = %q", got)
+	}
+}
+
+func TestKindValid(t *testing.T) {
+	if KindInvalid.Valid() {
+		t.Error("KindInvalid reported valid")
+	}
+	if kindSentinel.Valid() {
+		t.Error("sentinel reported valid")
+	}
+	for k := KindRegister; k < kindSentinel; k++ {
+		if !k.Valid() {
+			t.Errorf("kind %d should be valid", k)
+		}
+		if k.String() == "" || strings.HasPrefix(k.String(), "kind(") {
+			t.Errorf("kind %d missing a name", k)
+		}
+	}
+}
+
+func TestStatusText(t *testing.T) {
+	cases := map[int32]string{
+		StatusOK:         "ok",
+		StatusDenied:     "denied",
+		StatusNotFound:   "not found",
+		StatusLocked:     "locked",
+		StatusOverloaded: "overloaded",
+	}
+	for s, want := range cases {
+		if got := StatusText(s); got != want {
+			t.Errorf("StatusText(%d) = %q, want %q", s, got, want)
+		}
+	}
+	if got := StatusText(99); got != "status(99)" {
+		t.Errorf("StatusText(99) = %q", got)
+	}
+}
+
+func TestParamAccessors(t *testing.T) {
+	m := &Message{}
+	if _, ok := m.Get("x"); ok {
+		t.Fatal("Get on empty message succeeded")
+	}
+	m.Set("x", "1")
+	m.Set("y", "two")
+	m.Set("x", "3") // replace
+	if v, ok := m.Get("x"); !ok || v != "3" {
+		t.Errorf("Get(x) = %q,%v; want 3,true", v, ok)
+	}
+	if len(m.Params) != 2 {
+		t.Errorf("Set should replace, got %d params", len(m.Params))
+	}
+	m.SetFloat("f", 3.5)
+	if f, ok := m.GetFloat("f"); !ok || f != 3.5 {
+		t.Errorf("GetFloat = %v,%v", f, ok)
+	}
+	m.SetInt("i", -42)
+	if n, ok := m.GetInt("i"); !ok || n != -42 {
+		t.Errorf("GetInt = %v,%v", n, ok)
+	}
+	if _, ok := m.GetFloat("y"); ok {
+		t.Error("GetFloat on non-numeric succeeded")
+	}
+	if _, ok := m.GetInt("y"); ok {
+		t.Error("GetInt on non-numeric succeeded")
+	}
+	pm := m.ParamMap()
+	if pm["x"] != "3" || pm["y"] != "two" {
+		t.Errorf("ParamMap = %v", pm)
+	}
+}
+
+func TestFloatRoundTripPrecision(t *testing.T) {
+	vals := []float64{0, 1, -1, 3.141592653589793, 1e-308, 1e308, 0.1}
+	m := &Message{}
+	for _, v := range vals {
+		m.SetFloat("v", v)
+		got, ok := m.GetFloat("v")
+		if !ok || got != v {
+			t.Errorf("float round trip of %v gave %v, %v", v, got, ok)
+		}
+	}
+}
+
+func TestSortParams(t *testing.T) {
+	m := &Message{Params: []Param{{"c", "3"}, {"a", "1"}, {"b", "2"}}}
+	m.SortParams()
+	want := []string{"a", "b", "c"}
+	for i, k := range want {
+		if m.Params[i].Key != k {
+			t.Fatalf("after sort param %d = %q, want %q", i, m.Params[i].Key, k)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := &Message{
+		Kind:   KindCommand,
+		Params: []Param{{"a", "1"}},
+		Data:   []byte{1, 2, 3},
+	}
+	c := m.Clone()
+	if !m.Equal(c) {
+		t.Fatal("clone not equal to original")
+	}
+	c.Params[0].Value = "changed"
+	c.Data[0] = 9
+	if m.Params[0].Value != "1" || m.Data[0] != 1 {
+		t.Error("mutating clone affected original")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := &Message{Kind: KindUpdate, App: "x", Seq: 1, Params: []Param{{"k", "v"}}}
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clones unequal")
+	}
+	b.Seq = 2
+	if a.Equal(b) {
+		t.Error("differing Seq reported equal")
+	}
+	b = a.Clone()
+	b.Params[0].Value = "w"
+	if a.Equal(b) {
+		t.Error("differing params reported equal")
+	}
+	b = a.Clone()
+	b.Data = []byte{1}
+	if a.Equal(b) {
+		t.Error("differing data reported equal")
+	}
+	var nilMsg *Message
+	if nilMsg.Equal(a) || a.Equal(nilMsg) {
+		t.Error("nil comparison wrong")
+	}
+	if !nilMsg.Equal(nil) {
+		t.Error("nil==nil should be equal")
+	}
+}
+
+func TestConstructors(t *testing.T) {
+	cmd := NewCommand("app1", "c1", "setParam", Param{"name", "dt"})
+	if cmd.Kind != KindCommand || cmd.App != "app1" || cmd.Client != "c1" || cmd.Op != "setParam" {
+		t.Errorf("NewCommand = %v", cmd)
+	}
+	cmd.Seq = 7
+	resp := NewResponse(cmd, "done")
+	if resp.Kind != KindResponse || resp.Seq != 7 || resp.Status != StatusOK || resp.Op != "setParam" {
+		t.Errorf("NewResponse = %v", resp)
+	}
+	e := NewError(cmd, StatusLocked, "lock held")
+	if e.Kind != KindError || e.Status != StatusLocked || e.Seq != 7 {
+		t.Errorf("NewError = %v", e)
+	}
+	u := NewUpdate("app1", 3, Param{"t", "1.5"})
+	if u.Kind != KindUpdate || u.Seq != 3 {
+		t.Errorf("NewUpdate = %v", u)
+	}
+	ev := NewEvent("serverA", "peer-down", "serverB unreachable")
+	if ev.Kind != KindEvent || ev.Client != "serverA" || ev.Op != "peer-down" {
+		t.Errorf("NewEvent = %v", ev)
+	}
+}
+
+func TestMessageString(t *testing.T) {
+	m := NewCommand("a", "c", "op")
+	s := m.String()
+	for _, want := range []string{"command", `app="a"`, `op="op"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
