@@ -554,6 +554,88 @@ func BenchmarkOnewayVsTwoWay(b *testing.B) {
 	})
 }
 
+// BenchmarkRelayBatching measures a 64-update burst relayed host -> edge
+// with relay batching disabled (batch-1: one deliver invocation per
+// message, the seed behaviour) and enabled (batch-32: deliverBatch
+// coalescing). Run with -benchmem: the orbInv/msg metric comes from the
+// substrate's invocation counters, not timing, so the N -> ceil(N/K)
+// claim is visible directly.
+func BenchmarkRelayBatching(b *testing.B) {
+	run := func(b *testing.B, relayBatch int) {
+		fed, err := experiments.NewFederation(experiments.FederationConfig{
+			Mode:         core.Push,
+			PollInterval: 5 * time.Millisecond,
+			RelayBatch:   relayBatch,
+			Domains: []struct {
+				Name string
+				Site netsim.Site
+			}{experiments.DomainAt("host", "east"), experiments.DomainAt("edge", "west")},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(fed.Close)
+		host, edge := fed.Domains[0], fed.Domains[1]
+		as, err := experiments.AttachApp(host, "burst", 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { as.Close() })
+		if err := edge.Sub.DiscoverPeers(); err != nil {
+			b.Fatal(err)
+		}
+		sess, err := experiments.LoginLocal(edge, "alice")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := edge.Srv.ConnectApp(sess, as.AppID()); err != nil {
+			b.Fatal(err)
+		}
+		appID := as.AppID()
+		g := host.Srv.Hub().Group(appID)
+
+		const burst = 64
+		var seq uint64
+		wait := func(target uint64) {
+			for {
+				for _, m := range sess.Buffer.DrainWait(0, 100*time.Millisecond) {
+					if m.Kind == wire.KindUpdate && m.Seq >= target {
+						return
+					}
+				}
+			}
+		}
+		// Warm the relay path (and the deliverBatch capability probe).
+		seq++
+		g.BroadcastUpdate(wire.NewUpdate(appID, seq), "")
+		wait(seq)
+
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < burst; j++ {
+				seq++
+				g.BroadcastUpdate(wire.NewUpdate(appID, seq), "")
+			}
+			wait(seq)
+		}
+		b.StopTimer()
+		var inv, delivered, dropped uint64
+		for _, r := range host.Sub.RelayStats() {
+			inv += r.Invocations
+			delivered += r.Delivered
+			dropped += r.Dropped
+		}
+		if dropped != 0 {
+			b.Fatalf("relay dropped %d messages mid-benchmark", dropped)
+		}
+		if delivered > 0 {
+			b.ReportMetric(float64(inv)/float64(delivered), "orbInv/msg")
+		}
+	}
+	b.Run("batch-1", func(b *testing.B) { run(b, 1) })
+	b.Run("batch-32", func(b *testing.B) { run(b, core.DefaultRelayBatch) })
+}
+
 // BenchmarkA3PollVsPush measures end-to-end propagation of one update
 // between two servers in each mode (§5.2.3 design choice).
 func BenchmarkA3PollVsPush(b *testing.B) {

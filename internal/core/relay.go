@@ -2,21 +2,40 @@ package core
 
 import (
 	"context"
+	"sync/atomic"
 	"time"
 
+	"discover/internal/orb"
 	"discover/internal/server"
 	"discover/internal/wire"
 )
 
 // relaySender is the host-side push path for one subscribed peer: an
 // ordered, bounded queue drained by a single goroutine that invokes the
-// peer's Control.deliver. One sender serves every application that peer
+// peer's Control servant. One sender serves every application that peer
 // subscribed to, so per-application ordering is preserved.
+//
+// Each wakeup drains up to batchMax queued items and pushes them with ONE
+// deliverBatch oneway invocation — the batching that keeps the per-message
+// middleware overhead (ablation A1) off the WAN hot path. Peers that
+// predate deliverBatch are detected once via a two-way probe and served
+// with per-message deliver invocations coalesced into a single write.
 type relaySender struct {
-	sub   *Substrate
-	peer  peerInfo
-	queue chan relayItem
-	done  chan struct{}
+	sub      *Substrate
+	peer     peerInfo
+	queue    chan relayItem
+	done     chan struct{}
+	batchMax int
+	batch    []relayItem // drain scratch; loop goroutine only
+
+	probed atomic.Bool // peer confirmed to support deliverBatch
+	legacy atomic.Bool // peer confirmed to lack deliverBatch
+
+	delivered   atomic.Uint64 // messages handed to the ORB
+	dropped     atomic.Uint64 // messages shed on a full queue
+	batches     atomic.Uint64 // deliverBatch invocations issued
+	invocations atomic.Uint64 // total ORB invocations issued
+	failures    atomic.Uint64 // failed pushes (whole batch lost)
 }
 
 type relayItem struct {
@@ -28,12 +47,23 @@ type relayItem struct {
 // dropped (slow-peer shedding, same policy as client FIFOs).
 const relayQueueDepth = 1024
 
+// DefaultRelayBatch is the default drain limit per push invocation.
+const DefaultRelayBatch = 32
+
+// Backoff bounds for a peer whose pushes fail: without it the sender
+// retries the dead peer at full queue-drain rate and floods the log.
+const (
+	relayBackoffMin = 100 * time.Millisecond
+	relayBackoffMax = 5 * time.Second
+)
+
 func newRelaySender(s *Substrate, peer peerInfo) *relaySender {
 	r := &relaySender{
-		sub:   s,
-		peer:  peer,
-		queue: make(chan relayItem, relayQueueDepth),
-		done:  make(chan struct{}),
+		sub:      s,
+		peer:     peer,
+		queue:    make(chan relayItem, relayQueueDepth),
+		done:     make(chan struct{}),
+		batchMax: s.cfg.RelayBatch,
 	}
 	s.wg.Add(1)
 	go r.loop()
@@ -48,28 +78,127 @@ func (r *relaySender) deliverFunc(appID string) func(*wire.Message) {
 		case <-r.done:
 		default:
 			// Queue full: drop, as with slow clients. The peer catches up
-			// from the application log if it cares (pollUpdates).
+			// from the application log if it cares (pollUpdates). Counted
+			// so shedding is visible in GET /api/stats.
+			r.dropped.Add(1)
 		}
 	}
 }
 
+// drain collects first plus up to batchMax-1 further queued items without
+// blocking. The single drain goroutine preserves enqueue order.
+func (r *relaySender) drain(first relayItem) []relayItem {
+	batch := append(r.batch[:0], first)
+	for len(batch) < r.batchMax {
+		select {
+		case it := <-r.queue:
+			batch = append(batch, it)
+		default:
+			r.batch = batch
+			return batch
+		}
+	}
+	r.batch = batch
+	return batch
+}
+
 func (r *relaySender) loop() {
 	defer r.sub.wg.Done()
+	var backoff time.Duration
 	for {
 		select {
 		case <-r.done:
 			return
 		case it := <-r.queue:
-			// Oneway delivery: the push is pipelined, never blocked on a
-			// WAN round trip per message.
-			ctx, cancel := r.sub.rpcCtx()
-			err := r.sub.orb.InvokeOneway(ctx, r.peer.controlRef(), "deliver",
-				deliverReq{App: it.app, Msg: it.msg, From: r.sub.srv.Name()})
-			cancel()
-			if err != nil {
+			batch := r.drain(it)
+			if err := r.send(batch); err != nil {
+				r.failures.Add(1)
 				r.sub.cfg.Logf("core %s: relay to %s: %v", r.sub.srv.Name(), r.peer.name, err)
+				// The peer is likely down or restarted: drop the pooled
+				// connection so the next attempt redials, and back off
+				// instead of retrying at full drain rate.
+				r.sub.orb.DropConn(r.peer.addr)
+				backoff = nextBackoff(backoff)
+				select {
+				case <-r.done:
+					return
+				case <-time.After(backoff):
+				}
+			} else {
+				backoff = 0
+				r.delivered.Add(uint64(len(batch)))
 			}
 		}
+	}
+}
+
+func nextBackoff(d time.Duration) time.Duration {
+	if d == 0 {
+		return relayBackoffMin
+	}
+	d *= 2
+	if d > relayBackoffMax {
+		d = relayBackoffMax
+	}
+	return d
+}
+
+// send pushes one drained batch to the peer. Oneway delivery: the push is
+// pipelined, never blocked on a WAN round trip per message — except for
+// the first multi-message batch, which goes two-way once so a peer without
+// deliverBatch surfaces BAD_OPERATION instead of silently discarding it.
+func (r *relaySender) send(batch []relayItem) error {
+	ctx, cancel := r.sub.rpcCtx()
+	defer cancel()
+	if len(batch) == 1 {
+		r.invocations.Add(1)
+		return r.sub.orb.InvokeOneway(ctx, r.peer.controlRef(), "deliver",
+			deliverReq{App: batch[0].app, Msg: batch[0].msg, From: r.sub.srv.Name()})
+	}
+	if !r.legacy.Load() {
+		items := make([]deliverItem, len(batch))
+		for i, it := range batch {
+			items[i] = deliverItem{App: it.app, Msg: it.msg}
+		}
+		req := deliverBatchReq{Items: items, From: r.sub.srv.Name()}
+		r.invocations.Add(1)
+		if r.probed.Load() {
+			r.batches.Add(1)
+			return r.sub.orb.InvokeOneway(ctx, r.peer.controlRef(), "deliverBatch", req)
+		}
+		err := r.sub.orb.Invoke(ctx, r.peer.controlRef(), "deliverBatch", req, nil)
+		if err == nil {
+			r.probed.Store(true)
+			r.batches.Add(1)
+			return nil
+		}
+		if !orb.IsRemote(err, orb.CodeNoMethod) {
+			return err
+		}
+		r.legacy.Store(true)
+		r.sub.cfg.Logf("core %s: peer %s lacks deliverBatch, using per-message deliver",
+			r.sub.srv.Name(), r.peer.name)
+	}
+	// Mixed-version fallback: one deliver invocation per message, still
+	// coalesced into a single write on the pooled connection.
+	reqs := make([]any, len(batch))
+	for i, it := range batch {
+		reqs[i] = deliverReq{App: it.app, Msg: it.msg, From: r.sub.srv.Name()}
+	}
+	r.invocations.Add(uint64(len(reqs)))
+	return r.sub.orb.InvokeOnewayBatch(ctx, r.peer.controlRef(), "deliver", reqs)
+}
+
+// stats snapshots the sender's counters for /api/stats.
+func (r *relaySender) stats() server.RelayStats {
+	return server.RelayStats{
+		Peer:        r.peer.name,
+		Queued:      len(r.queue),
+		Delivered:   r.delivered.Load(),
+		Dropped:     r.dropped.Load(),
+		Batches:     r.batches.Load(),
+		Invocations: r.invocations.Load(),
+		Failures:    r.failures.Load(),
 	}
 }
 
@@ -90,6 +219,7 @@ type poller struct {
 	peer    peerInfo
 	appID   string
 	lastSeq uint64
+	scratch []*wire.Message
 	done    chan struct{}
 }
 
@@ -114,7 +244,8 @@ func (p *poller) loop(every time.Duration) {
 	}
 }
 
-// pollOnce pulls and dispatches one batch.
+// pollOnce pulls one batch and dispatches it through the batched local
+// fan-out (one group lookup per poll, not per message).
 func (p *poller) pollOnce() {
 	ctx, cancel := context.WithTimeout(context.Background(), p.sub.cfg.RPCTimeout)
 	defer cancel()
@@ -127,6 +258,7 @@ func (p *poller) pollOnce() {
 	}
 	p.lastSeq = resp.LastSeq
 	self := p.sub.srv.Name()
+	keep := p.scratch[:0]
 	for _, m := range resp.Msgs {
 		switch m.Kind {
 		case wire.KindResponse, wire.KindError:
@@ -134,8 +266,10 @@ func (p *poller) pollOnce() {
 				continue // another server's client
 			}
 		}
-		p.sub.srv.DeliverRemoteMessage(p.appID, m, p.peer.name)
+		keep = append(keep, m)
 	}
+	p.sub.srv.DeliverRemoteBatch(p.appID, keep, p.peer.name)
+	p.scratch = keep[:0]
 }
 
 func (p *poller) close() {

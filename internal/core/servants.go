@@ -97,7 +97,16 @@ type (
 		From string
 	}
 	deliverResp struct{}
-	eventReq    struct {
+	deliverItem struct {
+		App string
+		Msg *wire.Message
+	}
+	deliverBatchReq struct {
+		Items []deliverItem
+		From  string
+	}
+	deliverBatchResp struct{}
+	eventReq         struct {
 		Ev   *wire.Message
 		From string
 	}
@@ -147,6 +156,25 @@ func (s *Substrate) controlServant() orb.Servant {
 		"deliver": orb.Handler(func(r deliverReq) (deliverResp, error) {
 			s.srv.DeliverRemoteMessage(r.App, r.Msg, r.From)
 			return deliverResp{}, nil
+		}),
+		// deliverBatch is the batched form of deliver: one invocation
+		// carries a whole drained relay queue. Items arrive in the
+		// host's enqueue order; consecutive same-app runs share one
+		// local fan-out call so ordering within an app is untouched.
+		"deliverBatch": orb.Handler(func(r deliverBatchReq) (deliverBatchResp, error) {
+			for start := 0; start < len(r.Items); {
+				end := start + 1
+				for end < len(r.Items) && r.Items[end].App == r.Items[start].App {
+					end++
+				}
+				msgs := make([]*wire.Message, 0, end-start)
+				for _, it := range r.Items[start:end] {
+					msgs = append(msgs, it.Msg)
+				}
+				s.srv.DeliverRemoteBatch(r.Items[start].App, msgs, r.From)
+				start = end
+			}
+			return deliverBatchResp{}, nil
 		}),
 		"event": orb.Handler(func(r eventReq) (eventResp, error) {
 			s.srv.HandleControlEvent(r.Ev)

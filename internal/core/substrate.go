@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"sort"
 	"sync"
 	"time"
 
@@ -34,6 +35,7 @@ type Config struct {
 	Props         map[string]string
 	OfferTTL      time.Duration // trader lease (default 60s)
 	Mode          UpdateMode
+	RelayBatch    int                // max messages per push invocation (default 32; 1 disables batching)
 	PollInterval  time.Duration      // poll mode update interval (default 100ms)
 	DiscoverEvery time.Duration      // peer re-discovery period (default 5s)
 	DiscoverHops  int                // trader links to follow during discovery (default 0)
@@ -83,6 +85,9 @@ func New(cfg Config) (*Substrate, error) {
 	}
 	if cfg.OfferTTL <= 0 {
 		cfg.OfferTTL = 60 * time.Second
+	}
+	if cfg.RelayBatch <= 0 {
+		cfg.RelayBatch = DefaultRelayBatch
 	}
 	if cfg.PollInterval <= 0 {
 		cfg.PollInterval = 100 * time.Millisecond
@@ -292,6 +297,39 @@ func (s *Substrate) DiscoverPeers() error {
 // Accounting exposes the per-peer resource accountant: set policies with
 // SetPolicy and inspect consumption with Usage.
 func (s *Substrate) Accounting() *policy.Accountant { return s.acct }
+
+// RelayStats snapshots the host-side push-relay counters, one row per
+// subscribed peer (drops, batches, invocations). It implements half of
+// server.StatsProvider so GET /api/stats can surface relay shedding next
+// to client-FIFO drops.
+func (s *Substrate) RelayStats() []server.RelayStats {
+	s.mu.Lock()
+	senders := make([]*relaySender, 0, len(s.relays))
+	for _, r := range s.relays {
+		senders = append(senders, r)
+	}
+	s.mu.Unlock()
+	out := make([]server.RelayStats, 0, len(senders))
+	for _, r := range senders {
+		out = append(out, r.stats())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
+	return out
+}
+
+// WireStats snapshots the substrate ORB's cumulative wire-level counters
+// (invocations vs write syscalls vs bytes), the other half of
+// server.StatsProvider.
+func (s *Substrate) WireStats() server.WireStats {
+	st := s.orb.Stats()
+	return server.WireStats{
+		Invocations: st.Invocations,
+		Oneways:     st.Oneways,
+		Writes:      st.Writes,
+		BytesOut:    st.BytesOut,
+		Replies:     st.Replies,
+	}
+}
 
 // Peers lists discovered peer server names.
 func (s *Substrate) Peers() []string {

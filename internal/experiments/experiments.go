@@ -97,6 +97,7 @@ type FederationConfig struct {
 	Mode         core.UpdateMode
 	PollInterval time.Duration
 	FifoCapacity int
+	RelayBatch   int // max messages per relay push invocation (0 = default)
 }
 
 // DomainAt is a convenience constructor for FederationConfig.Domains.
@@ -209,6 +210,7 @@ func (f *Federation) addDomain(name string, site netsim.Site, cfg FederationConf
 		NamingRef:    orb.ObjRef{Addr: f.Trader.Addr(), Key: orb.NamingKey},
 		Mode:         cfg.Mode,
 		PollInterval: cfg.PollInterval,
+		RelayBatch:   cfg.RelayBatch,
 		Props:        map[string]string{"site": string(site)},
 		Logf:         quiet,
 	})

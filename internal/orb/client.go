@@ -2,6 +2,7 @@ package orb
 
 import (
 	"context"
+	"encoding/binary"
 	"net"
 	"sync"
 
@@ -12,7 +13,9 @@ import (
 // share it, matched to replies by request id.
 type poolConn struct {
 	conn    net.Conn
+	stats   *orbStats
 	writeMu sync.Mutex
+	sendBuf []byte // frame assembly buffer, guarded by writeMu
 
 	mu      sync.Mutex
 	nextID  uint64
@@ -20,8 +23,8 @@ type poolConn struct {
 	err     error
 }
 
-func newPoolConn(conn net.Conn) *poolConn {
-	pc := &poolConn{conn: conn, pending: make(map[uint64]chan *reply)}
+func newPoolConn(conn net.Conn, stats *orbStats) *poolConn {
+	pc := &poolConn{conn: conn, stats: stats, pending: make(map[uint64]chan *reply)}
 	go pc.readLoop()
 	return pc
 }
@@ -69,6 +72,35 @@ func (pc *poolConn) readLoop() {
 	}
 }
 
+// writeRequests encodes every request as a length-prefixed frame in the
+// connection's reusable buffer and issues a single Write — the request
+// path's only syscall, shared by single invocations and coalesced batches.
+func (pc *poolConn) writeRequests(rqs ...*request) error {
+	pc.writeMu.Lock()
+	buf := pc.sendBuf[:0]
+	for _, rq := range rqs {
+		start := len(buf)
+		buf = append(buf, 0, 0, 0, 0)
+		buf = appendRequest(buf, rq)
+		n := len(buf) - start - 4
+		if n > wire.MaxFrameSize {
+			pc.sendBuf = buf[:0]
+			pc.writeMu.Unlock()
+			return wire.ErrFrameTooLarge
+		}
+		binary.BigEndian.PutUint32(buf[start:start+4], uint32(n))
+	}
+	written := len(buf)
+	_, err := pc.conn.Write(buf)
+	pc.sendBuf = buf[:0]
+	pc.writeMu.Unlock()
+	if err == nil {
+		pc.stats.writes.Add(1)
+		pc.stats.bytesOut.Add(uint64(written))
+	}
+	return err
+}
+
 // sendOneway writes a request that expects no reply.
 func (pc *poolConn) sendOneway(key, method string, args []byte) error {
 	pc.mu.Lock()
@@ -81,14 +113,41 @@ func (pc *poolConn) sendOneway(key, method string, args []byte) error {
 	id := pc.nextID
 	pc.mu.Unlock()
 
-	payload := encodeRequest(&request{id: id, key: key, method: method, args: args, oneway: true})
-	pc.writeMu.Lock()
-	err := wire.WriteFrame(pc.conn, payload)
-	pc.writeMu.Unlock()
+	err := pc.writeRequests(&request{id: id, key: key, method: method, args: args, oneway: true})
 	if err != nil {
 		pc.close(&RemoteError{Code: CodeComm, Msg: "write failed: " + err.Error()})
 		return &RemoteError{Code: CodeComm, Msg: err.Error()}
 	}
+	pc.stats.oneways.Add(1)
+	return nil
+}
+
+// sendOnewayBatch writes several oneway requests to the same object and
+// method as consecutive frames in one Write. Frame order (and therefore
+// remote execution order relative to this connection) matches argsList.
+func (pc *poolConn) sendOnewayBatch(key, method string, argsList [][]byte) error {
+	if len(argsList) == 0 {
+		return nil
+	}
+	pc.mu.Lock()
+	if pc.err != nil {
+		err := pc.err
+		pc.mu.Unlock()
+		return err
+	}
+	firstID := pc.nextID + 1
+	pc.nextID += uint64(len(argsList))
+	pc.mu.Unlock()
+
+	rqs := make([]*request, len(argsList))
+	for i, args := range argsList {
+		rqs[i] = &request{id: firstID + uint64(i), key: key, method: method, args: args, oneway: true}
+	}
+	if err := pc.writeRequests(rqs...); err != nil {
+		pc.close(&RemoteError{Code: CodeComm, Msg: "write failed: " + err.Error()})
+		return &RemoteError{Code: CodeComm, Msg: err.Error()}
+	}
+	pc.stats.oneways.Add(uint64(len(argsList)))
 	return nil
 }
 
@@ -106,10 +165,7 @@ func (pc *poolConn) roundTrip(ctx context.Context, key, method string, args []by
 	pc.pending[id] = ch
 	pc.mu.Unlock()
 
-	payload := encodeRequest(&request{id: id, key: key, method: method, args: args})
-	pc.writeMu.Lock()
-	err := wire.WriteFrame(pc.conn, payload)
-	pc.writeMu.Unlock()
+	err := pc.writeRequests(&request{id: id, key: key, method: method, args: args})
 	if err != nil {
 		pc.mu.Lock()
 		delete(pc.pending, id)
@@ -117,6 +173,7 @@ func (pc *poolConn) roundTrip(ctx context.Context, key, method string, args []by
 		pc.close(&RemoteError{Code: CodeComm, Msg: "write failed: " + err.Error()})
 		return nil, &RemoteError{Code: CodeComm, Msg: err.Error()}
 	}
+	pc.stats.invocations.Add(1)
 
 	select {
 	case rp, ok := <-ch:

@@ -1,0 +1,247 @@
+package orb
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+
+	"discover/internal/wire"
+)
+
+// TestPoolConnConcurrentOnewayAndRoundTrip interleaves sendOneway and
+// roundTrip from many goroutines on ONE poolConn and asserts, under
+// -race:
+//
+//   - every roundTrip reply carries exactly the body its caller sent
+//     (request/reply multiplexing never cross-matches), and
+//   - oneway frames from each sender goroutine arrive on the wire in that
+//     goroutine's send order (FIFO framing survives the shared
+//     single-write encoder).
+//
+// The peer is a raw frame reader, not a full ORB, so frame arrival order
+// is observed directly rather than through per-request servant
+// goroutines.
+func TestPoolConnConcurrentOnewayAndRoundTrip(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	type rec struct{ sender, seq uint32 }
+	recCh := make(chan rec, 1<<14)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		for {
+			payload, err := wire.ReadFrame(conn)
+			if err != nil {
+				return
+			}
+			rq, _, err := decodeFrame(payload)
+			if err != nil || rq == nil {
+				t.Error("malformed frame reached the peer")
+				return
+			}
+			if rq.oneway {
+				recCh <- rec{
+					sender: binary.BigEndian.Uint32(rq.args[:4]),
+					seq:    binary.BigEndian.Uint32(rq.args[4:8]),
+				}
+				continue
+			}
+			// Echo the request body so callers can verify matching.
+			if err := wire.WriteFrame(conn, encodeReply(&reply{id: rq.id, status: replyOK, body: rq.args})); err != nil {
+				return
+			}
+		}
+	}()
+
+	raw, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats orbStats
+	pc := newPoolConn(raw, &stats)
+	defer pc.close(errors.New("test over"))
+
+	const senders, perSender = 8, 150
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			var arg [8]byte
+			binary.BigEndian.PutUint32(arg[:4], uint32(s))
+			for i := 0; i < perSender; i++ {
+				binary.BigEndian.PutUint32(arg[4:], uint32(i))
+				if i%3 == 2 { // interleave a round trip among oneways
+					body, err := pc.roundTrip(context.Background(), "obj", "echo", arg[:])
+					if err != nil {
+						t.Errorf("sender %d roundTrip %d: %v", s, i, err)
+						return
+					}
+					if !bytes.Equal(body, arg[:]) {
+						t.Errorf("sender %d: reply %x for request %x", s, body, arg)
+						return
+					}
+				} else {
+					if err := pc.sendOneway("obj", "note", arg[:]); err != nil {
+						t.Errorf("sender %d oneway %d: %v", s, i, err)
+						return
+					}
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	// The connection is FIFO: once a final round trip completes, every
+	// earlier frame has been read by the peer.
+	var fin [8]byte
+	binary.BigEndian.PutUint32(fin[:4], ^uint32(0))
+	if _, err := pc.roundTrip(context.Background(), "obj", "echo", fin[:]); err != nil {
+		t.Fatal(err)
+	}
+
+	lastSeq := make(map[uint32]int)
+	received := 0
+drain:
+	for {
+		select {
+		case r := <-recCh:
+			received++
+			if last, ok := lastSeq[r.sender]; ok && int(r.seq) <= last {
+				t.Fatalf("sender %d frames reordered: seq %d after %d", r.sender, r.seq, last)
+			}
+			lastSeq[r.sender] = int(r.seq)
+		default:
+			break drain
+		}
+	}
+	wantOneways := senders * perSender * 2 / 3
+	if received != wantOneways {
+		t.Errorf("peer saw %d oneway frames, want %d", received, wantOneways)
+	}
+	if got := stats.oneways.Load(); got != uint64(wantOneways) {
+		t.Errorf("stats.oneways = %d, want %d", got, wantOneways)
+	}
+	if got := stats.writes.Load(); got == 0 {
+		t.Error("stats.writes never incremented")
+	}
+}
+
+// TestSendOnewayBatchFIFO checks that a coalesced batch reaches the peer
+// as consecutive in-order frames even while other goroutines write to the
+// same connection.
+func TestSendOnewayBatchFIFO(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	type frame struct {
+		method string
+		seq    uint32
+	}
+	frames := make(chan frame, 4096)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		for {
+			payload, err := wire.ReadFrame(conn)
+			if err != nil {
+				return
+			}
+			rq, _, err := decodeFrame(payload)
+			if err != nil || rq == nil {
+				return
+			}
+			if rq.oneway {
+				frames <- frame{method: rq.method, seq: binary.BigEndian.Uint32(rq.args)}
+				continue
+			}
+			wire.WriteFrame(conn, encodeReply(&reply{id: rq.id, status: replyOK}))
+		}
+	}()
+
+	raw, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats orbStats
+	pc := newPoolConn(raw, &stats)
+	defer pc.close(errors.New("test over"))
+
+	const batches, batchSize = 20, 16
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // competing single-frame traffic
+		defer wg.Done()
+		var arg [4]byte
+		for i := 0; i < batches*batchSize; i++ {
+			binary.BigEndian.PutUint32(arg[:], uint32(i))
+			if err := pc.sendOneway("obj", "single", arg[:]); err != nil {
+				t.Errorf("single %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for b := 0; b < batches; b++ {
+			argsList := make([][]byte, batchSize)
+			for i := range argsList {
+				arg := make([]byte, 4)
+				binary.BigEndian.PutUint32(arg, uint32(b*batchSize+i))
+				argsList[i] = arg
+			}
+			if err := pc.sendOnewayBatch("obj", "batched", argsList); err != nil {
+				t.Errorf("batch %d: %v", b, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if _, err := pc.roundTrip(context.Background(), "obj", "echo", []byte{0, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+
+	var nextBatched, nextSingle uint32
+	count := 0
+drain:
+	for {
+		select {
+		case f := <-frames:
+			count++
+			switch f.method {
+			case "batched":
+				if f.seq != nextBatched {
+					t.Fatalf("batched frame %d arrived, want %d", f.seq, nextBatched)
+				}
+				nextBatched++
+			case "single":
+				if f.seq != nextSingle {
+					t.Fatalf("single frame %d arrived, want %d", f.seq, nextSingle)
+				}
+				nextSingle++
+			}
+		default:
+			break drain
+		}
+	}
+	if count != 2*batches*batchSize {
+		t.Errorf("peer saw %d frames, want %d", count, 2*batches*batchSize)
+	}
+}

@@ -2,10 +2,12 @@ package orb
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"discover/internal/wire"
 )
@@ -56,10 +58,32 @@ type Option func(*ORB)
 // ORB's client side.
 func WithDialer(d Dialer) Option { return func(o *ORB) { o.dial = d } }
 
+// orbStats is the ORB's shared atomic counter block. Pooled connections
+// hold a pointer to it so totals survive connection churn.
+type orbStats struct {
+	invocations atomic.Uint64 // two-way requests sent
+	oneways     atomic.Uint64 // oneway requests sent
+	writes      atomic.Uint64 // client-side write syscalls on pooled conns
+	bytesOut    atomic.Uint64 // client-side bytes written on pooled conns
+	replies     atomic.Uint64 // server-side replies written
+}
+
+// Stats is a snapshot of an ORB's cumulative wire-level work: how many
+// invocations went out and what they cost in write syscalls and bytes.
+// Writes < Invocations+Oneways indicates frame coalescing is working.
+type Stats struct {
+	Invocations uint64 // two-way requests sent
+	Oneways     uint64 // oneway requests sent
+	Writes      uint64 // write syscalls issued for requests
+	BytesOut    uint64 // request bytes written
+	Replies     uint64 // replies served to remote callers
+}
+
 // ORB hosts servants on a listening endpoint and invokes methods on remote
 // objects through a pool of multiplexed connections.
 type ORB struct {
-	dial Dialer
+	dial  Dialer
+	stats orbStats
 
 	mu       sync.RWMutex
 	servants map[string]Servant
@@ -72,6 +96,18 @@ type ORB struct {
 	pool   map[string]*poolConn
 
 	wg sync.WaitGroup
+}
+
+// Stats reports cumulative counters over all pooled connections, past and
+// present.
+func (o *ORB) Stats() Stats {
+	return Stats{
+		Invocations: o.stats.invocations.Load(),
+		Oneways:     o.stats.oneways.Load(),
+		Writes:      o.stats.writes.Load(),
+		BytesOut:    o.stats.bytesOut.Load(),
+		Replies:     o.stats.replies.Load(),
+	}
 }
 
 // New creates an ORB. Call Listen to host servants; a client-only ORB
@@ -187,14 +223,20 @@ func (o *ORB) serveConn(conn net.Conn) {
 		delete(o.accepted, conn)
 		o.mu.Unlock()
 	}()
-	var writeMu sync.Mutex
+	rw := &replyWriter{conn: conn, stats: &o.stats}
 	var handlers sync.WaitGroup
 	defer handlers.Wait()
+	var readBuf []byte
 	for {
-		payload, err := wire.ReadFrame(conn)
+		payload, err := wire.ReadFrameBuf(conn, readBuf)
 		if err != nil {
 			return
 		}
+		if cap(payload) > cap(readBuf) {
+			readBuf = payload[:0]
+		}
+		// decodeFrame copies every field out of payload, so the read
+		// buffer is free for reuse as soon as it returns.
 		rq, _, err := decodeFrame(payload)
 		if err != nil || rq == nil {
 			return // protocol violation: drop the connection
@@ -206,14 +248,39 @@ func (o *ORB) serveConn(conn net.Conn) {
 			if rq.oneway {
 				return // oneway: no reply travels back
 			}
-			writeMu.Lock()
-			err := wire.WriteFrame(conn, encodeReply(rp))
-			writeMu.Unlock()
-			if err != nil {
+			if err := rw.write(rp); err != nil {
 				conn.Close()
 			}
 		}(rq)
 	}
+}
+
+// replyWriter assembles each reply frame in a per-connection reusable
+// buffer and writes it with a single syscall.
+type replyWriter struct {
+	mu    sync.Mutex
+	buf   []byte
+	conn  net.Conn
+	stats *orbStats
+}
+
+func (rw *replyWriter) write(rp *reply) error {
+	rw.mu.Lock()
+	buf := append(rw.buf[:0], 0, 0, 0, 0)
+	buf = appendReply(buf, rp)
+	if len(buf)-4 > wire.MaxFrameSize {
+		rw.buf = buf[:0]
+		rw.mu.Unlock()
+		return wire.ErrFrameTooLarge
+	}
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(buf)-4))
+	_, err := rw.conn.Write(buf)
+	rw.buf = buf[:0]
+	rw.mu.Unlock()
+	if err == nil {
+		rw.stats.replies.Add(1)
+	}
+	return err
 }
 
 func (o *ORB) execute(rq *request) *reply {
@@ -290,7 +357,7 @@ func (o *ORB) getConn(ctx context.Context, addr string) (*poolConn, error) {
 	if err != nil {
 		return nil, err
 	}
-	pc = newPoolConn(conn)
+	pc = newPoolConn(conn, &o.stats)
 
 	o.poolMu.Lock()
 	if existing, ok := o.pool[addr]; ok && !existing.dead() {
@@ -322,6 +389,43 @@ func (o *ORB) InvokeOneway(ctx context.Context, ref ObjRef, method string, in an
 			return &RemoteError{Code: CodeComm, Msg: err.Error()}
 		}
 		err = pc.sendOneway(ref.Key, method, args)
+		if err == nil {
+			return nil
+		}
+		var re *RemoteError
+		if errors.As(err, &re) && re.Code == CodeComm && attempt == 0 {
+			continue
+		}
+		return err
+	}
+}
+
+// InvokeOnewayBatch sends one oneway request per element of ins to the
+// same object and method, coalescing all frames into a single write on the
+// pooled connection. Remote execution order matches ins. It is the
+// syscall-frugal form of a loop over InvokeOneway, used by relay fan-out
+// paths that must speak to peers lacking a batched servant method.
+func (o *ORB) InvokeOnewayBatch(ctx context.Context, ref ObjRef, method string, ins []any) error {
+	if ref.IsZero() {
+		return errors.New("orb: oneway invoke on zero ObjRef")
+	}
+	if len(ins) == 0 {
+		return nil
+	}
+	argsList := make([][]byte, len(ins))
+	for i, in := range ins {
+		args, err := Marshal(in)
+		if err != nil {
+			return err
+		}
+		argsList[i] = args
+	}
+	for attempt := 0; ; attempt++ {
+		pc, err := o.getConn(ctx, ref.Addr)
+		if err != nil {
+			return &RemoteError{Code: CodeComm, Msg: err.Error()}
+		}
+		err = pc.sendOnewayBatch(ref.Key, method, argsList)
 		if err == nil {
 			return nil
 		}

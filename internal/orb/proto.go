@@ -167,13 +167,14 @@ func (r *frameReader) blob() ([]byte, error) {
 	return b, nil
 }
 
-// encodeRequest renders a request frame payload.
-func encodeRequest(rq *request) []byte {
+// appendRequest appends a request frame payload to buf and returns the
+// extended slice. Appending into a caller-owned (pooled) buffer keeps the
+// hot invocation path free of per-call payload allocations.
+func appendRequest(buf []byte, rq *request) []byte {
 	mt := byte(msgRequest)
 	if rq.oneway {
 		mt = msgOneway
 	}
-	buf := make([]byte, 0, 64+len(rq.args))
 	buf = append(buf, protoMagic...)
 	buf = append(buf, protoVersion, mt)
 	buf = appendU64(buf, rq.id)
@@ -183,9 +184,19 @@ func encodeRequest(rq *request) []byte {
 	return buf
 }
 
-// encodeReply renders a reply frame payload.
+// encodeRequest renders a request frame payload in a fresh slice.
+func encodeRequest(rq *request) []byte {
+	return appendRequest(make([]byte, 0, 64+len(rq.args)), rq)
+}
+
+// encodeReply renders a reply frame payload in a fresh slice.
 func encodeReply(rp *reply) []byte {
-	buf := make([]byte, 0, 32+len(rp.body))
+	return appendReply(make([]byte, 0, 32+len(rp.body)), rp)
+}
+
+// appendReply appends a reply frame payload to buf and returns the
+// extended slice.
+func appendReply(buf []byte, rp *reply) []byte {
 	buf = append(buf, protoMagic...)
 	buf = append(buf, protoVersion, msgReply)
 	buf = appendU64(buf, rp.id)

@@ -162,6 +162,38 @@ type StatsResponse struct {
 	Name     string         `json:"name"`
 	Apps     []AppStats     `json:"apps"`
 	Sessions []SessionStats `json:"sessions"`
+	Relays   []RelayStats   `json:"relays,omitempty"`
+	Wire     *WireStats     `json:"wire,omitempty"`
+}
+
+// RelayStats describes the push relay to one subscribed peer server:
+// queue depth, messages shed on overflow (the relay analogue of client
+// FIFO drops), and how many ORB invocations the batching paid for them.
+type RelayStats struct {
+	Peer        string `json:"peer"`
+	Queued      int    `json:"queued"`
+	Delivered   uint64 `json:"delivered"`
+	Dropped     uint64 `json:"dropped"`
+	Batches     uint64 `json:"batches"`
+	Invocations uint64 `json:"invocations"`
+	Failures    uint64 `json:"failures"`
+}
+
+// WireStats aggregates the substrate ORB's wire-level counters. Writes
+// below Invocations+Oneways means frame coalescing is saving syscalls.
+type WireStats struct {
+	Invocations uint64 `json:"invocations"`
+	Oneways     uint64 `json:"oneways"`
+	Writes      uint64 `json:"writes"`
+	BytesOut    uint64 `json:"bytesOut"`
+	Replies     uint64 `json:"replies"`
+}
+
+// StatsProvider is an optional Federation extension: a substrate that
+// implements it gets its relay and wire counters surfaced in /api/stats.
+type StatsProvider interface {
+	RelayStats() []RelayStats
+	WireStats() WireStats
 }
 
 // AppStats describes one local application's server-side state.
@@ -220,6 +252,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Dropped:   dropped,
 			HighWater: hw,
 		})
+	}
+	if sp, ok := s.federation().(StatsProvider); ok {
+		resp.Relays = sp.RelayStats()
+		ws := sp.WireStats()
+		resp.Wire = &ws
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

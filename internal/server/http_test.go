@@ -338,3 +338,52 @@ func TestHTTPPollLongPollWakesOnPush(t *testing.T) {
 		t.Error("long poll returned empty despite update")
 	}
 }
+
+// statsFed is a stub Federation that also implements StatsProvider, as
+// the middleware substrate does.
+type statsFed struct{}
+
+func (statsFed) RemoteApps(string) []AppInfo                    { return nil }
+func (statsFed) RemotePrivilege(string, string) (string, error) { return "", nil }
+func (statsFed) ForwardCommand(string, *wire.Message) error     { return nil }
+func (statsFed) RemoteLock(string, string, bool) (bool, string, error) {
+	return false, "", nil
+}
+func (statsFed) ForwardCollab(string, *wire.Message) error { return nil }
+func (statsFed) Subscribe(string) error                    { return nil }
+func (statsFed) Unsubscribe(string) error                  { return nil }
+func (statsFed) NotifyEvent(*wire.Message)                 {}
+func (statsFed) RelayStats() []RelayStats {
+	return []RelayStats{{Peer: "caltech", Delivered: 70, Dropped: 2, Batches: 3, Invocations: 4}}
+}
+func (statsFed) WireStats() WireStats {
+	return WireStats{Oneways: 9, Writes: 5, BytesOut: 4096}
+}
+
+// TestHTTPStatsFederation checks that a federated server surfaces the
+// substrate's relay and wire counters through GET /api/stats, and that a
+// standalone server omits them.
+func TestHTTPStatsFederation(t *testing.T) {
+	d, c := deployHTTP(t)
+
+	var stats StatsResponse
+	if code := c.get("/api/stats", &stats); code != 200 {
+		t.Fatalf("stats -> %d", code)
+	}
+	if len(stats.Relays) != 0 || stats.Wire != nil {
+		t.Errorf("standalone server leaked federation stats: %+v", stats)
+	}
+
+	d.srv.SetFederation(statsFed{})
+	stats = StatsResponse{}
+	if code := c.get("/api/stats", &stats); code != 200 {
+		t.Fatalf("federated stats -> %d", code)
+	}
+	if len(stats.Relays) != 1 || stats.Relays[0].Peer != "caltech" ||
+		stats.Relays[0].Delivered != 70 || stats.Relays[0].Dropped != 2 {
+		t.Errorf("relays = %+v", stats.Relays)
+	}
+	if stats.Wire == nil || stats.Wire.Oneways != 9 || stats.Wire.BytesOut != 4096 {
+		t.Errorf("wire = %+v", stats.Wire)
+	}
+}

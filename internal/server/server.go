@@ -363,7 +363,23 @@ func (s *Server) UnsubscribeRelay(appID, peer string) {
 // out to this server's local clients — the second hop of the substrate's
 // one-message-per-server collaboration scheme.
 func (s *Server) DeliverRemoteMessage(appID string, m *wire.Message, fromServer string) {
+	s.deliverRemote(s.hub.Group(appID), appID, m, fromServer)
+}
+
+// DeliverRemoteBatch fans a whole relayed batch out in arrival order with
+// a single group lookup — the local half of the substrate's batched push
+// (and poll) paths.
+func (s *Server) DeliverRemoteBatch(appID string, msgs []*wire.Message, fromServer string) {
+	if len(msgs) == 0 {
+		return
+	}
 	g := s.hub.Group(appID)
+	for _, m := range msgs {
+		s.deliverRemote(g, appID, m, fromServer)
+	}
+}
+
+func (s *Server) deliverRemote(g *collab.Group, appID string, m *wire.Message, fromServer string) {
 	switch m.Kind {
 	case wire.KindUpdate, wire.KindEvent:
 		g.BroadcastUpdate(m, "relay/"+fromServer)

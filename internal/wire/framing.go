@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 )
 
 // MaxFrameSize bounds a single frame on any DISCOVER stream. It is sized to
@@ -17,24 +18,86 @@ const MaxFrameSize = MaxDataLen + 1<<20
 // MaxFrameSize; the connection should be dropped.
 var ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrameSize")
 
+// maxPooledBuf caps the capacity of buffers returned to the frame pool so
+// a single jumbo frame does not pin megabytes for the process lifetime.
+const maxPooledBuf = 64 << 10
+
+// framePool recycles frame-assembly buffers across WriteFrame calls. The
+// pool stores *[]byte to avoid an allocation per Put.
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+func getFrameBuf() *[]byte { return framePool.Get().(*[]byte) }
+
+func putFrameBuf(bp *[]byte) {
+	if cap(*bp) > maxPooledBuf {
+		return
+	}
+	*bp = (*bp)[:0]
+	framePool.Put(bp)
+}
+
 // WriteFrame writes one length-prefixed frame (big-endian uint32 length
-// followed by payload) to w.
+// followed by payload) to w. Header and payload are assembled in a pooled
+// buffer and issued as a single Write, so one frame costs one syscall (and
+// one write event on shaped links, see internal/netsim).
 func WriteFrame(w io.Writer, payload []byte) error {
 	if len(payload) > MaxFrameSize {
 		return ErrFrameTooLarge
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
+	bp := getFrameBuf()
+	buf := append((*bp)[:0], 0, 0, 0, 0)
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(payload)))
+	buf = append(buf, payload...)
+	_, err := w.Write(buf)
+	*bp = buf
+	putFrameBuf(bp)
+	return err
+}
+
+// WriteFrames coalesces several length-prefixed frames into one buffer and
+// one Write. Receivers observe exactly the same byte stream as len(payloads)
+// sequential WriteFrame calls; the only difference is the syscall count.
+func WriteFrames(w io.Writer, payloads ...[]byte) error {
+	if len(payloads) == 0 {
+		return nil
 	}
-	_, err := w.Write(payload)
+	for _, p := range payloads {
+		if len(p) > MaxFrameSize {
+			return ErrFrameTooLarge
+		}
+	}
+	bp := getFrameBuf()
+	buf := (*bp)[:0]
+	for _, p := range payloads {
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(p)))
+		buf = append(buf, hdr[:]...)
+		buf = append(buf, p...)
+	}
+	_, err := w.Write(buf)
+	*bp = buf
+	putFrameBuf(bp)
 	return err
 }
 
 // ReadFrame reads one length-prefixed frame from r. The returned slice is
 // freshly allocated.
 func ReadFrame(r io.Reader) ([]byte, error) {
+	return ReadFrameBuf(r, nil)
+}
+
+// ReadFrameBuf reads one length-prefixed frame from r into buf when its
+// capacity suffices, allocating only for larger frames. The returned slice
+// aliases buf in the reuse case, so callers must fully consume (or copy)
+// the payload before the next ReadFrameBuf with the same buffer — the
+// single-reader discipline every channel loop in this repository already
+// follows.
+func ReadFrameBuf(r io.Reader, buf []byte) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
@@ -43,7 +106,12 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 	if n > MaxFrameSize {
 		return nil, ErrFrameTooLarge
 	}
-	payload := make([]byte, n)
+	var payload []byte
+	if uint32(cap(buf)) >= n {
+		payload = buf[:n]
+	} else {
+		payload = make([]byte, n)
+	}
 	if _, err := io.ReadFull(r, payload); err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
@@ -61,12 +129,12 @@ type Conn struct {
 	codec   Codec
 	sendMu  sync.Mutex
 	sendBuf []byte
+	recvBuf []byte // reused by Recv; safe under the single-reader rule
 
-	statMu    sync.Mutex
-	sentMsgs  uint64
-	sentBytes uint64
-	recvMsgs  uint64
-	recvBytes uint64
+	sentMsgs  atomic.Uint64
+	sentBytes atomic.Uint64
+	recvMsgs  atomic.Uint64
+	recvBytes atomic.Uint64
 }
 
 // NewConn wraps raw with codec. The Conn takes ownership of raw.
@@ -99,27 +167,28 @@ func (c *Conn) Send(m *Message) error {
 	if _, err := c.raw.Write(buf); err != nil {
 		return err
 	}
-	c.statMu.Lock()
-	c.sentMsgs++
-	c.sentBytes += uint64(len(buf))
-	c.statMu.Unlock()
+	c.sentMsgs.Add(1)
+	c.sentBytes.Add(uint64(len(buf)))
 	return nil
 }
 
-// Recv reads and decodes one message.
+// Recv reads and decodes one message. The frame is read into a buffer
+// reused across calls; both codecs copy every field out during Decode, so
+// the returned Message never aliases it.
 func (c *Conn) Recv() (*Message, error) {
-	payload, err := ReadFrame(c.raw)
+	payload, err := ReadFrameBuf(c.raw, c.recvBuf)
 	if err != nil {
 		return nil, err
+	}
+	if cap(payload) > cap(c.recvBuf) && cap(payload) <= maxPooledBuf {
+		c.recvBuf = payload[:0]
 	}
 	m, err := c.codec.Decode(payload)
 	if err != nil {
 		return nil, fmt.Errorf("wire: decoding frame: %w", err)
 	}
-	c.statMu.Lock()
-	c.recvMsgs++
-	c.recvBytes += uint64(len(payload)) + 4
-	c.statMu.Unlock()
+	c.recvMsgs.Add(1)
+	c.recvBytes.Add(uint64(len(payload)) + 4)
 	return m, nil
 }
 
@@ -127,8 +196,8 @@ func (c *Conn) Recv() (*Message, error) {
 func (c *Conn) Close() error { return c.raw.Close() }
 
 // Stats reports cumulative message and byte counts in both directions.
+// Counters are atomics, so concurrent senders never serialize on stats
+// bookkeeping.
 func (c *Conn) Stats() (sentMsgs, sentBytes, recvMsgs, recvBytes uint64) {
-	c.statMu.Lock()
-	defer c.statMu.Unlock()
-	return c.sentMsgs, c.sentBytes, c.recvMsgs, c.recvBytes
+	return c.sentMsgs.Load(), c.sentBytes.Load(), c.recvMsgs.Load(), c.recvBytes.Load()
 }

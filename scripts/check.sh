@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repo-wide check: format, vet, build, race-clean tests, bench smoke.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+go vet ./...
+go build ./...
+go test -race ./...
+
+# Bench smoke: one iteration of every benchmark, so the bench code itself
+# cannot rot between full harness runs.
+go test -run '^$' -bench . -benchtime 1x ./...
