@@ -98,6 +98,12 @@ var all = []experiment{
 		}
 		return experiments.RunA3(15, 100*time.Millisecond, 20*time.Millisecond)
 	}},
+	{"R1", func(q bool) (experiments.Result, error) {
+		if q {
+			return experiments.RunR1(5 * time.Millisecond)
+		}
+		return experiments.RunR1(20 * time.Millisecond)
+	}},
 }
 
 func main() {

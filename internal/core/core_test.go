@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -175,6 +176,14 @@ func TestSubstrateCloseWithdrawsOffer(t *testing.T) {
 		t.Fatal("setup failed")
 	}
 	b.sub.Close()
+	// One missed discovery round keeps a known peer (marked suspect) to
+	// ride out a momentary trader-offer lapse; the second drops it.
+	if err := a.sub.DiscoverPeers(); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.sub.Peers()) != 1 {
+		t.Errorf("peer dropped on first missed round: %v", a.sub.Peers())
+	}
 	if err := a.sub.DiscoverPeers(); err != nil {
 		t.Fatal(err)
 	}
@@ -519,7 +528,10 @@ func TestUnsubscribeStopsTraffic(t *testing.T) {
 // It asserts liveness (no deadlock within the deadline) and the global
 // mutual-exclusion invariant: every successful mutating command was
 // issued by the lock holder of the moment, so the two contended counters
-// never interleave within one client's read-modify-write.
+// never interleave within one client's read-modify-write. Midway through
+// the run one domain is killed abruptly and later restarted: the
+// survivors must detect the death, keep serving, and re-federate with the
+// reborn domain.
 func TestFederationChaos(t *testing.T) {
 	n := newTestNet(t)
 	domains := []*domain{
@@ -556,7 +568,7 @@ func TestFederationChaos(t *testing.T) {
 		go func(c int) {
 			defer wg.Done()
 			r := rand.New(rand.NewSource(int64(c)))
-			d := domains[c%len(domains)]
+			d := domains[c%2] // only the surviving domains serve chaos clients
 			sess, err := d.srv.Login("alice", "pw")
 			if err != nil {
 				t.Errorf("client %d login: %v", c, err)
@@ -596,6 +608,38 @@ func TestFederationChaos(t *testing.T) {
 			d.srv.Logout(sess)
 		}(c)
 	}
+	// Mid-run: kill d2 abruptly (no offer withdrawal — close the wire
+	// first) while the chaos clients keep hammering d0 and d1.
+	time.Sleep(400 * time.Millisecond)
+	d2 := domains[2]
+	d2.orb.Close()
+	d2.srv.Close()
+	d2.sub.Close()
+	// Survivors detect the death: drive the failure detector until both
+	// either opened the breaker or pruned the peer via discovery.
+	sawDown := func(d *domain) bool {
+		for _, ph := range d.sub.PeerHealth() {
+			if ph.Peer == "d2" && (ph.State == "down" || ph.State == "probing") {
+				return true
+			}
+		}
+		for _, p := range d.sub.Peers() {
+			if p == "d2" {
+				return false
+			}
+		}
+		return true // pruned entirely: also a detected death
+	}
+	waitFor(t, 10*time.Second, func() bool {
+		domains[0].sub.CheckPeersNow()
+		domains[1].sub.CheckPeersNow()
+		return sawDown(domains[0]) && sawDown(domains[1])
+	})
+
+	// Restart d2 under the same name and re-federate.
+	d2b := n.addDomain("d2", Push)
+	n.discoverAll()
+
 	waitDone := make(chan struct{})
 	go func() { wg.Wait(); close(waitDone) }()
 	select {
@@ -612,6 +656,28 @@ func TestFederationChaos(t *testing.T) {
 			t.Errorf("lock on %s leaked to %s", as.AppID(), holder)
 		}
 	}
+
+	// The reborn d2 participates end-to-end: a client there steers the
+	// d0-hosted application through the re-formed federation.
+	sess, err := d2b.srv.Login("alice", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d2b.srv.ConnectApp(sess, apps[0].AppID()); err != nil {
+		t.Fatalf("connect via reborn domain: %v", err)
+	}
+	waitFor(t, 10*time.Second, func() bool {
+		granted, _, err := d2b.srv.LockOp(sess, true)
+		return err == nil && granted
+	})
+	if _, err := d2b.srv.SubmitCommand(sess, "set_param", []wire.Param{
+		{Key: "name", Value: "source_amp"},
+		{Key: "value", Value: "2.0"},
+	}); err != nil {
+		t.Errorf("steer via reborn domain: %v", err)
+	}
+	d2b.srv.LockOp(sess, false)
+	d2b.srv.Logout(sess)
 }
 
 func serverOf(domains []*domain, appID string) *server.Server {
@@ -695,8 +761,9 @@ func TestLinkedTraderDiscovery(t *testing.T) {
 
 // TestPeerFailureHandledCleanly kills the host domain abruptly and checks
 // that the remote server degrades gracefully: remote operations fail with
-// errors (never hang or panic), and discovery prunes the dead peer once
-// its trader offer lapses/withdraws.
+// errors (never hang or panic), the failure detector opens the breaker so
+// later operations fail fast with ErrPeerDown, and the dead peer's
+// applications stay listed — marked unavailable — from the cache.
 func TestPeerFailureHandledCleanly(t *testing.T) {
 	n := newTestNet(t)
 	a := n.addDomain("rutgers", Push)
@@ -708,6 +775,10 @@ func TestPeerFailureHandledCleanly(t *testing.T) {
 	sess, _ := b.srv.Login("alice", "pw")
 	if _, err := b.srv.ConnectApp(sess, appID); err != nil {
 		t.Fatal(err)
+	}
+	// Populate b's remote-app cache while the host is alive.
+	if apps := b.srv.Apps("alice"); len(apps) != 1 || apps[0].Unavailable {
+		t.Fatalf("pre-failure apps = %v", apps)
 	}
 
 	// Abrupt death: close the host's ORB and server without withdrawing.
@@ -734,9 +805,37 @@ func TestPeerFailureHandledCleanly(t *testing.T) {
 	if _, _, err := b.srv.LockOp(sess, true); err == nil {
 		t.Error("lock relay to dead peer succeeded")
 	}
-	// Remote app listing skips the dead peer rather than failing.
-	if apps := b.srv.Apps("alice"); len(apps) != 0 {
-		t.Errorf("apps from dead peer: %v", apps)
+
+	// Drive the failure detector to the down threshold; dials to the
+	// closed listener fail immediately, so this is fast and deterministic.
+	for i := 0; i < DefaultDownAfter; i++ {
+		b.sub.CheckPeersNow()
+	}
+	if st := b.sub.health.state("rutgers"); st != PeerDown {
+		t.Fatalf("peer state after %d failed probes = %v", DefaultDownAfter, st)
+	}
+
+	// Breaker open: operations fail fast with the typed error, well under
+	// the RPC timeout.
+	start := time.Now()
+	_, err := b.srv.SubmitCommand(sess, "status", nil)
+	if !errors.Is(err, ErrPeerDown) {
+		t.Errorf("command after breaker open: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("breaker-open command took %v, want fast-fail", elapsed)
+	}
+
+	// The dead peer's applications are still listed, marked unavailable.
+	apps := b.srv.Apps("alice")
+	if len(apps) != 1 || !apps[0].Unavailable || apps[0].ID != appID {
+		t.Errorf("apps after peer death = %+v", apps)
+	}
+
+	// Stats surface the breaker state.
+	ph := b.sub.PeerHealth()
+	if len(ph) != 1 || ph[0].Peer != "rutgers" || ph[0].State != "down" || ph[0].BreakerOpens == 0 {
+		t.Errorf("peer health = %+v", ph)
 	}
 }
 

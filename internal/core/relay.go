@@ -110,14 +110,29 @@ func (r *relaySender) loop() {
 		case <-r.done:
 			return
 		case it := <-r.queue:
+			// Park while the peer's breaker is open: the recovery prober
+			// owns retries, and wakes us by closing the recovered channel.
+			// Queued traffic beyond the queue bound is shed as usual.
+			if ch := r.sub.health.blockedCh(r.peer.name); ch != nil {
+				select {
+				case <-r.done:
+					return
+				case <-ch:
+					backoff = 0
+				}
+			}
 			batch := r.drain(it)
 			if err := r.send(batch); err != nil {
 				r.failures.Add(1)
 				r.sub.cfg.Logf("core %s: relay to %s: %v", r.sub.srv.Name(), r.peer.name, err)
 				// The peer is likely down or restarted: drop the pooled
-				// connection so the next attempt redials, and back off
-				// instead of retrying at full drain rate.
+				// connection so the next attempt redials, feed the failure
+				// detector, and back off instead of retrying at full drain
+				// rate.
 				r.sub.orb.DropConn(r.peer.addr)
+				if orb.IsPeerFailure(err) {
+					r.sub.health.reportFailure(r.peer.name, r.peer.addr, err)
+				}
 				backoff = nextBackoff(backoff)
 				select {
 				case <-r.done:
@@ -247,11 +262,15 @@ func (p *poller) loop(every time.Duration) {
 // pollOnce pulls one batch and dispatches it through the batched local
 // fan-out (one group lookup per poll, not per message).
 func (p *poller) pollOnce() {
+	if p.sub.health.allow(p.peer.name) != nil {
+		return // breaker open: skip the round, the prober decides recovery
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), p.sub.cfg.RPCTimeout)
 	defer cancel()
 	var resp pollResp
 	err := p.sub.orb.Invoke(ctx, p.sub.proxyRef(p.peer, p.appID), "pollUpdates",
 		pollReq{SinceSeq: p.lastSeq, From: p.sub.srv.Name()}, &resp)
+	p.sub.observePeer(p.peer, err)
 	if err != nil {
 		p.sub.cfg.Logf("core %s: poll %s: %v", p.sub.srv.Name(), p.appID, err)
 		return

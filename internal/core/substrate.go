@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
 	"sort"
@@ -42,6 +43,17 @@ type Config struct {
 	RPCTimeout    time.Duration      // per-invocation budget (default 10s)
 	Accounting    *policy.Accountant // per-peer resource policies (§6.3); nil = metering only
 	Logf          func(format string, args ...any)
+
+	// Failure detection (see health.go). A dead peer is detected after
+	// DownAfter consecutive peer-failure outcomes — from regular traffic
+	// or from the heartbeat prober, whichever accumulates them first —
+	// after which operations against it fail fast with ErrPeerDown until
+	// a recovery probe succeeds.
+	DialTimeout    time.Duration // TCP connect budget, below RPCTimeout (default 2s)
+	HeartbeatEvery time.Duration // control-channel heartbeat period (default 2s)
+	ProbeTimeout   time.Duration // heartbeat/recovery probe budget (default DialTimeout)
+	SuspectAfter   int           // consecutive failures before suspect (default 1)
+	DownAfter      int           // consecutive failures before down (default 3)
 }
 
 // Substrate is the per-server middleware endpoint. Create it with New,
@@ -55,13 +67,16 @@ type Substrate struct {
 	naming *orb.NamingClient
 	acct   *policy.Accountant
 
-	mu      sync.Mutex
-	peers   map[string]peerInfo     // by server name
-	relays  map[string]*relaySender // by peer name (host side, push mode)
-	polls   map[string]*poller      // by app id (subscriber side, poll mode)
-	subs    map[string]bool         // app ids subscribed (push mode)
-	offerID string
-	closed  bool
+	health *healthTable
+
+	mu       sync.Mutex
+	peers    map[string]peerInfo                    // by server name
+	relays   map[string]*relaySender                // by peer name (host side, push mode)
+	polls    map[string]*poller                     // by app id (subscriber side, poll mode)
+	subs     map[string]bool                        // app ids subscribed (push mode)
+	lastApps map[string]map[string][]server.AppInfo // peer -> user -> last good listing
+	offerID  string
+	closed   bool
 
 	wg   sync.WaitGroup
 	stop chan struct{}
@@ -98,23 +113,37 @@ func New(cfg Config) (*Substrate, error) {
 	if cfg.RPCTimeout <= 0 {
 		cfg.RPCTimeout = 10 * time.Second
 	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = DefaultDialTimeout
+	}
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = DefaultHeartbeatEvery
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = cfg.DialTimeout
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
 	if cfg.Accounting == nil {
 		cfg.Accounting = policy.NewAccountant()
 	}
+	cfg.ORB.SetDialTimeout(cfg.DialTimeout)
 	s := &Substrate{
-		cfg:    cfg,
-		srv:    cfg.Server,
-		orb:    cfg.ORB,
-		acct:   cfg.Accounting,
-		peers:  make(map[string]peerInfo),
-		relays: make(map[string]*relaySender),
-		polls:  make(map[string]*poller),
-		subs:   make(map[string]bool),
-		stop:   make(chan struct{}),
+		cfg:      cfg,
+		srv:      cfg.Server,
+		orb:      cfg.ORB,
+		acct:     cfg.Accounting,
+		health:   newHealthTable(cfg.SuspectAfter, cfg.DownAfter),
+		peers:    make(map[string]peerInfo),
+		relays:   make(map[string]*relaySender),
+		polls:    make(map[string]*poller),
+		subs:     make(map[string]bool),
+		lastApps: make(map[string]map[string][]server.AppInfo),
+		stop:     make(chan struct{}),
 	}
+	s.health.onDown = s.peerWentDown
+	s.health.onRecovered = s.peerRecovered
 	if !cfg.TraderRef.IsZero() {
 		s.trader = orb.NewTraderClient(cfg.ORB, cfg.TraderRef)
 	}
@@ -155,6 +184,8 @@ func (s *Substrate) Start() error {
 			s.cfg.Logf("core %s: initial discovery: %v", s.srv.Name(), err)
 		}
 	}
+	s.wg.Add(1)
+	go s.heartbeatLoop()
 	return nil
 }
 
@@ -231,22 +262,25 @@ func (s *Substrate) maintenanceLoop() {
 			if err := s.DiscoverPeers(); err != nil {
 				s.cfg.Logf("core %s: discovery: %v", s.srv.Name(), err)
 			}
-			s.reassertSubscriptions()
+			s.reassertSubscriptions("")
 		}
 	}
 }
 
 // reassertSubscriptions re-sends push subscriptions so that a host server
 // that restarted (losing its relay table) resumes pushing to us. The
-// subscribe operation is idempotent at the host.
-func (s *Substrate) reassertSubscriptions() {
+// subscribe operation is idempotent at the host. A non-empty peer limits
+// the pass to applications hosted there (recovery reassertion).
+func (s *Substrate) reassertSubscriptions(peer string) {
 	if s.cfg.Mode != Push {
 		return
 	}
 	s.mu.Lock()
 	apps := make([]string, 0, len(s.subs))
 	for appID := range s.subs {
-		apps = append(apps, appID)
+		if peer == "" || server.ServerOfApp(appID) == peer {
+			apps = append(apps, appID)
+		}
 	}
 	s.mu.Unlock()
 	for _, appID := range apps {
@@ -254,20 +288,21 @@ func (s *Substrate) reassertSubscriptions() {
 		if err != nil {
 			continue // host currently unknown; discovery will bring it back
 		}
-		ctx, cancel := s.rpcCtx()
-		err = s.orb.Invoke(ctx, p.serverRef(), "subscribe", subscribeReq{
+		err = s.invokePeer(p, p.serverRef(), "subscribe", subscribeReq{
 			App: appID, Peer: s.srv.Name(), PeerAddr: s.orb.Addr(),
 		}, nil)
-		cancel()
 		if err != nil {
 			s.cfg.Logf("core %s: re-subscribe %s at %s: %v", s.srv.Name(), appID, p.name, err)
 		}
 	}
 }
 
-// DiscoverPeers queries the trader for live DISCOVER offers and replaces
+// DiscoverPeers queries the trader for live DISCOVER offers and rebuilds
 // the peer table. The offer lease means a dead server disappears once its
-// lease lapses — availability "determined at runtime".
+// lease lapses — availability "determined at runtime". A known peer whose
+// offer is momentarily missing (a late lease refresh losing the race with
+// our query) is kept for one round marked suspect rather than silently
+// dropped; the failure detector decides its fate.
 func (s *Substrate) DiscoverPeers() error {
 	if s.trader == nil {
 		return nil
@@ -287,10 +322,26 @@ func (s *Substrate) DiscoverPeers() error {
 			continue
 		}
 		next[name] = peerInfo{name: name, addr: addr}
+		s.health.discoverySeen(name, addr)
 	}
+	var dropped []string
 	s.mu.Lock()
+	for name, p := range s.peers {
+		if _, ok := next[name]; ok {
+			continue
+		}
+		if s.health.keepThroughMiss(name) {
+			next[name] = p
+		} else {
+			dropped = append(dropped, name)
+			delete(s.lastApps, name)
+		}
+	}
 	s.peers = next
 	s.mu.Unlock()
+	for _, name := range dropped {
+		s.health.forget(name)
+	}
 	return nil
 }
 
@@ -369,26 +420,88 @@ func (s *Substrate) proxyRef(p peerInfo, appID string) orb.ObjRef {
 	return orb.ObjRef{Addr: p.addr, Key: ProxyKey(appID)}
 }
 
+// invokePeer is the health-gated invocation path every two-way remote
+// operation goes through: consult the breaker (fast-fail on an open one),
+// invoke, and feed the outcome back to the failure detector.
+func (s *Substrate) invokePeer(p peerInfo, ref orb.ObjRef, method string, in, out any) error {
+	if err := s.health.allow(p.name); err != nil {
+		return err
+	}
+	ctx, cancel := s.rpcCtx()
+	defer cancel()
+	err := s.orb.Invoke(ctx, ref, method, in, out)
+	s.observePeer(p, err)
+	return err
+}
+
+// observePeer classifies one invocation outcome for the failure detector:
+// only communication failures and deadline expiry count against a peer —
+// any servant-raised error proves it is alive.
+func (s *Substrate) observePeer(p peerInfo, err error) {
+	if err == nil || !orb.IsPeerFailure(err) {
+		s.health.reportSuccess(p.name, p.addr)
+	} else {
+		s.health.reportFailure(p.name, p.addr, err)
+	}
+}
+
+// PeerHealth snapshots the failure detector for GET /api/stats; it
+// implements server.HealthProvider.
+func (s *Substrate) PeerHealth() []server.PeerHealthStats {
+	return s.health.snapshot()
+}
+
 // ---------------------------------------------------------------------------
 // server.Federation implementation.
 // ---------------------------------------------------------------------------
 
 // RemoteApps asks every peer for the applications this user may access;
 // the peer authenticates the asserted user-id and filters by its ACLs.
+// An unreachable peer degrades gracefully: its last good listing is
+// served from cache with every entry marked Unavailable, so clients see
+// "the peer is down" rather than its applications silently vanishing.
 func (s *Substrate) RemoteApps(user string) []server.AppInfo {
 	var out []server.AppInfo
 	for _, p := range s.peerList() {
-		ctx, cancel := s.rpcCtx()
 		var resp listAppsResp
-		err := s.orb.Invoke(ctx, p.serverRef(), "listApplications", listAppsReq{User: user}, &resp)
-		cancel()
-		if err != nil {
+		err := s.invokePeer(p, p.serverRef(), "listApplications", listAppsReq{User: user}, &resp)
+		switch {
+		case err == nil:
+			s.rememberApps(p.name, user, resp.Apps)
+			out = append(out, resp.Apps...)
+		case orb.IsPeerFailure(err) || errors.Is(err, ErrPeerDown) || errors.Is(err, ErrPeerSuspect):
+			out = append(out, s.cachedApps(p.name, user)...)
+		default:
 			s.cfg.Logf("core %s: listApplications at %s: %v", s.srv.Name(), p.name, err)
-			continue
 		}
-		out = append(out, resp.Apps...)
 	}
 	sortAppInfos(out)
+	return out
+}
+
+// rememberApps caches a peer's last successful listing for one user.
+func (s *Substrate) rememberApps(peer, user string, apps []server.AppInfo) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	byUser, ok := s.lastApps[peer]
+	if !ok {
+		byUser = make(map[string][]server.AppInfo)
+		s.lastApps[peer] = byUser
+	}
+	byUser[user] = append([]server.AppInfo(nil), apps...)
+}
+
+// cachedApps serves a peer's last good listing with every application
+// marked unavailable.
+func (s *Substrate) cachedApps(peer, user string) []server.AppInfo {
+	s.mu.Lock()
+	cached := s.lastApps[peer][user]
+	s.mu.Unlock()
+	out := make([]server.AppInfo, len(cached))
+	for i, a := range cached {
+		a.Unavailable = true
+		out[i] = a
+	}
 	return out
 }
 
@@ -400,10 +513,8 @@ func (s *Substrate) RemoteUsers(peerName string) ([]string, error) {
 	if !ok {
 		return nil, fmt.Errorf("core: unknown peer %q", peerName)
 	}
-	ctx, cancel := s.rpcCtx()
-	defer cancel()
 	var resp listUsersResp
-	if err := s.orb.Invoke(ctx, p.serverRef(), "listUsers", listUsersReq{}, &resp); err != nil {
+	if err := s.invokePeer(p, p.serverRef(), "listUsers", listUsersReq{}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Users, nil
@@ -415,10 +526,8 @@ func (s *Substrate) RemotePrivilege(user, appID string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	ctx, cancel := s.rpcCtx()
-	defer cancel()
 	var resp privilegeResp
-	if err := s.orb.Invoke(ctx, p.serverRef(), "privilege", privilegeReq{User: user, App: appID}, &resp); err != nil {
+	if err := s.invokePeer(p, p.serverRef(), "privilege", privilegeReq{User: user, App: appID}, &resp); err != nil {
 		return "", err
 	}
 	return resp.Privilege, nil
@@ -430,9 +539,7 @@ func (s *Substrate) ForwardCommand(appID string, cmd *wire.Message) error {
 	if err != nil {
 		return err
 	}
-	ctx, cancel := s.rpcCtx()
-	defer cancel()
-	return s.orb.Invoke(ctx, s.proxyRef(p, appID), "command", commandReq{Cmd: cmd}, nil)
+	return s.invokePeer(p, s.proxyRef(p, appID), "command", commandReq{Cmd: cmd}, nil)
 }
 
 // RemoteLock relays a lock request; lock state lives at the host only.
@@ -441,10 +548,8 @@ func (s *Substrate) RemoteLock(appID, owner string, acquire bool) (bool, string,
 	if err != nil {
 		return false, "", err
 	}
-	ctx, cancel := s.rpcCtx()
-	defer cancel()
 	var resp lockResp
-	if err := s.orb.Invoke(ctx, s.proxyRef(p, appID), "lock",
+	if err := s.invokePeer(p, s.proxyRef(p, appID), "lock",
 		lockReq{Owner: owner, Acquire: acquire}, &resp); err != nil {
 		return false, "", err
 	}
@@ -458,9 +563,7 @@ func (s *Substrate) ForwardCollab(appID string, m *wire.Message) error {
 	if err != nil {
 		return err
 	}
-	ctx, cancel := s.rpcCtx()
-	defer cancel()
-	return s.orb.Invoke(ctx, s.proxyRef(p, appID), "collab",
+	return s.invokePeer(p, s.proxyRef(p, appID), "collab",
 		collabReq{Msg: m, From: s.srv.Name()}, nil)
 }
 
@@ -480,9 +583,7 @@ func (s *Substrate) Subscribe(appID string) error {
 			return nil
 		}
 		s.mu.Unlock()
-		ctx, cancel := s.rpcCtx()
-		defer cancel()
-		err := s.orb.Invoke(ctx, p.serverRef(), "subscribe", subscribeReq{
+		err := s.invokePeer(p, p.serverRef(), "subscribe", subscribeReq{
 			App: appID, Peer: s.srv.Name(), PeerAddr: s.orb.Addr(),
 		}, nil)
 		if err != nil {
@@ -518,9 +619,7 @@ func (s *Substrate) Unsubscribe(appID string) error {
 		if err != nil {
 			return err
 		}
-		ctx, cancel := s.rpcCtx()
-		defer cancel()
-		return s.orb.Invoke(ctx, p.serverRef(), "unsubscribe", subscribeReq{
+		return s.invokePeer(p, p.serverRef(), "unsubscribe", subscribeReq{
 			App: appID, Peer: s.srv.Name(),
 		}, nil)
 	default:
@@ -561,12 +660,21 @@ func (s *Substrate) NotifyEvent(ev *wire.Message) {
 	}
 	for _, p := range s.peerList() {
 		p := p
+		if s.health.allow(p.name) != nil {
+			continue // breaker open: don't queue events for a dead peer
+		}
 		s.goTracked(func() {
 			ctx, cancel := s.rpcCtx()
 			defer cancel()
-			if err := s.orb.InvokeOneway(ctx, p.controlRef(), "event",
-				eventReq{Ev: ev, From: s.srv.Name()}); err != nil {
+			err := s.orb.InvokeOneway(ctx, p.controlRef(), "event",
+				eventReq{Ev: ev, From: s.srv.Name()})
+			if err != nil {
 				s.cfg.Logf("core %s: event to %s: %v", s.srv.Name(), p.name, err)
+				// A oneway success proves nothing (no reply), but a failed
+				// write is evidence for the failure detector.
+				if orb.IsPeerFailure(err) {
+					s.health.reportFailure(p.name, p.addr, err)
+				}
 			}
 		})
 	}
@@ -581,6 +689,12 @@ func (s *Substrate) acceptSubscription(r subscribeReq) error {
 		return fmt.Errorf("core: substrate closed")
 	}
 	sender, ok := s.relays[r.Peer]
+	if ok && r.PeerAddr != "" && sender.peer.addr != r.PeerAddr {
+		// The peer restarted at a new address: retire the stale sender so
+		// pushes don't keep aiming at the dead endpoint.
+		sender.close()
+		ok = false
+	}
 	if !ok {
 		sender = newRelaySender(s, peerInfo{name: r.Peer, addr: r.PeerAddr})
 		s.relays[r.Peer] = sender

@@ -98,6 +98,14 @@ type FederationConfig struct {
 	PollInterval time.Duration
 	FifoCapacity int
 	RelayBatch   int // max messages per relay push invocation (0 = default)
+
+	// Failure-detector knobs (0 = substrate default). Chaos experiments
+	// set HeartbeatEvery very high and drive Sub.CheckPeersNow directly
+	// for determinism.
+	DialTimeout    time.Duration
+	HeartbeatEvery time.Duration
+	ProbeTimeout   time.Duration
+	DownAfter      int
 }
 
 // DomainAt is a convenience constructor for FederationConfig.Domains.
@@ -204,15 +212,19 @@ func (f *Federation) addDomain(name string, site netsim.Site, cfg FederationConf
 	f.setSite(o.Addr(), site)
 
 	sub, err := core.New(core.Config{
-		Server:       srv,
-		ORB:          o,
-		TraderRef:    orb.ObjRef{Addr: f.Trader.Addr(), Key: orb.TraderKey},
-		NamingRef:    orb.ObjRef{Addr: f.Trader.Addr(), Key: orb.NamingKey},
-		Mode:         cfg.Mode,
-		PollInterval: cfg.PollInterval,
-		RelayBatch:   cfg.RelayBatch,
-		Props:        map[string]string{"site": string(site)},
-		Logf:         quiet,
+		Server:         srv,
+		ORB:            o,
+		TraderRef:      orb.ObjRef{Addr: f.Trader.Addr(), Key: orb.TraderKey},
+		NamingRef:      orb.ObjRef{Addr: f.Trader.Addr(), Key: orb.NamingKey},
+		Mode:           cfg.Mode,
+		PollInterval:   cfg.PollInterval,
+		RelayBatch:     cfg.RelayBatch,
+		DialTimeout:    cfg.DialTimeout,
+		HeartbeatEvery: cfg.HeartbeatEvery,
+		ProbeTimeout:   cfg.ProbeTimeout,
+		DownAfter:      cfg.DownAfter,
+		Props:          map[string]string{"site": string(site)},
+		Logf:           quiet,
 	})
 	if err != nil {
 		return nil, err

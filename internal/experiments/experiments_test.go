@@ -95,3 +95,8 @@ func TestResultPass(t *testing.T) {
 		t.Error("failing row not reflected")
 	}
 }
+
+func TestR1ChaosFaultInjection(t *testing.T) {
+	res, err := RunR1(5 * time.Millisecond)
+	checkResult(t, res, err)
+}

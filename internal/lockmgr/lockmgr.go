@@ -28,7 +28,8 @@ var (
 type waiter struct {
 	owner string
 	lease time.Duration
-	grant chan struct{} // closed when granted
+	grant chan struct{} // closed when granted or failed
+	err   error         // set before closing grant when the wait failed
 	done  <-chan struct{}
 }
 
@@ -110,7 +111,7 @@ func (m *Manager) Acquire(ctx context.Context, app, owner string, lease time.Dur
 
 	select {
 	case <-w.grant:
-		return nil
+		return w.err
 	case <-ctx.Done():
 		m.mu.Lock()
 		// Remove ourselves if still queued; if we were granted in the
@@ -206,6 +207,41 @@ func (m *Manager) ReleaseAllOwnedBy(owner string) []string {
 		}
 		if l.holder == owner {
 			m.releaseLocked(app, l, owner)
+			apps = append(apps, app)
+		}
+	}
+	return apps
+}
+
+// FailOwners fails every waiter and releases every holder whose owner
+// matches, waking blocked Acquire calls with reason instead of leaving
+// them to ride out the host's RPC timeout or lease. The server uses it
+// when a peer dies: all lock state owned by that peer's clients is torn
+// down at once. Returns the apps whose lock state changed.
+func (m *Manager) FailOwners(match func(owner string) bool, reason error) []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var apps []string
+	for app, l := range m.locks {
+		changed := false
+		for i := 0; i < len(l.queue); {
+			if match(l.queue[i].owner) {
+				w := l.queue[i]
+				l.queue = append(l.queue[:i], l.queue[i+1:]...)
+				w.err = reason
+				close(w.grant)
+				changed = true
+			} else {
+				i++
+			}
+		}
+		if l.holder != "" && match(l.holder) {
+			m.releaseLocked(app, l, l.holder)
+			changed = true
+		} else if l.holder == "" && len(l.queue) == 0 {
+			delete(m.locks, app)
+		}
+		if changed {
 			apps = append(apps, app)
 		}
 	}

@@ -2,8 +2,10 @@ package lockmgr
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -213,5 +215,67 @@ func TestMutualExclusionProperty(t *testing.T) {
 	}
 	if _, held := m.Holder("app"); held {
 		t.Error("lock leaked after all workers finished")
+	}
+}
+
+func TestFailOwnersReleasesHoldersAndWakesWaiters(t *testing.T) {
+	m := NewManager()
+	peerMatch := func(owner string) bool { return strings.HasPrefix(owner, "peerA/") }
+	reason := errors.New("peer server unreachable")
+
+	// peerA's client holds the lock; one peerA waiter and one local waiter
+	// queue behind it.
+	if ok, _ := m.TryAcquire("app", "peerA/client-1", time.Minute); !ok {
+		t.Fatal("initial acquire failed")
+	}
+	peerErr := make(chan error, 1)
+	localErr := make(chan error, 1)
+	go func() { peerErr <- m.Acquire(context.Background(), "app", "peerA/client-2", time.Minute) }()
+	waitForQueue(t, m, "app", 1)
+	go func() { localErr <- m.Acquire(context.Background(), "app", "local-1", time.Minute) }()
+	waitForQueue(t, m, "app", 2)
+
+	apps := m.FailOwners(peerMatch, reason)
+	if len(apps) != 1 || apps[0] != "app" {
+		t.Fatalf("FailOwners apps = %v", apps)
+	}
+	select {
+	case err := <-peerErr:
+		if err != reason {
+			t.Errorf("peer waiter err = %v, want %v", err, reason)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("peer waiter not woken")
+	}
+	// The local waiter is promoted to holder.
+	select {
+	case err := <-localErr:
+		if err != nil {
+			t.Errorf("local waiter err = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("local waiter not promoted")
+	}
+	if h, held := m.Holder("app"); !held || h != "local-1" {
+		t.Errorf("holder after FailOwners = %q, %v", h, held)
+	}
+
+	// FailOwners with no matching owners is a no-op.
+	if apps := m.FailOwners(peerMatch, reason); apps != nil {
+		t.Errorf("second FailOwners apps = %v", apps)
+	}
+	if h, _ := m.Holder("app"); h != "local-1" {
+		t.Errorf("holder disturbed: %q", h)
+	}
+}
+
+func waitForQueue(t *testing.T, m *Manager, app string, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for m.QueueLen(app) < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never reached %d", n)
+		}
+		time.Sleep(time.Millisecond)
 	}
 }

@@ -1,0 +1,286 @@
+package netsim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync/atomic"
+	"time"
+)
+
+// Fault injection: the WAN conditions the paper's deployment (Rutgers /
+// UT Austin / Caltech) actually faces — partitions, dead sites, flapping
+// links — injectable and revertible at runtime so chaos tests and the R1
+// experiment are deterministic. Faults act at two points:
+//
+//   - Dials are gated: a dial across a partitioned link black-holes (it
+//     blocks until the link heals or the dial context expires, like a
+//     WAN route withdrawal), and a dial touching a killed site fails
+//     immediately with ErrSiteDown.
+//   - Live connections are severed when a partition or site kill lands,
+//     and per-link write faults (probabilistic resets, one-shot latency
+//     spikes) fire on the dialer-side connection.
+//
+// All randomness comes from a seeded source (SetFaultSeed), so a run
+// with the same seed injects the same resets.
+
+// ErrSiteDown is returned (wrapped) by dials from or to a killed site.
+var ErrSiteDown = errors.New("netsim: site down")
+
+// errInjectedReset is the write error produced by SetResetProb faults.
+var errInjectedReset = errors.New("netsim: connection reset (injected fault)")
+
+// faultState holds the Network's injected faults, guarded by Network.fmu.
+type faultState struct {
+	partitioned map[linkKey]bool
+	dead        map[Site]bool
+	resetProb   map[linkKey]float64
+	spikes      map[linkKey]time.Duration
+	conns       map[*faultConn]struct{}
+	healCh      chan struct{} // closed and replaced whenever a fault lifts
+	rng         *rand.Rand
+}
+
+func newFaultState() faultState {
+	return faultState{
+		partitioned: make(map[linkKey]bool),
+		dead:        make(map[Site]bool),
+		resetProb:   make(map[linkKey]float64),
+		spikes:      make(map[linkKey]time.Duration),
+		conns:       make(map[*faultConn]struct{}),
+		healCh:      make(chan struct{}),
+		rng:         rand.New(rand.NewSource(1)),
+	}
+}
+
+// SetFaultSeed reseeds the fault randomness source, making probabilistic
+// resets reproducible. The default seed is 1.
+func (n *Network) SetFaultSeed(seed int64) {
+	n.fmu.Lock()
+	defer n.fmu.Unlock()
+	n.faults.rng = rand.New(rand.NewSource(seed))
+}
+
+// Partition severs the link between two sites in both directions: live
+// connections die and new dials black-hole until Heal (or their context
+// expires). The sites stay reachable from everywhere else.
+func (n *Network) Partition(a, b Site) {
+	n.fmu.Lock()
+	n.faults.partitioned[linkKey{a, b}] = true
+	n.faults.partitioned[linkKey{b, a}] = true
+	n.fmu.Unlock()
+	n.severMatching(func(from, to Site) bool {
+		return (from == a && to == b) || (from == b && to == a)
+	})
+}
+
+// Heal removes the partition between two sites; black-holed dials
+// waiting on the link resume immediately.
+func (n *Network) Heal(a, b Site) {
+	n.fmu.Lock()
+	delete(n.faults.partitioned, linkKey{a, b})
+	delete(n.faults.partitioned, linkKey{b, a})
+	n.signalHealLocked()
+	n.fmu.Unlock()
+}
+
+// Partitioned reports whether the link between two sites is partitioned.
+func (n *Network) Partitioned(a, b Site) bool {
+	n.fmu.Lock()
+	defer n.fmu.Unlock()
+	return n.faults.partitioned[linkKey{a, b}]
+}
+
+// KillSite takes a whole site down: every connection touching it is
+// severed and new dials from or to it fail immediately with ErrSiteDown.
+func (n *Network) KillSite(s Site) {
+	n.fmu.Lock()
+	n.faults.dead[s] = true
+	n.fmu.Unlock()
+	n.severMatching(func(from, to Site) bool { return from == s || to == s })
+}
+
+// Revive brings a killed site back.
+func (n *Network) Revive(s Site) {
+	n.fmu.Lock()
+	delete(n.faults.dead, s)
+	n.signalHealLocked()
+	n.fmu.Unlock()
+}
+
+// SetResetProb makes each write on the link between two sites (either
+// direction) fail with a connection reset with probability p, severing
+// the connection. p <= 0 removes the fault.
+func (n *Network) SetResetProb(a, b Site, p float64) {
+	n.fmu.Lock()
+	defer n.fmu.Unlock()
+	if p <= 0 {
+		delete(n.faults.resetProb, linkKey{a, b})
+		delete(n.faults.resetProb, linkKey{b, a})
+	} else {
+		n.faults.resetProb[linkKey{a, b}] = p
+		n.faults.resetProb[linkKey{b, a}] = p
+	}
+	n.reloadWriteFaultsLocked()
+}
+
+// SpikeLatency arms a one-shot latency spike on the link between two
+// sites: the next write in each direction stalls for d, then the fault
+// is consumed. Models a transient routing excursion.
+func (n *Network) SpikeLatency(a, b Site, d time.Duration) {
+	n.fmu.Lock()
+	defer n.fmu.Unlock()
+	n.faults.spikes[linkKey{a, b}] = d
+	n.faults.spikes[linkKey{b, a}] = d
+	n.reloadWriteFaultsLocked()
+}
+
+// HealAll reverts every injected fault: partitions, killed sites,
+// reset probabilities and pending spikes.
+func (n *Network) HealAll() {
+	n.fmu.Lock()
+	n.faults.partitioned = make(map[linkKey]bool)
+	n.faults.dead = make(map[Site]bool)
+	n.faults.resetProb = make(map[linkKey]float64)
+	n.faults.spikes = make(map[linkKey]time.Duration)
+	n.reloadWriteFaultsLocked()
+	n.signalHealLocked()
+	n.fmu.Unlock()
+}
+
+// signalHealLocked wakes every dial black-holed on a faulted link so it
+// re-checks the fault table. Called with fmu held.
+func (n *Network) signalHealLocked() {
+	close(n.faults.healCh)
+	n.faults.healCh = make(chan struct{})
+}
+
+// reloadWriteFaultsLocked refreshes the write-path fast-path flag.
+func (n *Network) reloadWriteFaultsLocked() {
+	n.writeFaults.Store(len(n.faults.resetProb) > 0 || len(n.faults.spikes) > 0)
+}
+
+// checkDial gates a dial on the fault table: immediate failure for dead
+// sites, black-hole (wait for heal or ctx) for partitioned links.
+func (n *Network) checkDial(ctx context.Context, from, to Site) error {
+	for {
+		n.fmu.Lock()
+		if n.faults.dead[from] || n.faults.dead[to] {
+			n.fmu.Unlock()
+			return fmt.Errorf("netsim: dial %s->%s: %w", from, to, ErrSiteDown)
+		}
+		if !n.faults.partitioned[linkKey{from, to}] {
+			n.fmu.Unlock()
+			return nil
+		}
+		heal := n.faults.healCh
+		n.fmu.Unlock()
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("netsim: dial %s->%s black-holed by partition: %w", from, to, ctx.Err())
+		case <-heal:
+			// A fault was lifted somewhere; re-check.
+		}
+	}
+}
+
+// severMatching closes every registered connection whose link matches.
+func (n *Network) severMatching(match func(from, to Site) bool) {
+	n.fmu.Lock()
+	var hit []*faultConn
+	for c := range n.faults.conns {
+		if match(c.from, c.to) {
+			hit = append(hit, c)
+		}
+	}
+	n.fmu.Unlock()
+	for _, c := range hit {
+		c.sever()
+	}
+}
+
+func (n *Network) registerFaultConn(c *faultConn) {
+	n.fmu.Lock()
+	n.faults.conns[c] = struct{}{}
+	n.fmu.Unlock()
+}
+
+func (n *Network) unregisterFaultConn(c *faultConn) {
+	n.fmu.Lock()
+	delete(n.faults.conns, c)
+	n.fmu.Unlock()
+}
+
+// takeSpike consumes a pending one-shot latency spike for the directed
+// link, returning zero when none is armed.
+func (n *Network) takeSpike(from, to Site) time.Duration {
+	n.fmu.Lock()
+	defer n.fmu.Unlock()
+	d := n.faults.spikes[linkKey{from, to}]
+	if d > 0 {
+		delete(n.faults.spikes, linkKey{from, to})
+		n.reloadWriteFaultsLocked()
+	}
+	return d
+}
+
+// rollReset draws from the seeded source against the link's reset
+// probability.
+func (n *Network) rollReset(from, to Site) bool {
+	n.fmu.Lock()
+	defer n.fmu.Unlock()
+	p := n.faults.resetProb[linkKey{from, to}]
+	if p <= 0 {
+		return false
+	}
+	return n.faults.rng.Float64() < p
+}
+
+// faultConn sits directly on the raw connection, below the shaping
+// wrappers, so injected faults hit the wire whether or not the link is
+// shaped. It is registered with the Network for severing.
+type faultConn struct {
+	net.Conn
+	n        *Network
+	from, to Site
+	severed  atomic.Bool
+}
+
+func (n *Network) newFaultConn(from, to Site, raw net.Conn) *faultConn {
+	c := &faultConn{Conn: raw, n: n, from: from, to: to}
+	n.registerFaultConn(c)
+	return c
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	if c.n.writeFaults.Load() {
+		if d := c.n.takeSpike(c.from, c.to); d > 0 {
+			time.Sleep(d)
+		}
+		if c.n.rollReset(c.from, c.to) {
+			c.sever()
+			return 0, &net.OpError{Op: "write", Net: "netsim",
+				Addr: c.Conn.RemoteAddr(), Err: errInjectedReset}
+		}
+	}
+	if c.severed.Load() {
+		return 0, &net.OpError{Op: "write", Net: "netsim",
+			Addr: c.Conn.RemoteAddr(), Err: errInjectedReset}
+	}
+	return c.Conn.Write(p)
+}
+
+func (c *faultConn) Close() error {
+	c.n.unregisterFaultConn(c)
+	return c.Conn.Close()
+}
+
+// sever kills the connection from the fault injector's side: both
+// endpoints observe the underlying close as a peer reset.
+func (c *faultConn) sever() {
+	c.severed.Store(true)
+	c.n.unregisterFaultConn(c)
+	c.Conn.Close()
+}

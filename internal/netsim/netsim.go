@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -113,10 +114,16 @@ type DirStats struct {
 }
 
 // Network dials shaped connections over a Topology and accounts traffic.
+// Faults (partitions, dead sites, resets, spikes — see faults.go) can be
+// injected and reverted at runtime.
 type Network struct {
 	topo  *Topology
 	mu    sync.Mutex
 	stats map[linkKey]*DirStats
+
+	fmu         sync.Mutex
+	faults      faultState
+	writeFaults atomic.Bool // fast path: any write-path fault configured
 }
 
 // New returns a Network over topo. A nil topo means an unshaped network
@@ -125,7 +132,7 @@ func New(topo *Topology) *Network {
 	if topo == nil {
 		topo = NewTopology()
 	}
-	return &Network{topo: topo, stats: make(map[linkKey]*DirStats)}
+	return &Network{topo: topo, stats: make(map[linkKey]*DirStats), faults: newFaultState()}
 }
 
 // Topology returns the network's topology for further configuration.
@@ -181,10 +188,15 @@ func (n *Network) Dial(from, to Site, network, addr string) (net.Conn, error) {
 	return n.DialContext(context.Background(), from, to, network, addr)
 }
 
-// DialContext is Dial with a context, suitable for http.Transport.
+// DialContext is Dial with a context, suitable for http.Transport. Dials
+// across a partitioned link black-hole until the link heals or ctx
+// expires; dials touching a killed site fail with ErrSiteDown.
 func (n *Network) DialContext(ctx context.Context, from, to Site, network, addr string) (net.Conn, error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if err := n.checkDial(ctx, from, to); err != nil {
+		return nil, err
 	}
 	var d net.Dialer
 	raw, err := d.DialContext(ctx, network, addr)
@@ -203,8 +215,10 @@ func (n *Network) Dialer(from, to Site) func(ctx context.Context, network, addr 
 }
 
 // Wrap shapes an existing connection as if dialed from one site to
-// another. The wrapper takes ownership of raw.
+// another. The wrapper takes ownership of raw. The fault layer sits
+// directly on raw so partitions sever the wire under the shaping.
 func (n *Network) Wrap(from, to Site, raw net.Conn) net.Conn {
+	raw = n.newFaultConn(from, to, raw)
 	oneWay := n.topo.RTT(from, to) / 2
 	bw := n.topo.Bandwidth(from, to)
 	if oneWay <= 0 && bw <= 0 {

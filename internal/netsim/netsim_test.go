@@ -2,6 +2,8 @@ package netsim
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"io"
 	"net"
 	"testing"
@@ -294,4 +296,182 @@ func TestDialerHelper(t *testing.T) {
 		t.Fatal(err)
 	}
 	conn.Close()
+}
+
+func TestPartitionSeversAndBlackholesDials(t *testing.T) {
+	ln := echoServer(t)
+	n := New(nil)
+	conn, err := n.Dial("east", "west", "tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(conn, make([]byte, 2)); err != nil {
+		t.Fatal(err)
+	}
+
+	n.Partition("east", "west")
+	if !n.Partitioned("east", "west") || !n.Partitioned("west", "east") {
+		t.Error("partition not recorded symmetrically")
+	}
+	// The live connection is severed: reads and writes fail.
+	if _, err := io.ReadFull(conn, make([]byte, 1)); err == nil {
+		t.Error("read on severed connection succeeded")
+	}
+
+	// A new dial black-holes until the context expires.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := n.DialContext(ctx, "east", "west", "tcp", ln.Addr().String()); err == nil {
+		t.Fatal("dial across partition succeeded")
+	}
+	if d := time.Since(start); d < 40*time.Millisecond {
+		t.Errorf("black-holed dial failed after %v, want ~50ms (context expiry)", d)
+	}
+
+	// Other links are unaffected.
+	c2, err := n.Dial("east", "hub", "tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("unrelated link affected by partition: %v", err)
+	}
+	c2.Close()
+
+	// Heal releases a dial that was waiting on the link.
+	got := make(chan error, 1)
+	go func() {
+		c, err := n.Dial("east", "west", "tcp", ln.Addr().String())
+		if err == nil {
+			c.Close()
+		}
+		got <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	n.Heal("east", "west")
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Errorf("dial after heal: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Error("healed dial never completed")
+	}
+}
+
+func TestKillSiteFailsDialsImmediately(t *testing.T) {
+	ln := echoServer(t)
+	n := New(nil)
+	conn, err := n.Dial("east", "west", "tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	n.KillSite("west")
+	if _, err := n.Dial("east", "west", "tcp", ln.Addr().String()); !errors.Is(err, ErrSiteDown) {
+		t.Errorf("dial to killed site: %v, want ErrSiteDown", err)
+	}
+	if _, err := n.Dial("west", "east", "tcp", ln.Addr().String()); !errors.Is(err, ErrSiteDown) {
+		t.Errorf("dial from killed site: %v, want ErrSiteDown", err)
+	}
+	// Existing connections touching the site are severed.
+	if _, err := io.ReadFull(conn, make([]byte, 1)); err == nil {
+		t.Error("read on connection to killed site succeeded")
+	}
+
+	n.Revive("west")
+	c2, err := n.Dial("east", "west", "tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial after revive: %v", err)
+	}
+	c2.Close()
+}
+
+func TestResetProbabilityIsDeterministic(t *testing.T) {
+	countResets := func(seed int64) (int, int) {
+		ln := echoServer(t)
+		n := New(nil)
+		n.SetFaultSeed(seed)
+		n.SetResetProb("east", "west", 0.3)
+		resets, writes := 0, 0
+		for i := 0; i < 40; i++ {
+			conn, err := n.Dial("east", "west", "tcp", ln.Addr().String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := conn.Write([]byte("x")); err != nil {
+				resets++
+			}
+			writes++
+			conn.Close()
+		}
+		return resets, writes
+	}
+	r1, w1 := countResets(7)
+	r2, w2 := countResets(7)
+	if r1 != r2 || w1 != w2 {
+		t.Errorf("same seed produced different fault schedules: %d/%d vs %d/%d", r1, w1, r2, w2)
+	}
+	if r1 == 0 || r1 == w1 {
+		t.Errorf("reset probability 0.3 produced %d resets out of %d writes", r1, w1)
+	}
+}
+
+func TestLatencySpikeIsOneShot(t *testing.T) {
+	ln := echoServer(t)
+	n := New(nil)
+	conn, err := n.Dial("east", "west", "tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	n.SpikeLatency("east", "west", 80*time.Millisecond)
+	start := time.Now()
+	if _, err := conn.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 70*time.Millisecond {
+		t.Errorf("spiked write took %v, want >= 80ms", d)
+	}
+	// The spike is consumed: the next write is fast again.
+	start = time.Now()
+	if _, err := conn.Write([]byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 50*time.Millisecond {
+		t.Errorf("second write took %v; spike was not one-shot", d)
+	}
+}
+
+func TestHealAllRevertsEverything(t *testing.T) {
+	ln := echoServer(t)
+	n := New(nil)
+	n.Partition("a", "b")
+	n.KillSite("c")
+	n.SetResetProb("a", "b", 1.0)
+	n.SpikeLatency("a", "b", time.Second)
+	n.HealAll()
+
+	conn, err := n.Dial("a", "b", "tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial after HealAll: %v", err)
+	}
+	defer conn.Close()
+	start := time.Now()
+	if _, err := conn.Write([]byte("x")); err != nil {
+		t.Errorf("write after HealAll: %v", err)
+	}
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Errorf("write took %v; spike survived HealAll", d)
+	}
+	c2, err := n.Dial("a", "c", "tcp", ln.Addr().String())
+	if err != nil {
+		t.Errorf("dial to revived site: %v", err)
+	} else {
+		c2.Close()
+	}
 }

@@ -8,6 +8,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"discover/internal/wire"
 )
@@ -58,6 +59,14 @@ type Option func(*ORB)
 // ORB's client side.
 func WithDialer(d Dialer) Option { return func(o *ORB) { o.dial = d } }
 
+// WithDialTimeout bounds connection establishment separately from the
+// invocation context: a black-holed peer fails the dial after d instead
+// of consuming the caller's whole invocation budget. Zero disables the
+// bound.
+func WithDialTimeout(d time.Duration) Option {
+	return func(o *ORB) { o.SetDialTimeout(d) }
+}
+
 // orbStats is the ORB's shared atomic counter block. Pooled connections
 // hold a pointer to it so totals survive connection churn.
 type orbStats struct {
@@ -82,8 +91,9 @@ type Stats struct {
 // ORB hosts servants on a listening endpoint and invokes methods on remote
 // objects through a pool of multiplexed connections.
 type ORB struct {
-	dial  Dialer
-	stats orbStats
+	dial        Dialer
+	dialTimeout atomic.Int64 // nanoseconds; 0 = no separate dial bound
+	stats       orbStats
 
 	mu       sync.RWMutex
 	servants map[string]Servant
@@ -342,6 +352,9 @@ func (o *ORB) Invoke(ctx context.Context, ref ObjRef, method string, in, out any
 	}
 }
 
+// SetDialTimeout changes the connection-establishment bound at runtime.
+func (o *ORB) SetDialTimeout(d time.Duration) { o.dialTimeout.Store(int64(d)) }
+
 // getConn returns a live pooled connection to addr, dialing if needed.
 func (o *ORB) getConn(ctx context.Context, addr string) (*poolConn, error) {
 	o.poolMu.Lock()
@@ -353,7 +366,13 @@ func (o *ORB) getConn(ctx context.Context, addr string) (*poolConn, error) {
 	delete(o.pool, addr)
 	o.poolMu.Unlock()
 
-	conn, err := o.dial(ctx, "tcp", addr)
+	dctx := ctx
+	if d := time.Duration(o.dialTimeout.Load()); d > 0 {
+		var cancel context.CancelFunc
+		dctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	conn, err := o.dial(dctx, "tcp", addr)
 	if err != nil {
 		return nil, err
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -434,5 +435,58 @@ func TestTraderRemote(t *testing.T) {
 	offers, err = tc.Query(ctx, DiscoverServiceType, "")
 	if err != nil || len(offers) != 0 {
 		t.Errorf("Query after withdraw = %v, %v", offers, err)
+	}
+}
+
+func TestDialTimeoutBoundsBlackholedDial(t *testing.T) {
+	// A dialer that black-holes until its context expires, like a
+	// partitioned WAN link.
+	blackhole := func(ctx context.Context, network, addr string) (conn net.Conn, err error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	o := New(WithDialer(blackhole), WithDialTimeout(50*time.Millisecond))
+	defer o.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	start := time.Now()
+	err := o.Invoke(ctx, ObjRef{Addr: "10.255.255.1:9", Key: "k"}, "m", struct{}{}, nil)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("invoke through black-holed dial succeeded")
+	}
+	if !IsRemote(err, CodeComm) {
+		t.Errorf("err = %v, want COMM_FAILURE", err)
+	}
+	if !IsPeerFailure(err) {
+		t.Errorf("dial timeout not classified as peer failure: %v", err)
+	}
+	// The dial bound, not the 10s invocation budget, limits the wait
+	// (one retry after CodeComm doubles it).
+	if elapsed > time.Second {
+		t.Errorf("black-holed invoke took %v; dial timeout not applied", elapsed)
+	}
+}
+
+func TestIsPeerFailureClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{&RemoteError{Code: CodeComm, Msg: "refused"}, true},
+		{fmt.Errorf("wrapped: %w", &RemoteError{Code: CodeComm, Msg: "x"}), true},
+		{context.DeadlineExceeded, true},
+		{context.Canceled, false}, // caller's choice, not the peer's fault
+		{&RemoteError{Code: CodeNoMethod, Msg: "m"}, false},
+		{&RemoteError{Code: CodeApplication, Msg: "boom"}, false},
+		{&RemoteError{Code: CodeNoServant, Msg: "k"}, false},
+		{errors.New("misc"), false},
+	}
+	for i, c := range cases {
+		if got := IsPeerFailure(c.err); got != c.want {
+			t.Errorf("case %d (%v): IsPeerFailure = %v, want %v", i, c.err, got, c.want)
+		}
 	}
 }

@@ -22,6 +22,7 @@ package orb
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"encoding/gob"
 	"errors"
@@ -81,6 +82,22 @@ func (e *RemoteError) Error() string { return fmt.Sprintf("orb: %s: %s", e.Code,
 func IsRemote(err error, code string) bool {
 	var re *RemoteError
 	return errors.As(err, &re) && re.Code == code
+}
+
+// IsPeerFailure classifies an invocation error as retryable peer failure
+// versus application-level fault: COMM_FAILURE and invocation deadline
+// expiry mean the peer is unreachable or unresponsive, while any error a
+// live servant raised (BAD_OPERATION, APPLICATION, policy denials, ...)
+// proves the peer is up. Failure detectors key off this split; a caller-
+// cancelled context is deliberately not a peer failure.
+func IsPeerFailure(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	return IsRemote(err, CodeComm)
 }
 
 // request is the wire form of one invocation.

@@ -164,6 +164,26 @@ type StatsResponse struct {
 	Sessions []SessionStats `json:"sessions"`
 	Relays   []RelayStats   `json:"relays,omitempty"`
 	Wire     *WireStats     `json:"wire,omitempty"`
+	// PeerHealth reports the substrate's failure-detector view of each
+	// federated peer, when a HealthProvider federation is attached.
+	PeerHealth []PeerHealthStats `json:"peerHealth,omitempty"`
+}
+
+// PeerHealthStats is the failure detector's view of one peer server.
+type PeerHealthStats struct {
+	Peer                string `json:"peer"`
+	State               string `json:"state"` // healthy | suspect | down | probing
+	ConsecutiveFailures int    `json:"consecutiveFailures"`
+	LastError           string `json:"lastError,omitempty"`
+	BreakerOpens        uint64 `json:"breakerOpens"`
+	BreakerCloses       uint64 `json:"breakerCloses"`
+	HeartbeatRTTMicros  int64  `json:"heartbeatRttMicros,omitempty"`
+}
+
+// HealthProvider is an optional Federation extension: a substrate that
+// implements it gets per-peer failure-detector state in /api/stats.
+type HealthProvider interface {
+	PeerHealth() []PeerHealthStats
 }
 
 // RelayStats describes the push relay to one subscribed peer server:
@@ -257,6 +277,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Relays = sp.RelayStats()
 		ws := sp.WireStats()
 		resp.Wire = &ws
+	}
+	if hp, ok := s.federation().(HealthProvider); ok {
+		resp.PeerHealth = hp.PeerHealth()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -18,6 +18,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"strings"
@@ -42,7 +43,15 @@ type AppInfo struct {
 	Kind      string `json:"kind"`
 	Server    string `json:"server"`
 	Privilege string `json:"privilege"` // the asking user's privilege
+	// Unavailable marks a remote application whose host server is
+	// currently unreachable: still listed (from the substrate's cache)
+	// but not usable until the peer recovers.
+	Unavailable bool `json:"unavailable,omitempty"`
 }
+
+// ErrPeerUnavailable reports that an operation could not complete because
+// the remote application's host server is unreachable.
+var ErrPeerUnavailable = errors.New("server: peer server unreachable")
 
 // Federation is the substrate's surface as seen by a server. A nil
 // Federation means a standalone (centralized) deployment.
@@ -403,6 +412,17 @@ func (s *Server) HandleControlEvent(ev *wire.Message) {
 	for _, sess := range s.sessions.List() {
 		sess.Buffer.Push(ev)
 	}
+}
+
+// PeerServerDown tears down lock state owned by a dead peer's clients:
+// held locks pass to the next local waiter and that peer's queued waiters
+// fail with ErrPeerUnavailable instead of blocking until lease expiry.
+// The substrate calls this when its failure detector declares a peer
+// down. Returns the apps whose lock state changed.
+func (s *Server) PeerServerDown(peer string) []string {
+	return s.locks.FailOwners(func(owner string) bool {
+		return ServerOfClient(owner) == peer
+	}, ErrPeerUnavailable)
 }
 
 // ---------------------------------------------------------------------------

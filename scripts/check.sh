@@ -14,6 +14,11 @@ go vet ./...
 go build ./...
 go test -race ./...
 
+# Chaos smoke: the fault-injection paths (mid-run domain kill/restart,
+# partition + heal, breaker fast-fail) rerun uncached so flakiness in the
+# failure detector surfaces here, not in CI roulette.
+go test -race -count=1 -run 'Chaos|R1' ./internal/core/ ./internal/experiments/
+
 # Bench smoke: one iteration of every benchmark, so the bench code itself
 # cannot rot between full harness runs.
 go test -run '^$' -bench . -benchtime 1x ./...
