@@ -136,12 +136,12 @@ func BenchmarkE3ProtocolTradeoff(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := srv.ConnectApp(sess, as.AppID()); err != nil {
+		if _, err := srv.ConnectApp(context.Background(), sess, as.AppID()); err != nil {
 			b.Fatal(err)
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := srv.SubmitCommand(sess, "status", nil); err != nil {
+			if _, err := srv.SubmitCommand(context.Background(), sess, "status", nil); err != nil {
 				b.Fatal(err)
 			}
 			if _, err := as.RunPhase(); err != nil {
@@ -217,7 +217,7 @@ func BenchmarkE4CollabTraffic(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	if _, err := edge.Srv.ConnectApp(sess, as.AppID()); err != nil {
+	if _, err := edge.Srv.ConnectApp(context.Background(), sess, as.AppID()); err != nil {
 		b.Fatal(err)
 	}
 	fed.Net.ResetStats()
@@ -255,13 +255,13 @@ func BenchmarkE5RemoteVsLocal(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := d.Srv.ConnectApp(sess, as.AppID()); err != nil {
+		if _, err := d.Srv.ConnectApp(context.Background(), sess, as.AppID()); err != nil {
 			b.Fatal(err)
 		}
 		params := []wire.Param{{Key: "name", Value: "source_freq"}}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			cmd, err := d.Srv.SubmitCommand(sess, "get_param", params)
+			cmd, err := d.Srv.SubmitCommand(context.Background(), sess, "get_param", params)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -305,14 +305,14 @@ func BenchmarkE6DiscoveryAuth(b *testing.B) {
 	})
 	b.Run("remote-privilege", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := edge.Sub.RemotePrivilege("alice", as.AppID()); err != nil {
+			if _, err := edge.Sub.RemotePrivilege(context.Background(), "alice", as.AppID()); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("remote-app-list", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if apps := edge.Sub.RemoteApps("alice"); len(apps) == 0 {
+			if apps := edge.Sub.RemoteApps(context.Background(), "alice"); len(apps) == 0 {
 				b.Fatal("no remote apps")
 			}
 		}
@@ -391,11 +391,11 @@ func BenchmarkE9DistributedLocking(b *testing.B) {
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			granted, _, err := edge.Sub.RemoteLock(as.AppID(), "edge/client-1", true)
+			granted, _, err := edge.Sub.RemoteLock(context.Background(), as.AppID(), "edge/client-1", true)
 			if err != nil || !granted {
 				b.Fatalf("lock: %v %v", granted, err)
 			}
-			if _, _, err := edge.Sub.RemoteLock(as.AppID(), "edge/client-1", false); err != nil {
+			if _, _, err := edge.Sub.RemoteLock(context.Background(), as.AppID(), "edge/client-1", false); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -588,7 +588,7 @@ func BenchmarkRelayBatching(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := edge.Srv.ConnectApp(sess, as.AppID()); err != nil {
+		if _, err := edge.Srv.ConnectApp(context.Background(), sess, as.AppID()); err != nil {
 			b.Fatal(err)
 		}
 		appID := as.AppID()
@@ -654,7 +654,7 @@ func BenchmarkA3PollVsPush(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := edge.Srv.ConnectApp(sess, as.AppID()); err != nil {
+		if _, err := edge.Srv.ConnectApp(context.Background(), sess, as.AppID()); err != nil {
 			b.Fatal(err)
 		}
 		var expect uint64

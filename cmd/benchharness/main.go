@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +19,7 @@ import (
 	"time"
 
 	"discover/internal/experiments"
+	"discover/internal/telemetry"
 )
 
 type experiment struct {
@@ -104,11 +106,28 @@ var all = []experiment{
 		}
 		return experiments.RunR1(20 * time.Millisecond)
 	}},
+	{"O1", func(q bool) (experiments.Result, error) {
+		if q {
+			return experiments.RunO1(20 * time.Millisecond)
+		}
+		return experiments.RunO1(40 * time.Millisecond)
+	}},
+}
+
+// benchReport is the shape of the -json output file: every experiment's
+// rows plus a snapshot of all latency histograms the run populated (the
+// same data GET /metrics exports, in JSON).
+type benchReport struct {
+	Generated  string                        `json:"generated"`
+	Quick      bool                          `json:"quick"`
+	Results    []experiments.Result          `json:"results"`
+	Histograms []telemetry.HistogramSnapshot `json:"histograms"`
 }
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced parameters")
 	runList := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	jsonOut := flag.String("json", "", "write results and histogram summaries to this file (e.g. BENCH_run.json)")
 	flag.Parse()
 
 	selected := map[string]bool{}
@@ -119,6 +138,7 @@ func main() {
 	}
 
 	failures := 0
+	var results []experiments.Result
 	for _, e := range all {
 		if len(selected) > 0 && !selected[e.id] {
 			continue
@@ -130,6 +150,7 @@ func main() {
 			failures++
 			continue
 		}
+		results = append(results, res)
 		fmt.Printf("== %s: %s  (%s)\n", res.ID, res.Title, time.Since(start).Round(time.Millisecond))
 		for _, row := range res.Rows {
 			status := "PASS"
@@ -142,6 +163,24 @@ func main() {
 			fmt.Printf("         measured: %s\n", row.Measured)
 		}
 		fmt.Println()
+	}
+	if *jsonOut != "" {
+		report := benchReport{
+			Generated:  time.Now().UTC().Format(time.RFC3339),
+			Quick:      *quick,
+			Results:    results,
+			Histograms: telemetry.DefaultRegistry().Snapshots(),
+		}
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonOut, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Printf("benchharness: writing %s: %v\n", *jsonOut, err)
+			failures++
+		} else {
+			fmt.Printf("benchharness: wrote %s (%d histograms)\n", *jsonOut, len(report.Histograms))
+		}
 	}
 	if failures > 0 {
 		fmt.Printf("benchharness: %d failures\n", failures)

@@ -41,6 +41,8 @@ func main() {
 	tlsSelf := flag.Bool("tls-self-signed", false, "serve the portal over HTTPS with an ephemeral certificate")
 	tlsCert := flag.String("tls-cert", "", "PEM certificate for the HTTPS portal")
 	tlsKey := flag.String("tls-key", "", "PEM key for the HTTPS portal")
+	traceSample := flag.Int("trace-sample", 0, "sample 1-in-N portal requests for tracing (0 = off)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof on the portal")
 	flag.Var(&users, "user", "home user as user:secret (repeatable)")
 	flag.Parse()
 
@@ -53,6 +55,9 @@ func main() {
 		PollInterval:  *pollEvery,
 		Users:         map[string]string{},
 		RecordUpdates: true,
+
+		TraceSampleEvery: *traceSample,
+		EnablePprof:      *pprofOn,
 	}
 	switch *mode {
 	case "push":

@@ -157,6 +157,14 @@ type DomainConfig struct {
 	SessionIdleTimeout time.Duration
 	// RecordUpdates stores periodic updates in the record database.
 	RecordUpdates bool
+	// TraceSampleEvery samples one in every N portal requests for
+	// distributed tracing (GET /api/trace/{id}); 0 disables sampling.
+	// The tracer is process-wide, so the last domain started in a
+	// process wins.
+	TraceSampleEvery int
+	// EnablePprof mounts net/http/pprof under /debug/pprof on the
+	// portal handler.
+	EnablePprof bool
 	// Logf receives operational logs (default log.Printf; use a no-op in
 	// benchmarks).
 	Logf func(format string, args ...any)
@@ -187,10 +195,12 @@ type Domain struct {
 // (optionally) the HTTP portal listener.
 func StartDomain(cfg DomainConfig) (*Domain, error) {
 	srv, err := server.New(server.Config{
-		Name:          cfg.Name,
-		FifoCapacity:  cfg.FifoCapacity,
-		RecordUpdates: cfg.RecordUpdates,
-		Logf:          cfg.Logf,
+		Name:             cfg.Name,
+		FifoCapacity:     cfg.FifoCapacity,
+		RecordUpdates:    cfg.RecordUpdates,
+		TraceSampleEvery: cfg.TraceSampleEvery,
+		EnablePprof:      cfg.EnablePprof,
+		Logf:             cfg.Logf,
 	})
 	if err != nil {
 		return nil, err

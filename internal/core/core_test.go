@@ -200,7 +200,7 @@ func TestGlobalAppListMergesDomains(t *testing.T) {
 	n.attachApp(b, "wave-b", defaultUsers())
 	n.discoverAll()
 
-	apps := a.srv.Apps("alice")
+	apps := a.srv.Apps(context.Background(), "alice")
 	if len(apps) != 2 {
 		t.Fatalf("alice sees %v", apps)
 	}
@@ -216,7 +216,7 @@ func TestGlobalAppListMergesDomains(t *testing.T) {
 	}
 
 	// ACL filtering is enforced at each peer: an unknown user sees nothing.
-	if apps := a.srv.Apps("mallory"); len(apps) != 0 {
+	if apps := a.srv.Apps(context.Background(), "mallory"); len(apps) != 0 {
 		t.Errorf("mallory sees %v", apps)
 	}
 }
@@ -259,7 +259,7 @@ func remoteSteeringTest(t *testing.T, mode UpdateMode) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cap, err := b.srv.ConnectApp(sess, appID)
+	cap, err := b.srv.ConnectApp(context.Background(), sess, appID)
 	if err != nil {
 		t.Fatalf("remote connect: %v", err)
 	}
@@ -268,7 +268,7 @@ func remoteSteeringTest(t *testing.T, mode UpdateMode) {
 	}
 
 	// Remote lock acquisition relays to the host server's lock table.
-	granted, _, err := b.srv.LockOp(sess, true)
+	granted, _, err := b.srv.LockOp(context.Background(), sess, true)
 	if err != nil || !granted {
 		t.Fatalf("remote lock: %v %v", granted, err)
 	}
@@ -280,7 +280,7 @@ func remoteSteeringTest(t *testing.T, mode UpdateMode) {
 	}
 
 	// Remote steering command.
-	if _, err := b.srv.SubmitCommand(sess, "set_param", []wire.Param{
+	if _, err := b.srv.SubmitCommand(context.Background(), sess, "set_param", []wire.Param{
 		{Key: "name", Value: "source_freq"}, {Key: "value", Value: "0.22"},
 	}); err != nil {
 		t.Fatalf("remote command: %v", err)
@@ -314,7 +314,7 @@ func remoteSteeringTest(t *testing.T, mode UpdateMode) {
 	})
 
 	// Release remotely.
-	if _, _, err := b.srv.LockOp(sess, false); err != nil {
+	if _, _, err := b.srv.LockOp(context.Background(), sess, false); err != nil {
 		t.Fatal(err)
 	}
 	if _, held := a.srv.Locks().Holder(appID); held {
@@ -336,18 +336,18 @@ func TestDistributedLockMutualExclusion(t *testing.T) {
 	// alice local at rutgers, alice2 remote at caltech contend.
 	local, _ := a.srv.Login("alice", "pw")
 	remote, _ := b.srv.Login("alice", "pw")
-	if _, err := a.srv.ConnectApp(local, appID); err != nil {
+	if _, err := a.srv.ConnectApp(context.Background(), local, appID); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := b.srv.ConnectApp(remote, appID); err != nil {
+	if _, err := b.srv.ConnectApp(context.Background(), remote, appID); err != nil {
 		t.Fatal(err)
 	}
 
-	granted, _, _ := a.srv.LockOp(local, true)
+	granted, _, _ := a.srv.LockOp(context.Background(), local, true)
 	if !granted {
 		t.Fatal("local lock denied")
 	}
-	granted, holder, err := b.srv.LockOp(remote, true)
+	granted, holder, err := b.srv.LockOp(context.Background(), remote, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -358,15 +358,15 @@ func TestDistributedLockMutualExclusion(t *testing.T) {
 		t.Errorf("holder reported to remote = %q", holder)
 	}
 	// Remote steering without the lock is rejected AT THE HOST.
-	_, err = b.srv.SubmitCommand(remote, "set_param", []wire.Param{
+	_, err = b.srv.SubmitCommand(context.Background(), remote, "set_param", []wire.Param{
 		{Key: "name", Value: "source_freq"}, {Key: "value", Value: "0.3"},
 	})
 	if err == nil {
 		t.Error("remote steer without lock accepted")
 	}
 	// Hand over.
-	a.srv.LockOp(local, false)
-	if granted, _, _ := b.srv.LockOp(remote, true); !granted {
+	a.srv.LockOp(context.Background(), local, false)
+	if granted, _, _ := b.srv.LockOp(context.Background(), remote, true); !granted {
 		t.Error("remote lock denied after local release")
 	}
 }
@@ -381,10 +381,10 @@ func TestCrossServerCollaboration(t *testing.T) {
 
 	aliceA, _ := a.srv.Login("alice", "pw")
 	bobB, _ := b.srv.Login("bob", "pw")
-	if _, err := a.srv.ConnectApp(aliceA, appID); err != nil {
+	if _, err := a.srv.ConnectApp(context.Background(), aliceA, appID); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := b.srv.ConnectApp(bobB, appID); err != nil {
+	if _, err := b.srv.ConnectApp(context.Background(), bobB, appID); err != nil {
 		t.Fatal(err)
 	}
 
@@ -475,15 +475,15 @@ func TestRemotePrivilegeDenied(t *testing.T) {
 	// eve has no ACL entry anywhere; connecting must fail with no access.
 	b.srv.Auth().SetUserSecret("eve", "pw")
 	sess, _ := b.srv.Login("eve", "pw")
-	if _, err := b.srv.ConnectApp(sess, as.AppID()); err == nil {
+	if _, err := b.srv.ConnectApp(context.Background(), sess, as.AppID()); err == nil {
 		t.Error("remote connect for unauthorized user succeeded")
 	}
 	// bob is monitor: connect fine, steer denied locally.
 	bob, _ := b.srv.Login("bob", "pw")
-	if _, err := b.srv.ConnectApp(bob, as.AppID()); err != nil {
+	if _, err := b.srv.ConnectApp(context.Background(), bob, as.AppID()); err != nil {
 		t.Fatalf("bob connect: %v", err)
 	}
-	if _, err := b.srv.SubmitCommand(bob, "set_param", []wire.Param{
+	if _, err := b.srv.SubmitCommand(context.Background(), bob, "set_param", []wire.Param{
 		{Key: "name", Value: "source_freq"}, {Key: "value", Value: "0.4"},
 	}); err == nil {
 		t.Error("monitor steer via substrate accepted")
@@ -498,7 +498,7 @@ func TestUnsubscribeStopsTraffic(t *testing.T) {
 	n.discoverAll()
 
 	sess, _ := b.srv.Login("alice", "pw")
-	if _, err := b.srv.ConnectApp(sess, as.AppID()); err != nil {
+	if _, err := b.srv.ConnectApp(context.Background(), sess, as.AppID()); err != nil {
 		t.Fatal(err)
 	}
 	// Receive at least one update, then unsubscribe.
@@ -575,34 +575,34 @@ func TestFederationChaos(t *testing.T) {
 				return
 			}
 			appID := apps[c%len(apps)].AppID()
-			if _, err := d.srv.ConnectApp(sess, appID); err != nil {
+			if _, err := d.srv.ConnectApp(context.Background(), sess, appID); err != nil {
 				t.Errorf("client %d connect: %v", c, err)
 				return
 			}
 			for time.Now().Before(deadline) {
 				switch r.Intn(6) {
 				case 0: // try to steer under the lock
-					granted, _, err := d.srv.LockOp(sess, true)
+					granted, _, err := d.srv.LockOp(context.Background(), sess, true)
 					if err != nil || !granted {
 						continue
 					}
-					if _, err := d.srv.SubmitCommand(sess, "set_param", []wire.Param{
+					if _, err := d.srv.SubmitCommand(context.Background(), sess, "set_param", []wire.Param{
 						{Key: "name", Value: "source_amp"},
 						{Key: "value", Value: "1.5"},
 					}); err == nil {
 						steers.Add(1)
 					}
-					d.srv.LockOp(sess, false)
+					d.srv.LockOp(context.Background(), sess, false)
 				case 1:
-					d.srv.SubmitCommand(sess, "status", nil)
+					d.srv.SubmitCommand(context.Background(), sess, "status", nil)
 				case 2:
 					d.srv.Chat(sess, "chaos")
 				case 3:
 					sess.Buffer.Drain(0)
 				case 4:
-					d.srv.Apps("alice")
+					d.srv.Apps(context.Background(), "alice")
 				case 5:
-					d.srv.SubmitCommand(sess, "get_param", []wire.Param{{Key: "name", Value: "source_amp"}})
+					d.srv.SubmitCommand(context.Background(), sess, "get_param", []wire.Param{{Key: "name", Value: "source_amp"}})
 				}
 			}
 			d.srv.Logout(sess)
@@ -663,20 +663,20 @@ func TestFederationChaos(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := d2b.srv.ConnectApp(sess, apps[0].AppID()); err != nil {
+	if _, err := d2b.srv.ConnectApp(context.Background(), sess, apps[0].AppID()); err != nil {
 		t.Fatalf("connect via reborn domain: %v", err)
 	}
 	waitFor(t, 10*time.Second, func() bool {
-		granted, _, err := d2b.srv.LockOp(sess, true)
+		granted, _, err := d2b.srv.LockOp(context.Background(), sess, true)
 		return err == nil && granted
 	})
-	if _, err := d2b.srv.SubmitCommand(sess, "set_param", []wire.Param{
+	if _, err := d2b.srv.SubmitCommand(context.Background(), sess, "set_param", []wire.Param{
 		{Key: "name", Value: "source_amp"},
 		{Key: "value", Value: "2.0"},
 	}); err != nil {
 		t.Errorf("steer via reborn domain: %v", err)
 	}
-	d2b.srv.LockOp(sess, false)
+	d2b.srv.LockOp(context.Background(), sess, false)
 	d2b.srv.Logout(sess)
 }
 
@@ -773,11 +773,11 @@ func TestPeerFailureHandledCleanly(t *testing.T) {
 	appID := as.AppID()
 
 	sess, _ := b.srv.Login("alice", "pw")
-	if _, err := b.srv.ConnectApp(sess, appID); err != nil {
+	if _, err := b.srv.ConnectApp(context.Background(), sess, appID); err != nil {
 		t.Fatal(err)
 	}
 	// Populate b's remote-app cache while the host is alive.
-	if apps := b.srv.Apps("alice"); len(apps) != 1 || apps[0].Unavailable {
+	if apps := b.srv.Apps(context.Background(), "alice"); len(apps) != 1 || apps[0].Unavailable {
 		t.Fatalf("pre-failure apps = %v", apps)
 	}
 
@@ -791,7 +791,7 @@ func TestPeerFailureHandledCleanly(t *testing.T) {
 	// Remote operations fail with errors, promptly.
 	done := make(chan error, 1)
 	go func() {
-		_, err := b.srv.SubmitCommand(sess, "status", nil)
+		_, err := b.srv.SubmitCommand(context.Background(), sess, "status", nil)
 		done <- err
 	}()
 	select {
@@ -802,7 +802,7 @@ func TestPeerFailureHandledCleanly(t *testing.T) {
 	case <-time.After(15 * time.Second):
 		t.Fatal("command to dead peer hung")
 	}
-	if _, _, err := b.srv.LockOp(sess, true); err == nil {
+	if _, _, err := b.srv.LockOp(context.Background(), sess, true); err == nil {
 		t.Error("lock relay to dead peer succeeded")
 	}
 
@@ -818,7 +818,7 @@ func TestPeerFailureHandledCleanly(t *testing.T) {
 	// Breaker open: operations fail fast with the typed error, well under
 	// the RPC timeout.
 	start := time.Now()
-	_, err := b.srv.SubmitCommand(sess, "status", nil)
+	_, err := b.srv.SubmitCommand(context.Background(), sess, "status", nil)
 	if !errors.Is(err, ErrPeerDown) {
 		t.Errorf("command after breaker open: %v", err)
 	}
@@ -827,7 +827,7 @@ func TestPeerFailureHandledCleanly(t *testing.T) {
 	}
 
 	// The dead peer's applications are still listed, marked unavailable.
-	apps := b.srv.Apps("alice")
+	apps := b.srv.Apps(context.Background(), "alice")
 	if len(apps) != 1 || !apps[0].Unavailable || apps[0].ID != appID {
 		t.Errorf("apps after peer death = %+v", apps)
 	}
@@ -854,18 +854,18 @@ func TestResourcePolicyThrottlesPeer(t *testing.T) {
 	a.sub.Accounting().SetPolicy("caltech", policy.Policy{RequestsPerSec: 0.0001, RequestBurst: 2})
 
 	sess, _ := b.srv.Login("alice", "pw")
-	if _, err := b.srv.ConnectApp(sess, appID); err != nil {
+	if _, err := b.srv.ConnectApp(context.Background(), sess, appID); err != nil {
 		t.Fatal(err)
 	}
-	granted, _, err := b.srv.LockOp(sess, true)
+	granted, _, err := b.srv.LockOp(context.Background(), sess, true)
 	if err != nil || !granted {
 		t.Fatalf("first lock consumed budget unexpectedly: %v %v", granted, err)
 	}
-	if _, _, err := b.srv.LockOp(sess, false); err != nil {
+	if _, _, err := b.srv.LockOp(context.Background(), sess, false); err != nil {
 		t.Fatal(err)
 	}
 	// Third relayed request exceeds the burst of 2.
-	if _, _, err := b.srv.LockOp(sess, true); err == nil {
+	if _, _, err := b.srv.LockOp(context.Background(), sess, true); err == nil {
 		t.Fatal("request over policy budget was admitted")
 	}
 	usage := a.sub.Accounting().Usage("caltech")
@@ -885,16 +885,16 @@ func TestPollModeFiltersForeignResponses(t *testing.T) {
 
 	sb, _ := b.srv.Login("alice", "pw")
 	sc, _ := c.srv.Login("bob", "pw")
-	if _, err := b.srv.ConnectApp(sb, appID); err != nil {
+	if _, err := b.srv.ConnectApp(context.Background(), sb, appID); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.srv.ConnectApp(sc, appID); err != nil {
+	if _, err := c.srv.ConnectApp(context.Background(), sc, appID); err != nil {
 		t.Fatal(err)
 	}
-	if granted, _, _ := b.srv.LockOp(sb, true); !granted {
+	if granted, _, _ := b.srv.LockOp(context.Background(), sb, true); !granted {
 		t.Fatal("lock")
 	}
-	if _, err := b.srv.SubmitCommand(sb, "set_param", []wire.Param{
+	if _, err := b.srv.SubmitCommand(context.Background(), sb, "set_param", []wire.Param{
 		{Key: "name", Value: "source_freq"}, {Key: "value", Value: "0.19"},
 	}); err != nil {
 		t.Fatal(err)

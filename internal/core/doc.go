@@ -1,0 +1,51 @@
+// Package core implements the paper's primary contribution: the
+// middleware substrate for peer-to-peer integration of DISCOVER servers.
+//
+// Each server's substrate exposes the two interface levels of Section 3
+// over the mini-ORB (internal/orb):
+//
+//   - DiscoverCorbaServer (level one, object key "DiscoverServer"):
+//     authenticate peer-asserted users, list active applications and
+//     logged-in users, answer level-two privilege queries, and manage
+//     relay subscriptions.
+//
+//   - CorbaProxy (level two, one servant per local application, object key
+//     "CorbaProxy/<appID>", also bound in the naming service under the
+//     application id): forward commands, relay lock requests, fan
+//     collaboration messages out, and serve update polls.
+//
+// A Control servant carries the fourth inter-server channel: error and
+// system events plus pushed group traffic (the Salamander-style
+// notification service of §5.1).
+//
+// Server discovery uses the trader service: every substrate exports a
+// service offer of type DISCOVER with its name and endpoint in the
+// property list, refreshes the offer's lease while alive, and queries the
+// trader to find peers.
+//
+// # Update propagation
+//
+// Both designs of §5.2.3 are implemented and selectable by Config.Mode:
+// Poll has the subscriber's stubs poll the host's application log, Push
+// drives a per-peer relay sender that drains up to Config.RelayBatch
+// queued messages per wakeup into a single oneway deliverBatch
+// invocation (peers that predate batching are detected once and served
+// per-message). Updates cross the WAN once per remote server and fan out
+// locally.
+//
+// # Failure handling
+//
+// Every peer has a failure detector (healthy → suspect → down → probing)
+// fed by regular invocation outcomes and a periodic heartbeat; DownAfter
+// consecutive failures open a circuit breaker so operations fail fast
+// with ErrPeerDown instead of burning the RPC timeout, and a recovery
+// probe closes it again. See DESIGN.md §4d.
+//
+// # Telemetry
+//
+// Request-path substrate methods take a context.Context; a sampled
+// request's active trace (internal/telemetry) rides it into the ORB,
+// crosses the wire as a trailer, and comes back with the remote servant's
+// dispatch time split out. Relay senders feed per-peer flush and
+// queue-wait latency histograms. See DESIGN.md §4e.
+package core

@@ -7,6 +7,7 @@ import (
 
 	"discover/internal/orb"
 	"discover/internal/server"
+	"discover/internal/telemetry"
 	"discover/internal/wire"
 )
 
@@ -31,6 +32,11 @@ type relaySender struct {
 	probed atomic.Bool // peer confirmed to support deliverBatch
 	legacy atomic.Bool // peer confirmed to lack deliverBatch
 
+	// Histogram pointers are resolved once at construction so the loop's
+	// hot path never touches the registry map (and stays alloc-free).
+	flushHist *telemetry.Histogram // time spent pushing one drained batch
+	waitHist  *telemetry.Histogram // per-message enqueue-to-drain wait
+
 	delivered   atomic.Uint64 // messages handed to the ORB
 	dropped     atomic.Uint64 // messages shed on a full queue
 	batches     atomic.Uint64 // deliverBatch invocations issued
@@ -41,6 +47,7 @@ type relaySender struct {
 type relayItem struct {
 	app string
 	msg *wire.Message
+	at  time.Time // enqueue time, for the queue-wait histogram
 }
 
 // relayQueueDepth bounds the per-peer push queue; beyond it messages are
@@ -59,11 +66,13 @@ const (
 
 func newRelaySender(s *Substrate, peer peerInfo) *relaySender {
 	r := &relaySender{
-		sub:      s,
-		peer:     peer,
-		queue:    make(chan relayItem, relayQueueDepth),
-		done:     make(chan struct{}),
-		batchMax: s.cfg.RelayBatch,
+		sub:       s,
+		peer:      peer,
+		queue:     make(chan relayItem, relayQueueDepth),
+		done:      make(chan struct{}),
+		batchMax:  s.cfg.RelayBatch,
+		flushHist: telemetry.GetHistogram("discover_relay_flush_seconds", "peer", peer.name),
+		waitHist:  telemetry.GetHistogram("discover_relay_queue_wait_seconds", "peer", peer.name),
 	}
 	s.wg.Add(1)
 	go r.loop()
@@ -74,7 +83,7 @@ func newRelaySender(s *Substrate, peer peerInfo) *relaySender {
 func (r *relaySender) deliverFunc(appID string) func(*wire.Message) {
 	return func(m *wire.Message) {
 		select {
-		case r.queue <- relayItem{app: appID, msg: m}:
+		case r.queue <- relayItem{app: appID, msg: m, at: time.Now()}:
 		case <-r.done:
 		default:
 			// Queue full: drop, as with slow clients. The peer catches up
@@ -122,6 +131,10 @@ func (r *relaySender) loop() {
 				}
 			}
 			batch := r.drain(it)
+			t0 := time.Now()
+			for i := range batch {
+				r.waitHist.Observe(t0.Sub(batch[i].at))
+			}
 			if err := r.send(batch); err != nil {
 				r.failures.Add(1)
 				r.sub.cfg.Logf("core %s: relay to %s: %v", r.sub.srv.Name(), r.peer.name, err)
@@ -141,6 +154,7 @@ func (r *relaySender) loop() {
 				}
 			} else {
 				backoff = 0
+				r.flushHist.Observe(time.Since(t0))
 				r.delivered.Add(uint64(len(batch)))
 			}
 		}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"discover/internal/orb"
+	"discover/internal/telemetry"
 	"discover/internal/wire"
 )
 
@@ -26,7 +27,7 @@ func TestDeliverBatchMatchesDeliver(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := b.srv.ConnectApp(sess, appID); err != nil {
+	if _, err := b.srv.ConnectApp(context.Background(), sess, appID); err != nil {
 		t.Fatal(err)
 	}
 	sess.Buffer.Drain(0) // discard connect-time traffic
@@ -110,11 +111,13 @@ func TestRelayBatchInvocationCount(t *testing.T) {
 	// Build the sender by hand so the queue can be preloaded before the
 	// drain loop starts: that makes the batch boundaries deterministic.
 	r := &relaySender{
-		sub:      a.sub,
-		peer:     peer,
-		queue:    make(chan relayItem, relayQueueDepth),
-		done:     make(chan struct{}),
-		batchMax: DefaultRelayBatch,
+		sub:       a.sub,
+		peer:      peer,
+		queue:     make(chan relayItem, relayQueueDepth),
+		done:      make(chan struct{}),
+		batchMax:  DefaultRelayBatch,
+		flushHist: telemetry.GetHistogram("discover_relay_flush_seconds", "peer", peer.name),
+		waitHist:  telemetry.GetHistogram("discover_relay_queue_wait_seconds", "peer", peer.name),
 	}
 	defer r.close()
 	const total = 100
@@ -140,10 +143,12 @@ func TestRelayBatchInvocationCount(t *testing.T) {
 // and counts rather than blocking the broadcaster.
 func TestRelayQueueFullDrops(t *testing.T) {
 	r := &relaySender{
-		peer:     peerInfo{name: "slow"},
-		queue:    make(chan relayItem, 2),
-		done:     make(chan struct{}),
-		batchMax: DefaultRelayBatch,
+		peer:      peerInfo{name: "slow"},
+		queue:     make(chan relayItem, 2),
+		done:      make(chan struct{}),
+		batchMax:  DefaultRelayBatch,
+		flushHist: telemetry.GetHistogram("discover_relay_flush_seconds", "peer", "slow"),
+		waitHist:  telemetry.GetHistogram("discover_relay_queue_wait_seconds", "peer", "slow"),
 	}
 	deliver := r.deliverFunc("wave")
 	for i := 0; i < 5; i++ {

@@ -1,27 +1,3 @@
-// Package core implements the paper's primary contribution: the
-// middleware substrate for peer-to-peer integration of DISCOVER servers.
-//
-// Each server's substrate exposes the two interface levels of Section 3
-// over the mini-ORB (internal/orb):
-//
-//   - DiscoverCorbaServer (level one, object key "DiscoverServer"):
-//     authenticate peer-asserted users, list active applications and
-//     logged-in users, answer level-two privilege queries, and manage
-//     relay subscriptions.
-//
-//   - CorbaProxy (level two, one servant per local application, object key
-//     "CorbaProxy/<appID>", also bound in the naming service under the
-//     application id): forward commands, relay lock requests, fan
-//     collaboration messages out, and serve update polls.
-//
-// A Control servant carries the fourth inter-server channel: error and
-// system events plus pushed group traffic (the Salamander-style
-// notification service of §5.1).
-//
-// Server discovery uses the trader service: every substrate exports a
-// service offer of type DISCOVER with its name and endpoint in the
-// property list, refreshes the offer's lease while alive, and queries the
-// trader to find peers.
 package core
 
 import (

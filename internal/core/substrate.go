@@ -218,6 +218,16 @@ func (s *Substrate) rpcCtx() (context.Context, context.CancelFunc) {
 	return context.WithTimeout(context.Background(), s.cfg.RPCTimeout)
 }
 
+// boundCtx derives the per-invocation budget from the caller's context —
+// so a client request's deadline (and its telemetry trace) propagates
+// into the RPC — falling back to a detached context for background work.
+func (s *Substrate) boundCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithTimeout(ctx, s.cfg.RPCTimeout)
+}
+
 // goTracked runs fn on a goroutine tracked by the substrate's WaitGroup,
 // unless the substrate is closed. The closed check and the Add happen
 // under the same lock Close uses before Wait, so Add can never race with
@@ -288,7 +298,7 @@ func (s *Substrate) reassertSubscriptions(peer string) {
 		if err != nil {
 			continue // host currently unknown; discovery will bring it back
 		}
-		err = s.invokePeer(p, p.serverRef(), "subscribe", subscribeReq{
+		err = s.invokePeer(nil, p, p.serverRef(), "subscribe", subscribeReq{
 			App: appID, Peer: s.srv.Name(), PeerAddr: s.orb.Addr(),
 		}, nil)
 		if err != nil {
@@ -422,14 +432,16 @@ func (s *Substrate) proxyRef(p peerInfo, appID string) orb.ObjRef {
 
 // invokePeer is the health-gated invocation path every two-way remote
 // operation goes through: consult the breaker (fast-fail on an open one),
-// invoke, and feed the outcome back to the failure detector.
-func (s *Substrate) invokePeer(p peerInfo, ref orb.ObjRef, method string, in, out any) error {
+// invoke, and feed the outcome back to the failure detector. The caller's
+// context flows into the invocation, carrying its deadline and telemetry
+// trace; pass nil for detached background work.
+func (s *Substrate) invokePeer(ctx context.Context, p peerInfo, ref orb.ObjRef, method string, in, out any) error {
 	if err := s.health.allow(p.name); err != nil {
 		return err
 	}
-	ctx, cancel := s.rpcCtx()
+	ictx, cancel := s.boundCtx(ctx)
 	defer cancel()
-	err := s.orb.Invoke(ctx, ref, method, in, out)
+	err := s.orb.Invoke(ictx, ref, method, in, out)
 	s.observePeer(p, err)
 	return err
 }
@@ -460,11 +472,11 @@ func (s *Substrate) PeerHealth() []server.PeerHealthStats {
 // An unreachable peer degrades gracefully: its last good listing is
 // served from cache with every entry marked Unavailable, so clients see
 // "the peer is down" rather than its applications silently vanishing.
-func (s *Substrate) RemoteApps(user string) []server.AppInfo {
+func (s *Substrate) RemoteApps(ctx context.Context, user string) []server.AppInfo {
 	var out []server.AppInfo
 	for _, p := range s.peerList() {
 		var resp listAppsResp
-		err := s.invokePeer(p, p.serverRef(), "listApplications", listAppsReq{User: user}, &resp)
+		err := s.invokePeer(ctx, p, p.serverRef(), "listApplications", listAppsReq{User: user}, &resp)
 		switch {
 		case err == nil:
 			s.rememberApps(p.name, user, resp.Apps)
@@ -514,42 +526,42 @@ func (s *Substrate) RemoteUsers(peerName string) ([]string, error) {
 		return nil, fmt.Errorf("core: unknown peer %q", peerName)
 	}
 	var resp listUsersResp
-	if err := s.invokePeer(p, p.serverRef(), "listUsers", listUsersReq{}, &resp); err != nil {
+	if err := s.invokePeer(nil, p, p.serverRef(), "listUsers", listUsersReq{}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Users, nil
 }
 
 // RemotePrivilege performs level-two authorization at the host server.
-func (s *Substrate) RemotePrivilege(user, appID string) (string, error) {
+func (s *Substrate) RemotePrivilege(ctx context.Context, user, appID string) (string, error) {
 	p, err := s.peerFor(appID)
 	if err != nil {
 		return "", err
 	}
 	var resp privilegeResp
-	if err := s.invokePeer(p, p.serverRef(), "privilege", privilegeReq{User: user, App: appID}, &resp); err != nil {
+	if err := s.invokePeer(ctx, p, p.serverRef(), "privilege", privilegeReq{User: user, App: appID}, &resp); err != nil {
 		return "", err
 	}
 	return resp.Privilege, nil
 }
 
 // ForwardCommand relays a client command to the application's host.
-func (s *Substrate) ForwardCommand(appID string, cmd *wire.Message) error {
+func (s *Substrate) ForwardCommand(ctx context.Context, appID string, cmd *wire.Message) error {
 	p, err := s.peerFor(appID)
 	if err != nil {
 		return err
 	}
-	return s.invokePeer(p, s.proxyRef(p, appID), "command", commandReq{Cmd: cmd}, nil)
+	return s.invokePeer(ctx, p, s.proxyRef(p, appID), "command", commandReq{Cmd: cmd}, nil)
 }
 
 // RemoteLock relays a lock request; lock state lives at the host only.
-func (s *Substrate) RemoteLock(appID, owner string, acquire bool) (bool, string, error) {
+func (s *Substrate) RemoteLock(ctx context.Context, appID, owner string, acquire bool) (bool, string, error) {
 	p, err := s.peerFor(appID)
 	if err != nil {
 		return false, "", err
 	}
 	var resp lockResp
-	if err := s.invokePeer(p, s.proxyRef(p, appID), "lock",
+	if err := s.invokePeer(ctx, p, s.proxyRef(p, appID), "lock",
 		lockReq{Owner: owner, Acquire: acquire}, &resp); err != nil {
 		return false, "", err
 	}
@@ -563,14 +575,14 @@ func (s *Substrate) ForwardCollab(appID string, m *wire.Message) error {
 	if err != nil {
 		return err
 	}
-	return s.invokePeer(p, s.proxyRef(p, appID), "collab",
+	return s.invokePeer(nil, p, s.proxyRef(p, appID), "collab",
 		collabReq{Msg: m, From: s.srv.Name()}, nil)
 }
 
 // Subscribe arranges for the application's group traffic to reach this
 // server: a push relay at the host (Push mode) or a local poller (Poll
 // mode). Idempotent.
-func (s *Substrate) Subscribe(appID string) error {
+func (s *Substrate) Subscribe(ctx context.Context, appID string) error {
 	p, err := s.peerFor(appID)
 	if err != nil {
 		return err
@@ -583,7 +595,7 @@ func (s *Substrate) Subscribe(appID string) error {
 			return nil
 		}
 		s.mu.Unlock()
-		err := s.invokePeer(p, p.serverRef(), "subscribe", subscribeReq{
+		err := s.invokePeer(ctx, p, p.serverRef(), "subscribe", subscribeReq{
 			App: appID, Peer: s.srv.Name(), PeerAddr: s.orb.Addr(),
 		}, nil)
 		if err != nil {
@@ -619,7 +631,7 @@ func (s *Substrate) Unsubscribe(appID string) error {
 		if err != nil {
 			return err
 		}
-		return s.invokePeer(p, p.serverRef(), "unsubscribe", subscribeReq{
+		return s.invokePeer(nil, p, p.serverRef(), "unsubscribe", subscribeReq{
 			App: appID, Peer: s.srv.Name(),
 		}, nil)
 	default:

@@ -198,7 +198,7 @@ func RunA3(updates int, pollInterval, rtt time.Duration) (Result, error) {
 		if err != nil {
 			return 0, 0, err
 		}
-		if _, err := edge.Srv.ConnectApp(sess, as.AppID()); err != nil {
+		if _, err := edge.Srv.ConnectApp(context.Background(), sess, as.AppID()); err != nil {
 			return 0, 0, err
 		}
 

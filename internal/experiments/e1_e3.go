@@ -12,6 +12,7 @@ import (
 	"discover/internal/appproto"
 	"discover/internal/portal"
 	"discover/internal/server"
+	"discover/internal/telemetry"
 )
 
 // standalone deploys one server with no federation (the centralized
@@ -63,7 +64,10 @@ func RunE1(counts []int, window time.Duration) (Result, error) {
 				registered++
 			}
 		}
-		// Every app cycles phases concurrently for the window.
+		// Every app cycles phases concurrently for the window. Phase
+		// latency lands in a telemetry histogram so the reference run's
+		// numbers come from the same machinery /metrics exports.
+		phaseHist := telemetry.GetHistogram("discover_e1_phase_seconds", "apps", fmt.Sprint(n))
 		var phases atomic.Int64
 		var minPhases atomic.Int64
 		minPhases.Store(1 << 62)
@@ -75,9 +79,11 @@ func RunE1(counts []int, window time.Duration) (Result, error) {
 				defer wg.Done()
 				var mine int64
 				for time.Now().Before(stopAt) {
+					t0 := time.Now()
 					if _, err := s.RunPhase(); err != nil {
 						break
 					}
+					phaseHist.Observe(time.Since(t0))
 					mine++
 				}
 				phases.Add(mine)
@@ -95,8 +101,8 @@ func RunE1(counts []int, window time.Duration) (Result, error) {
 		res.Rows = append(res.Rows, Row{
 			Name:  fmt.Sprintf("%d simultaneous applications", n),
 			Paper: "a single server supports >40 simultaneous applications",
-			Measured: fmt.Sprintf("registered %d/%d, all making progress: %v, %.0f phases/s/app",
-				registered, n, alive, perApp),
+			Measured: fmt.Sprintf("registered %d/%d, all making progress: %v, %.0f phases/s/app, phase mean %s",
+				registered, n, alive, perApp, phaseHist.Mean().Round(time.Microsecond)),
 			Pass: registered == n && alive,
 		})
 		for _, s := range sessions {
@@ -133,8 +139,10 @@ func RunE2(counts []int, window time.Duration) (Result, error) {
 		appDone := make(chan struct{})
 		go func() { defer close(appDone); as.Run(appCtx) }()
 
-		var mu sync.Mutex
-		var lats []time.Duration
+		// Round-trip latency goes through a telemetry histogram: the
+		// reported p50/p95 are its power-of-two bucket bounds, the same
+		// resolution an operator gets from GET /metrics.
+		rtHist := telemetry.GetHistogram("discover_e2_roundtrip_seconds", "clients", fmt.Sprint(n))
 		var ops atomic.Int64
 		var wg sync.WaitGroup
 		stopAt := time.Now().Add(window)
@@ -160,10 +168,7 @@ func RunE2(counts []int, window time.Duration) (Result, error) {
 					if err != nil {
 						return
 					}
-					d := time.Since(start)
-					mu.Lock()
-					lats = append(lats, d)
-					mu.Unlock()
+					rtHist.Observe(time.Since(start))
 					ops.Add(1)
 				}
 			}()
@@ -175,7 +180,7 @@ func RunE2(counts []int, window time.Duration) (Result, error) {
 		as.Close()
 		closeSrv()
 
-		p50, p95 := median(lats), percentile(lats, 95)
+		p50, p95 := rtHist.Quantile(0.50), rtHist.Quantile(0.95)
 		if i == 0 {
 			baseP95 = p95
 		}
@@ -183,9 +188,10 @@ func RunE2(counts []int, window time.Duration) (Result, error) {
 		res.Rows = append(res.Rows, Row{
 			Name:  fmt.Sprintf("%d simultaneous HTTP clients", n),
 			Paper: "20 simultaneous clients; degradation beyond 20 on the paper's testbed",
-			Measured: fmt.Sprintf("%d cmd+poll round trips, p50=%s p95=%s (p95 at %d clients was %s)",
-				served, p50.Round(time.Microsecond), p95.Round(time.Microsecond), counts[0], baseP95.Round(time.Microsecond)),
-			Pass: served > 0 && len(lats) > 0,
+			Measured: fmt.Sprintf("%d cmd+poll round trips, histogram p50≤%s p95≤%s mean %s (p95 at %d clients was %s)",
+				served, p50.Round(time.Microsecond), p95.Round(time.Microsecond),
+				rtHist.Mean().Round(time.Microsecond), counts[0], baseP95.Round(time.Microsecond)),
+			Pass: served > 0 && rtHist.Count() > 0,
 		})
 	}
 	return res, nil
@@ -213,19 +219,22 @@ func RunE3(iters int) (Result, error) {
 	if err != nil {
 		return res, err
 	}
-	if _, err := srv.ConnectApp(sess, as.AppID()); err != nil {
+	if _, err := srv.ConnectApp(context.Background(), sess, as.AppID()); err != nil {
 		return res, err
 	}
 
+	tcpHist := telemetry.GetHistogram("discover_e3_query_seconds", "path", "tcp")
 	start := time.Now()
 	for i := 0; i < iters; i++ {
-		if _, err := srv.SubmitCommand(sess, "status", nil); err != nil {
+		t0 := time.Now()
+		if _, err := srv.SubmitCommand(context.Background(), sess, "status", nil); err != nil {
 			return res, err
 		}
 		if _, err := as.RunPhase(); err != nil {
 			return res, err
 		}
 		sess.Buffer.Drain(0)
+		tcpHist.Observe(time.Since(t0))
 	}
 	tcpDur := time.Since(start)
 	tcpRate := float64(iters) / tcpDur.Seconds()
@@ -253,14 +262,17 @@ func RunE3(iters int) (Result, error) {
 	if httpIters == 0 {
 		httpIters = 1
 	}
+	httpHist := telemetry.GetHistogram("discover_e3_query_seconds", "path", "http")
 	start = time.Now()
 	for i := 0; i < httpIters; i++ {
+		t0 := time.Now()
 		wctx, cancel := context.WithTimeout(ctx, 10*time.Second)
 		_, err := cl.Do(wctx, "status", nil)
 		cancel()
 		if err != nil {
 			return res, err
 		}
+		httpHist.Observe(time.Since(t0))
 	}
 	httpDur := time.Since(start)
 	httpRate := float64(httpIters) / httpDur.Seconds()
@@ -268,8 +280,9 @@ func RunE3(iters int) (Result, error) {
 	res.Rows = append(res.Rows, Row{
 		Name:  "application path (binary over TCP) vs client path (JSON over HTTP)",
 		Paper: "more simultaneous apps than clients: the TCP custom protocol outperforms the HTTP servlet path",
-		Measured: fmt.Sprintf("TCP %.0f queries/s vs HTTP %.0f queries/s (%.1fx)",
-			tcpRate, httpRate, tcpRate/httpRate),
+		Measured: fmt.Sprintf("TCP %.0f queries/s vs HTTP %.0f queries/s (%.1fx); histogram means %s vs %s",
+			tcpRate, httpRate, tcpRate/httpRate,
+			tcpHist.Mean().Round(time.Microsecond), httpHist.Mean().Round(time.Microsecond)),
 		Pass: tcpRate > httpRate,
 	})
 	return res, nil

@@ -220,13 +220,13 @@ func RunE5(iters int, rtt time.Duration) (Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		if _, err := d.Srv.ConnectApp(sess, as.AppID()); err != nil {
+		if _, err := d.Srv.ConnectApp(context.Background(), sess, as.AppID()); err != nil {
 			return nil, err
 		}
 		var lats []time.Duration
 		for i := 0; i < iters; i++ {
 			start := time.Now()
-			cmd, err := d.Srv.SubmitCommand(sess, "get_param",
+			cmd, err := d.Srv.SubmitCommand(context.Background(), sess, "get_param",
 				[]wire.Param{{Key: "name", Value: "source_freq"}})
 			if err != nil {
 				return nil, err
@@ -334,7 +334,7 @@ func RunE6(iters int) (Result, error) {
 	var l1Total time.Duration
 	for i := 0; i < iters; i++ {
 		s := time.Now()
-		apps := a.Sub.RemoteApps("alice")
+		apps := a.Sub.RemoteApps(context.Background(), "alice")
 		if len(apps) == 0 {
 			return res, fmt.Errorf("experiments: remote app list empty")
 		}
@@ -343,7 +343,7 @@ func RunE6(iters int) (Result, error) {
 	var l2Total time.Duration
 	for i := 0; i < iters; i++ {
 		s := time.Now()
-		priv, err := a.Sub.RemotePrivilege("alice", as.AppID())
+		priv, err := a.Sub.RemotePrivilege(context.Background(), "alice", as.AppID())
 		if err != nil || priv != "steer" {
 			return res, fmt.Errorf("experiments: remote privilege = %q, %v", priv, err)
 		}
@@ -410,7 +410,7 @@ func RunE7(totalClients, updates int) (Result, error) {
 			if err != nil {
 				return lr, err
 			}
-			if _, err := d.Srv.ConnectApp(sess, as.AppID()); err != nil {
+			if _, err := d.Srv.ConnectApp(context.Background(), sess, as.AppID()); err != nil {
 				return lr, err
 			}
 			clients = append(clients, clientAt{d: d, sess: sess})

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -134,14 +135,14 @@ func RunE9(iters int, rtt time.Duration) (Result, error) {
 	if err != nil {
 		return res, err
 	}
-	if _, err := host.Srv.ConnectApp(localSess, appID); err != nil {
+	if _, err := host.Srv.ConnectApp(context.Background(), localSess, appID); err != nil {
 		return res, err
 	}
 	remoteSess, err := LoginLocal(edge, "alice")
 	if err != nil {
 		return res, err
 	}
-	if _, err := edge.Srv.ConnectApp(remoteSess, appID); err != nil {
+	if _, err := edge.Srv.ConnectApp(context.Background(), remoteSess, appID); err != nil {
 		return res, err
 	}
 
@@ -149,7 +150,7 @@ func RunE9(iters int, rtt time.Duration) (Result, error) {
 		var total time.Duration
 		for i := 0; i < iters; i++ {
 			start := time.Now()
-			granted, holder, err := d.Srv.LockOp(sess, true)
+			granted, holder, err := d.Srv.LockOp(context.Background(), sess, true)
 			if err != nil {
 				return 0, err
 			}
@@ -157,7 +158,7 @@ func RunE9(iters int, rtt time.Duration) (Result, error) {
 				return 0, fmt.Errorf("experiments: lock denied, holder %s", holder)
 			}
 			total += time.Since(start)
-			if _, _, err := d.Srv.LockOp(sess, false); err != nil {
+			if _, _, err := d.Srv.LockOp(context.Background(), sess, false); err != nil {
 				return 0, err
 			}
 		}
@@ -188,7 +189,7 @@ func RunE9(iters int, rtt time.Duration) (Result, error) {
 	contend := func(d *Domain, sess *session.Session) {
 		defer wg.Done()
 		for i := 0; i < iters; i++ {
-			granted, _, err := d.Srv.LockOp(sess, true)
+			granted, _, err := d.Srv.LockOp(context.Background(), sess, true)
 			if err != nil || !granted {
 				time.Sleep(time.Millisecond)
 				continue
@@ -204,7 +205,7 @@ func RunE9(iters int, rtt time.Duration) (Result, error) {
 			mu.Lock()
 			inCritical--
 			mu.Unlock()
-			d.Srv.LockOp(sess, false)
+			d.Srv.LockOp(context.Background(), sess, false)
 		}
 	}
 	wg.Add(2)

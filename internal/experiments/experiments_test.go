@@ -100,3 +100,8 @@ func TestR1ChaosFaultInjection(t *testing.T) {
 	res, err := RunR1(5 * time.Millisecond)
 	checkResult(t, res, err)
 }
+
+func TestO1TraceDecomposition(t *testing.T) {
+	res, err := RunO1(10 * time.Millisecond)
+	checkResult(t, res, err)
+}

@@ -75,20 +75,20 @@ func RunR1(rtt time.Duration) (Result, error) {
 	if err != nil {
 		return res, err
 	}
-	if _, err := edge.Srv.ConnectApp(edgeSess, appID); err != nil {
+	if _, err := edge.Srv.ConnectApp(context.Background(), edgeSess, appID); err != nil {
 		return res, fmt.Errorf("baseline remote connect: %w", err)
 	}
-	if granted, _, err := edge.Srv.LockOp(edgeSess, true); err != nil || !granted {
+	if granted, _, err := edge.Srv.LockOp(context.Background(), edgeSess, true); err != nil || !granted {
 		return res, fmt.Errorf("baseline remote lock: granted=%v err=%v", granted, err)
 	}
-	if _, err := edge.Srv.SubmitCommand(edgeSess, "set_param", []wire.Param{
+	if _, err := edge.Srv.SubmitCommand(context.Background(), edgeSess, "set_param", []wire.Param{
 		{Key: "name", Value: "source_amp"}, {Key: "value", Value: "1.1"},
 	}); err != nil {
 		return res, fmt.Errorf("baseline remote steer: %w", err)
 	}
 	// Populate the edge's remote-app cache (the degraded listing serves
 	// the last good snapshot).
-	if apps := edge.Srv.Apps("alice"); len(apps) == 0 {
+	if apps := edge.Srv.Apps(context.Background(), "alice"); len(apps) == 0 {
 		return res, fmt.Errorf("baseline listing empty")
 	}
 
@@ -97,7 +97,7 @@ func RunR1(rtt time.Duration) (Result, error) {
 	if err != nil {
 		return res, err
 	}
-	if _, err := host.Srv.ConnectApp(hostSess, appID); err != nil {
+	if _, err := host.Srv.ConnectApp(context.Background(), hostSess, appID); err != nil {
 		return res, err
 	}
 	waiterErr := make(chan error, 1)
@@ -140,7 +140,7 @@ func RunR1(rtt time.Duration) (Result, error) {
 
 	// Breaker open: remote command fails fast with the typed error.
 	start := time.Now()
-	_, cmdErr := edge.Srv.SubmitCommand(edgeSess, "status", nil)
+	_, cmdErr := edge.Srv.SubmitCommand(context.Background(), edgeSess, "status", nil)
 	failFast := time.Since(start)
 	res.Rows = append(res.Rows, Row{
 		Name:  "remote command with breaker open",
@@ -170,7 +170,7 @@ func RunR1(rtt time.Duration) (Result, error) {
 
 	// The edge still lists the host's application, marked unavailable,
 	// and its client's FIFO carries the peer-down system event.
-	apps := edge.Srv.Apps("alice")
+	apps := edge.Srv.Apps(context.Background(), "alice")
 	var unavailable bool
 	for _, a := range apps {
 		if a.ID == appID && a.Unavailable {
@@ -198,8 +198,8 @@ func RunR1(rtt time.Duration) (Result, error) {
 	host.Sub.CheckPeersNow()
 
 	healthyAgain := stateAt(edge, "host") == "healthy" && stateAt(host, "edge") == "healthy"
-	regranted, _, relockErr := edge.Srv.LockOp(edgeSess, true)
-	apps = edge.Srv.Apps("alice")
+	regranted, _, relockErr := edge.Srv.LockOp(context.Background(), edgeSess, true)
+	apps = edge.Srv.Apps(context.Background(), "alice")
 	var availableAgain bool
 	for _, a := range apps {
 		if a.ID == appID && !a.Unavailable {
@@ -234,7 +234,7 @@ func RunR1(rtt time.Duration) (Result, error) {
 		Pass: healthyAgain && regranted && relockErr == nil && availableAgain &&
 			updatesFlow && opens >= 1 && closes >= 1,
 	})
-	edge.Srv.LockOp(edgeSess, false)
+	edge.Srv.LockOp(context.Background(), edgeSess, false)
 
 	// --- Kill the aux site outright; survivors are unaffected. ---
 	fed.Net.KillSite("south")
@@ -242,7 +242,7 @@ func RunR1(rtt time.Duration) (Result, error) {
 		host.Sub.CheckPeersNow()
 		edge.Sub.CheckPeersNow()
 	}
-	_, steerErr := edge.Srv.SubmitCommand(edgeSess, "status", nil)
+	_, steerErr := edge.Srv.SubmitCommand(context.Background(), edgeSess, "status", nil)
 	res.Rows = append(res.Rows, Row{
 		Name:  "site death leaves survivors collaborating",
 		Paper: "failures degrade the federation instead of collapsing it",

@@ -1,0 +1,19 @@
+// Package lockmgr implements DISCOVER's steering concurrency control: a
+// simple locking protocol that guarantees only one client "drives" an
+// application at a time.
+//
+// In the distributed server framework, locking information is maintained
+// only at the application's host server; servers providing remote access
+// relay lock requests there (see internal/core). Locks carry leases so a
+// departed client cannot wedge an application, and released or expired
+// locks pass to the longest-waiting requester in FIFO order.
+//
+// When a peer server dies, the host fails that peer's clients out of the
+// lock tables with FailOwners: held locks pass to the next local waiter
+// and the dead peer's queued waiters wake immediately with an error
+// instead of at lease expiry.
+//
+// Acquisition latency — zero for an uncontended grant, the queue wait
+// otherwise — feeds the discover_lock_acquire_seconds histogram
+// (internal/telemetry).
+package lockmgr

@@ -1,12 +1,3 @@
-// Package lockmgr implements DISCOVER's steering concurrency control: a
-// simple locking protocol that guarantees only one client "drives" an
-// application at a time.
-//
-// In the distributed server framework, locking information is maintained
-// only at the application's host server; servers providing remote access
-// relay lock requests there (see internal/core). Locks carry leases so a
-// departed client cannot wedge an application, and released or expired
-// locks pass to the longest-waiting requester in FIFO order.
 package lockmgr
 
 import (
@@ -14,6 +5,8 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"discover/internal/telemetry"
 )
 
 // DefaultLease is how long a granted lock lives without renewal.
@@ -48,6 +41,7 @@ type Manager struct {
 	locks        map[string]*lock
 	defaultLease time.Duration
 	now          func() time.Time
+	acquireHist  *telemetry.Histogram // request-to-grant latency
 }
 
 // Option configures a Manager.
@@ -66,6 +60,7 @@ func NewManager(opts ...Option) *Manager {
 		locks:        make(map[string]*lock),
 		defaultLease: DefaultLease,
 		now:          time.Now,
+		acquireHist:  telemetry.GetHistogram("discover_lock_acquire_seconds"),
 	}
 	for _, o := range opts {
 		o(m)
@@ -86,6 +81,7 @@ func (m *Manager) TryAcquire(app, owner string, lease time.Duration) (granted bo
 	m.reapLocked(app, l)
 	if l.holder == "" || l.holder == owner {
 		m.grantLocked(app, l, owner, lease)
+		m.acquireHist.Observe(0) // uncontended grant
 		return true, owner
 	}
 	return false, l.holder
@@ -97,12 +93,14 @@ func (m *Manager) Acquire(ctx context.Context, app, owner string, lease time.Dur
 	if lease <= 0 {
 		lease = m.defaultLease
 	}
+	t0 := time.Now()
 	m.mu.Lock()
 	l := m.lockFor(app)
 	m.reapLocked(app, l)
 	if l.holder == "" || l.holder == owner {
 		m.grantLocked(app, l, owner, lease)
 		m.mu.Unlock()
+		m.acquireHist.Observe(time.Since(t0))
 		return nil
 	}
 	w := &waiter{owner: owner, lease: lease, grant: make(chan struct{}), done: ctx.Done()}
@@ -111,6 +109,9 @@ func (m *Manager) Acquire(ctx context.Context, app, owner string, lease time.Dur
 
 	select {
 	case <-w.grant:
+		if w.err == nil {
+			m.acquireHist.Observe(time.Since(t0))
+		}
 		return w.err
 	case <-ctx.Done():
 		m.mu.Lock()

@@ -1,0 +1,25 @@
+// Package netsim provides a simulated wide-area network for experiments.
+//
+// The paper evaluates DISCOVER across geographically distributed domains
+// (Rutgers, UT Austin, Caltech). This repository has no testbed, so netsim
+// substitutes a deterministic WAN: connections dialed through a Network are
+// shaped with per-site-pair round-trip latency and bandwidth, and every
+// directed link keeps message/byte counters so experiments can measure the
+// traffic claims of Section 5.2.3.
+//
+// Shaping is applied entirely on the dialer's connection: outbound writes
+// are delivered to the peer after one-way latency (pipelined — Write does
+// not block for the latency), and inbound bytes are held for one-way
+// latency before Read observes them. The listener side uses ordinary
+// connections, so a single wrapped endpoint yields the correct RTT.
+//
+// # Fault injection
+//
+// The network also injects faults at runtime, deterministically (seeded
+// RNG, SetFaultSeed): Partition black-holes new dials and severs live
+// connections both ways until Heal; KillSite fails dials with ErrSiteDown
+// until Revive; SetResetProb injects probabilistic connection resets and
+// SpikeLatency one-shot delays; HealAll reverts everything. Fault checks
+// sit below the latency/bandwidth shapers, so a partitioned link behaves
+// like a dead route, not a slow one. See DESIGN.md §4d.
+package netsim

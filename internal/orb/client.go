@@ -152,12 +152,14 @@ func (pc *poolConn) sendOnewayBatch(key, method string, argsList [][]byte) error
 }
 
 // roundTrip sends one request and waits for its reply or ctx cancellation.
-func (pc *poolConn) roundTrip(ctx context.Context, key, method string, args []byte) ([]byte, error) {
+// trace, when nonzero, rides as the frame's trailing metadata; the
+// returned TraceMeta is the reply's echo (zero Trace = legacy peer).
+func (pc *poolConn) roundTrip(ctx context.Context, key, method string, args []byte, trace uint64) ([]byte, wire.TraceMeta, error) {
 	pc.mu.Lock()
 	if pc.err != nil {
 		err := pc.err
 		pc.mu.Unlock()
-		return nil, err
+		return nil, wire.TraceMeta{}, err
 	}
 	pc.nextID++
 	id := pc.nextID
@@ -165,13 +167,13 @@ func (pc *poolConn) roundTrip(ctx context.Context, key, method string, args []by
 	pc.pending[id] = ch
 	pc.mu.Unlock()
 
-	err := pc.writeRequests(&request{id: id, key: key, method: method, args: args})
+	err := pc.writeRequests(&request{id: id, key: key, method: method, args: args, trace: trace})
 	if err != nil {
 		pc.mu.Lock()
 		delete(pc.pending, id)
 		pc.mu.Unlock()
 		pc.close(&RemoteError{Code: CodeComm, Msg: "write failed: " + err.Error()})
-		return nil, &RemoteError{Code: CodeComm, Msg: err.Error()}
+		return nil, wire.TraceMeta{}, &RemoteError{Code: CodeComm, Msg: err.Error()}
 	}
 	pc.stats.invocations.Add(1)
 
@@ -184,24 +186,25 @@ func (pc *poolConn) roundTrip(ctx context.Context, key, method string, args []by
 			if err == nil {
 				err = &RemoteError{Code: CodeComm, Msg: "connection closed"}
 			}
-			return nil, err
+			return nil, wire.TraceMeta{}, err
 		}
+		meta := wire.TraceMeta{Trace: rp.trace, ServantNanos: rp.servantNanos}
 		switch rp.status {
 		case replyOK:
-			return rp.body, nil
+			return rp.body, meta, nil
 		case replyUserError, replySysError:
 			re := &RemoteError{}
 			if err := Unmarshal(rp.body, re); err != nil {
-				return nil, &RemoteError{Code: CodeMarshal, Msg: "undecodable remote error"}
+				return nil, meta, &RemoteError{Code: CodeMarshal, Msg: "undecodable remote error"}
 			}
-			return nil, re
+			return nil, meta, re
 		default:
-			return nil, &RemoteError{Code: CodeComm, Msg: "unknown reply status"}
+			return nil, meta, &RemoteError{Code: CodeComm, Msg: "unknown reply status"}
 		}
 	case <-ctx.Done():
 		pc.mu.Lock()
 		delete(pc.pending, id)
 		pc.mu.Unlock()
-		return nil, ctx.Err()
+		return nil, wire.TraceMeta{}, ctx.Err()
 	}
 }

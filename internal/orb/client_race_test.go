@@ -83,7 +83,7 @@ func TestPoolConnConcurrentOnewayAndRoundTrip(t *testing.T) {
 			for i := 0; i < perSender; i++ {
 				binary.BigEndian.PutUint32(arg[4:], uint32(i))
 				if i%3 == 2 { // interleave a round trip among oneways
-					body, err := pc.roundTrip(context.Background(), "obj", "echo", arg[:])
+					body, _, err := pc.roundTrip(context.Background(), "obj", "echo", arg[:], 0)
 					if err != nil {
 						t.Errorf("sender %d roundTrip %d: %v", s, i, err)
 						return
@@ -107,7 +107,7 @@ func TestPoolConnConcurrentOnewayAndRoundTrip(t *testing.T) {
 	// earlier frame has been read by the peer.
 	var fin [8]byte
 	binary.BigEndian.PutUint32(fin[:4], ^uint32(0))
-	if _, err := pc.roundTrip(context.Background(), "obj", "echo", fin[:]); err != nil {
+	if _, _, err := pc.roundTrip(context.Background(), "obj", "echo", fin[:], 0); err != nil {
 		t.Fatal(err)
 	}
 
@@ -214,7 +214,7 @@ func TestSendOnewayBatchFIFO(t *testing.T) {
 		}
 	}()
 	wg.Wait()
-	if _, err := pc.roundTrip(context.Background(), "obj", "echo", []byte{0, 0, 0, 0}); err != nil {
+	if _, _, err := pc.roundTrip(context.Background(), "obj", "echo", []byte{0, 0, 0, 0}, 0); err != nil {
 		t.Fatal(err)
 	}
 

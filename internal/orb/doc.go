@@ -1,0 +1,34 @@
+// Package orb is a from-scratch object request broker: the repository's
+// stand-in for CORBA/IIOP.
+//
+// The DISCOVER middleware substrate builds on CORBA for peer-to-peer
+// server connectivity and uses the CORBA Naming and Trader services for
+// application and server discovery. No CORBA ORB is available here (and
+// the paper itself treats the ORB as a commodity it merely evaluates), so
+// this package implements the part of the object model DISCOVER needs:
+//
+//   - object references (ObjRef = endpoint address + object key),
+//   - synchronous remote method invocation with request multiplexing over
+//     pooled connections (GIOP-like framed request/reply),
+//   - oneway operations (fire-and-forget, used by the push relay),
+//   - servant registration and dispatch,
+//   - a Naming service (bind/resolve), and
+//   - a Trader service (service offers with property lists and a
+//     constraint query language), as specified for the paper's prototype
+//     which layered a minimal trader over the naming service.
+//
+// Argument marshalling uses encoding/gob, mirroring the prototype's use of
+// Java object serialization over IIOP.
+//
+// # Telemetry
+//
+// When a sampled trace rides the invocation context
+// (internal/telemetry), its id crosses the wire as an optional frame
+// trailer (wire.TraceMeta); the servant side measures dispatch time,
+// records the servant span locally, and echoes the trailer so the caller
+// can split servant time out of its round-trip measurement. Legacy peers
+// ignore trailers and echo nothing, which the caller detects per request
+// — no handshake, no version bump. SetWireTrace gates the whole
+// mechanism. Invocation, servant-dispatch and oneway latencies feed
+// per-operation histograms regardless of sampling.
+package orb

@@ -10,7 +10,17 @@ import (
 	"sync/atomic"
 	"time"
 
+	"discover/internal/telemetry"
 	"discover/internal/wire"
+)
+
+// Histogram names exported on /metrics. Latency is observed per method
+// under an `op` label; *Histogram pointers are cached per method in the
+// ORB so the hot path does one read-locked map hit and two atomic adds.
+const (
+	metricInvoke  = "discover_orb_invoke_seconds"  // client: Invoke round trip
+	metricServant = "discover_orb_servant_seconds" // server: servant dispatch
+	metricOneway  = "discover_orb_oneway_seconds"  // client: oneway send
 )
 
 // A Servant handles invocations on one object key.
@@ -95,6 +105,17 @@ type ORB struct {
 	dialTimeout atomic.Int64 // nanoseconds; 0 = no separate dial bound
 	stats       orbStats
 
+	// wireTrace gates the optional trace trailer on the wire: off, the
+	// ORB neither appends trailers to requests nor echoes them in replies,
+	// exactly like a pre-telemetry peer. Tests use it to exercise the
+	// legacy-interop path; operators can use it as a kill switch.
+	wireTrace atomic.Bool
+
+	histMu      sync.RWMutex
+	invokeHist  map[string]*telemetry.Histogram
+	servantHist map[string]*telemetry.Histogram
+	onewayHist  map[string]*telemetry.Histogram
+
 	mu       sync.RWMutex
 	servants map[string]Servant
 	ln       net.Listener
@@ -106,6 +127,32 @@ type ORB struct {
 	pool   map[string]*poolConn
 
 	wg sync.WaitGroup
+}
+
+// SetWireTrace enables or disables trace-trailer handling on the wire
+// (default enabled). Disabled, the ORB behaves exactly like a peer built
+// before the telemetry layer existed.
+func (o *ORB) SetWireTrace(enabled bool) { o.wireTrace.Store(enabled) }
+
+// WireTraceEnabled reports whether trace trailers are handled.
+func (o *ORB) WireTraceEnabled() bool { return o.wireTrace.Load() }
+
+// histFor returns the per-method histogram cached in m, registering it in
+// the default registry on first use.
+func (o *ORB) histFor(m map[string]*telemetry.Histogram, name, method string) *telemetry.Histogram {
+	o.histMu.RLock()
+	h := m[method]
+	o.histMu.RUnlock()
+	if h != nil {
+		return h
+	}
+	o.histMu.Lock()
+	defer o.histMu.Unlock()
+	if h = m[method]; h == nil {
+		h = telemetry.GetHistogram(name, "op", method)
+		m[method] = h
+	}
+	return h
 }
 
 // Stats reports cumulative counters over all pooled connections, past and
@@ -124,10 +171,14 @@ func (o *ORB) Stats() Stats {
 // (no Listen) can still Invoke.
 func New(opts ...Option) *ORB {
 	o := &ORB{
-		servants: make(map[string]Servant),
-		pool:     make(map[string]*poolConn),
-		accepted: make(map[net.Conn]struct{}),
+		servants:    make(map[string]Servant),
+		pool:        make(map[string]*poolConn),
+		accepted:    make(map[net.Conn]struct{}),
+		invokeHist:  make(map[string]*telemetry.Histogram),
+		servantHist: make(map[string]*telemetry.Histogram),
+		onewayHist:  make(map[string]*telemetry.Histogram),
 	}
+	o.wireTrace.Store(true)
 	var d net.Dialer
 	o.dial = d.DialContext
 	for _, opt := range opts {
@@ -300,15 +351,36 @@ func (o *ORB) execute(rq *request) *reply {
 	if !ok {
 		return errorReply(rq.id, replySysError, &RemoteError{Code: CodeNoServant, Msg: rq.key})
 	}
+	start := time.Now()
 	body, err := sv.Dispatch(rq.method, rq.args)
+	dur := time.Since(start)
+	o.histFor(o.servantHist, metricServant, rq.method).Observe(dur)
+
+	var rp *reply
 	if err != nil {
 		var re *RemoteError
 		if !errors.As(err, &re) {
 			re = &RemoteError{Code: CodeApplication, Msg: err.Error()}
 		}
-		return errorReply(rq.id, replyUserError, re)
+		rp = errorReply(rq.id, replyUserError, re)
+	} else {
+		rp = &reply{id: rq.id, status: replyOK, body: body}
 	}
-	return &reply{id: rq.id, status: replyOK, body: body}
+	// Echo the trace trailer only when the request carried one (and wire
+	// tracing is on): a trailer-less reply tells the caller this peer is
+	// legacy. The servant hop is recorded where it executed; clocks across
+	// servers need not agree, so its offset is left zero.
+	if rq.trace != 0 && o.wireTrace.Load() {
+		rp.trace = rq.trace
+		rp.servantNanos = uint64(dur.Nanoseconds())
+		telemetry.Default().RecordRemoteSpan(telemetry.TraceID(rq.trace), telemetry.Span{
+			Hop:      telemetry.HopServant,
+			Op:       rq.method,
+			Loc:      o.Addr(),
+			DurNanos: dur.Nanoseconds(),
+		})
+	}
+	return rp
 }
 
 func errorReply(id uint64, status uint8, re *RemoteError) *reply {
@@ -326,6 +398,14 @@ func (o *ORB) Invoke(ctx context.Context, ref ObjRef, method string, in, out any
 	if ref.IsZero() {
 		return errors.New("orb: invoke on zero ObjRef")
 	}
+	// Sampling happened at the edge: an unsampled request carries no trace
+	// in its context, so this is one pointer lookup and no allocation.
+	tr := telemetry.TraceFrom(ctx)
+	var traceID uint64
+	if tr != nil && o.wireTrace.Load() {
+		traceID = uint64(tr.ID())
+	}
+	t0 := time.Now()
 	args, err := Marshal(in)
 	if err != nil {
 		return err
@@ -335,7 +415,8 @@ func (o *ORB) Invoke(ctx context.Context, ref ObjRef, method string, in, out any
 		if err != nil {
 			return &RemoteError{Code: CodeComm, Msg: err.Error()}
 		}
-		body, err := pc.roundTrip(ctx, ref.Key, method, args)
+		tSent := time.Now()
+		body, meta, err := pc.roundTrip(ctx, ref.Key, method, args, traceID)
 		if err != nil {
 			// A connection that died under us is retried once on a fresh
 			// connection; real remote errors propagate.
@@ -344,6 +425,23 @@ func (o *ORB) Invoke(ctx context.Context, ref ObjRef, method string, in, out any
 				continue
 			}
 			return err
+		}
+		end := time.Now()
+		o.histFor(o.invokeHist, metricInvoke, method).Observe(end.Sub(t0))
+		if tr != nil {
+			// queue = marshalling + pooled-connection acquisition; rpc =
+			// round trip minus the servant time echoed in the reply
+			// trailer. A legacy peer echoes nothing (meta.Trace == 0), so
+			// its servant time stays folded into the rpc span.
+			loc := o.Addr()
+			tr.AddSpan(telemetry.HopQueue, method, loc, ref.Addr, t0, tSent.Sub(t0))
+			rpc := end.Sub(tSent)
+			if meta.Trace != 0 {
+				if s := time.Duration(meta.ServantNanos); s < rpc {
+					rpc -= s
+				}
+			}
+			tr.AddSpan(telemetry.HopRPC, method, loc, ref.Addr, tSent, rpc)
 		}
 		if out == nil {
 			return nil
@@ -402,6 +500,7 @@ func (o *ORB) InvokeOneway(ctx context.Context, ref ObjRef, method string, in an
 	if err != nil {
 		return err
 	}
+	t0 := time.Now()
 	for attempt := 0; ; attempt++ {
 		pc, err := o.getConn(ctx, ref.Addr)
 		if err != nil {
@@ -409,6 +508,7 @@ func (o *ORB) InvokeOneway(ctx context.Context, ref ObjRef, method string, in an
 		}
 		err = pc.sendOneway(ref.Key, method, args)
 		if err == nil {
+			o.histFor(o.onewayHist, metricOneway, method).Observe(time.Since(t0))
 			return nil
 		}
 		var re *RemoteError
@@ -439,6 +539,7 @@ func (o *ORB) InvokeOnewayBatch(ctx context.Context, ref ObjRef, method string, 
 		}
 		argsList[i] = args
 	}
+	t0 := time.Now()
 	for attempt := 0; ; attempt++ {
 		pc, err := o.getConn(ctx, ref.Addr)
 		if err != nil {
@@ -446,6 +547,7 @@ func (o *ORB) InvokeOnewayBatch(ctx context.Context, ref ObjRef, method string, 
 		}
 		err = pc.sendOnewayBatch(ref.Key, method, argsList)
 		if err == nil {
+			o.histFor(o.onewayHist, metricOneway, method).Observe(time.Since(t0))
 			return nil
 		}
 		var re *RemoteError

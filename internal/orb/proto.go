@@ -1,23 +1,3 @@
-// Package orb is a from-scratch object request broker: the repository's
-// stand-in for CORBA/IIOP.
-//
-// The DISCOVER middleware substrate builds on CORBA for peer-to-peer
-// server connectivity and uses the CORBA Naming and Trader services for
-// application and server discovery. No CORBA ORB is available here (and
-// the paper itself treats the ORB as a commodity it merely evaluates), so
-// this package implements the part of the object model DISCOVER needs:
-//
-//   - object references (ObjRef = endpoint address + object key),
-//   - synchronous remote method invocation with request multiplexing over
-//     pooled connections (GIOP-like framed request/reply),
-//   - servant registration and dispatch,
-//   - a Naming service (bind/resolve), and
-//   - a Trader service (service offers with property lists and a
-//     constraint query language), as specified for the paper's prototype
-//     which layered a minimal trader over the naming service.
-//
-// Argument marshalling uses encoding/gob, mirroring the prototype's use of
-// Java object serialization over IIOP.
 package orb
 
 import (
@@ -27,6 +7,8 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+
+	"discover/internal/wire"
 )
 
 // ObjRef locates an object: the ORB endpoint that hosts it and its object
@@ -107,13 +89,16 @@ type request struct {
 	method string
 	args   []byte
 	oneway bool
+	trace  uint64 // sampled-request trace id; 0 = untraced (no trailer)
 }
 
 // reply is the wire form of one invocation result.
 type reply struct {
-	id     uint64
-	status uint8
-	body   []byte
+	id           uint64
+	status       uint8
+	body         []byte
+	trace        uint64 // echoed trace id; 0 = peer sent no trailer (legacy)
+	servantNanos uint64 // dispatch time at the servant, when trace != 0
 }
 
 func appendU64(dst []byte, v uint64) []byte {
@@ -198,6 +183,9 @@ func appendRequest(buf []byte, rq *request) []byte {
 	buf = appendStr(buf, rq.key)
 	buf = appendStr(buf, rq.method)
 	buf = appendBlob(buf, rq.args)
+	// Optional trace trailer; legacy decoders stop at the blob and never
+	// see it (see wire.TraceMeta).
+	buf = wire.AppendTraceMeta(buf, wire.TraceMeta{Trace: rq.trace})
 	return buf
 }
 
@@ -219,6 +207,7 @@ func appendReply(buf []byte, rp *reply) []byte {
 	buf = appendU64(buf, rp.id)
 	buf = append(buf, rp.status)
 	buf = appendBlob(buf, rp.body)
+	buf = wire.AppendTraceMeta(buf, wire.TraceMeta{Trace: rp.trace, ServantNanos: rp.servantNanos})
 	return buf
 }
 
@@ -247,6 +236,9 @@ func decodeFrame(p []byte) (*request, *reply, error) {
 		if rq.args, err = r.blob(); err != nil {
 			return nil, nil, err
 		}
+		if m, ok := wire.ParseTraceMeta(p[r.off:]); ok {
+			rq.trace = m.Trace
+		}
 		return rq, nil, nil
 	case msgReply:
 		rp := &reply{}
@@ -260,6 +252,10 @@ func decodeFrame(p []byte) (*request, *reply, error) {
 		rp.status = st
 		if rp.body, err = r.blob(); err != nil {
 			return nil, nil, err
+		}
+		if m, ok := wire.ParseTraceMeta(p[r.off:]); ok {
+			rp.trace = m.Trace
+			rp.servantNanos = m.ServantNanos
 		}
 		return nil, rp, nil
 	default:

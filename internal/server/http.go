@@ -1,15 +1,18 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 
 	"discover/internal/archive"
 	"discover/internal/auth"
 	"discover/internal/session"
+	"discover/internal/telemetry"
 	"discover/internal/wire"
 )
 
@@ -52,9 +55,12 @@ type (
 		Op       string            `json:"op"`
 		Params   map[string]string `json:"params,omitempty"`
 	}
-	// CommandResponse acknowledges an accepted command.
+	// CommandResponse acknowledges an accepted command. TraceID is set
+	// when the request was sampled for tracing; fetch the hop breakdown
+	// from GET /api/trace/{traceId} once the command has completed.
 	CommandResponse struct {
-		Seq uint64 `json:"seq"`
+		Seq     uint64 `json:"seq"`
+		TraceID string `json:"traceId,omitempty"`
 	}
 	// PollResponse drains the client's FIFO buffer.
 	PollResponse struct {
@@ -154,7 +160,61 @@ func (s *Server) HTTPHandler() http.Handler {
 	mux.HandleFunc("GET /api/users", s.handleUsers)
 	mux.HandleFunc("GET /api/info", s.handleInfo)
 	mux.HandleFunc("GET /api/stats", s.handleStats)
+	mux.HandleFunc("GET /api/trace", s.handleTraces)
+	mux.HandleFunc("GET /api/trace/{id}", s.handleTrace)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+// traceCtx makes the edge sampling decision for one portal request: one
+// atomic increment when sampling is off or the request loses the draw; a
+// trace minted into the request context when it wins. Callers must Finish
+// the returned trace (nil-safe) once the request completes.
+func (s *Server) traceCtx(r *http.Request, op string) (context.Context, *telemetry.ActiveTrace) {
+	tr := telemetry.Default().Sample(op)
+	if tr == nil {
+		return r.Context(), nil
+	}
+	return telemetry.WithTrace(r.Context(), tr), tr
+}
+
+// handleMetrics exports every registered latency histogram and counter in
+// Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	telemetry.DefaultRegistry().WritePrometheus(w)
+}
+
+// handleTrace returns one sampled trace with its per-hop span breakdown.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id, err := telemetry.ParseTraceID(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	rec, ok := telemetry.Default().Get(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "trace not found (unsampled, unfinished, or evicted)"})
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+// handleTraces lists recently finished traces, newest first.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	max, _ := strconv.Atoi(r.URL.Query().Get("max"))
+	recs := telemetry.Default().Recent(max)
+	if recs == nil {
+		recs = []telemetry.TraceRecord{}
+	}
+	writeJSON(w, http.StatusOK, recs)
 }
 
 // StatsResponse is the operational snapshot of one server.
@@ -392,7 +452,9 @@ func (s *Server) handleApps(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	apps := s.Apps(sess.User)
+	ctx, tr := s.traceCtx(r, "apps")
+	apps := s.Apps(ctx, sess.User)
+	tr.Finish()
 	if apps == nil {
 		apps = []AppInfo{}
 	}
@@ -408,7 +470,9 @@ func (s *Server) handleConnect(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	cap, err := s.ConnectApp(sess, req.App)
+	ctx, tr := s.traceCtx(r, "connect "+req.App)
+	cap, err := s.ConnectApp(ctx, sess, req.App)
+	tr.Finish()
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -444,12 +508,18 @@ func (s *Server) handleCommand(w http.ResponseWriter, r *http.Request) {
 	for k, v := range req.Params {
 		params = append(params, wire.Param{Key: k, Value: v})
 	}
-	cmd, err := s.SubmitCommand(sess, req.Op, params)
+	ctx, tr := s.traceCtx(r, "command "+req.Op)
+	cmd, err := s.SubmitCommand(ctx, sess, req.Op, params)
+	tr.Finish()
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, CommandResponse{Seq: cmd.Seq})
+	resp := CommandResponse{Seq: cmd.Seq}
+	if tr != nil {
+		resp.TraceID = tr.ID().String()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handlePoll(w http.ResponseWriter, r *http.Request) {
@@ -479,7 +549,9 @@ func (s *Server) handleLock(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	granted, holder, err := s.LockOp(sess, req.Acquire)
+	ctx, tr := s.traceCtx(r, "lock")
+	granted, holder, err := s.LockOp(ctx, sess, req.Acquire)
+	tr.Finish()
 	if err != nil {
 		writeErr(w, err)
 		return

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -343,14 +344,14 @@ func TestHTTPPollLongPollWakesOnPush(t *testing.T) {
 // the middleware substrate does.
 type statsFed struct{}
 
-func (statsFed) RemoteApps(string) []AppInfo                    { return nil }
-func (statsFed) RemotePrivilege(string, string) (string, error) { return "", nil }
-func (statsFed) ForwardCommand(string, *wire.Message) error     { return nil }
-func (statsFed) RemoteLock(string, string, bool) (bool, string, error) {
+func (statsFed) RemoteApps(context.Context, string) []AppInfo                    { return nil }
+func (statsFed) RemotePrivilege(context.Context, string, string) (string, error) { return "", nil }
+func (statsFed) ForwardCommand(context.Context, string, *wire.Message) error     { return nil }
+func (statsFed) RemoteLock(context.Context, string, string, bool) (bool, string, error) {
 	return false, "", nil
 }
 func (statsFed) ForwardCollab(string, *wire.Message) error { return nil }
-func (statsFed) Subscribe(string) error                    { return nil }
+func (statsFed) Subscribe(context.Context, string) error   { return nil }
 func (statsFed) Unsubscribe(string) error                  { return nil }
 func (statsFed) NotifyEvent(*wire.Message)                 {}
 func (statsFed) RelayStats() []RelayStats {

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"discover/internal/auth"
 	"discover/internal/recorddb"
 	"discover/internal/session"
+	"discover/internal/telemetry"
 	"discover/internal/wire"
 )
 
@@ -55,11 +57,20 @@ func requiredPrivilege(op string) auth.Privilege {
 
 var cmdSeq atomic.Uint64
 
+// edgeSpan closes the edge hop of a sampled request: everything from the
+// trace's mint at the HTTP handler up to the moment the request leaves
+// the server layer (into the substrate or the local app queue).
+func (s *Server) edgeSpan(ctx context.Context, op string) {
+	if tr := telemetry.TraceFrom(ctx); tr != nil {
+		tr.AddSpan(telemetry.HopEdge, op, s.cfg.Name, "", tr.Begin(), time.Since(tr.Begin()))
+	}
+}
+
 // ConnectApp performs level-two authorization for a session and joins it
 // to the application's collaboration group. For remote applications the
 // authorization happens at the host server through the substrate and a
 // relay subscription is established.
-func (s *Server) ConnectApp(sess *session.Session, appID string) (auth.Capability, error) {
+func (s *Server) ConnectApp(ctx context.Context, sess *session.Session, appID string) (auth.Capability, error) {
 	var cap auth.Capability
 	if ServerOfApp(appID) == s.cfg.Name {
 		if _, ok := s.Proxy(appID); !ok {
@@ -75,7 +86,8 @@ func (s *Server) ConnectApp(sess *session.Session, appID string) (auth.Capabilit
 		if fed == nil {
 			return cap, ErrUnknownApp
 		}
-		privName, err := fed.RemotePrivilege(sess.User, appID)
+		s.edgeSpan(ctx, "connect "+appID)
+		privName, err := fed.RemotePrivilege(ctx, sess.User, appID)
 		if err != nil {
 			return cap, err
 		}
@@ -83,7 +95,7 @@ func (s *Server) ConnectApp(sess *session.Session, appID string) (auth.Capabilit
 		if err != nil || priv == auth.None {
 			return cap, auth.ErrNoAccess
 		}
-		if err := fed.Subscribe(appID); err != nil {
+		if err := fed.Subscribe(ctx, appID); err != nil {
 			return cap, err
 		}
 		cap = s.auth.MintCapability(sess.User, appID, priv)
@@ -104,7 +116,7 @@ func (s *Server) DisconnectApp(sess *session.Session) {
 	if ServerOfApp(appID) == s.cfg.Name {
 		s.locks.ReleaseAllOwnedBy(sess.ClientID)
 	} else if fed := s.federation(); fed != nil {
-		fed.RemoteLock(appID, sess.ClientID, false) // best-effort release
+		fed.RemoteLock(context.Background(), appID, sess.ClientID, false) // best-effort release
 	}
 	sess.Disconnect()
 }
@@ -117,8 +129,9 @@ func (s *Server) Logout(sess *session.Session) {
 
 // SubmitCommand validates and routes one client command. The response
 // arrives asynchronously in the client's FIFO buffer. The returned
-// message is the accepted command (carrying its sequence number).
-func (s *Server) SubmitCommand(sess *session.Session, op string, params []wire.Param) (*wire.Message, error) {
+// message is the accepted command (carrying its sequence number). ctx
+// bounds the remote forward and carries the telemetry trace, if any.
+func (s *Server) SubmitCommand(ctx context.Context, sess *session.Session, op string, params []wire.Param) (*wire.Message, error) {
 	appID := sess.App()
 	if appID == "" {
 		return nil, ErrNotConnected
@@ -137,6 +150,7 @@ func (s *Server) SubmitCommand(sess *session.Session, op string, params []wire.P
 	// The interaction log lives at the client's server.
 	s.store.InteractionLog(appID).Append(sess.ClientID, cmd)
 
+	s.edgeSpan(ctx, "command "+op)
 	if ServerOfApp(appID) == s.cfg.Name {
 		return cmd, s.EnqueueLocalCommand(appID, cmd)
 	}
@@ -144,7 +158,7 @@ func (s *Server) SubmitCommand(sess *session.Session, op string, params []wire.P
 	if fed == nil {
 		return nil, ErrUnknownApp
 	}
-	return cmd, fed.ForwardCommand(appID, cmd)
+	return cmd, fed.ForwardCommand(ctx, appID, cmd)
 }
 
 // EnqueueLocalCommand is extended with host-side enforcement: privilege
@@ -168,7 +182,7 @@ func (s *Server) enforceAtHost(appID string, cmd *wire.Message) error {
 // LockOp acquires or releases the steering lock for the session's
 // application, relaying to the host server when the application is
 // remote. Lock state lives only at the host server (§5.2.4).
-func (s *Server) LockOp(sess *session.Session, acquire bool) (granted bool, holder string, err error) {
+func (s *Server) LockOp(ctx context.Context, sess *session.Session, acquire bool) (granted bool, holder string, err error) {
 	appID := sess.App()
 	if appID == "" {
 		return false, "", ErrNotConnected
@@ -183,7 +197,8 @@ func (s *Server) LockOp(sess *session.Session, acquire bool) (granted bool, hold
 	if fed == nil {
 		return false, "", ErrUnknownApp
 	}
-	return fed.RemoteLock(appID, sess.ClientID, acquire)
+	s.edgeSpan(ctx, "lock "+appID)
+	return fed.RemoteLock(ctx, appID, sess.ClientID, acquire)
 }
 
 // collabForward sends a collaboration message originated by a local

@@ -18,6 +18,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -32,6 +33,7 @@ import (
 	"discover/internal/lockmgr"
 	"discover/internal/recorddb"
 	"discover/internal/session"
+	"discover/internal/telemetry"
 	"discover/internal/wire"
 )
 
@@ -55,22 +57,28 @@ var ErrPeerUnavailable = errors.New("server: peer server unreachable")
 
 // Federation is the substrate's surface as seen by a server. A nil
 // Federation means a standalone (centralized) deployment.
+//
+// Methods on the client request path take the request context: it bounds
+// the remote invocation (the substrate derives its RPC deadline from it)
+// and carries the telemetry trace when the request was sampled at the
+// HTTP edge. Background paths (collab fan-out, unsubscribe, events) run
+// detached from any client request and take no context.
 type Federation interface {
 	// RemoteApps lists applications at peer servers the user may access.
-	RemoteApps(user string) []AppInfo
+	RemoteApps(ctx context.Context, user string) []AppInfo
 	// RemotePrivilege performs level-two authorization at the app's host
 	// server and returns the privilege name.
-	RemotePrivilege(user, appID string) (string, error)
+	RemotePrivilege(ctx context.Context, user, appID string) (string, error)
 	// ForwardCommand relays a client command to the app's host server.
-	ForwardCommand(appID string, cmd *wire.Message) error
+	ForwardCommand(ctx context.Context, appID string, cmd *wire.Message) error
 	// RemoteLock relays a lock request to the app's host server.
-	RemoteLock(appID, owner string, acquire bool) (granted bool, holder string, err error)
+	RemoteLock(ctx context.Context, appID, owner string, acquire bool) (granted bool, holder string, err error)
 	// ForwardCollab relays a collaboration message (chat, whiteboard,
 	// view share) to the app's host server for group-wide fan-out.
 	ForwardCollab(appID string, m *wire.Message) error
 	// Subscribe asks the app's host server to relay the app's group
 	// traffic to this server (idempotent); Unsubscribe reverses it.
-	Subscribe(appID string) error
+	Subscribe(ctx context.Context, appID string) error
 	Unsubscribe(appID string) error
 	// NotifyEvent fans a control-channel event out to all peers.
 	NotifyEvent(ev *wire.Message)
@@ -102,6 +110,8 @@ type Config struct {
 	ArchiveLimit      int    // per-log retention (0 = unlimited)
 	RecordUpdates     bool   // insert periodic updates into the record DB
 	UpdateRecordEvery int    // record every Nth update (0 = 1)
+	TraceSampleEvery  int    // sample 1-in-N requests for tracing (0 = off)
+	EnablePprof       bool   // mount net/http/pprof under /debug/pprof
 	Logf              func(format string, args ...any)
 }
 
@@ -150,6 +160,11 @@ func New(cfg Config) (*Server, error) {
 		updateCt: make(map[string]uint64),
 	}
 	s.daemon = appproto.NewDaemon((*daemonHandler)(s))
+	if cfg.TraceSampleEvery > 0 {
+		// The tracer is process-wide: in-process federations share it so a
+		// trace's hops across domains merge under one id.
+		telemetry.Default().SetSampleEvery(cfg.TraceSampleEvery)
+	}
 	return s, nil
 }
 
@@ -278,11 +293,12 @@ func (s *Server) LocalApps(user string) []AppInfo {
 	return out
 }
 
-// Apps lists local plus federated applications visible to user.
-func (s *Server) Apps(user string) []AppInfo {
+// Apps lists local plus federated applications visible to user. ctx
+// bounds the peer queries and carries the telemetry trace, if any.
+func (s *Server) Apps(ctx context.Context, user string) []AppInfo {
 	out := s.LocalApps(user)
 	if fed := s.federation(); fed != nil {
-		out = append(out, fed.RemoteApps(user)...)
+		out = append(out, fed.RemoteApps(ctx, user)...)
 	}
 	return out
 }

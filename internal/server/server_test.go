@@ -78,7 +78,7 @@ func (d *testDeployment) login(t *testing.T, user string) *session.Session {
 func (d *testDeployment) connect(t *testing.T, sess *session.Session) string {
 	t.Helper()
 	appID := d.app.AppID()
-	if _, err := d.srv.ConnectApp(sess, appID); err != nil {
+	if _, err := d.srv.ConnectApp(context.Background(), sess, appID); err != nil {
 		t.Fatalf("connect: %v", err)
 	}
 	return appID
@@ -142,10 +142,10 @@ func TestAppsVisibilityFollowsACL(t *testing.T) {
 	d := deploy(t)
 	alice := d.login(t, "alice")
 	eve := d.login(t, "eve")
-	if apps := d.srv.Apps(alice.User); len(apps) != 1 || apps[0].Privilege != "steer" {
+	if apps := d.srv.Apps(context.Background(), alice.User); len(apps) != 1 || apps[0].Privilege != "steer" {
 		t.Errorf("alice apps = %v", apps)
 	}
-	if apps := d.srv.Apps(eve.User); len(apps) != 0 {
+	if apps := d.srv.Apps(context.Background(), eve.User); len(apps) != 0 {
 		t.Errorf("eve apps = %v (ACL leak)", apps)
 	}
 }
@@ -156,11 +156,11 @@ func TestConnectAndCommandRoundTrip(t *testing.T) {
 	appID := d.connect(t, alice)
 
 	// Acquire the steering lock, then steer.
-	granted, _, err := d.srv.LockOp(alice, true)
+	granted, _, err := d.srv.LockOp(context.Background(), alice, true)
 	if err != nil || !granted {
 		t.Fatalf("lock: %v %v", granted, err)
 	}
-	_, err = d.srv.SubmitCommand(alice, "set_param", []wire.Param{
+	_, err = d.srv.SubmitCommand(context.Background(), alice, "set_param", []wire.Param{
 		{Key: "name", Value: "source_freq"}, {Key: "value", Value: "0.2"},
 	})
 	if err != nil {
@@ -204,18 +204,18 @@ func TestMonitorCannotSteer(t *testing.T) {
 	d := deploy(t)
 	bob := d.login(t, "bob")
 	d.connect(t, bob)
-	_, err := d.srv.SubmitCommand(bob, "set_param", []wire.Param{
+	_, err := d.srv.SubmitCommand(context.Background(), bob, "set_param", []wire.Param{
 		{Key: "name", Value: "source_freq"}, {Key: "value", Value: "0.3"},
 	})
 	if !errors.Is(err, ErrDenied) {
 		t.Errorf("monitor steering err = %v, want ErrDenied", err)
 	}
 	// Monitor-level queries are fine.
-	if _, err := d.srv.SubmitCommand(bob, "status", nil); err != nil {
+	if _, err := d.srv.SubmitCommand(context.Background(), bob, "status", nil); err != nil {
 		t.Errorf("monitor status err = %v", err)
 	}
 	// Monitor cannot take the lock either.
-	if _, _, err := d.srv.LockOp(bob, true); !errors.Is(err, ErrDenied) {
+	if _, _, err := d.srv.LockOp(context.Background(), bob, true); !errors.Is(err, ErrDenied) {
 		t.Errorf("monitor lock err = %v", err)
 	}
 }
@@ -224,7 +224,7 @@ func TestSteeringRequiresLock(t *testing.T) {
 	d := deploy(t)
 	alice := d.login(t, "alice")
 	d.connect(t, alice)
-	_, err := d.srv.SubmitCommand(alice, "set_param", []wire.Param{
+	_, err := d.srv.SubmitCommand(context.Background(), alice, "set_param", []wire.Param{
 		{Key: "name", Value: "source_freq"}, {Key: "value", Value: "0.3"},
 	})
 	if !errors.Is(err, ErrNeedLock) {
@@ -239,10 +239,10 @@ func TestOnlyOneDriverAtATime(t *testing.T) {
 	alice2 := d.login(t, "alice") // second portal, same user
 	d.connect(t, alice2)
 
-	if granted, _, _ := d.srv.LockOp(alice, true); !granted {
+	if granted, _, _ := d.srv.LockOp(context.Background(), alice, true); !granted {
 		t.Fatal("first lock denied")
 	}
-	granted, holder, _ := d.srv.LockOp(alice2, true)
+	granted, holder, _ := d.srv.LockOp(context.Background(), alice2, true)
 	if granted {
 		t.Fatal("two clients hold the steering lock")
 	}
@@ -250,10 +250,10 @@ func TestOnlyOneDriverAtATime(t *testing.T) {
 		t.Errorf("holder = %q", holder)
 	}
 	// Lock released -> second client may steer.
-	if _, _, err := d.srv.LockOp(alice, false); err != nil {
+	if _, _, err := d.srv.LockOp(context.Background(), alice, false); err != nil {
 		t.Fatal(err)
 	}
-	if granted, _, _ := d.srv.LockOp(alice2, true); !granted {
+	if granted, _, _ := d.srv.LockOp(context.Background(), alice2, true); !granted {
 		t.Error("lock not acquirable after release")
 	}
 }
@@ -261,10 +261,10 @@ func TestOnlyOneDriverAtATime(t *testing.T) {
 func TestUnknownAppConnect(t *testing.T) {
 	d := deploy(t)
 	alice := d.login(t, "alice")
-	if _, err := d.srv.ConnectApp(alice, "rutgers#999"); !errors.Is(err, ErrUnknownApp) {
+	if _, err := d.srv.ConnectApp(context.Background(), alice, "rutgers#999"); !errors.Is(err, ErrUnknownApp) {
 		t.Errorf("connect unknown local app: %v", err)
 	}
-	if _, err := d.srv.ConnectApp(alice, "caltech#1"); !errors.Is(err, ErrUnknownApp) {
+	if _, err := d.srv.ConnectApp(context.Background(), alice, "caltech#1"); !errors.Is(err, ErrUnknownApp) {
 		t.Errorf("connect remote app without federation: %v", err)
 	}
 }
@@ -272,7 +272,7 @@ func TestUnknownAppConnect(t *testing.T) {
 func TestCommandWithoutConnect(t *testing.T) {
 	d := deploy(t)
 	alice := d.login(t, "alice")
-	if _, err := d.srv.SubmitCommand(alice, "status", nil); !errors.Is(err, ErrNotConnected) {
+	if _, err := d.srv.SubmitCommand(context.Background(), alice, "status", nil); !errors.Is(err, ErrNotConnected) {
 		t.Errorf("command without connect: %v", err)
 	}
 }
@@ -283,10 +283,10 @@ func TestCollaborationSharing(t *testing.T) {
 	bob := d.login(t, "bob")
 	d.connect(t, alice)
 	d.connect(t, bob)
-	d.srv.LockOp(alice, true)
+	d.srv.LockOp(context.Background(), alice, true)
 
 	// Alice's responses are shared with bob (both collaboration-enabled).
-	if _, err := d.srv.SubmitCommand(alice, "status", nil); err != nil {
+	if _, err := d.srv.SubmitCommand(context.Background(), alice, "status", nil); err != nil {
 		t.Fatal(err)
 	}
 	var bobSaw bool
@@ -303,7 +303,7 @@ func TestCollaborationSharing(t *testing.T) {
 	if err := d.srv.SetCollaboration(alice, false); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := d.srv.SubmitCommand(alice, "status", nil); err != nil {
+	if _, err := d.srv.SubmitCommand(context.Background(), alice, "status", nil); err != nil {
 		t.Fatal(err)
 	}
 	var aliceGot bool
@@ -363,13 +363,13 @@ func TestReplayLog(t *testing.T) {
 	d := deploy(t)
 	alice := d.login(t, "alice")
 	d.connect(t, alice)
-	d.srv.LockOp(alice, true)
+	d.srv.LockOp(context.Background(), alice, true)
 	for _, op := range []string{"status", "get_param"} {
 		params := []wire.Param{}
 		if op == "get_param" {
 			params = append(params, wire.Param{Key: "name", Value: "source_freq"})
 		}
-		if _, err := d.srv.SubmitCommand(alice, op, params); err != nil {
+		if _, err := d.srv.SubmitCommand(context.Background(), alice, op, params); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -393,9 +393,9 @@ func TestRecordOwnership(t *testing.T) {
 	bob := d.login(t, "bob")
 	d.connect(t, alice)
 	d.connect(t, bob)
-	d.srv.LockOp(alice, true)
+	d.srv.LockOp(context.Background(), alice, true)
 
-	if _, err := d.srv.SubmitCommand(alice, "status", nil); err != nil {
+	if _, err := d.srv.SubmitCommand(context.Background(), alice, "status", nil); err != nil {
 		t.Fatal(err)
 	}
 	d.pump(t, func() bool {
@@ -430,7 +430,7 @@ func TestAppCloseNotifiesGroupAndCleansUp(t *testing.T) {
 	d := deploy(t)
 	alice := d.login(t, "alice")
 	appID := d.connect(t, alice)
-	d.srv.LockOp(alice, true)
+	d.srv.LockOp(context.Background(), alice, true)
 
 	d.app.Close()
 	deadline := time.Now().Add(2 * time.Second)
@@ -461,7 +461,7 @@ func TestLogoutReleasesLock(t *testing.T) {
 	d := deploy(t)
 	alice := d.login(t, "alice")
 	appID := d.connect(t, alice)
-	d.srv.LockOp(alice, true)
+	d.srv.LockOp(context.Background(), alice, true)
 	d.srv.Logout(alice)
 	if _, held := d.srv.Locks().Holder(appID); held {
 		t.Error("lock survived logout")
@@ -475,7 +475,7 @@ func TestReapIdleSessions(t *testing.T) {
 	d := deploy(t)
 	alice := d.login(t, "alice")
 	appID := d.connect(t, alice)
-	d.srv.LockOp(alice, true)
+	d.srv.LockOp(context.Background(), alice, true)
 	bob := d.login(t, "bob")
 	d.connect(t, bob)
 
@@ -529,7 +529,7 @@ func TestForgedCapabilityRejected(t *testing.T) {
 	alice.Connect(appID, auth.Capability{
 		User: "alice", App: appID, Priv: auth.Steer, Server: "rutgers", Expiry: 1 << 62,
 	})
-	if _, err := d.srv.SubmitCommand(alice, "status", nil); !errors.Is(err, auth.ErrBadToken) {
+	if _, err := d.srv.SubmitCommand(context.Background(), alice, "status", nil); !errors.Is(err, auth.ErrBadToken) {
 		t.Errorf("command with forged capability: %v, want ErrBadToken", err)
 	}
 }

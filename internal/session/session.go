@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"discover/internal/auth"
+	"discover/internal/telemetry"
 	"discover/internal/wire"
 )
 
@@ -25,10 +26,12 @@ const DefaultCapacity = 256
 type Fifo struct {
 	mu        sync.Mutex
 	buf       []*wire.Message
+	pushedAt  []time.Time // parallel to buf, for the delivery-wait histogram
 	capacity  int
 	dropped   uint64
 	highWater int
 	notify    chan struct{}
+	waitHist  *telemetry.Histogram
 }
 
 // NewFifo returns a FIFO with the given capacity (DefaultCapacity if <=0).
@@ -36,7 +39,11 @@ func NewFifo(capacity int) *Fifo {
 	if capacity <= 0 {
 		capacity = DefaultCapacity
 	}
-	return &Fifo{capacity: capacity, notify: make(chan struct{}, 1)}
+	return &Fifo{
+		capacity: capacity,
+		notify:   make(chan struct{}, 1),
+		waitHist: telemetry.GetHistogram("discover_fifo_wait_seconds"),
+	}
 }
 
 // Push appends m, dropping the oldest entry if the buffer is full.
@@ -45,9 +52,12 @@ func (f *Fifo) Push(m *wire.Message) {
 	if len(f.buf) >= f.capacity {
 		copy(f.buf, f.buf[1:])
 		f.buf = f.buf[:len(f.buf)-1]
+		copy(f.pushedAt, f.pushedAt[1:])
+		f.pushedAt = f.pushedAt[:len(f.pushedAt)-1]
 		f.dropped++
 	}
 	f.buf = append(f.buf, m)
+	f.pushedAt = append(f.pushedAt, time.Now())
 	if len(f.buf) > f.highWater {
 		f.highWater = len(f.buf)
 	}
@@ -71,8 +81,13 @@ func (f *Fifo) Drain(max int) []*wire.Message {
 	}
 	out := make([]*wire.Message, n)
 	copy(out, f.buf[:n])
+	now := time.Now()
+	for _, at := range f.pushedAt[:n] {
+		f.waitHist.Observe(now.Sub(at))
+	}
 	remaining := copy(f.buf, f.buf[n:])
 	f.buf = f.buf[:remaining]
+	f.pushedAt = f.pushedAt[:copy(f.pushedAt, f.pushedAt[n:])]
 	return out
 }
 

@@ -1,0 +1,322 @@
+// Package telemetry is the observability layer of the DISCOVER
+// reproduction: per-request distributed traces across the federation and
+// lock-free latency histograms for the substrate's hot paths.
+//
+// The paper's evaluation (§6.1) reports end-to-end numbers — "access to a
+// remote application costs X ms" — but cannot say where the time went
+// between the portal, the local server, the CORBA substrate and the remote
+// servant. This package closes that gap in the spirit of grid
+// instrumentation systems (NetLogger-style end-to-end tracing):
+//
+//   - A trace is minted at the HTTP edge when a portal request is sampled,
+//     travels with the request through the server ops layer and the
+//     substrate into ORB invocations (as an optional wire-frame trailer,
+//     see internal/wire TraceMeta), and accumulates per-hop spans: edge
+//     processing, connection/queue wait, RPC wire time, and remote servant
+//     time. Finished traces land in a ring buffer served by
+//     GET /api/trace/{id}.
+//
+//   - Histograms record latency distributions with power-of-two buckets
+//     (HDR-style: bucket i counts observations in [2^(i-1), 2^i) ns).
+//     Observation is two atomic adds on a fixed array — no locks, no
+//     allocation — so the PR-1 zero-alloc relay hot path stays alloc-free.
+//     GET /metrics exports every histogram in Prometheus text format.
+//
+// Sampling is decided with one atomic counter *before* any span is
+// allocated; with sampling disabled (the default) tracing costs one nil
+// check per hop.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// numBuckets covers durations from 1ns to beyond 2^62 ns (~146 years):
+// bucket i counts observations d with bits.Len64(d) == i, i.e. the
+// half-open range [2^(i-1), 2^i). Bucket 0 counts zero-duration samples.
+const numBuckets = 64
+
+// Histogram is a lock-free latency histogram with power-of-two buckets.
+// All methods are safe for concurrent use; Observe performs two atomic
+// adds and never allocates.
+type Histogram struct {
+	name   string
+	labels string // rendered `k="v",…` label-set, "" when unlabeled
+
+	buckets [numBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64 // nanoseconds
+}
+
+// Name returns the metric name the histogram was registered under.
+func (h *Histogram) Name() string { return h.name }
+
+// Observe records one duration. Negative durations count as zero.
+func (h *Histogram) Observe(d time.Duration) {
+	n := d.Nanoseconds()
+	if n < 0 {
+		n = 0
+	}
+	idx := bits.Len64(uint64(n))
+	if idx >= numBuckets {
+		idx = numBuckets - 1
+	}
+	h.buckets[idx].Add(1)
+	h.count.Add(1)
+	h.sum.Add(uint64(n))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed durations.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// Mean returns the mean observed duration, or 0 with no observations.
+func (h *Histogram) Mean() time.Duration {
+	c := h.count.Load()
+	if c == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / c)
+}
+
+// Quantile estimates the q-th quantile (q in [0,1]) from the bucket
+// counts. Within the located bucket the estimate is its upper bound, so
+// the error is bounded by the 2× bucket width.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Snapshot the buckets; total from the snapshot keeps the walk
+	// self-consistent under concurrent Observe calls.
+	var counts [numBuckets]uint64
+	var total uint64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen uint64
+	for i, c := range counts {
+		seen += c
+		if seen > rank {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(numBuckets - 1)
+}
+
+// bucketUpper is the exclusive upper bound of bucket i in nanoseconds
+// (1 for bucket 0: zero-duration samples round up to 1ns).
+func bucketUpper(i int) time.Duration {
+	if i >= 63 {
+		return time.Duration(1<<63 - 1)
+	}
+	return time.Duration(uint64(1) << uint(i))
+}
+
+// BucketCount is one non-empty histogram bucket in a snapshot.
+type BucketCount struct {
+	UpperNanos int64  `json:"upperNanos"` // exclusive upper bound
+	Count      uint64 `json:"count"`      // observations in this bucket
+}
+
+// HistogramSnapshot is a point-in-time copy of one histogram, as reported
+// in benchmark JSON output.
+type HistogramSnapshot struct {
+	Name     string        `json:"name"`
+	Labels   string        `json:"labels,omitempty"`
+	Count    uint64        `json:"count"`
+	SumNanos int64         `json:"sumNanos"`
+	P50Nanos int64         `json:"p50Nanos"`
+	P95Nanos int64         `json:"p95Nanos"`
+	P99Nanos int64         `json:"p99Nanos"`
+	MaxNanos int64         `json:"maxNanos"` // upper bound of highest non-empty bucket
+	Buckets  []BucketCount `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Name:     h.name,
+		Labels:   h.labels,
+		Count:    h.count.Load(),
+		SumNanos: int64(h.sum.Load()),
+		P50Nanos: int64(h.Quantile(0.50)),
+		P95Nanos: int64(h.Quantile(0.95)),
+		P99Nanos: int64(h.Quantile(0.99)),
+	}
+	for i := 0; i < numBuckets; i++ {
+		if c := h.buckets[i].Load(); c > 0 {
+			s.Buckets = append(s.Buckets, BucketCount{UpperNanos: int64(bucketUpper(i)), Count: c})
+			s.MaxNanos = int64(bucketUpper(i))
+		}
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// Registry.
+// ---------------------------------------------------------------------------
+
+// Registry holds named histograms. Lookup takes a read lock and does not
+// allocate on the hit path; hot paths additionally cache the returned
+// *Histogram in a struct field so the map is touched once.
+//
+// A plain RWMutex-guarded map is deliberate: sync.Map boxes string keys
+// into interface{} on Load, which allocates per call.
+type Registry struct {
+	mu sync.RWMutex
+	m  map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{m: make(map[string]*Histogram)} }
+
+// Histogram returns the histogram registered under name and an optional
+// single label pair, creating it on first use. The triple (name, k, v)
+// identifies the series; call with the same arguments to get the same
+// histogram.
+func (r *Registry) Histogram(name string, labelKV ...string) *Histogram {
+	key := name
+	var labels string
+	if len(labelKV) >= 2 {
+		labels = labelKV[0] + `="` + labelKV[1] + `"`
+		key = name + "{" + labels + "}"
+	}
+	r.mu.RLock()
+	h := r.m[key]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.m[key]; h == nil {
+		h = &Histogram{name: name, labels: labels}
+		r.m[key] = h
+	}
+	return h
+}
+
+// Snapshots returns a snapshot of every registered histogram, sorted by
+// name then label set.
+func (r *Registry) Snapshots() []HistogramSnapshot {
+	r.mu.RLock()
+	hs := make([]*Histogram, 0, len(r.m))
+	for _, h := range r.m {
+		hs = append(hs, h)
+	}
+	r.mu.RUnlock()
+	out := make([]HistogramSnapshot, 0, len(hs))
+	for _, h := range hs {
+		out = append(out, h.Snapshot())
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Labels < out[j].Labels
+	})
+	return out
+}
+
+// Reset drops every registered histogram. Tests use it to isolate runs;
+// hot-path caches hold pointers into the old generation, which keeps
+// working but is no longer exported.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	r.m = make(map[string]*Histogram)
+	r.mu.Unlock()
+}
+
+// WritePrometheus writes every histogram in the Prometheus text exposition
+// format (version 0.0.4). Durations are exported in seconds, as the
+// Prometheus convention requires; only non-empty buckets are written
+// (cumulative `le` buckets permit gaps), plus the mandatory +Inf bucket.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snaps := r.Snapshots()
+	var lastName string
+	for _, s := range snaps {
+		if s.Name != lastName {
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", s.Name); err != nil {
+				return err
+			}
+			lastName = s.Name
+		}
+		var cum uint64
+		for _, b := range s.Buckets {
+			cum += b.Count
+			if _, err := fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n",
+				s.Name, promLabelPrefix(s.Labels), formatSeconds(b.UpperNanos), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n",
+			s.Name, promLabelPrefix(s.Labels), s.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", s.Name, promLabelSet(s.Labels), formatSeconds(s.SumNanos)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", s.Name, promLabelSet(s.Labels), s.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func promLabelPrefix(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return labels + ","
+}
+
+func promLabelSet(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// formatSeconds renders nanoseconds as a decimal seconds string without
+// float rounding surprises.
+func formatSeconds(ns int64) string {
+	s := fmt.Sprintf("%d.%09d", ns/1e9, ns%1e9)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimSuffix(s, ".")
+}
+
+// ---------------------------------------------------------------------------
+// Process-default registry.
+// ---------------------------------------------------------------------------
+
+var defaultRegistry = NewRegistry()
+
+// DefaultRegistry returns the process-wide histogram registry that
+// GET /metrics exports.
+func DefaultRegistry() *Registry { return defaultRegistry }
+
+// GetHistogram returns a histogram from the default registry, creating it
+// on first use. See Registry.Histogram.
+func GetHistogram(name string, labelKV ...string) *Histogram {
+	return defaultRegistry.Histogram(name, labelKV...)
+}

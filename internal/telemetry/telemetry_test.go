@@ -1,0 +1,192 @@
+package telemetry
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds")
+	for _, d := range []time.Duration{time.Microsecond, 2 * time.Microsecond, time.Millisecond} {
+		h.Observe(d)
+	}
+	if h.Count() != 3 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if h.Sum() != time.Millisecond+3*time.Microsecond {
+		t.Errorf("sum = %v", h.Sum())
+	}
+	// The p99 estimate is the upper bound of the bucket holding the
+	// largest sample: 1ms lands in [2^19, 2^20) ns.
+	if q := h.Quantile(0.99); q < time.Millisecond || q > 2*time.Millisecond {
+		t.Errorf("p99 = %v, want within [1ms, 2ms]", q)
+	}
+	if h.Mean() == 0 {
+		t.Error("mean = 0")
+	}
+	h.Observe(-time.Second) // clamps to zero, must not panic or underflow
+	if h.Count() != 4 {
+		t.Errorf("count after negative observe = %d", h.Count())
+	}
+}
+
+func TestHistogramLabelsSeparateSeries(t *testing.T) {
+	r := NewRegistry()
+	a := r.Histogram("op_seconds", "op", "get")
+	b := r.Histogram("op_seconds", "op", "set")
+	if a == b {
+		t.Fatal("label sets collapsed into one series")
+	}
+	if again := r.Histogram("op_seconds", "op", "get"); again != a {
+		t.Error("same (name, label) returned a different histogram")
+	}
+	a.Observe(time.Millisecond)
+	if b.Count() != 0 {
+		t.Error("observation leaked across label sets")
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines; run
+// with -race this doubles as the data-race check for the lock-free path.
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("conc_seconds")
+	const goroutines, per = 8, 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(g*i) * time.Nanosecond)
+				if i%100 == 0 {
+					h.Quantile(0.5) // concurrent reads
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != goroutines*per {
+		t.Errorf("count = %d, want %d", h.Count(), goroutines*per)
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("plain_seconds").Observe(time.Microsecond)
+	labeled := r.Histogram("labeled_seconds", "op", "steer")
+	labeled.Observe(512 * time.Nanosecond)
+	labeled.Observe(2 * time.Second)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE labeled_seconds histogram",
+		"# TYPE plain_seconds histogram",
+		`labeled_seconds_bucket{op="steer",le="+Inf"} 2`,
+		`labeled_seconds_count{op="steer"} 2`,
+		"plain_seconds_bucket{le=\"+Inf\"} 1",
+		"plain_seconds_count 1", // no stray {} on unlabeled series
+		"plain_seconds_sum 0.000001",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output lacks %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "_sum{}") || strings.Contains(out, "_count{}") {
+		t.Errorf("invalid empty label braces in output:\n%s", out)
+	}
+	// Bucket counts must be cumulative: each le value's count >= previous.
+	var prev int
+	for _, ln := range strings.Split(out, "\n") {
+		if strings.HasPrefix(ln, "labeled_seconds_bucket") {
+			c, err := strconv.Atoi(ln[strings.LastIndex(ln, " ")+1:])
+			if err != nil {
+				t.Fatalf("unparsable bucket line %q", ln)
+			}
+			if c < prev {
+				t.Errorf("bucket counts not cumulative: %q after %d", ln, prev)
+			}
+			prev = c
+		}
+	}
+}
+
+func TestTracerSampling(t *testing.T) {
+	tr := NewTracer()
+	if tr.Sample("op") != nil {
+		t.Error("sampling disabled but Sample returned a trace")
+	}
+	tr.SetSampleEvery(3)
+	var sampled int
+	for i := 0; i < 30; i++ {
+		if at := tr.Sample("op"); at != nil {
+			sampled++
+			at.Finish()
+		}
+	}
+	if sampled != 10 {
+		t.Errorf("sampled %d of 30 with 1-in-3", sampled)
+	}
+}
+
+func TestTraceRecordRoundTrip(t *testing.T) {
+	tr := NewTracer()
+	at := tr.Start("command set_param")
+	begin := at.Begin()
+	at.AddSpan(HopEdge, "command set_param", "east", "", begin, time.Millisecond)
+	at.AddSpan(HopRPC, "forwardCommand", "east", "10.0.0.2:1", begin.Add(time.Millisecond), 40*time.Millisecond)
+	// A remote servant records its hop directly against the tracer.
+	tr.RecordRemoteSpan(at.ID(), Span{Hop: HopServant, Op: "forwardCommand", Loc: "10.0.0.2:1", DurNanos: 5e6})
+	at.Finish()
+
+	rec, ok := tr.Get(at.ID())
+	if !ok {
+		t.Fatal("trace not found after Finish")
+	}
+	if rec.ID != at.ID().String() || rec.Op != "command set_param" {
+		t.Errorf("record identity = %q %q", rec.ID, rec.Op)
+	}
+	if len(rec.Spans) != 3 {
+		t.Fatalf("spans = %d, want local 2 + remote 1", len(rec.Spans))
+	}
+	if _, ok := tr.Get(TraceID(12345)); ok {
+		t.Error("unknown id resolved")
+	}
+
+	parsed, err := ParseTraceID(at.ID().String())
+	if err != nil || parsed != at.ID() {
+		t.Errorf("ParseTraceID(%q) = %v, %v", at.ID().String(), parsed, err)
+	}
+}
+
+func TestNilTraceIsSafe(t *testing.T) {
+	var at *ActiveTrace
+	if at.ID() != 0 {
+		t.Error("nil trace has an id")
+	}
+	at.AddSpan(HopEdge, "op", "loc", "", time.Now(), time.Second) // must not panic
+	at.Finish()                                                   // must not panic
+	if TraceFrom(nil) != nil {
+		t.Error("TraceFrom(nil ctx) != nil")
+	}
+}
+
+func TestRecentNewestFirst(t *testing.T) {
+	tr := NewTracer()
+	for i := 0; i < 5; i++ {
+		at := tr.Start("op")
+		at.Finish()
+	}
+	recs := tr.Recent(3)
+	if len(recs) != 3 {
+		t.Fatalf("recent = %d records", len(recs))
+	}
+}

@@ -14,6 +14,13 @@ go vet ./...
 go build ./...
 go test -race ./...
 
+# Documentation: every intra-repo markdown link must resolve.
+go run ./scripts/doclinkcheck
+
+# Observability smoke: boot a domain, drive a sampled command, fetch its
+# trace back and scrape /metrics as Prometheus text.
+go run ./scripts/metricssmoke
+
 # Chaos smoke: the fault-injection paths (mid-run domain kill/restart,
 # partition + heal, breaker fast-fail) rerun uncached so flakiness in the
 # failure detector surfaces here, not in CI roulette.

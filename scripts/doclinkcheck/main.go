@@ -1,0 +1,85 @@
+// Command doclinkcheck verifies every intra-repository markdown link.
+//
+// It walks the repo for *.md files (skipping .git), extracts inline
+// [text](target) links, and fails when a relative target does not exist
+// on disk. External links (http/https/mailto) and pure in-page anchors
+// (#section) are skipped; a relative target's #fragment is stripped
+// before the existence check.
+//
+// Usage: go run ./scripts/doclinkcheck [repo-root]   (default ".")
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links. Images ![alt](src) are matched
+// too (the leading ! is simply not captured) — their sources must exist
+// just the same.
+var linkRe = regexp.MustCompile(`\[[^\]\n]*\]\(([^)\s]+)\)`)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+
+	var broken []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == ".git" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".md") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if skippable(target) {
+				continue
+			}
+			// Strip a #fragment; a bare-fragment link was already skipped.
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			resolved := filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				broken = append(broken, fmt.Sprintf("%s: broken link %q", path, m[1]))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doclinkcheck:", err)
+		os.Exit(1)
+	}
+	if len(broken) > 0 {
+		for _, b := range broken {
+			fmt.Fprintln(os.Stderr, b)
+		}
+		os.Exit(1)
+	}
+}
+
+// skippable reports link targets outside this checker's scope: absolute
+// URLs, mail links, and in-page anchors.
+func skippable(target string) bool {
+	return strings.HasPrefix(target, "http://") ||
+		strings.HasPrefix(target, "https://") ||
+		strings.HasPrefix(target, "mailto:") ||
+		strings.HasPrefix(target, "#")
+}
