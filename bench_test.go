@@ -636,6 +636,74 @@ func BenchmarkRelayBatching(b *testing.B) {
 	b.Run("batch-32", func(b *testing.B) { run(b, core.DefaultRelayBatch) })
 }
 
+// BenchmarkRemoteAppsFanout measures one federation-wide application
+// listing across 8 peers, each 20ms RTT away, with the directory cache
+// disabled so every round pays the wire: one peer at a time (the seed
+// behaviour) vs the scatter-gather pool. Sequential costs ~Σ(RTT), the
+// fan-out ~max(RTT); the parent benchmark fails outright if the fan-out
+// is not at least 2x faster.
+func BenchmarkRemoteAppsFanout(b *testing.B) {
+	const nPeers = 8
+	rtt := 20 * time.Millisecond
+	domains := []struct {
+		Name string
+		Site netsim.Site
+	}{experiments.DomainAt("portal", "home")}
+	sites := make([]netsim.Site, nPeers)
+	for i := range sites {
+		sites[i] = netsim.Site(fmt.Sprintf("s%d", i+1))
+		domains = append(domains, experiments.DomainAt(fmt.Sprintf("d%d", i+1), sites[i]))
+	}
+	fed, err := experiments.NewFederation(experiments.FederationConfig{
+		Mode:    core.Push,
+		Domains: domains,
+		Topology: func(t *netsim.Topology) {
+			for i, si := range sites {
+				t.SetRTT("home", si, rtt)
+				for _, sj := range sites[i+1:] {
+					t.SetRTT(si, sj, rtt)
+				}
+			}
+		},
+		HeartbeatEvery: time.Hour, // no background traffic mid-measurement
+		OfferTTL:       time.Hour,
+		DiscoverEvery:  time.Hour,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(fed.Close)
+	portal := fed.Domains[0]
+	for i, d := range fed.Domains[1:] {
+		as, err := experiments.AttachApp(d, fmt.Sprintf("fan-%d", i+1), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { as.Close() })
+	}
+	portal.Sub.SetDirCacheTTL(-1) // every listing pays the wire
+
+	measure := func(b *testing.B, workers int) time.Duration {
+		portal.Sub.SetFanoutWorkers(workers)
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			if apps := portal.Sub.RemoteApps(context.Background(), "alice"); len(apps) != nPeers {
+				b.Fatalf("listing saw %d apps, want %d", len(apps), nPeers)
+			}
+		}
+		return time.Since(start) / time.Duration(b.N)
+	}
+	var seq, par time.Duration
+	b.Run("sequential", func(b *testing.B) { seq = measure(b, 1) })
+	b.Run("parallel", func(b *testing.B) { par = measure(b, 0) }) // 0 = default pool
+	if seq > 0 && par > 0 {
+		if seq < 2*par {
+			b.Fatalf("fan-out not >=2x faster: sequential %v/op vs parallel %v/op", seq, par)
+		}
+		b.Logf("sequential %v/op vs parallel %v/op (%.1fx)", seq, par, float64(seq)/float64(par))
+	}
+}
+
 // BenchmarkA3PollVsPush measures end-to-end propagation of one update
 // between two servers in each mode (§5.2.3 design choice).
 func BenchmarkA3PollVsPush(b *testing.B) {

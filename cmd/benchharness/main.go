@@ -106,6 +106,12 @@ var all = []experiment{
 		}
 		return experiments.RunR1(20 * time.Millisecond)
 	}},
+	{"P1", func(q bool) (experiments.Result, error) {
+		if q {
+			return experiments.RunP1([]int{2, 8}, 20*time.Millisecond)
+		}
+		return experiments.RunP1([]int{2, 4, 8}, 20*time.Millisecond)
+	}},
 	{"O1", func(q bool) (experiments.Result, error) {
 		if q {
 			return experiments.RunO1(20 * time.Millisecond)

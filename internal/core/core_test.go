@@ -389,7 +389,7 @@ func TestCrossServerCollaboration(t *testing.T) {
 	}
 
 	// Chat from the remote member must reach the host domain's member.
-	if err := b.srv.Chat(bobB, "hello from caltech"); err != nil {
+	if err := b.srv.Chat(context.Background(), bobB, "hello from caltech"); err != nil {
 		t.Fatal(err)
 	}
 	var gotChat bool
@@ -403,7 +403,7 @@ func TestCrossServerCollaboration(t *testing.T) {
 	})
 
 	// Chat from the host domain reaches the remote member via its relay.
-	if err := a.srv.Chat(aliceA, "hello from rutgers"); err != nil {
+	if err := a.srv.Chat(context.Background(), aliceA, "hello from rutgers"); err != nil {
 		t.Fatal(err)
 	}
 	var gotBack bool
@@ -417,7 +417,7 @@ func TestCrossServerCollaboration(t *testing.T) {
 	})
 
 	// Whiteboard strokes recorded at both servers for latecomers.
-	if err := b.srv.Whiteboard(bobB, []byte("stroke")); err != nil {
+	if err := b.srv.Whiteboard(context.Background(), bobB, []byte("stroke")); err != nil {
 		t.Fatal(err)
 	}
 	waitFor(t, 5*time.Second, func() bool {
@@ -453,14 +453,14 @@ func TestRemoteUsers(t *testing.T) {
 	n.discoverAll()
 	b.srv.Login("bob", "pw")
 
-	users, err := a.sub.RemoteUsers("caltech")
+	users, err := a.sub.RemoteUsers(context.Background(), "caltech")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(users) != 1 || users[0] != "bob" {
 		t.Errorf("remote users = %v", users)
 	}
-	if _, err := a.sub.RemoteUsers("nosuch"); err == nil {
+	if _, err := a.sub.RemoteUsers(context.Background(), "nosuch"); err == nil {
 		t.Error("unknown peer accepted")
 	}
 }
@@ -596,7 +596,7 @@ func TestFederationChaos(t *testing.T) {
 				case 1:
 					d.srv.SubmitCommand(context.Background(), sess, "status", nil)
 				case 2:
-					d.srv.Chat(sess, "chaos")
+					d.srv.Chat(context.Background(), sess, "chaos")
 				case 3:
 					sess.Buffer.Drain(0)
 				case 4:
@@ -915,5 +915,213 @@ func TestPollModeFiltersForeignResponses(t *testing.T) {
 		if m.Kind == wire.KindResponse && m.Client == sb.ClientID {
 			t.Error("foreign response leaked through poll filter")
 		}
+	}
+}
+
+// TestDirCacheSingleFlightAndStates walks one cache entry through every
+// state deterministically: single-flight miss dedup, fresh hit,
+// unavailable-marked serve, event invalidation forcing a refetch, failed
+// fetch degrading to the last good listing, and stale
+// serve-while-revalidate past the TTL.
+func TestDirCacheSingleFlightAndStates(t *testing.T) {
+	c := newDirCache("unit", 50*time.Millisecond)
+	apps := []server.AppInfo{{ID: "unit#1"}}
+
+	// Miss: the first caller leads the flight, the second joins it.
+	p1 := c.plan("peer", "alice", false)
+	if p1.state != dirFetch || !p1.lead {
+		t.Fatalf("first plan = %+v, want fetch leader", p1)
+	}
+	p2 := c.plan("peer", "alice", false)
+	if p2.state != dirJoin || p2.lead {
+		t.Fatalf("second plan = %+v, want join follower", p2)
+	}
+	resolved := make(chan []server.AppInfo, 1)
+	go func() {
+		<-p2.flight
+		got, err := c.resolve("peer", "alice")
+		if err != nil {
+			t.Errorf("follower resolve: %v", err)
+		}
+		resolved <- got
+	}()
+	c.complete("peer", "alice", apps, nil)
+	if got := <-resolved; len(got) != 1 || got[0].ID != "unit#1" {
+		t.Fatalf("follower resolved %+v", got)
+	}
+
+	// Fresh hit within the TTL.
+	if p := c.plan("peer", "alice", false); p.state != dirFresh || len(p.apps) != 1 {
+		t.Fatalf("fresh plan = %+v", p)
+	}
+	// Breaker open: the same data, every application marked unavailable.
+	if p := c.plan("peer", "alice", true); p.state != dirUnavailable || !p.apps[0].Unavailable {
+		t.Fatalf("down plan = %+v", p)
+	}
+	// An event invalidation forces a synchronous coherent refetch.
+	c.invalidatePeer("peer", true)
+	p3 := c.plan("peer", "alice", false)
+	if p3.state != dirFetch || !p3.lead {
+		t.Fatalf("post-invalidation plan = %+v, want fetch leader", p3)
+	}
+	// A failed refetch keeps the old data as the degraded fallback.
+	c.complete("peer", "alice", nil, errors.New("boom"))
+	if got, err := c.resolve("peer", "alice"); err == nil || len(got) != 1 || !got[0].Unavailable {
+		t.Fatalf("failed-fetch resolve = %+v, %v", got, err)
+	}
+	st := c.stats()
+	if st.Hits != 1 || st.Misses != 3 || st.Coalesced != 1 ||
+		st.UnavailableServes != 1 || st.EventInvalidations != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+
+	// Past the TTL an entry is served stale while one leader revalidates.
+	c.complete("peer", "alice", apps, nil)
+	time.Sleep(60 * time.Millisecond)
+	p4 := c.plan("peer", "alice", false)
+	if p4.state != dirStale || !p4.lead || len(p4.apps) != 1 {
+		t.Fatalf("expired plan = %+v, want stale leader", p4)
+	}
+	if p := c.plan("peer", "alice", false); p.state != dirStale || p.lead {
+		t.Fatalf("second expired plan = %+v, want stale non-leader", p)
+	}
+	c.complete("peer", "alice", apps, nil)
+	if p := c.plan("peer", "alice", false); p.state != dirFresh {
+		t.Fatalf("revalidated plan = %+v, want fresh", p)
+	}
+}
+
+// TestDirectoryChaosConcurrentListings hammers the listing fan-out from
+// several goroutines while the application population churns (event
+// invalidations land mid-round) and one peer dies abruptly and is reborn
+// under the same name. Run with -race: the invariant is liveness (every
+// listing completes), degraded marking while the peer is down, and
+// coherent recovery after rebirth.
+func TestDirectoryChaosConcurrentListings(t *testing.T) {
+	n := newTestNet(t)
+	d0 := n.addDomain("d0", Push)
+	d1 := n.addDomain("d1", Push)
+	d2 := n.addDomain("d2", Push)
+	n.attachApp(d1, "stable-1", defaultUsers())
+	n.attachApp(d2, "stable-2", defaultUsers())
+	n.discoverAll()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var listings atomic.Int64
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+				d0.sub.RemoteApps(ctx, "alice")
+				if i%4 == g {
+					d0.sub.RemoteUsers(ctx, "")
+				}
+				cancel()
+				listings.Add(1)
+			}
+		}(g)
+	}
+	// Churn applications at d1 so app-registered/app-closed control events
+	// invalidate d0's cache while the listing goroutines are mid-round.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			rt, err := app.NewRuntime(app.Config{
+				Name: "churn", Kernel: app.NewSeismic1D(16), ComputeSteps: 1,
+				Users: defaultUsers(),
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			as, err := appproto.Dial(context.Background(), d1.srv.Daemon().Addr(), rt)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			deadline := time.Now().Add(2 * time.Second)
+			for len(d1.srv.LocalAppIDs()) < 2 && time.Now().Before(deadline) {
+				time.Sleep(time.Millisecond)
+			}
+			as.Close()
+			deadline = time.Now().Add(2 * time.Second)
+			for len(d1.srv.LocalAppIDs()) > 1 && time.Now().Before(deadline) {
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+
+	// Let the chaos build, then kill d2 abruptly — wire first, so its
+	// trader offer lingers and survivors keep it as a known-but-dead peer.
+	time.Sleep(300 * time.Millisecond)
+	d2.orb.Close()
+	d2.srv.Close()
+	d2.sub.Close()
+	waitFor(t, 10*time.Second, func() bool {
+		d0.sub.CheckPeersNow()
+		for _, ph := range d0.sub.PeerHealth() {
+			if ph.Peer == "d2" && (ph.State == "down" || ph.State == "probing") {
+				return true
+			}
+		}
+		return false
+	})
+	// Listings keep completing, serving d2's last good listing marked
+	// unavailable instead of hanging or silently dropping it.
+	waitFor(t, 10*time.Second, func() bool {
+		for _, a := range d0.sub.RemoteApps(context.Background(), "alice") {
+			if server.ServerOfApp(a.ID) == "d2" && a.Unavailable {
+				return true
+			}
+		}
+		return false
+	})
+
+	// A reborn d2 re-federates under the same name; its new application
+	// becomes visible and available through the invalidated cache.
+	d2b := n.addDomain("d2", Push)
+	reborn := n.attachApp(d2b, "reborn", defaultUsers())
+	n.discoverAll()
+	waitFor(t, 10*time.Second, func() bool {
+		d0.sub.CheckPeersNow()
+		for _, a := range d0.sub.RemoteApps(context.Background(), "alice") {
+			if a.ID == reborn.AppID() && !a.Unavailable {
+				return true
+			}
+		}
+		return false
+	})
+
+	close(stop)
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("directory chaos goroutines deadlocked")
+	}
+	st := d0.sub.DirectoryStats()
+	if listings.Load() == 0 || st.Hits == 0 || st.Misses == 0 {
+		t.Errorf("chaos exercised too little: listings=%d stats=%+v", listings.Load(), st)
+	}
+	if st.EventInvalidations == 0 {
+		t.Errorf("app churn never invalidated the cache: %+v", st)
+	}
+	if st.FanoutRounds == 0 || st.FanoutCalls < st.FanoutRounds {
+		t.Errorf("fan-out counters implausible: %+v", st)
 	}
 }

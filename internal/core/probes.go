@@ -131,6 +131,11 @@ func (s *Substrate) peerWentDown(name, addr string) {
 // be gone if it restarted) and tell local clients the peer is back.
 func (s *Substrate) peerRecovered(name, addr string) {
 	s.cfg.Logf("core %s: peer %s recovered (breaker closed)", s.srv.Name(), name)
+	// Anything the directory cached for this peer predates the outage
+	// (the peer may even have restarted with different applications):
+	// drop its freshness so the next listing refetches, while the data
+	// keeps backing a degraded serve if the recovery proves short-lived.
+	s.dir.invalidatePeer(name, false)
 	s.reassertSubscriptions(name)
 	ev := wire.NewEvent(s.srv.Name(), "peer-recovered", name)
 	s.srv.HandleControlEvent(ev)

@@ -153,6 +153,16 @@ func (s *Substrate) controlServant() orb.Servant {
 			return deliverBatchResp{}, nil
 		}),
 		"event": orb.Handler(func(r eventReq) (eventResp, error) {
+			// An application lifecycle event makes every listing cached
+			// from the app's host stale: drop their freshness before the
+			// server reacts, so the next listing refetches coherently.
+			if r.Ev != nil && (r.Ev.Op == "app-registered" || r.Ev.Op == "app-closed") {
+				origin := server.ServerOfApp(r.Ev.App)
+				if origin == "" {
+					origin = r.From
+				}
+				s.dir.invalidatePeer(origin, true)
+			}
 			s.srv.HandleControlEvent(r.Ev)
 			return eventResp{}, nil
 		}),

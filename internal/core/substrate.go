@@ -7,6 +7,7 @@ import (
 	"log"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"discover/internal/orb"
@@ -54,6 +55,10 @@ type Config struct {
 	ProbeTimeout   time.Duration // heartbeat/recovery probe budget (default DialTimeout)
 	SuspectAfter   int           // consecutive failures before suspect (default 1)
 	DownAfter      int           // consecutive failures before down (default 3)
+
+	// Directory fan-out and caching (see fanout.go, dircache.go).
+	FanoutWorkers int           // max concurrent peers per scatter-gather round (default 16)
+	DirCacheTTL   time.Duration // directory cache freshness window (default 2s; < 0 disables caching)
 }
 
 // Substrate is the per-server middleware endpoint. Create it with New,
@@ -68,15 +73,19 @@ type Substrate struct {
 	acct   *policy.Accountant
 
 	health *healthTable
+	dir    *dirCache // event-coherent directory cache (listing path)
 
-	mu       sync.Mutex
-	peers    map[string]peerInfo                    // by server name
-	relays   map[string]*relaySender                // by peer name (host side, push mode)
-	polls    map[string]*poller                     // by app id (subscriber side, poll mode)
-	subs     map[string]bool                        // app ids subscribed (push mode)
-	lastApps map[string]map[string][]server.AppInfo // peer -> user -> last good listing
-	offerID  string
-	closed   bool
+	fanWorkers atomic.Int64  // scatter-gather concurrency bound (Config.FanoutWorkers)
+	fanRounds  atomic.Uint64 // scatter-gather rounds issued
+	fanCalls   atomic.Uint64 // per-peer calls issued across all rounds
+
+	mu      sync.Mutex
+	peers   map[string]peerInfo     // by server name
+	relays  map[string]*relaySender // by peer name (host side, push mode)
+	polls   map[string]*poller      // by app id (subscriber side, poll mode)
+	subs    map[string]bool         // app ids subscribed (push mode)
+	offerID string
+	closed  bool
 
 	wg   sync.WaitGroup
 	stop chan struct{}
@@ -128,20 +137,24 @@ func New(cfg Config) (*Substrate, error) {
 	if cfg.Accounting == nil {
 		cfg.Accounting = policy.NewAccountant()
 	}
+	if cfg.FanoutWorkers <= 0 {
+		cfg.FanoutWorkers = DefaultFanoutWorkers
+	}
 	cfg.ORB.SetDialTimeout(cfg.DialTimeout)
 	s := &Substrate{
-		cfg:      cfg,
-		srv:      cfg.Server,
-		orb:      cfg.ORB,
-		acct:     cfg.Accounting,
-		health:   newHealthTable(cfg.SuspectAfter, cfg.DownAfter),
-		peers:    make(map[string]peerInfo),
-		relays:   make(map[string]*relaySender),
-		polls:    make(map[string]*poller),
-		subs:     make(map[string]bool),
-		lastApps: make(map[string]map[string][]server.AppInfo),
-		stop:     make(chan struct{}),
+		cfg:    cfg,
+		srv:    cfg.Server,
+		orb:    cfg.ORB,
+		acct:   cfg.Accounting,
+		health: newHealthTable(cfg.SuspectAfter, cfg.DownAfter),
+		dir:    newDirCache(cfg.Server.Name(), cfg.DirCacheTTL),
+		peers:  make(map[string]peerInfo),
+		relays: make(map[string]*relaySender),
+		polls:  make(map[string]*poller),
+		subs:   make(map[string]bool),
+		stop:   make(chan struct{}),
 	}
+	s.fanWorkers.Store(int64(cfg.FanoutWorkers))
 	s.health.onDown = s.peerWentDown
 	s.health.onRecovered = s.peerRecovered
 	if !cfg.TraderRef.IsZero() {
@@ -335,7 +348,13 @@ func (s *Substrate) DiscoverPeers() error {
 		s.health.discoverySeen(name, addr)
 	}
 	var dropped []string
+	var fresh []peerInfo
 	s.mu.Lock()
+	for name, p := range next {
+		if _, known := s.peers[name]; !known {
+			fresh = append(fresh, p)
+		}
+	}
 	for name, p := range s.peers {
 		if _, ok := next[name]; ok {
 			continue
@@ -344,13 +363,23 @@ func (s *Substrate) DiscoverPeers() error {
 			next[name] = p
 		} else {
 			dropped = append(dropped, name)
-			delete(s.lastApps, name)
 		}
 	}
 	s.peers = next
 	s.mu.Unlock()
 	for _, name := range dropped {
 		s.health.forget(name)
+		s.dir.dropPeer(name)
+	}
+	if len(fresh) > 0 {
+		// Warm up newly discovered peers with one concurrent ping round:
+		// it primes the pooled connections and seeds the failure detector,
+		// so the first federation-wide listing doesn't pay N dials.
+		fanOut(s, nil, "discoverPing", fresh, func(c context.Context, p peerInfo) (pingResp, error) {
+			var resp pingResp
+			err := s.invokePeer(c, p, p.serverRef(), "ping", pingReq{}, &resp)
+			return resp, err
+		})
 	}
 	return nil
 }
@@ -392,13 +421,14 @@ func (s *Substrate) WireStats() server.WireStats {
 	}
 }
 
-// Peers lists discovered peer server names.
+// Peers lists discovered peer server names. It shares peerList's
+// snapshot path so callers mixing the two never take the peer-table lock
+// twice for one logical read.
 func (s *Substrate) Peers() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]string, 0, len(s.peers))
-	for name := range s.peers {
-		out = append(out, name)
+	peers := s.peerList()
+	out := make([]string, 0, len(peers))
+	for _, p := range peers {
+		out = append(out, p.name)
 	}
 	return out
 }
@@ -463,73 +493,171 @@ func (s *Substrate) PeerHealth() []server.PeerHealthStats {
 	return s.health.snapshot()
 }
 
+// DirectoryStats snapshots the directory cache and scatter-gather
+// counters for GET /api/stats; it implements server.DirectoryProvider.
+func (s *Substrate) DirectoryStats() server.DirectoryStats {
+	st := s.dir.stats()
+	st.FanoutWorkers = int(s.fanWorkers.Load())
+	st.FanoutRounds = s.fanRounds.Load()
+	st.FanoutCalls = s.fanCalls.Load()
+	return st
+}
+
+// SetDirCacheTTL adjusts the directory cache freshness window at runtime
+// (see Config.DirCacheTTL; 0 restores the default, < 0 disables caching).
+func (s *Substrate) SetDirCacheTTL(d time.Duration) { s.dir.setTTL(d) }
+
 // ---------------------------------------------------------------------------
 // server.Federation implementation.
 // ---------------------------------------------------------------------------
 
 // RemoteApps asks every peer for the applications this user may access;
 // the peer authenticates the asserted user-id and filters by its ACLs.
-// An unreachable peer degrades gracefully: its last good listing is
-// served from cache with every entry marked Unavailable, so clients see
-// "the peer is down" rather than its applications silently vanishing.
+//
+// The directory cache answers first: fresh entries (and stale ones,
+// served while one flight revalidates in the background) cost zero ORB
+// invocations, and peers behind an open breaker degrade gracefully — the
+// last good listing is served with every entry marked Unavailable, so
+// clients see "the peer is down" rather than its applications silently
+// vanishing. Only the cache misses go to the wire, scatter-gathered
+// concurrently so a cold listing costs ~max(per-peer RTT), not the sum.
 func (s *Substrate) RemoteApps(ctx context.Context, user string) []server.AppInfo {
+	peers := s.peerList() // the one peer-table snapshot for the whole round
+	if len(peers) == 0 {
+		return nil
+	}
 	var out []server.AppInfo
-	for _, p := range s.peerList() {
-		var resp listAppsResp
-		err := s.invokePeer(ctx, p, p.serverRef(), "listApplications", listAppsReq{User: user}, &resp)
-		switch {
-		case err == nil:
-			s.rememberApps(p.name, user, resp.Apps)
-			out = append(out, resp.Apps...)
-		case orb.IsPeerFailure(err) || errors.Is(err, ErrPeerDown) || errors.Is(err, ErrPeerSuspect):
-			out = append(out, s.cachedApps(p.name, user)...)
-		default:
-			s.cfg.Logf("core %s: listApplications at %s: %v", s.srv.Name(), p.name, err)
+	type appJob struct {
+		p    peerInfo
+		plan dirPlan
+	}
+	var jobs []appJob
+	for _, p := range peers {
+		plan := s.dir.plan(p.name, user, s.health.allow(p.name) != nil)
+		switch plan.state {
+		case dirFresh, dirUnavailable:
+			out = append(out, plan.apps...)
+		case dirStale:
+			out = append(out, plan.apps...)
+			if plan.lead {
+				s.revalidateApps(p, user)
+			}
+		default: // dirFetch, dirJoin: pay the wire (or wait on who is)
+			jobs = append(jobs, appJob{p: p, plan: plan})
+		}
+	}
+	if len(jobs) > 0 {
+		results := fanOut(s, ctx, "listApplications", jobs,
+			func(c context.Context, j appJob) ([]server.AppInfo, error) {
+				return s.peerApps(c, j.p, user, j.plan), nil
+			})
+		for _, r := range results {
+			out = append(out, r.val...)
 		}
 	}
 	sortAppInfos(out)
 	return out
 }
 
-// rememberApps caches a peer's last successful listing for one user.
-func (s *Substrate) rememberApps(peer, user string, apps []server.AppInfo) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	byUser, ok := s.lastApps[peer]
-	if !ok {
-		byUser = make(map[string][]server.AppInfo)
-		s.lastApps[peer] = byUser
+// peerApps resolves one peer's contribution to a listing round on the
+// miss path: the single-flight leader fetches and publishes, followers
+// wait for that flight. Either way an unreachable peer degrades to the
+// unavailable-marked cached listing.
+func (s *Substrate) peerApps(ctx context.Context, p peerInfo, user string, plan dirPlan) []server.AppInfo {
+	var apps []server.AppInfo
+	var err error
+	if plan.state == dirJoin {
+		apps, err = s.awaitApps(ctx, p, user, plan.flight)
+	} else {
+		apps, err = s.fetchApps(ctx, p, user)
 	}
-	byUser[user] = append([]server.AppInfo(nil), apps...)
+	switch {
+	case err == nil:
+		return apps
+	case orb.IsPeerFailure(err) || errors.Is(err, ErrPeerDown) || errors.Is(err, ErrPeerSuspect) ||
+		errors.Is(err, context.Canceled):
+		return apps // the unavailable-marked fallback (nil when never listed)
+	default:
+		s.cfg.Logf("core %s: listApplications at %s: %v", s.srv.Name(), p.name, err)
+		return nil
+	}
 }
 
-// cachedApps serves a peer's last good listing with every application
-// marked unavailable.
-func (s *Substrate) cachedApps(peer, user string) []server.AppInfo {
-	s.mu.Lock()
-	cached := s.lastApps[peer][user]
-	s.mu.Unlock()
-	out := make([]server.AppInfo, len(cached))
-	for i, a := range cached {
-		a.Unavailable = true
-		out[i] = a
+// fetchApps is the leader side of a single-flight listing fetch: one RPC
+// whose outcome is published to the cache, releasing any followers. On
+// failure it returns the unavailable-marked fallback alongside the error.
+func (s *Substrate) fetchApps(ctx context.Context, p peerInfo, user string) ([]server.AppInfo, error) {
+	var resp listAppsResp
+	err := s.invokePeer(ctx, p, p.serverRef(), "listApplications", listAppsReq{User: user}, &resp)
+	s.dir.complete(p.name, user, resp.Apps, err)
+	if err != nil {
+		apps, _ := s.dir.resolve(p.name, user)
+		return apps, err
 	}
-	return out
+	return resp.Apps, nil
 }
 
-// RemoteUsers lists users logged in at a named peer.
-func (s *Substrate) RemoteUsers(peerName string) ([]string, error) {
+// awaitApps is the follower side: wait for the in-flight fetch (bounded
+// like an RPC of our own) and read its outcome from the cache.
+func (s *Substrate) awaitApps(ctx context.Context, p peerInfo, user string, flight <-chan struct{}) ([]server.AppInfo, error) {
+	wctx, cancel := s.boundCtx(ctx)
+	defer cancel()
+	select {
+	case <-flight:
+		return s.dir.resolve(p.name, user)
+	case <-wctx.Done():
+		return nil, wctx.Err()
+	}
+}
+
+// revalidateApps refreshes one stale cache entry in the background; the
+// caller already holds the flight leadership. If the substrate is closing
+// the flight is completed immediately so no follower waits on it.
+func (s *Substrate) revalidateApps(p peerInfo, user string) {
+	started := s.goTracked(func() {
+		ctx, cancel := s.rpcCtx()
+		defer cancel()
+		s.fetchApps(ctx, p, user)
+	})
+	if !started {
+		s.dir.complete(p.name, user, nil, fmt.Errorf("core: substrate closed"))
+	}
+}
+
+// RemoteUsers lists users logged in at a named peer; with an empty peer
+// name it scatter-gathers every reachable peer and merges the results
+// (best effort: unreachable peers contribute nothing).
+func (s *Substrate) RemoteUsers(ctx context.Context, peerName string) ([]string, error) {
+	listUsers := func(c context.Context, p peerInfo) ([]string, error) {
+		var resp listUsersResp
+		err := s.invokePeer(c, p, p.serverRef(), "listUsers", listUsersReq{}, &resp)
+		return resp.Users, err
+	}
+	if peerName == "" {
+		results := fanOut(s, ctx, "listUsers", s.peerList(), listUsers)
+		seen := make(map[string]bool)
+		var out []string
+		for _, r := range results {
+			if r.err != nil {
+				continue
+			}
+			for _, u := range r.val {
+				if !seen[u] {
+					seen[u] = true
+					out = append(out, u)
+				}
+			}
+		}
+		sort.Strings(out)
+		return out, nil
+	}
 	s.mu.Lock()
 	p, ok := s.peers[peerName]
 	s.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("core: unknown peer %q", peerName)
 	}
-	var resp listUsersResp
-	if err := s.invokePeer(nil, p, p.serverRef(), "listUsers", listUsersReq{}, &resp); err != nil {
-		return nil, err
-	}
-	return resp.Users, nil
+	return listUsers(ctx, p)
 }
 
 // RemotePrivilege performs level-two authorization at the host server.
@@ -569,13 +697,14 @@ func (s *Substrate) RemoteLock(ctx context.Context, appID, owner string, acquire
 }
 
 // ForwardCollab relays a collaboration message for group-wide fan-out at
-// the host server.
-func (s *Substrate) ForwardCollab(appID string, m *wire.Message) error {
+// the host server; ctx carries the originating request's deadline and
+// telemetry trace.
+func (s *Substrate) ForwardCollab(ctx context.Context, appID string, m *wire.Message) error {
 	p, err := s.peerFor(appID)
 	if err != nil {
 		return err
 	}
-	return s.invokePeer(nil, p, s.proxyRef(p, appID), "collab",
+	return s.invokePeer(ctx, p, s.proxyRef(p, appID), "collab",
 		collabReq{Msg: m, From: s.srv.Name()}, nil)
 }
 

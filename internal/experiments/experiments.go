@@ -106,6 +106,16 @@ type FederationConfig struct {
 	HeartbeatEvery time.Duration
 	ProbeTimeout   time.Duration
 	DownAfter      int
+
+	// Directory fan-out and cache knobs (0 = substrate default).
+	FanoutWorkers int
+	DirCacheTTL   time.Duration
+
+	// Maintenance cadence (0 = substrate default). Latency experiments
+	// stretch these so background trader traffic can't pollute wire
+	// counters mid-measurement.
+	OfferTTL      time.Duration
+	DiscoverEvery time.Duration
 }
 
 // DomainAt is a convenience constructor for FederationConfig.Domains.
@@ -223,6 +233,10 @@ func (f *Federation) addDomain(name string, site netsim.Site, cfg FederationConf
 		HeartbeatEvery: cfg.HeartbeatEvery,
 		ProbeTimeout:   cfg.ProbeTimeout,
 		DownAfter:      cfg.DownAfter,
+		FanoutWorkers:  cfg.FanoutWorkers,
+		DirCacheTTL:    cfg.DirCacheTTL,
+		OfferTTL:       cfg.OfferTTL,
+		DiscoverEvery:  cfg.DiscoverEvery,
 		Props:          map[string]string{"site": string(site)},
 		Logf:           quiet,
 	})

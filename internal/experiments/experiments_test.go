@@ -101,6 +101,11 @@ func TestR1ChaosFaultInjection(t *testing.T) {
 	checkResult(t, res, err)
 }
 
+func TestP1DirectoryFanout(t *testing.T) {
+	res, err := RunP1([]int{2, 8}, 20*time.Millisecond)
+	checkResult(t, res, err)
+}
+
 func TestO1TraceDecomposition(t *testing.T) {
 	res, err := RunO1(10 * time.Millisecond)
 	checkResult(t, res, err)

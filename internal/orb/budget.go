@@ -1,0 +1,34 @@
+package orb
+
+import (
+	"context"
+	"time"
+)
+
+// CarveBudget derives a per-call context for one of several concurrent
+// calls that share ctx's deadline, as in a scatter-gather fan-out: the
+// child's deadline is pulled forward by a merge reserve — a tenth of the
+// remaining budget, capped at maxReserve — so the caller keeps time to
+// merge results (and mark stragglers unavailable) after its slowest call
+// completes or times out.
+//
+// With a nil ctx or no deadline, there is no budget to carve: the context
+// comes back unchanged (Background for nil) and the caller's usual RPC
+// timeout applies. The returned cancel func is always non-nil.
+func CarveBudget(ctx context.Context, maxReserve time.Duration) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		return context.Background(), func() {}
+	}
+	d, ok := ctx.Deadline()
+	if !ok {
+		return ctx, func() {}
+	}
+	reserve := time.Until(d) / 10
+	if reserve > maxReserve {
+		reserve = maxReserve
+	}
+	if reserve <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithDeadline(ctx, d.Add(-reserve))
+}

@@ -227,25 +227,40 @@ func (t *Trader) QueryFederated(serviceType, constraint string, hops int) ([]Off
 	linkORB := t.linkORB
 	t.mu.Unlock()
 
-	if hops > 0 && linkORB != nil {
+	if hops > 0 && linkORB != nil && len(links) > 0 {
+		// Linked traders are consulted concurrently, so a federated query
+		// costs ~max(link RTT) instead of the sum and a dead link (best
+		// effort in CosTrading) cannot stall the live ones. Results merge
+		// in sorted link-name order to keep dedup deterministic.
+		names := make([]string, 0, len(links))
+		for n := range links {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		linked := make([][]Offer, len(names))
+		var wg sync.WaitGroup
+		for i, name := range names {
+			wg.Add(1)
+			go func(i int, ref ObjRef) {
+				defer wg.Done()
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				defer cancel()
+				var resp queryResp
+				if err := linkORB.Invoke(ctx, ref, "query", queryReq{
+					ServiceType: serviceType, Constraint: constraint, Hops: hops - 1,
+				}, &resp); err != nil {
+					return // a dead link must not fail the whole query
+				}
+				linked[i] = resp.Offers
+			}(i, links[name])
+		}
+		wg.Wait()
 		seen := make(map[ObjRef]bool, len(out))
 		for _, o := range out {
 			seen[o.Ref] = true
 		}
-		for name, ref := range links {
-			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-			var resp queryResp
-			err := linkORB.Invoke(ctx, ref, "query", queryReq{
-				ServiceType: serviceType, Constraint: constraint, Hops: hops - 1,
-			}, &resp)
-			cancel()
-			if err != nil {
-				// A dead link must not fail the whole query; CosTrading
-				// treats linked traders as best-effort.
-				_ = name
-				continue
-			}
-			for _, o := range resp.Offers {
+		for _, offers := range linked {
+			for _, o := range offers {
 				if !seen[o.Ref] {
 					seen[o.Ref] = true
 					out = append(out, o)

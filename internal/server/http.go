@@ -227,6 +227,35 @@ type StatsResponse struct {
 	// PeerHealth reports the substrate's failure-detector view of each
 	// federated peer, when a HealthProvider federation is attached.
 	PeerHealth []PeerHealthStats `json:"peerHealth,omitempty"`
+	// Directory reports the federation directory cache and scatter-gather
+	// fan-out counters, when a DirectoryProvider federation is attached.
+	Directory *DirectoryStats `json:"directory,omitempty"`
+}
+
+// DirectoryStats aggregates the substrate's directory-cache and
+// scatter-gather counters. Hits and StaleServes are listings answered
+// with zero ORB invocations; Coalesced counts misses deduplicated into
+// another caller's in-flight fetch; UnavailableServes counts degraded
+// listings served while a peer's breaker was open.
+type DirectoryStats struct {
+	Entries             int    `json:"entries"`
+	Hits                uint64 `json:"hits"`
+	StaleServes         uint64 `json:"staleServes"`
+	Misses              uint64 `json:"misses"`
+	Coalesced           uint64 `json:"coalesced"`
+	UnavailableServes   uint64 `json:"unavailableServes"`
+	EventInvalidations  uint64 `json:"eventInvalidations"`
+	HealthInvalidations uint64 `json:"healthInvalidations"`
+	FanoutWorkers       int    `json:"fanoutWorkers"`
+	FanoutRounds        uint64 `json:"fanoutRounds"`
+	FanoutCalls         uint64 `json:"fanoutCalls"`
+}
+
+// DirectoryProvider is an optional Federation extension: a substrate that
+// implements it gets its directory cache and fan-out counters surfaced in
+// /api/stats.
+type DirectoryProvider interface {
+	DirectoryStats() DirectoryStats
 }
 
 // PeerHealthStats is the failure detector's view of one peer server.
@@ -340,6 +369,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if hp, ok := s.federation().(HealthProvider); ok {
 		resp.PeerHealth = hp.PeerHealth()
+	}
+	if dp, ok := s.federation().(DirectoryProvider); ok {
+		ds := dp.DirectoryStats()
+		resp.Directory = &ds
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -568,7 +601,10 @@ func (s *Server) handleChat(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	if err := s.Chat(sess, req.Text); err != nil {
+	ctx, tr := s.traceCtx(r, "chat")
+	err := s.Chat(ctx, sess, req.Text)
+	tr.Finish()
+	if err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -584,7 +620,10 @@ func (s *Server) handleWhiteboard(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	if err := s.Whiteboard(sess, req.Stroke); err != nil {
+	ctx, tr := s.traceCtx(r, "whiteboard")
+	err := s.Whiteboard(ctx, sess, req.Stroke)
+	tr.Finish()
+	if err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -600,7 +639,10 @@ func (s *Server) handleShare(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	if err := s.ShareView(sess, req.View); err != nil {
+	ctx, tr := s.traceCtx(r, "share")
+	err := s.ShareView(ctx, sess, req.View)
+	tr.Finish()
+	if err != nil {
 		writeErr(w, err)
 		return
 	}

@@ -350,15 +350,18 @@ func (statsFed) ForwardCommand(context.Context, string, *wire.Message) error    
 func (statsFed) RemoteLock(context.Context, string, string, bool) (bool, string, error) {
 	return false, "", nil
 }
-func (statsFed) ForwardCollab(string, *wire.Message) error { return nil }
-func (statsFed) Subscribe(context.Context, string) error   { return nil }
-func (statsFed) Unsubscribe(string) error                  { return nil }
-func (statsFed) NotifyEvent(*wire.Message)                 {}
+func (statsFed) ForwardCollab(context.Context, string, *wire.Message) error { return nil }
+func (statsFed) Subscribe(context.Context, string) error                    { return nil }
+func (statsFed) Unsubscribe(string) error                                   { return nil }
+func (statsFed) NotifyEvent(*wire.Message)                                  {}
 func (statsFed) RelayStats() []RelayStats {
 	return []RelayStats{{Peer: "caltech", Delivered: 70, Dropped: 2, Batches: 3, Invocations: 4}}
 }
 func (statsFed) WireStats() WireStats {
 	return WireStats{Oneways: 9, Writes: 5, BytesOut: 4096}
+}
+func (statsFed) DirectoryStats() DirectoryStats {
+	return DirectoryStats{Hits: 12, Misses: 3, Coalesced: 1, FanoutWorkers: 16, FanoutRounds: 4}
 }
 
 // TestHTTPStatsFederation checks that a federated server surfaces the
@@ -371,7 +374,7 @@ func TestHTTPStatsFederation(t *testing.T) {
 	if code := c.get("/api/stats", &stats); code != 200 {
 		t.Fatalf("stats -> %d", code)
 	}
-	if len(stats.Relays) != 0 || stats.Wire != nil {
+	if len(stats.Relays) != 0 || stats.Wire != nil || stats.Directory != nil {
 		t.Errorf("standalone server leaked federation stats: %+v", stats)
 	}
 
@@ -386,5 +389,9 @@ func TestHTTPStatsFederation(t *testing.T) {
 	}
 	if stats.Wire == nil || stats.Wire.Oneways != 9 || stats.Wire.BytesOut != 4096 {
 		t.Errorf("wire = %+v", stats.Wire)
+	}
+	if stats.Directory == nil || stats.Directory.Hits != 12 || stats.Directory.Coalesced != 1 ||
+		stats.Directory.FanoutWorkers != 16 {
+		t.Errorf("directory = %+v", stats.Directory)
 	}
 }

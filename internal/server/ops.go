@@ -202,19 +202,20 @@ func (s *Server) LockOp(ctx context.Context, sess *session.Session, acquire bool
 }
 
 // collabForward sends a collaboration message originated by a local
-// client toward the rest of a cross-server group.
-func (s *Server) collabForward(appID string, m *wire.Message) {
+// client toward the rest of a cross-server group. ctx bounds the remote
+// forward and carries the telemetry trace, if any.
+func (s *Server) collabForward(ctx context.Context, appID string, m *wire.Message) {
 	if ServerOfApp(appID) == s.cfg.Name {
 		return // local group's relays already received it
 	}
 	if fed := s.federation(); fed != nil {
-		fed.ForwardCollab(appID, m)
+		fed.ForwardCollab(ctx, appID, m)
 	}
 }
 
 // Chat sends a chat line to the session's collaboration (sub-)group,
 // across servers when the group spans them.
-func (s *Server) Chat(sess *session.Session, text string) error {
+func (s *Server) Chat(ctx context.Context, sess *session.Session, text string) error {
 	appID := sess.App()
 	if appID == "" {
 		return ErrNotConnected
@@ -223,33 +224,36 @@ func (s *Server) Chat(sess *session.Session, text string) error {
 	g.Chat(sess.ClientID, sess.User, text)
 	m := &wire.Message{Kind: wire.KindChat, App: appID, Client: sess.ClientID, Text: text}
 	m.Set("user", sess.User)
-	s.collabForward(appID, m)
+	s.edgeSpan(ctx, "chat "+appID)
+	s.collabForward(ctx, appID, m)
 	return nil
 }
 
 // Whiteboard adds a stroke, retained for latecomers and broadcast across
 // the group.
-func (s *Server) Whiteboard(sess *session.Session, stroke []byte) error {
+func (s *Server) Whiteboard(ctx context.Context, sess *session.Session, stroke []byte) error {
 	appID := sess.App()
 	if appID == "" {
 		return ErrNotConnected
 	}
 	m := &wire.Message{Kind: wire.KindWhiteboard, App: appID, Client: sess.ClientID, Data: stroke}
 	s.hub.Group(appID).Whiteboard(sess.ClientID, m)
-	s.collabForward(appID, m)
+	s.edgeSpan(ctx, "whiteboard "+appID)
+	s.collabForward(ctx, appID, m)
 	return nil
 }
 
 // ShareView explicitly shares a view with the session's sub-group even
 // when the session has collaboration disabled.
-func (s *Server) ShareView(sess *session.Session, view []byte) error {
+func (s *Server) ShareView(ctx context.Context, sess *session.Session, view []byte) error {
 	appID := sess.App()
 	if appID == "" {
 		return ErrNotConnected
 	}
 	m := &wire.Message{Kind: wire.KindViewShare, App: appID, Client: sess.ClientID, Data: view}
 	s.hub.Group(appID).ShareView(sess.ClientID, m)
-	s.collabForward(appID, m)
+	s.edgeSpan(ctx, "share "+appID)
+	s.collabForward(ctx, appID, m)
 	return nil
 }
 

@@ -61,8 +61,8 @@ var ErrPeerUnavailable = errors.New("server: peer server unreachable")
 // Methods on the client request path take the request context: it bounds
 // the remote invocation (the substrate derives its RPC deadline from it)
 // and carries the telemetry trace when the request was sampled at the
-// HTTP edge. Background paths (collab fan-out, unsubscribe, events) run
-// detached from any client request and take no context.
+// HTTP edge. Background paths (unsubscribe, events) run detached from
+// any client request and take no context.
 type Federation interface {
 	// RemoteApps lists applications at peer servers the user may access.
 	RemoteApps(ctx context.Context, user string) []AppInfo
@@ -75,7 +75,7 @@ type Federation interface {
 	RemoteLock(ctx context.Context, appID, owner string, acquire bool) (granted bool, holder string, err error)
 	// ForwardCollab relays a collaboration message (chat, whiteboard,
 	// view share) to the app's host server for group-wide fan-out.
-	ForwardCollab(appID string, m *wire.Message) error
+	ForwardCollab(ctx context.Context, appID string, m *wire.Message) error
 	// Subscribe asks the app's host server to relay the app's group
 	// traffic to this server (idempotent); Unsubscribe reverses it.
 	Subscribe(ctx context.Context, appID string) error

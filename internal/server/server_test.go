@@ -329,7 +329,7 @@ func TestChatAndWhiteboard(t *testing.T) {
 	d.connect(t, alice)
 	d.connect(t, bob)
 
-	if err := d.srv.Chat(alice, "hello bob"); err != nil {
+	if err := d.srv.Chat(context.Background(), alice, "hello bob"); err != nil {
 		t.Fatal(err)
 	}
 	found := false
@@ -342,7 +342,7 @@ func TestChatAndWhiteboard(t *testing.T) {
 		t.Error("chat not delivered")
 	}
 
-	if err := d.srv.Whiteboard(alice, []byte("stroke-1")); err != nil {
+	if err := d.srv.Whiteboard(context.Background(), alice, []byte("stroke-1")); err != nil {
 		t.Fatal(err)
 	}
 	// A latecomer replays the whiteboard on join.

@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing event counter. Like Histogram it
+// is safe for concurrent use and its hot path (Add) is one atomic add —
+// callers cache the *Counter in a struct field so the registry map is
+// touched once per series.
+type Counter struct {
+	name   string
+	labels string // rendered `k="v"` label-set, "" when unlabeled
+
+	v atomic.Uint64
+}
+
+// Name returns the metric name the counter was registered under.
+func (c *Counter) Name() string { return c.name }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// CounterSnapshot is a point-in-time copy of one counter.
+type CounterSnapshot struct {
+	Name   string `json:"name"`
+	Labels string `json:"labels,omitempty"`
+	Value  uint64 `json:"value"`
+}
+
+// Counter returns the counter registered under name and an optional single
+// label pair, creating it on first use. The triple (name, k, v) identifies
+// the series, exactly as with Registry.Histogram.
+func (r *Registry) Counter(name string, labelKV ...string) *Counter {
+	key := name
+	var labels string
+	if len(labelKV) >= 2 {
+		labels = labelKV[0] + `="` + labelKV[1] + `"`
+		key = name + "{" + labels + "}"
+	}
+	r.cmu.RLock()
+	c := r.counters[key]
+	r.cmu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.cmu.Lock()
+	defer r.cmu.Unlock()
+	if c = r.counters[key]; c == nil {
+		c = &Counter{name: name, labels: labels}
+		r.counters[key] = c
+	}
+	return c
+}
+
+// CounterSnapshots returns a snapshot of every registered counter, sorted
+// by name then label set.
+func (r *Registry) CounterSnapshots() []CounterSnapshot {
+	r.cmu.RLock()
+	out := make([]CounterSnapshot, 0, len(r.counters))
+	for _, c := range r.counters {
+		out = append(out, CounterSnapshot{Name: c.name, Labels: c.labels, Value: c.v.Load()})
+	}
+	r.cmu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Labels < out[j].Labels
+	})
+	return out
+}
+
+// writePrometheusCounters writes every counter in the Prometheus text
+// exposition format; WritePrometheus calls it after the histograms so one
+// scrape carries both kinds.
+func (r *Registry) writePrometheusCounters(w io.Writer) error {
+	snaps := r.CounterSnapshots()
+	var lastName string
+	for _, s := range snaps {
+		if s.Name != lastName {
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", s.Name); err != nil {
+				return err
+			}
+			lastName = s.Name
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", s.Name, promLabelSet(s.Labels), s.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GetCounter returns a counter from the default registry, creating it on
+// first use. See Registry.Counter.
+func GetCounter(name string, labelKV ...string) *Counter {
+	return defaultRegistry.Counter(name, labelKV...)
+}

@@ -185,10 +185,15 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 type Registry struct {
 	mu sync.RWMutex
 	m  map[string]*Histogram
+
+	cmu      sync.RWMutex
+	counters map[string]*Counter
 }
 
 // NewRegistry returns an empty registry.
-func NewRegistry() *Registry { return &Registry{m: make(map[string]*Histogram)} }
+func NewRegistry() *Registry {
+	return &Registry{m: make(map[string]*Histogram), counters: make(map[string]*Counter)}
+}
 
 // Histogram returns the histogram registered under name and an optional
 // single label pair, creating it on first use. The triple (name, k, v)
@@ -238,13 +243,16 @@ func (r *Registry) Snapshots() []HistogramSnapshot {
 	return out
 }
 
-// Reset drops every registered histogram. Tests use it to isolate runs;
-// hot-path caches hold pointers into the old generation, which keeps
-// working but is no longer exported.
+// Reset drops every registered histogram and counter. Tests use it to
+// isolate runs; hot-path caches hold pointers into the old generation,
+// which keeps working but is no longer exported.
 func (r *Registry) Reset() {
 	r.mu.Lock()
 	r.m = make(map[string]*Histogram)
 	r.mu.Unlock()
+	r.cmu.Lock()
+	r.counters = make(map[string]*Counter)
+	r.cmu.Unlock()
 }
 
 // WritePrometheus writes every histogram in the Prometheus text exposition
@@ -280,7 +288,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			return err
 		}
 	}
-	return nil
+	return r.writePrometheusCounters(w)
 }
 
 func promLabelPrefix(labels string) string {

@@ -23,8 +23,10 @@ go run ./scripts/metricssmoke
 
 # Chaos smoke: the fault-injection paths (mid-run domain kill/restart,
 # partition + heal, breaker fast-fail) rerun uncached so flakiness in the
-# failure detector surfaces here, not in CI roulette.
-go test -race -count=1 -run 'Chaos|R1' ./internal/core/ ./internal/experiments/
+# failure detector surfaces here, not in CI roulette. P1 rides along: a
+# listing under partition must return within its context budget with
+# unavailable-marked entries — never hang.
+go test -race -count=1 -run 'Chaos|R1|P1' ./internal/core/ ./internal/experiments/
 
 # Bench smoke: one iteration of every benchmark, so the bench code itself
 # cannot rot between full harness runs.
