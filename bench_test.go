@@ -132,7 +132,7 @@ func BenchmarkE3ProtocolTradeoff(b *testing.B) {
 	b.Run("tcp-app-path", func(b *testing.B) {
 		srv := benchServer(b)
 		as := benchApp(b, srv, "tcp")
-		sess, err := srv.Login("alice", "pw")
+		sess, err := srv.Login(context.Background(), "alice", "pw")
 		if err != nil {
 			b.Fatal(err)
 		}

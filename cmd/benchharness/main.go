@@ -118,16 +118,25 @@ var all = []experiment{
 		}
 		return experiments.RunO1(40 * time.Millisecond)
 	}},
+	{"S1", func(q bool) (experiments.Result, error) {
+		if q {
+			return experiments.RunS1([]int{8, 64}, 100*time.Millisecond)
+		}
+		return experiments.RunS1([]int{16, 256}, 300*time.Millisecond)
+	}},
 }
 
 // benchReport is the shape of the -json output file: every experiment's
-// rows plus a snapshot of all latency histograms the run populated (the
-// same data GET /metrics exports, in JSON).
+// rows plus a snapshot of all latency histograms, counters (including
+// the edge's shed and FIFO-overflow totals), and gauges the run
+// populated (the same data GET /metrics exports, in JSON).
 type benchReport struct {
 	Generated  string                        `json:"generated"`
 	Quick      bool                          `json:"quick"`
 	Results    []experiments.Result          `json:"results"`
 	Histograms []telemetry.HistogramSnapshot `json:"histograms"`
+	Counters   []telemetry.CounterSnapshot   `json:"counters"`
+	Gauges     []telemetry.GaugeSnapshot     `json:"gauges"`
 }
 
 func main() {
@@ -176,6 +185,8 @@ func main() {
 			Quick:      *quick,
 			Results:    results,
 			Histograms: telemetry.DefaultRegistry().Snapshots(),
+			Counters:   telemetry.DefaultRegistry().CounterSnapshots(),
+			Gauges:     telemetry.DefaultRegistry().GaugeSnapshots(),
 		}
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err == nil {

@@ -152,6 +152,23 @@ type DomainConfig struct {
 	TLS *TLSConfig
 	// FifoCapacity bounds per-client buffers (0 = default 256).
 	FifoCapacity int
+	// SessionShards sets the session-table shard count (0 = default 16,
+	// 1 = a single-lock table, the S1 experiment's baseline).
+	SessionShards int
+	// EdgeMaxInflight caps concurrently admitted portal requests; excess
+	// load is shed with 429 "overloaded" (0 = default 4096).
+	EdgeMaxInflight int
+	// LoginRatePerSec / LoginBurst bound each user's login attempts per
+	// second at the portal edge (0 = unlimited).
+	LoginRatePerSec float64
+	LoginBurst      float64
+	// RequestRatePerSec / RequestBurst bound each session's request rate
+	// at the portal edge (0 = unlimited).
+	RequestRatePerSec float64
+	RequestBurst      float64
+	// EdgeRetryAfter is the retry_after_ms hint sent with shed requests
+	// (0 = default 250ms).
+	EdgeRetryAfter time.Duration
 	// SessionIdleTimeout reaps portal sessions that stop polling for this
 	// long, releasing their locks and group memberships (0 disables).
 	SessionIdleTimeout time.Duration
@@ -195,12 +212,19 @@ type Domain struct {
 // (optionally) the HTTP portal listener.
 func StartDomain(cfg DomainConfig) (*Domain, error) {
 	srv, err := server.New(server.Config{
-		Name:             cfg.Name,
-		FifoCapacity:     cfg.FifoCapacity,
-		RecordUpdates:    cfg.RecordUpdates,
-		TraceSampleEvery: cfg.TraceSampleEvery,
-		EnablePprof:      cfg.EnablePprof,
-		Logf:             cfg.Logf,
+		Name:              cfg.Name,
+		FifoCapacity:      cfg.FifoCapacity,
+		RecordUpdates:     cfg.RecordUpdates,
+		TraceSampleEvery:  cfg.TraceSampleEvery,
+		EnablePprof:       cfg.EnablePprof,
+		Logf:              cfg.Logf,
+		SessionShards:     cfg.SessionShards,
+		MaxInflight:       cfg.EdgeMaxInflight,
+		LoginRatePerSec:   cfg.LoginRatePerSec,
+		LoginBurst:        cfg.LoginBurst,
+		RequestRatePerSec: cfg.RequestRatePerSec,
+		RequestBurst:      cfg.RequestBurst,
+		RetryAfterHint:    cfg.EdgeRetryAfter,
 	})
 	if err != nil {
 		return nil, err
@@ -268,8 +292,10 @@ func StartDomain(cfg DomainConfig) (*Domain, error) {
 			d.dirORB = dirOrb
 		}
 		dir := userdir.NewClient(dirOrb, orb.ObjRef{Addr: cfg.UserDirAddr, Key: userdir.Key})
-		srv.Auth().SetFallback(func(user, secret string) bool {
-			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		srv.Auth().SetFallback(func(ctx context.Context, user, secret string) bool {
+			// Cap the directory lookup even when the login request carries
+			// no deadline of its own.
+			ctx, cancel := context.WithTimeout(ctx, 10*time.Second)
 			defer cancel()
 			ok, err := dir.Verify(ctx, user, secret)
 			return err == nil && ok
@@ -349,8 +375,11 @@ func TLSClient(pool *x509.CertPool) *http.Client {
 // DaemonAddr returns the application daemon address.
 func (d *Domain) DaemonAddr() string { return d.Server.Daemon().Addr() }
 
-// Close shuts the domain down.
+// Close shuts the domain down: the edge drains first (new requests are
+// shed with 503 shutting_down while in-flight ones finish), then the
+// HTTP listener stops.
 func (d *Domain) Close() {
+	d.Server.BeginDrain()
 	if d.httpSrv != nil {
 		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 		d.httpSrv.Shutdown(ctx)

@@ -16,6 +16,7 @@
 package auth
 
 import (
+	"context"
 	"crypto/hmac"
 	"crypto/rand"
 	"crypto/sha256"
@@ -166,7 +167,7 @@ type Service struct {
 	secrets  map[string][]byte // user -> sha256(salt||secret); nil value = assert-only user
 	salts    map[string][]byte
 	acls     map[string]*ACL // application id -> ACL
-	fallback func(user, secret string) bool
+	fallback func(ctx context.Context, user, secret string) bool
 }
 
 // Option configures a Service.
@@ -286,8 +287,10 @@ func (s *Service) Privilege(user, appID string) Privilege {
 
 // SetFallback installs a secondary credential verifier consulted when the
 // user has no home credential here — the hook for the centralized user
-// directory (GIS analogue) of §6.3.
-func (s *Service) SetFallback(verify func(user, secret string) bool) {
+// directory (GIS analogue) of §6.3. The verifier receives the login
+// request's context so a slow or unreachable directory cannot hold the
+// login past the client's deadline.
+func (s *Service) SetFallback(verify func(ctx context.Context, user, secret string) bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.fallback = verify
@@ -296,8 +299,8 @@ func (s *Service) SetFallback(verify func(user, secret string) bool) {
 // Login performs level-one authentication with a secret. The user must
 // have a secret registered here (home server), be verifiable through the
 // configured fallback directory, or be listed by some application with no
-// secret requirement configured.
-func (s *Service) Login(user, secret string) (Token, error) {
+// secret requirement configured. ctx bounds the fallback lookup.
+func (s *Service) Login(ctx context.Context, user, secret string) (Token, error) {
 	s.mu.RLock()
 	hash, hasSecret := s.secrets[user]
 	salt := s.salts[user]
@@ -310,7 +313,7 @@ func (s *Service) Login(user, secret string) (Token, error) {
 		}
 		return s.issueToken(user), nil
 	}
-	if fallback != nil && fallback(user, secret) {
+	if fallback != nil && fallback(ctx, user, secret) {
 		return s.issueToken(user), nil
 	}
 	if !s.KnownUser(user) {

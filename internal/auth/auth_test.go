@@ -1,6 +1,7 @@
 package auth
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -60,21 +61,21 @@ func newTestService(t *testing.T, opts ...Option) *Service {
 
 func TestLoginAndTokens(t *testing.T) {
 	s := newTestService(t)
-	tok, err := s.Login("alice", "wonderland")
+	tok, err := s.Login(context.Background(), "alice", "wonderland")
 	if err != nil {
 		t.Fatalf("Login: %v", err)
 	}
 	if err := s.VerifyToken(tok); err != nil {
 		t.Errorf("VerifyToken: %v", err)
 	}
-	if _, err := s.Login("alice", "wrong"); err != ErrBadSecret {
+	if _, err := s.Login(context.Background(), "alice", "wrong"); err != ErrBadSecret {
 		t.Errorf("wrong secret: err = %v", err)
 	}
-	if _, err := s.Login("mallory", "x"); err != ErrUnknownUser {
+	if _, err := s.Login(context.Background(), "mallory", "x"); err != ErrUnknownUser {
 		t.Errorf("unknown user: err = %v", err)
 	}
 	// bob is listed by app1 but has no home credential here.
-	if _, err := s.Login("bob", ""); err != ErrBadSecret {
+	if _, err := s.Login(context.Background(), "bob", ""); err != ErrBadSecret {
 		t.Errorf("bob without credential: err = %v", err)
 	}
 }
@@ -95,7 +96,7 @@ func TestLoginAsserted(t *testing.T) {
 
 func TestTokenForgeryDetected(t *testing.T) {
 	s := newTestService(t)
-	tok, err := s.Login("alice", "wonderland")
+	tok, err := s.Login(context.Background(), "alice", "wonderland")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestTokenExpiry(t *testing.T) {
 		WithClock(func() time.Time { return *clock }))
 	s.SetUserSecret("alice", "pw")
 	s.RegisterApp("app1", NewACL(Entry{"alice", Steer}))
-	tok, err := s.Login("alice", "pw")
+	tok, err := s.Login(context.Background(), "alice", "pw")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestTokenExpiry(t *testing.T) {
 
 func TestAuthorizeLevelTwo(t *testing.T) {
 	s := newTestService(t)
-	tok, err := s.Login("alice", "wonderland")
+	tok, err := s.Login(context.Background(), "alice", "wonderland")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +195,7 @@ func TestKnownUserAndAccessibleApps(t *testing.T) {
 
 func TestTokenEncodeParseRoundTrip(t *testing.T) {
 	s := newTestService(t)
-	tok, err := s.Login("alice", "wonderland")
+	tok, err := s.Login(context.Background(), "alice", "wonderland")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +216,7 @@ func TestTokenEncodeParseRoundTrip(t *testing.T) {
 
 func TestCapabilityEncodeParseRoundTrip(t *testing.T) {
 	s := newTestService(t)
-	tok, _ := s.Login("alice", "wonderland")
+	tok, _ := s.Login(context.Background(), "alice", "wonderland")
 	c, err := s.Authorize(tok, "app1")
 	if err != nil {
 		t.Fatal(err)

@@ -255,7 +255,7 @@ func remoteSteeringTest(t *testing.T, mode UpdateMode) {
 
 	// Client logs in at caltech (their "closest" server) and connects to
 	// the rutgers-hosted application.
-	sess, err := b.srv.Login("alice", "pw")
+	sess, err := b.srv.Login(context.Background(), "alice", "pw")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -334,8 +334,8 @@ func TestDistributedLockMutualExclusion(t *testing.T) {
 	appID := as.AppID()
 
 	// alice local at rutgers, alice2 remote at caltech contend.
-	local, _ := a.srv.Login("alice", "pw")
-	remote, _ := b.srv.Login("alice", "pw")
+	local, _ := a.srv.Login(context.Background(), "alice", "pw")
+	remote, _ := b.srv.Login(context.Background(), "alice", "pw")
 	if _, err := a.srv.ConnectApp(context.Background(), local, appID); err != nil {
 		t.Fatal(err)
 	}
@@ -379,8 +379,8 @@ func TestCrossServerCollaboration(t *testing.T) {
 	n.discoverAll()
 	appID := as.AppID()
 
-	aliceA, _ := a.srv.Login("alice", "pw")
-	bobB, _ := b.srv.Login("bob", "pw")
+	aliceA, _ := a.srv.Login(context.Background(), "alice", "pw")
+	bobB, _ := b.srv.Login(context.Background(), "bob", "pw")
 	if _, err := a.srv.ConnectApp(context.Background(), aliceA, appID); err != nil {
 		t.Fatal(err)
 	}
@@ -432,7 +432,7 @@ func TestControlChannelEvents(t *testing.T) {
 	n.discoverAll()
 
 	// A logged-in client at caltech hears about an app joining rutgers.
-	sess, _ := b.srv.Login("alice", "pw")
+	sess, _ := b.srv.Login(context.Background(), "alice", "pw")
 	n.attachApp(a, "wave", defaultUsers())
 	var heard bool
 	waitFor(t, 5*time.Second, func() bool {
@@ -451,7 +451,7 @@ func TestRemoteUsers(t *testing.T) {
 	b := n.addDomain("caltech", Push)
 	n.attachApp(b, "wave", defaultUsers())
 	n.discoverAll()
-	b.srv.Login("bob", "pw")
+	b.srv.Login(context.Background(), "bob", "pw")
 
 	users, err := a.sub.RemoteUsers(context.Background(), "caltech")
 	if err != nil {
@@ -474,12 +474,12 @@ func TestRemotePrivilegeDenied(t *testing.T) {
 
 	// eve has no ACL entry anywhere; connecting must fail with no access.
 	b.srv.Auth().SetUserSecret("eve", "pw")
-	sess, _ := b.srv.Login("eve", "pw")
+	sess, _ := b.srv.Login(context.Background(), "eve", "pw")
 	if _, err := b.srv.ConnectApp(context.Background(), sess, as.AppID()); err == nil {
 		t.Error("remote connect for unauthorized user succeeded")
 	}
 	// bob is monitor: connect fine, steer denied locally.
-	bob, _ := b.srv.Login("bob", "pw")
+	bob, _ := b.srv.Login(context.Background(), "bob", "pw")
 	if _, err := b.srv.ConnectApp(context.Background(), bob, as.AppID()); err != nil {
 		t.Fatalf("bob connect: %v", err)
 	}
@@ -497,7 +497,7 @@ func TestUnsubscribeStopsTraffic(t *testing.T) {
 	as := n.attachApp(a, "wave", defaultUsers())
 	n.discoverAll()
 
-	sess, _ := b.srv.Login("alice", "pw")
+	sess, _ := b.srv.Login(context.Background(), "alice", "pw")
 	if _, err := b.srv.ConnectApp(context.Background(), sess, as.AppID()); err != nil {
 		t.Fatal(err)
 	}
@@ -569,7 +569,7 @@ func TestFederationChaos(t *testing.T) {
 			defer wg.Done()
 			r := rand.New(rand.NewSource(int64(c)))
 			d := domains[c%2] // only the surviving domains serve chaos clients
-			sess, err := d.srv.Login("alice", "pw")
+			sess, err := d.srv.Login(context.Background(), "alice", "pw")
 			if err != nil {
 				t.Errorf("client %d login: %v", c, err)
 				return
@@ -605,7 +605,7 @@ func TestFederationChaos(t *testing.T) {
 					d.srv.SubmitCommand(context.Background(), sess, "get_param", []wire.Param{{Key: "name", Value: "source_amp"}})
 				}
 			}
-			d.srv.Logout(sess)
+			d.srv.Logout(context.Background(), sess)
 		}(c)
 	}
 	// Mid-run: kill d2 abruptly (no offer withdrawal — close the wire
@@ -659,7 +659,7 @@ func TestFederationChaos(t *testing.T) {
 
 	// The reborn d2 participates end-to-end: a client there steers the
 	// d0-hosted application through the re-formed federation.
-	sess, err := d2b.srv.Login("alice", "pw")
+	sess, err := d2b.srv.Login(context.Background(), "alice", "pw")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -677,7 +677,7 @@ func TestFederationChaos(t *testing.T) {
 		t.Errorf("steer via reborn domain: %v", err)
 	}
 	d2b.srv.LockOp(context.Background(), sess, false)
-	d2b.srv.Logout(sess)
+	d2b.srv.Logout(context.Background(), sess)
 }
 
 func serverOf(domains []*domain, appID string) *server.Server {
@@ -772,7 +772,7 @@ func TestPeerFailureHandledCleanly(t *testing.T) {
 	n.discoverAll()
 	appID := as.AppID()
 
-	sess, _ := b.srv.Login("alice", "pw")
+	sess, _ := b.srv.Login(context.Background(), "alice", "pw")
 	if _, err := b.srv.ConnectApp(context.Background(), sess, appID); err != nil {
 		t.Fatal(err)
 	}
@@ -853,7 +853,7 @@ func TestResourcePolicyThrottlesPeer(t *testing.T) {
 	// rutgers (the host) restricts caltech to 2 requests with no refill.
 	a.sub.Accounting().SetPolicy("caltech", policy.Policy{RequestsPerSec: 0.0001, RequestBurst: 2})
 
-	sess, _ := b.srv.Login("alice", "pw")
+	sess, _ := b.srv.Login(context.Background(), "alice", "pw")
 	if _, err := b.srv.ConnectApp(context.Background(), sess, appID); err != nil {
 		t.Fatal(err)
 	}
@@ -883,8 +883,8 @@ func TestPollModeFiltersForeignResponses(t *testing.T) {
 	n.discoverAll()
 	appID := as.AppID()
 
-	sb, _ := b.srv.Login("alice", "pw")
-	sc, _ := c.srv.Login("bob", "pw")
+	sb, _ := b.srv.Login(context.Background(), "alice", "pw")
+	sc, _ := c.srv.Login(context.Background(), "bob", "pw")
 	if _, err := b.srv.ConnectApp(context.Background(), sb, appID); err != nil {
 		t.Fatal(err)
 	}

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -47,15 +46,31 @@ func (s PeerState) String() string {
 }
 
 // Typed fast-fail errors returned while a peer's circuit breaker is open.
+// Both carry an API error code (server.Coder) so the HTTP edge maps them
+// to the uniform error envelope without this package appearing there.
 var (
 	// ErrPeerDown: the peer's breaker is open; the operation was not
 	// attempted. Callers should degrade (serve cached state, fail a
 	// relayed wait) rather than retry immediately.
-	ErrPeerDown = errors.New("core: peer down (circuit open)")
+	ErrPeerDown error = &breakerError{
+		msg: "core: peer down (circuit open)", code: "peer_down",
+	}
 	// ErrPeerSuspect: a recovery probe is deciding the peer's fate;
 	// operations are rejected until it concludes.
-	ErrPeerSuspect = errors.New("core: peer suspect (recovery probe in progress)")
+	ErrPeerSuspect error = &breakerError{
+		msg: "core: peer suspect (recovery probe in progress)", code: "peer_suspect",
+	}
 )
+
+// breakerError is a sentinel (compared with errors.Is by identity, as
+// before) that also names its API error code.
+type breakerError struct {
+	msg  string
+	code string
+}
+
+func (e *breakerError) Error() string     { return e.msg }
+func (e *breakerError) ErrorCode() string { return e.code }
 
 // Failure-detector defaults (Config can override each).
 const (

@@ -23,7 +23,7 @@ func TestDeliverBatchMatchesDeliver(t *testing.T) {
 	n.discoverAll()
 	appID := as.AppID()
 
-	sess, err := b.srv.Login("alice", "pw")
+	sess, err := b.srv.Login(context.Background(), "alice", "pw")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -31,7 +31,7 @@ func TestTracePropagationAcrossFederation(t *testing.T) {
 	as := n.attachApp(a, "wave", defaultUsers())
 	n.discoverAll()
 
-	sess, err := b.srv.Login("alice", "pw")
+	sess, err := b.srv.Login(context.Background(), "alice", "pw")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +92,7 @@ func TestTraceLegacyPeerFallback(t *testing.T) {
 	// built before the telemetry wire extension.
 	a.orb.SetWireTrace(false)
 
-	sess, err := b.srv.Login("alice", "pw")
+	sess, err := b.srv.Login(context.Background(), "alice", "pw")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +132,7 @@ func TestRelayHistogramsPopulated(t *testing.T) {
 	as := n.attachApp(a, "wave", defaultUsers())
 	n.discoverAll()
 
-	sess, err := b.srv.Login("alice", "pw")
+	sess, err := b.srv.Login(context.Background(), "alice", "pw")
 	if err != nil {
 		t.Fatal(err)
 	}

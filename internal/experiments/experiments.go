@@ -310,7 +310,7 @@ func AttachApp(d *Domain, name string, computeSteps int, opts ...appproto.DialOp
 // LoginLocal creates a server-side session directly (ops-level client).
 func LoginLocal(d *Domain, user string) (*session.Session, error) {
 	d.Srv.Auth().SetUserSecret(user, "pw")
-	return d.Srv.Login(user, "pw")
+	return d.Srv.Login(context.Background(), user, "pw")
 }
 
 // percentile returns the p-th percentile of durations (p in [0,100]).

@@ -110,3 +110,8 @@ func TestO1TraceDecomposition(t *testing.T) {
 	res, err := RunO1(10 * time.Millisecond)
 	checkResult(t, res, err)
 }
+
+func TestS1VersionedEdge(t *testing.T) {
+	res, err := RunS1([]int{4, 32}, 60*time.Millisecond)
+	checkResult(t, res, err)
+}

@@ -157,6 +157,16 @@ func (a *Accountant) Allow(principal string, bytes int) bool {
 	return true
 }
 
+// Forget drops a principal's bucket and usage state. The portal edge
+// calls it when a session ends so per-session buckets do not accumulate
+// for the lifetime of the server; a principal seen again starts fresh
+// (with the default policy, if one is set).
+func (a *Accountant) Forget(principal string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	delete(a.principals, principal)
+}
+
 // Usage returns a principal's consumption snapshot.
 func (a *Accountant) Usage(principal string) Usage {
 	a.mu.Lock()

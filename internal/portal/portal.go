@@ -11,6 +11,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/url"
@@ -63,24 +64,130 @@ func New(baseURL string, opts ...Option) *Client {
 	return c
 }
 
-// apiError is a non-2xx API response.
-type apiError struct {
-	Status int
-	Msg    string
+// APIError is a decoded non-2xx portal response: the /api/v1 uniform
+// error envelope (code, message, retry hint) plus the transport status.
+// errors.Is matches it against the typed sentinels below by code, so
+// callers branch on errors.Is(err, portal.ErrRateLimited) rather than
+// parsing strings or status numbers.
+type APIError struct {
+	Status     int           // HTTP status
+	Code       string        // machine-readable code from the envelope
+	Message    string        // human-readable detail
+	RetryAfter time.Duration // server's retry hint (0 if none)
 }
 
-func (e *apiError) Error() string { return fmt.Sprintf("portal: HTTP %d: %s", e.Status, e.Msg) }
+func (e *APIError) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("portal: HTTP %d %s: %s", e.Status, e.Code, e.Message)
+	}
+	return fmt.Sprintf("portal: HTTP %d: %s", e.Status, e.Message)
+}
 
-// IsDenied reports whether err is a 403 privilege failure.
+// sentinelError is the identity errors.Is compares APIErrors against.
+type sentinelError struct{ code, msg string }
+
+func (e *sentinelError) Error() string { return e.msg }
+
+// Is makes an APIError match the sentinel carrying its code.
+func (e *APIError) Is(target error) bool {
+	s, ok := target.(*sentinelError)
+	return ok && s.code == e.Code
+}
+
+// Typed sentinels mirroring the server's error-code registry (API.md).
+// Compare with errors.Is; the matched APIError (via errors.As) carries
+// the message and retry hint.
+var (
+	ErrBadRequest      error = &sentinelError{"bad_request", "portal: bad request"}
+	ErrUnauthorized    error = &sentinelError{"unauthorized", "portal: unauthorized"}
+	ErrSessionNotFound error = &sentinelError{"session_not_found", "portal: session not found"}
+	ErrForbidden       error = &sentinelError{"forbidden", "portal: forbidden"}
+	ErrAppNotFound     error = &sentinelError{"app_not_found", "portal: application not found"}
+	ErrNotConnected    error = &sentinelError{"not_connected", "portal: not connected to an application"}
+	ErrLockHeld        error = &sentinelError{"lock_held", "portal: steering lock held"}
+	ErrRateLimited     error = &sentinelError{"rate_limited", "portal: rate limited"}
+	ErrOverloaded      error = &sentinelError{"overloaded", "portal: server overloaded"}
+	ErrShuttingDown    error = &sentinelError{"shutting_down", "portal: server shutting down"}
+	ErrPeerDown        error = &sentinelError{"peer_down", "portal: peer server down"}
+	ErrPeerSuspect     error = &sentinelError{"peer_suspect", "portal: peer server suspect"}
+	ErrNotFound        error = &sentinelError{"not_found", "portal: not found"}
+	ErrInternal        error = &sentinelError{"internal", "portal: internal server error"}
+)
+
+// RetryAfter extracts the server's retry hint from a shed-request error
+// (ErrRateLimited, ErrOverloaded, ErrShuttingDown). ok is false when err
+// carries no hint.
+func RetryAfter(err error) (d time.Duration, ok bool) {
+	var ae *APIError
+	if errors.As(err, &ae) && ae.RetryAfter > 0 {
+		return ae.RetryAfter, true
+	}
+	return 0, false
+}
+
+// IsDenied reports whether err is a privilege failure.
 func IsDenied(err error) bool {
-	ae, ok := err.(*apiError)
-	return ok && ae.Status == http.StatusForbidden
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Status == http.StatusForbidden
 }
 
-// IsLockConflict reports whether err is a 409 lock failure.
+// IsLockConflict reports whether err is a steering-lock conflict.
 func IsLockConflict(err error) bool {
-	ae, ok := err.(*apiError)
-	return ok && ae.Status == http.StatusConflict
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Status == http.StatusConflict
+}
+
+// statusCode maps an HTTP status to a registry code, for responses from
+// servers predating the envelope (legacy {"error":"..."} bodies).
+func statusCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusUnauthorized:
+		return "unauthorized"
+	case http.StatusForbidden:
+		return "forbidden"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusConflict:
+		return "lock_held"
+	case http.StatusTooManyRequests:
+		return "rate_limited"
+	case http.StatusServiceUnavailable:
+		return "shutting_down"
+	default:
+		return "internal"
+	}
+}
+
+// decodeAPIError turns a non-2xx response into an *APIError, accepting
+// both the /api/v1 envelope and the legacy flat {"error":"message"}.
+func decodeAPIError(resp *http.Response) error {
+	ae := &APIError{Status: resp.StatusCode}
+	var env struct {
+		Error json.RawMessage `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err == nil && len(env.Error) > 0 {
+		var body struct {
+			Code         string `json:"code"`
+			Message      string `json:"message"`
+			RetryAfterMS int64  `json:"retry_after_ms"`
+		}
+		if err := json.Unmarshal(env.Error, &body); err == nil && body.Code != "" {
+			ae.Code = body.Code
+			ae.Message = body.Message
+			ae.RetryAfter = time.Duration(body.RetryAfterMS) * time.Millisecond
+		} else {
+			var msg string
+			if json.Unmarshal(env.Error, &msg) == nil {
+				ae.Message = msg
+			}
+		}
+	}
+	if ae.Code == "" {
+		ae.Code = statusCode(resp.StatusCode)
+	}
+	return ae
 }
 
 func (c *Client) post(ctx context.Context, path string, body, out any) error {
@@ -111,9 +218,7 @@ func (c *Client) do(req *http.Request, out any) error {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
-		var er server.ErrorResponse
-		json.NewDecoder(resp.Body).Decode(&er)
-		return &apiError{Status: resp.StatusCode, Msg: er.Error}
+		return decodeAPIError(resp)
 	}
 	if out != nil {
 		return json.NewDecoder(resp.Body).Decode(out)
@@ -138,7 +243,7 @@ func (c *Client) App() string {
 // Login performs level-one authentication.
 func (c *Client) Login(ctx context.Context, user, secret string) error {
 	var lr server.LoginResponse
-	if err := c.post(ctx, "/api/login", server.LoginRequest{User: user, Secret: secret}, &lr); err != nil {
+	if err := c.post(ctx, "/api/v1/login", server.LoginRequest{User: user, Secret: secret}, &lr); err != nil {
 		return err
 	}
 	c.mu.Lock()
@@ -173,7 +278,7 @@ func (c *Client) Detach() Handle {
 // session's application binding and privilege ("" when not connected).
 func (c *Client) Attach(ctx context.Context, h Handle) (app, privilege string, err error) {
 	var ar server.AttachResponse
-	err = c.post(ctx, "/api/attach", server.AttachRequest{ClientID: h.ClientID, Token: h.Token}, &ar)
+	err = c.post(ctx, "/api/v1/attach", server.AttachRequest{ClientID: h.ClientID, Token: h.Token}, &ar)
 	if err != nil {
 		return "", "", err
 	}
@@ -194,7 +299,7 @@ func (c *Client) Logout(ctx context.Context) error {
 	if id == "" {
 		return nil
 	}
-	err := c.post(ctx, "/api/logout", map[string]string{"clientId": id}, nil)
+	err := c.post(ctx, "/api/v1/logout", map[string]string{"clientId": id}, nil)
 	c.mu.Lock()
 	c.clientID, c.token, c.app = "", "", ""
 	c.mu.Unlock()
@@ -204,7 +309,7 @@ func (c *Client) Logout(ctx context.Context) error {
 // Apps lists all applications (local and remote) visible to the user.
 func (c *Client) Apps(ctx context.Context) ([]server.AppInfo, error) {
 	var ar server.AppsResponse
-	if err := c.get(ctx, "/api/apps?client="+url.QueryEscape(c.ClientID()), &ar); err != nil {
+	if err := c.get(ctx, "/api/v1/apps?client="+url.QueryEscape(c.ClientID()), &ar); err != nil {
 		return nil, err
 	}
 	return ar.Apps, nil
@@ -214,7 +319,7 @@ func (c *Client) Apps(ctx context.Context) ([]server.AppInfo, error) {
 // collaboration group; it returns the granted privilege name.
 func (c *Client) ConnectApp(ctx context.Context, appID string) (string, error) {
 	var cr server.ConnectResponse
-	err := c.post(ctx, "/api/connect", server.ConnectRequest{ClientID: c.ClientID(), App: appID}, &cr)
+	err := c.post(ctx, "/api/v1/connect", server.ConnectRequest{ClientID: c.ClientID(), App: appID}, &cr)
 	if err != nil {
 		return "", err
 	}
@@ -226,7 +331,7 @@ func (c *Client) ConnectApp(ctx context.Context, appID string) (string, error) {
 
 // DisconnectApp leaves the application.
 func (c *Client) DisconnectApp(ctx context.Context) error {
-	err := c.post(ctx, "/api/disconnect", map[string]string{"clientId": c.ClientID()}, nil)
+	err := c.post(ctx, "/api/v1/disconnect", map[string]string{"clientId": c.ClientID()}, nil)
 	c.mu.Lock()
 	c.app = ""
 	c.mu.Unlock()
@@ -237,7 +342,7 @@ func (c *Client) DisconnectApp(ctx context.Context) error {
 // WaitResponse or the pump). It returns the command sequence number.
 func (c *Client) Command(ctx context.Context, op string, params map[string]string) (uint64, error) {
 	var cr server.CommandResponse
-	err := c.post(ctx, "/api/command", server.CommandRequest{
+	err := c.post(ctx, "/api/v1/command", server.CommandRequest{
 		ClientID: c.ClientID(), Op: op, Params: params,
 	}, &cr)
 	return cr.Seq, err
@@ -263,7 +368,7 @@ func (c *Client) Status(ctx context.Context) (uint64, error) {
 // Poll drains up to max messages, long-polling up to wait.
 func (c *Client) Poll(ctx context.Context, max int, wait time.Duration) ([]*wire.Message, error) {
 	var pr server.PollResponse
-	path := fmt.Sprintf("/api/poll?client=%s&max=%d&waitms=%d",
+	path := fmt.Sprintf("/api/v1/poll?client=%s&max=%d&waitms=%d",
 		url.QueryEscape(c.ClientID()), max, wait.Milliseconds())
 	if err := c.get(ctx, path, &pr); err != nil {
 		return nil, err
@@ -275,44 +380,44 @@ func (c *Client) Poll(ctx context.Context, max int, wait time.Duration) ([]*wire
 // current holder.
 func (c *Client) AcquireLock(ctx context.Context) (granted bool, holder string, err error) {
 	var lr server.LockResponse
-	err = c.post(ctx, "/api/lock", server.LockRequestBody{ClientID: c.ClientID(), Acquire: true}, &lr)
+	err = c.post(ctx, "/api/v1/lock", server.LockRequestBody{ClientID: c.ClientID(), Acquire: true}, &lr)
 	return lr.Granted, lr.Holder, err
 }
 
 // ReleaseLock gives the steering lock back.
 func (c *Client) ReleaseLock(ctx context.Context) error {
-	return c.post(ctx, "/api/lock", server.LockRequestBody{ClientID: c.ClientID(), Acquire: false}, nil)
+	return c.post(ctx, "/api/v1/lock", server.LockRequestBody{ClientID: c.ClientID(), Acquire: false}, nil)
 }
 
 // Chat sends a chat line to the collaboration group.
 func (c *Client) Chat(ctx context.Context, text string) error {
-	return c.post(ctx, "/api/chat", server.ChatRequest{ClientID: c.ClientID(), Text: text}, nil)
+	return c.post(ctx, "/api/v1/chat", server.ChatRequest{ClientID: c.ClientID(), Text: text}, nil)
 }
 
 // Whiteboard sends a whiteboard stroke.
 func (c *Client) Whiteboard(ctx context.Context, stroke []byte) error {
-	return c.post(ctx, "/api/whiteboard", server.WhiteboardRequest{ClientID: c.ClientID(), Stroke: stroke}, nil)
+	return c.post(ctx, "/api/v1/whiteboard", server.WhiteboardRequest{ClientID: c.ClientID(), Stroke: stroke}, nil)
 }
 
 // ShareView explicitly shares a view with the sub-group.
 func (c *Client) ShareView(ctx context.Context, view []byte) error {
-	return c.post(ctx, "/api/share", server.ShareRequest{ClientID: c.ClientID(), View: view}, nil)
+	return c.post(ctx, "/api/v1/share", server.ShareRequest{ClientID: c.ClientID(), View: view}, nil)
 }
 
 // SetCollaboration flips collaboration mode.
 func (c *Client) SetCollaboration(ctx context.Context, enabled bool) error {
-	return c.post(ctx, "/api/collab", server.CollabRequest{ClientID: c.ClientID(), Enabled: &enabled}, nil)
+	return c.post(ctx, "/api/v1/collab", server.CollabRequest{ClientID: c.ClientID(), Enabled: &enabled}, nil)
 }
 
 // JoinSubGroup moves into a named sub-group ("" = main group).
 func (c *Client) JoinSubGroup(ctx context.Context, sub string) error {
-	return c.post(ctx, "/api/collab", server.CollabRequest{ClientID: c.ClientID(), Sub: &sub}, nil)
+	return c.post(ctx, "/api/v1/collab", server.CollabRequest{ClientID: c.ClientID(), Sub: &sub}, nil)
 }
 
 // Replay fetches the archived interaction log from a sequence number.
 func (c *Client) Replay(ctx context.Context, from uint64) (server.ReplayResponse, error) {
 	var rr server.ReplayResponse
-	path := fmt.Sprintf("/api/replay?client=%s&from=%d", url.QueryEscape(c.ClientID()), from)
+	path := fmt.Sprintf("/api/v1/replay?client=%s&from=%d", url.QueryEscape(c.ClientID()), from)
 	err := c.get(ctx, path, &rr)
 	return rr, err
 }
@@ -326,7 +431,7 @@ func (c *Client) Records(ctx context.Context, table string, filter map[string]st
 		q.Set("f."+k, v)
 	}
 	var rr server.RecordsResponse
-	if err := c.get(ctx, "/api/records?"+q.Encode(), &rr); err != nil {
+	if err := c.get(ctx, "/api/v1/records?"+q.Encode(), &rr); err != nil {
 		return nil, err
 	}
 	return rr.Records, nil
@@ -335,7 +440,7 @@ func (c *Client) Records(ctx context.Context, table string, filter map[string]st
 // Users lists users logged in at the server.
 func (c *Client) Users(ctx context.Context) ([]string, error) {
 	var ur server.UsersResponse
-	if err := c.get(ctx, "/api/users?client="+url.QueryEscape(c.ClientID()), &ur); err != nil {
+	if err := c.get(ctx, "/api/v1/users?client="+url.QueryEscape(c.ClientID()), &ur); err != nil {
 		return nil, err
 	}
 	return ur.Users, nil

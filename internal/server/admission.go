@@ -1,0 +1,189 @@
+package server
+
+import (
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"discover/internal/policy"
+	"discover/internal/telemetry"
+)
+
+// Edge admission control (§6.3 writ large): before any handler runs, a
+// request must clear three gates — the server must not be draining, the
+// global in-flight limiter must have a slot, and the principal's token
+// bucket (per-user at login, per-session everywhere else) must admit it.
+// Shed requests get 429/503 with a retry_after_ms hint instead of
+// queueing, so overload degrades into fast, explicit rejections rather
+// than collapsing latency for everyone.
+
+// DefaultMaxInflight bounds concurrently admitted portal requests when
+// Config.MaxInflight is zero.
+const DefaultMaxInflight = 4096
+
+// DefaultRetryAfter is the retry_after_ms hint sent with shed requests
+// when Config.RetryAfterHint is zero.
+const DefaultRetryAfter = 250 * time.Millisecond
+
+// edgeGate is one server's admission state.
+type edgeGate struct {
+	maxInflight int64
+	retryAfter  time.Duration
+
+	inflight     atomic.Int64
+	inflightPeak atomic.Int64
+	draining     atomic.Bool
+
+	users    *policy.Accountant // per-user login buckets
+	sessions *policy.Accountant // per-session request buckets
+
+	shedOverload    atomic.Uint64
+	shedRateLimited atomic.Uint64
+	shedDraining    atomic.Uint64
+
+	// Process-wide metrics (shared across in-process servers, like every
+	// other discover_* series).
+	inflightGauge *telemetry.Gauge
+	shedTotal     map[ErrCode]*telemetry.Counter
+}
+
+func newEdgeGate(cfg Config) *edgeGate {
+	g := &edgeGate{
+		maxInflight:   int64(cfg.MaxInflight),
+		retryAfter:    cfg.RetryAfterHint,
+		users:         policy.NewAccountant(),
+		sessions:      policy.NewAccountant(),
+		inflightGauge: telemetry.GetGauge("discover_edge_inflight"),
+		shedTotal: map[ErrCode]*telemetry.Counter{
+			CodeOverloaded:   telemetry.GetCounter("discover_edge_shed_total", "reason", "overloaded"),
+			CodeRateLimited:  telemetry.GetCounter("discover_edge_shed_total", "reason", "rate_limited"),
+			CodeShuttingDown: telemetry.GetCounter("discover_edge_shed_total", "reason", "shutting_down"),
+		},
+	}
+	if g.maxInflight == 0 {
+		g.maxInflight = DefaultMaxInflight
+	}
+	if g.retryAfter <= 0 {
+		g.retryAfter = DefaultRetryAfter
+	}
+	if cfg.LoginRatePerSec > 0 {
+		g.users.SetDefaultPolicy(policy.Policy{
+			RequestsPerSec: cfg.LoginRatePerSec, RequestBurst: cfg.LoginBurst,
+		})
+	}
+	if cfg.RequestRatePerSec > 0 {
+		g.sessions.SetDefaultPolicy(policy.Policy{
+			RequestsPerSec: cfg.RequestRatePerSec, RequestBurst: cfg.RequestBurst,
+		})
+	}
+	return g
+}
+
+// shed records one rejected request under its reason code.
+func (g *edgeGate) shed(code ErrCode) {
+	switch code {
+	case CodeOverloaded:
+		g.shedOverload.Add(1)
+	case CodeRateLimited:
+		g.shedRateLimited.Add(1)
+	case CodeShuttingDown:
+		g.shedDraining.Add(1)
+	}
+	if c := g.shedTotal[code]; c != nil {
+		c.Inc()
+	}
+}
+
+// enter admits or sheds one request against the draining flag and the
+// in-flight cap. On admission the caller must defer leave().
+func (g *edgeGate) enter() (admitted bool, reason ErrCode) {
+	if g.draining.Load() {
+		g.shed(CodeShuttingDown)
+		return false, CodeShuttingDown
+	}
+	n := g.inflight.Add(1)
+	if g.maxInflight > 0 && n > g.maxInflight {
+		g.inflight.Add(-1)
+		g.inflightGauge.Set(g.inflight.Load())
+		g.shed(CodeOverloaded)
+		return false, CodeOverloaded
+	}
+	for {
+		peak := g.inflightPeak.Load()
+		if n <= peak || g.inflightPeak.CompareAndSwap(peak, n) {
+			break
+		}
+	}
+	g.inflightGauge.Set(n)
+	return true, ""
+}
+
+func (g *edgeGate) leave() {
+	g.inflightGauge.Set(g.inflight.Add(-1))
+}
+
+// allowLogin applies the per-user login bucket.
+func (g *edgeGate) allowLogin(user string) bool { return g.users.Allow(user, 0) }
+
+// allowSession applies the per-session request bucket.
+func (g *edgeGate) allowSession(clientID string) bool { return g.sessions.Allow(clientID, 0) }
+
+// forgetSession drops a finished session's bucket state.
+func (g *edgeGate) forgetSession(clientID string) { g.sessions.Forget(clientID) }
+
+// admit is the middleware wrapping every /api/v1 handler.
+func (g *edgeGate) admit(h http.HandlerFunc, retryMS int64) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ok, reason := g.enter()
+		if !ok {
+			writeErrCode(w, reason, "edge admission: "+string(reason), retryMS)
+			return
+		}
+		defer g.leave()
+		h(w, r)
+	}
+}
+
+// BeginDrain starts connection draining: in-flight requests finish, new
+// ones are shed with 503 shutting_down. Domain.Close calls this before
+// http.Server.Shutdown so load balancers and portals see an explicit
+// signal rather than connection resets.
+func (s *Server) BeginDrain() { s.gate.draining.Store(true) }
+
+// Draining reports whether the edge is refusing new requests.
+func (s *Server) Draining() bool { return s.gate.draining.Load() }
+
+// EdgeStats is the admission-control block of GET /api/v1/stats.
+type EdgeStats struct {
+	SessionShards   int    `json:"sessionShards"`
+	Inflight        int64  `json:"inflight"`
+	InflightPeak    int64  `json:"inflightPeak"`
+	MaxInflight     int64  `json:"maxInflight"`
+	Draining        bool   `json:"draining"`
+	ShedOverload    uint64 `json:"shedOverload"`
+	ShedRateLimited uint64 `json:"shedRateLimited"`
+	ShedDraining    uint64 `json:"shedDraining"`
+	FifoOverflow    uint64 `json:"fifoOverflowDropped"` // messages shed by session FIFOs
+	RetryAfterMS    int64  `json:"retryAfterMs"`
+}
+
+// EdgeStats snapshots the admission gate.
+func (s *Server) EdgeStats() EdgeStats {
+	var overflow uint64
+	for _, sess := range s.sessions.List() {
+		dropped, _ := sess.Buffer.Stats()
+		overflow += dropped
+	}
+	return EdgeStats{
+		SessionShards:   s.sessions.Shards(),
+		Inflight:        s.gate.inflight.Load(),
+		InflightPeak:    s.gate.inflightPeak.Load(),
+		MaxInflight:     s.gate.maxInflight,
+		Draining:        s.gate.draining.Load(),
+		ShedOverload:    s.gate.shedOverload.Load(),
+		ShedRateLimited: s.gate.shedRateLimited.Load(),
+		ShedDraining:    s.gate.shedDraining.Load(),
+		FifoOverflow:    overflow,
+		RetryAfterMS:    s.gate.retryAfter.Milliseconds(),
+	}
+}

@@ -3,7 +3,6 @@ package server
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
@@ -17,10 +16,17 @@ import (
 )
 
 // The HTTP API is the web-portal surface of the paper's servlets. It is
-// deliberately request/response (poll-and-pull): clients poll /api/poll
-// to drain their server-side FIFO buffer, exactly the commodity-HTTP
-// trade-off §6.2 discusses. Bodies are JSON — the modern stand-in for the
-// prototype's serialized Java objects over HTTP GET/POST.
+// deliberately request/response (poll-and-pull): clients poll
+// /api/v1/poll to drain their server-side FIFO buffer, exactly the
+// commodity-HTTP trade-off §6.2 discusses. Bodies are JSON — the modern
+// stand-in for the prototype's serialized Java objects over HTTP
+// GET/POST.
+//
+// The surface is versioned: the contract lives under /api/v1 (API.md
+// documents every route), and the original unversioned /api paths remain
+// as exact aliases that answer with a Deprecation header pointing at
+// their successor. Session-facing routes pass through edge admission
+// (admission.go) before their handler runs.
 
 // API request/response bodies.
 type (
@@ -133,35 +139,84 @@ type (
 		Privilege string `json:"privilege,omitempty"`
 		Buffered  int    `json:"buffered"`
 	}
-	// ErrorResponse carries an API error.
+	// ErrorBody is the inside of the uniform error envelope.
+	ErrorBody struct {
+		Code         ErrCode `json:"code"`
+		Message      string  `json:"message"`
+		RetryAfterMS int64   `json:"retry_after_ms,omitempty"`
+	}
+	// ErrorResponse is the uniform error envelope every non-2xx API
+	// response carries: {"error":{"code","message","retry_after_ms"}}.
 	ErrorResponse struct {
-		Error string `json:"error"`
+		Error ErrorBody `json:"error"`
 	}
 )
 
-// HTTPHandler returns the server's web API.
+// APIVersion is the current portal API version prefix.
+const APIVersion = "/api/v1"
+
+// apiRoute is one row of the portal route table. Path is relative to the
+// version prefix; Open routes (operator/observability surface) bypass
+// edge admission so an overloaded or draining server stays inspectable.
+type apiRoute struct {
+	Method string
+	Path   string
+	Open   bool
+
+	handler http.HandlerFunc
+}
+
+// Routes returns the portal route table — the single source of truth for
+// HTTPHandler, the contract tests, and scripts/apidrift (which
+// cross-checks it against API.md).
+func (s *Server) Routes() []apiRoute {
+	return []apiRoute{
+		{Method: "POST", Path: "/login", handler: s.handleLogin},
+		{Method: "POST", Path: "/attach", handler: s.handleAttach},
+		{Method: "POST", Path: "/logout", handler: s.handleLogout},
+		{Method: "GET", Path: "/apps", handler: s.handleApps},
+		{Method: "POST", Path: "/connect", handler: s.handleConnect},
+		{Method: "POST", Path: "/disconnect", handler: s.handleDisconnect},
+		{Method: "POST", Path: "/command", handler: s.handleCommand},
+		{Method: "GET", Path: "/poll", handler: s.handlePoll},
+		{Method: "POST", Path: "/lock", handler: s.handleLock},
+		{Method: "POST", Path: "/chat", handler: s.handleChat},
+		{Method: "POST", Path: "/whiteboard", handler: s.handleWhiteboard},
+		{Method: "POST", Path: "/share", handler: s.handleShare},
+		{Method: "POST", Path: "/collab", handler: s.handleCollab},
+		{Method: "GET", Path: "/replay", handler: s.handleReplay},
+		{Method: "GET", Path: "/records", handler: s.handleRecords},
+		{Method: "GET", Path: "/users", handler: s.handleUsers},
+		{Method: "GET", Path: "/info", Open: true, handler: s.handleInfo},
+		{Method: "GET", Path: "/stats", Open: true, handler: s.handleStats},
+		{Method: "GET", Path: "/trace", Open: true, handler: s.handleTraces},
+		{Method: "GET", Path: "/trace/{id}", Open: true, handler: s.handleTrace},
+	}
+}
+
+// withDeprecation marks a legacy-alias response before delegating.
+func withDeprecation(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "<"+successor+`>; rel="successor-version"`)
+		h(w, r)
+	}
+}
+
+// HTTPHandler returns the server's web API: every route mounted under
+// /api/v1, a deprecated alias per route under the legacy /api prefix,
+// and the unversioned operator endpoints (/metrics, /debug/pprof).
 func (s *Server) HTTPHandler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /api/login", s.handleLogin)
-	mux.HandleFunc("POST /api/attach", s.handleAttach)
-	mux.HandleFunc("POST /api/logout", s.handleLogout)
-	mux.HandleFunc("GET /api/apps", s.handleApps)
-	mux.HandleFunc("POST /api/connect", s.handleConnect)
-	mux.HandleFunc("POST /api/disconnect", s.handleDisconnect)
-	mux.HandleFunc("POST /api/command", s.handleCommand)
-	mux.HandleFunc("GET /api/poll", s.handlePoll)
-	mux.HandleFunc("POST /api/lock", s.handleLock)
-	mux.HandleFunc("POST /api/chat", s.handleChat)
-	mux.HandleFunc("POST /api/whiteboard", s.handleWhiteboard)
-	mux.HandleFunc("POST /api/share", s.handleShare)
-	mux.HandleFunc("POST /api/collab", s.handleCollab)
-	mux.HandleFunc("GET /api/replay", s.handleReplay)
-	mux.HandleFunc("GET /api/records", s.handleRecords)
-	mux.HandleFunc("GET /api/users", s.handleUsers)
-	mux.HandleFunc("GET /api/info", s.handleInfo)
-	mux.HandleFunc("GET /api/stats", s.handleStats)
-	mux.HandleFunc("GET /api/trace", s.handleTraces)
-	mux.HandleFunc("GET /api/trace/{id}", s.handleTrace)
+	retryMS := s.gate.retryAfter.Milliseconds()
+	for _, rt := range s.Routes() {
+		h := rt.handler
+		if !rt.Open {
+			h = s.gate.admit(h, retryMS)
+		}
+		mux.HandleFunc(rt.Method+" "+APIVersion+rt.Path, h)
+		mux.HandleFunc(rt.Method+" /api"+rt.Path, withDeprecation(APIVersion+rt.Path, h))
+	}
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if s.cfg.EnablePprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -196,12 +251,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	id, err := telemetry.ParseTraceID(r.PathValue("id"))
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		writeErrCode(w, CodeBadRequest, err.Error(), 0)
 		return
 	}
 	rec, ok := telemetry.Default().Get(id)
 	if !ok {
-		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "trace not found (unsampled, unfinished, or evicted)"})
+		writeErrCode(w, CodeNotFound, "trace not found (unsampled, unfinished, or evicted)", 0)
 		return
 	}
 	writeJSON(w, http.StatusOK, rec)
@@ -230,6 +285,9 @@ type StatsResponse struct {
 	// Directory reports the federation directory cache and scatter-gather
 	// fan-out counters, when a DirectoryProvider federation is attached.
 	Directory *DirectoryStats `json:"directory,omitempty"`
+	// Edge reports the portal's admission-control state: session shards,
+	// in-flight requests vs the cap, shed counts by reason, and draining.
+	Edge *EdgeStats `json:"edge,omitempty"`
 }
 
 // DirectoryStats aggregates the substrate's directory-cache and
@@ -374,6 +432,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		ds := dp.DirectoryStats()
 		resp.Directory = &ds
 	}
+	es := s.EdgeStats()
+	resp.Edge = &es
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -383,38 +443,50 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
-	switch {
-	case errors.Is(err, auth.ErrBadSecret), errors.Is(err, auth.ErrUnknownUser),
-		errors.Is(err, auth.ErrBadToken), errors.Is(err, auth.ErrExpired),
-		errors.Is(err, auth.ErrNoAccess), errors.Is(err, ErrDenied):
-		status = http.StatusForbidden
-	case errors.Is(err, ErrUnknownApp), errors.Is(err, ErrNotConnected):
-		status = http.StatusNotFound
-	case errors.Is(err, ErrNeedLock):
-		status = http.StatusConflict
+// writeErrCode writes the uniform error envelope for an explicit code.
+func writeErrCode(w http.ResponseWriter, code ErrCode, msg string, retryAfterMS int64) {
+	writeJSON(w, code.httpStatus(), ErrorResponse{Error: ErrorBody{
+		Code: code, Message: msg, RetryAfterMS: retryAfterMS,
+	}})
+}
+
+// writeErr classifies err into the error-code registry and writes the
+// envelope. Errors carrying their own code (Coder, e.g. the substrate's
+// ErrPeerDown) win; rate/overload codes get the retry hint.
+func (s *Server) writeErr(w http.ResponseWriter, err error) {
+	code := codeOf(err)
+	var retryMS int64
+	switch code {
+	case CodeRateLimited, CodeOverloaded, CodeShuttingDown, CodePeerSuspect:
+		retryMS = s.gate.retryAfter.Milliseconds()
 	}
-	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+	writeErrCode(w, code, err.Error(), retryMS)
 }
 
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "bad request body: " + err.Error()})
+		writeErrCode(w, CodeBadRequest, "bad request body: "+err.Error(), 0)
 		return false
 	}
 	return true
 }
 
-// lookupSession resolves and validates the client's session.
+// lookupSession resolves and validates the client's session, applying
+// the per-session admission bucket.
 func (s *Server) lookupSession(w http.ResponseWriter, clientID string) (*session.Session, bool) {
 	sess, ok := s.sessions.Get(clientID)
 	if !ok {
-		writeJSON(w, http.StatusUnauthorized, ErrorResponse{Error: "unknown client id"})
+		writeErrCode(w, CodeSessionNotFound, "unknown client id", 0)
+		return nil, false
+	}
+	if !s.gate.allowSession(clientID) {
+		s.gate.shed(CodeRateLimited)
+		writeErrCode(w, CodeRateLimited, "session request rate exceeded",
+			s.gate.retryAfter.Milliseconds())
 		return nil, false
 	}
 	if err := s.auth.VerifyToken(sess.Token); err != nil {
-		writeJSON(w, http.StatusUnauthorized, ErrorResponse{Error: err.Error()})
+		writeErrCode(w, CodeUnauthorized, err.Error(), 0)
 		return nil, false
 	}
 	return sess, true
@@ -425,9 +497,15 @@ func (s *Server) handleLogin(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	sess, err := s.Login(req.User, req.Secret)
+	if !s.gate.allowLogin(req.User) {
+		s.gate.shed(CodeRateLimited)
+		writeErrCode(w, CodeRateLimited, "login rate exceeded for user",
+			s.gate.retryAfter.Milliseconds())
+		return
+	}
+	sess, err := s.Login(r.Context(), req.User, req.Secret)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, LoginResponse{
@@ -448,16 +526,16 @@ func (s *Server) handleAttach(w http.ResponseWriter, r *http.Request) {
 	}
 	sess, ok := s.sessions.Get(req.ClientID)
 	if !ok {
-		writeJSON(w, http.StatusUnauthorized, ErrorResponse{Error: "unknown client id"})
+		writeErrCode(w, CodeSessionNotFound, "unknown client id", 0)
 		return
 	}
 	tok, err := auth.ParseToken(req.Token)
 	if err != nil {
-		writeJSON(w, http.StatusUnauthorized, ErrorResponse{Error: err.Error()})
+		writeErrCode(w, CodeUnauthorized, err.Error(), 0)
 		return
 	}
 	if err := s.auth.VerifyToken(tok); err != nil || tok.User != sess.User {
-		writeJSON(w, http.StatusUnauthorized, ErrorResponse{Error: "token does not match session"})
+		writeErrCode(w, CodeUnauthorized, "token does not match session", 0)
 		return
 	}
 	resp := AttachResponse{User: sess.User, App: sess.App(), Buffered: sess.Buffer.Len()}
@@ -475,7 +553,7 @@ func (s *Server) handleLogout(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if sess, ok := s.sessions.Peek(req.ClientID); ok {
-		s.Logout(sess)
+		s.Logout(r.Context(), sess)
 	}
 	writeJSON(w, http.StatusOK, struct{}{})
 }
@@ -507,7 +585,7 @@ func (s *Server) handleConnect(w http.ResponseWriter, r *http.Request) {
 	cap, err := s.ConnectApp(ctx, sess, req.App)
 	tr.Finish()
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, ConnectResponse{App: req.App, Privilege: cap.Priv.String()})
@@ -524,7 +602,7 @@ func (s *Server) handleDisconnect(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	s.DisconnectApp(sess)
+	s.DisconnectApp(r.Context(), sess)
 	writeJSON(w, http.StatusOK, struct{}{})
 }
 
@@ -545,7 +623,7 @@ func (s *Server) handleCommand(w http.ResponseWriter, r *http.Request) {
 	cmd, err := s.SubmitCommand(ctx, sess, req.Op, params)
 	tr.Finish()
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	resp := CommandResponse{Seq: cmd.Seq}
@@ -586,7 +664,7 @@ func (s *Server) handleLock(w http.ResponseWriter, r *http.Request) {
 	granted, holder, err := s.LockOp(ctx, sess, req.Acquire)
 	tr.Finish()
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, LockResponse{Granted: granted, Holder: holder})
@@ -605,7 +683,7 @@ func (s *Server) handleChat(w http.ResponseWriter, r *http.Request) {
 	err := s.Chat(ctx, sess, req.Text)
 	tr.Finish()
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, struct{}{})
@@ -624,7 +702,7 @@ func (s *Server) handleWhiteboard(w http.ResponseWriter, r *http.Request) {
 	err := s.Whiteboard(ctx, sess, req.Stroke)
 	tr.Finish()
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, struct{}{})
@@ -643,7 +721,7 @@ func (s *Server) handleShare(w http.ResponseWriter, r *http.Request) {
 	err := s.ShareView(ctx, sess, req.View)
 	tr.Finish()
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, struct{}{})
@@ -660,13 +738,13 @@ func (s *Server) handleCollab(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Enabled != nil {
 		if err := s.SetCollaboration(sess, *req.Enabled); err != nil {
-			writeErr(w, err)
+			s.writeErr(w, err)
 			return
 		}
 	}
 	if req.Sub != nil {
 		if err := s.JoinSubGroup(sess, *req.Sub); err != nil {
-			writeErr(w, err)
+			s.writeErr(w, err)
 			return
 		}
 	}
@@ -682,7 +760,7 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 	from, _ := strconv.ParseUint(q.Get("from"), 10, 64)
 	entries, err := s.Replay(sess, from)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	if entries == nil {
@@ -706,7 +784,7 @@ func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 	}
 	records, err := s.QueryRecords(sess, table, filter)
 	if err != nil {
-		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: err.Error()})
+		writeErrCode(w, CodeNotFound, err.Error(), 0)
 		return
 	}
 	views := make([]RecordView, 0, len(records))
@@ -731,6 +809,6 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, InfoResponse{
 		Name:     s.cfg.Name,
 		Apps:     len(s.LocalAppIDs()),
-		Sessions: len(s.sessions.List()),
+		Sessions: s.sessions.Len(),
 	})
 }

@@ -106,8 +106,9 @@ func (s *Server) ConnectApp(ctx context.Context, sess *session.Session, appID st
 }
 
 // DisconnectApp leaves the application's collaboration group and releases
-// any steering lock the client still holds.
-func (s *Server) DisconnectApp(sess *session.Session) {
+// any steering lock the client still holds. ctx bounds the best-effort
+// remote lock release.
+func (s *Server) DisconnectApp(ctx context.Context, sess *session.Session) {
 	appID := sess.App()
 	if appID == "" {
 		return
@@ -116,15 +117,17 @@ func (s *Server) DisconnectApp(sess *session.Session) {
 	if ServerOfApp(appID) == s.cfg.Name {
 		s.locks.ReleaseAllOwnedBy(sess.ClientID)
 	} else if fed := s.federation(); fed != nil {
-		fed.RemoteLock(context.Background(), appID, sess.ClientID, false) // best-effort release
+		fed.RemoteLock(ctx, appID, sess.ClientID, false) // best-effort release
 	}
 	sess.Disconnect()
 }
 
-// Logout removes the session entirely.
-func (s *Server) Logout(sess *session.Session) {
-	s.DisconnectApp(sess)
+// Logout removes the session entirely, along with its admission-control
+// bucket state.
+func (s *Server) Logout(ctx context.Context, sess *session.Session) {
+	s.DisconnectApp(ctx, sess)
 	s.sessions.Remove(sess.ClientID)
+	s.gate.forgetSession(sess.ClientID)
 }
 
 // SubmitCommand validates and routes one client command. The response

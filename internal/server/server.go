@@ -19,7 +19,6 @@ package server
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"log"
 	"strings"
@@ -52,8 +51,12 @@ type AppInfo struct {
 }
 
 // ErrPeerUnavailable reports that an operation could not complete because
-// the remote application's host server is unreachable.
-var ErrPeerUnavailable = errors.New("server: peer server unreachable")
+// the remote application's host server is unreachable. It carries the
+// peer_down API code so the HTTP edge maps it to 503 without this file
+// importing the substrate.
+var ErrPeerUnavailable error = &codedError{
+	msg: "server: peer server unreachable", code: CodePeerDown,
+}
 
 // Federation is the substrate's surface as seen by a server. A nil
 // Federation means a standalone (centralized) deployment.
@@ -113,6 +116,15 @@ type Config struct {
 	TraceSampleEvery  int    // sample 1-in-N requests for tracing (0 = off)
 	EnablePprof       bool   // mount net/http/pprof under /debug/pprof
 	Logf              func(format string, args ...any)
+
+	// Edge admission control (the /api/v1 gate).
+	SessionShards     int           // session-table shards (0 = default, 1 = unsharded)
+	MaxInflight       int           // global concurrent-request cap (0 = default)
+	LoginRatePerSec   float64       // per-user login token-bucket rate (0 = unlimited)
+	LoginBurst        float64       // login bucket burst (0 = rate)
+	RequestRatePerSec float64       // per-session request bucket rate (0 = unlimited)
+	RequestBurst      float64       // request bucket burst (0 = rate)
+	RetryAfterHint    time.Duration // retry_after_ms hint on shed requests (0 = default)
 }
 
 // Server is one interaction/collaboration server instance.
@@ -125,6 +137,7 @@ type Server struct {
 	store    *archive.Store
 	db       *recorddb.DB
 	daemon   *appproto.Daemon
+	gate     *edgeGate
 
 	mu       sync.Mutex
 	counter  uint64
@@ -149,15 +162,18 @@ func New(cfg Config) (*Server, error) {
 		cfg.Logf = log.Printf
 	}
 	s := &Server{
-		cfg:      cfg,
-		auth:     auth.NewService(cfg.Name),
-		sessions: session.NewManager(cfg.Name, session.WithCapacity(cfg.FifoCapacity)),
+		cfg:  cfg,
+		auth: auth.NewService(cfg.Name),
+		sessions: session.NewManager(cfg.Name,
+			session.WithCapacity(cfg.FifoCapacity),
+			session.WithShards(cfg.SessionShards)),
 		hub:      collab.NewHub(),
 		locks:    lockmgr.NewManager(),
 		store:    archive.NewStore(cfg.ArchiveLimit),
 		db:       recorddb.New(),
 		proxies:  make(map[string]*ApplicationProxy),
 		updateCt: make(map[string]uint64),
+		gate:     newEdgeGate(cfg),
 	}
 	s.daemon = appproto.NewDaemon((*daemonHandler)(s))
 	if cfg.TraceSampleEvery > 0 {
@@ -239,7 +255,7 @@ func (s *Server) ReapIdleSessions(maxIdle time.Duration) int {
 		if sess.LastSeen().Before(cutoff) {
 			s.cfg.Logf("server %s: reaping idle session %s (user %s)",
 				s.cfg.Name, sess.ClientID, sess.User)
-			s.Logout(sess)
+			s.Logout(context.Background(), sess)
 			reaped++
 		}
 	}
@@ -255,9 +271,10 @@ func (s *Server) Close() { s.daemon.Close() }
 // ---------------------------------------------------------------------------
 
 // Login authenticates a user by secret at this (home) server and creates
-// a session.
-func (s *Server) Login(user, secret string) (*session.Session, error) {
-	tok, err := s.auth.Login(user, secret)
+// a session. ctx bounds the userdir fallback lookup, when one is
+// configured.
+func (s *Server) Login(ctx context.Context, user, secret string) (*session.Session, error) {
+	tok, err := s.auth.Login(ctx, user, secret)
 	if err != nil {
 		return nil, err
 	}

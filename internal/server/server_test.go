@@ -68,7 +68,7 @@ func deploy(t *testing.T, opts ...func(*Config)) *testDeployment {
 
 func (d *testDeployment) login(t *testing.T, user string) *session.Session {
 	t.Helper()
-	sess, err := d.srv.Login(user, "pw")
+	sess, err := d.srv.Login(context.Background(), user, "pw")
 	if err != nil {
 		t.Fatalf("login %s: %v", user, err)
 	}
@@ -462,7 +462,7 @@ func TestLogoutReleasesLock(t *testing.T) {
 	alice := d.login(t, "alice")
 	appID := d.connect(t, alice)
 	d.srv.LockOp(context.Background(), alice, true)
-	d.srv.Logout(alice)
+	d.srv.Logout(context.Background(), alice)
 	if _, held := d.srv.Locks().Holder(appID); held {
 		t.Error("lock survived logout")
 	}

@@ -7,7 +7,10 @@ package session
 
 import (
 	"fmt"
+	"hash/fnv"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"discover/internal/auth"
@@ -20,19 +23,39 @@ import (
 // that one stalled browser cannot hold server memory hostage.
 const DefaultCapacity = 256
 
+// DefaultShards is the session-table shard count when WithShards is not
+// given. Power-of-two so the shard index is one mask of the client-id
+// hash; 16 keeps login/poll/logout from serializing on a single lock
+// while staying cheap to scan for List/Users/ExpireIdle.
+const DefaultShards = 16
+
 // Fifo is a bounded FIFO of messages for one client. Push never blocks;
-// overflow drops the oldest entry. Drain empties it; DrainWait performs a
-// bounded wait for the long-poll variant of the client protocol.
+// overflow drops the oldest entry — and, when overflow events are
+// enabled, the next Drain is prefixed with a synthetic "buffer-overflow"
+// event telling the portal how many messages it lost, so a slow client
+// learns about the gap instead of silently missing state. Drain empties
+// it; DrainWait performs a bounded wait for the long-poll variant of the
+// client protocol.
 type Fifo struct {
-	mu        sync.Mutex
-	buf       []*wire.Message
-	pushedAt  []time.Time // parallel to buf, for the delivery-wait histogram
-	capacity  int
-	dropped   uint64
-	highWater int
-	notify    chan struct{}
-	waitHist  *telemetry.Histogram
+	mu         sync.Mutex
+	buf        []*wire.Message
+	pushedAt   []time.Time // parallel to buf, for the delivery-wait histogram
+	capacity   int
+	dropped    uint64
+	highWater  int
+	overflowed uint64 // drops since the last drain (pending event)
+	origin     string // event source name; "" disables overflow events
+	notify     chan struct{}
+	waitHist   *telemetry.Histogram
 }
+
+// fifoOverflowTotal counts messages dropped by bounded client FIFOs
+// across the process (exported as discover_edge_fifo_overflow_total).
+var fifoOverflowTotal = telemetry.GetCounter("discover_edge_fifo_overflow_total")
+
+// OverflowEvent is the Op of the synthetic event a Fifo emits after
+// dropping messages; its Text is the number of messages lost.
+const OverflowEvent = "buffer-overflow"
 
 // NewFifo returns a FIFO with the given capacity (DefaultCapacity if <=0).
 func NewFifo(capacity int) *Fifo {
@@ -46,6 +69,17 @@ func NewFifo(capacity int) *Fifo {
 	}
 }
 
+// EmitOverflowEvents makes drops visible to the client: after an
+// overflow episode the next Drain is prefixed with a "buffer-overflow"
+// event attributed to origin (the server name). The session manager
+// enables this for every session FIFO it creates; standalone FIFOs keep
+// the silent-drop behavior.
+func (f *Fifo) EmitOverflowEvents(origin string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.origin = origin
+}
+
 // Push appends m, dropping the oldest entry if the buffer is full.
 func (f *Fifo) Push(m *wire.Message) {
 	f.mu.Lock()
@@ -55,6 +89,10 @@ func (f *Fifo) Push(m *wire.Message) {
 		copy(f.pushedAt, f.pushedAt[1:])
 		f.pushedAt = f.pushedAt[:len(f.pushedAt)-1]
 		f.dropped++
+		if f.origin != "" {
+			f.overflowed++
+		}
+		fifoOverflowTotal.Inc()
 	}
 	f.buf = append(f.buf, m)
 	f.pushedAt = append(f.pushedAt, time.Now())
@@ -79,8 +117,15 @@ func (f *Fifo) Drain(max int) []*wire.Message {
 	if n == 0 {
 		return nil
 	}
-	out := make([]*wire.Message, n)
-	copy(out, f.buf[:n])
+	out := make([]*wire.Message, 0, n+1)
+	if f.overflowed > 0 {
+		// Tell the client how many messages the bounded buffer shed
+		// since it last polled, ahead of what survived.
+		out = append(out, wire.NewEvent(f.origin, OverflowEvent,
+			strconv.FormatUint(f.overflowed, 10)))
+		f.overflowed = 0
+	}
+	out = append(out, f.buf[:n]...)
 	now := time.Now()
 	for _, at := range f.pushedAt[:n] {
 		f.waitHist.Observe(now.Sub(at))
@@ -186,14 +231,24 @@ func (s *Session) touch(t time.Time) {
 	s.lastSeen = t
 }
 
-// Manager is the master-servlet session table.
+// Manager is the master-servlet session table, sharded so that the
+// login/poll/logout hot path does not serialize every client on one
+// lock: each session lives in the shard selected by a hash of its
+// client-id, and only whole-table operations (List, Users, ExpireIdle)
+// visit every shard.
 type Manager struct {
 	serverName string
 	capacity   int
 	now        func() time.Time
 
+	counter atomic.Uint64
+	mask    uint32 // len(shards)-1; shard count is a power of two
+	shards  []*shard
+}
+
+// shard is one lock's worth of the session table.
+type shard struct {
 	mu       sync.Mutex
-	counter  uint64
 	sessions map[string]*Session
 }
 
@@ -206,42 +261,74 @@ func WithCapacity(n int) Option { return func(m *Manager) { m.capacity = n } }
 // WithClock injects a clock for idle-expiry tests.
 func WithClock(now func() time.Time) Option { return func(m *Manager) { m.now = now } }
 
+// WithShards sets the session-table shard count, rounded up to a power
+// of two (n <= 1 gives the unsharded single-lock table, the baseline the
+// S1 experiment measures against; 0 keeps DefaultShards).
+func WithShards(n int) Option {
+	return func(m *Manager) {
+		if n == 0 {
+			n = DefaultShards
+		}
+		shards := 1
+		for shards < n {
+			shards <<= 1
+		}
+		m.shards = make([]*shard, shards)
+		m.mask = uint32(shards - 1)
+	}
+}
+
 // NewManager creates a session manager for the named server.
 func NewManager(serverName string, opts ...Option) *Manager {
 	m := &Manager{
 		serverName: serverName,
 		capacity:   DefaultCapacity,
 		now:        time.Now,
-		sessions:   make(map[string]*Session),
 	}
+	WithShards(DefaultShards)(m)
 	for _, o := range opts {
 		o(m)
 	}
+	for i := range m.shards {
+		m.shards[i] = &shard{sessions: make(map[string]*Session)}
+	}
 	return m
+}
+
+// Shards reports the shard count (for stats).
+func (m *Manager) Shards() int { return len(m.shards) }
+
+// shardOf selects the shard owning a client-id (FNV-1a, masked).
+func (m *Manager) shardOf(clientID string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(clientID))
+	return m.shards[h.Sum32()&m.mask]
 }
 
 // Create mints a session with a unique client-id for an authenticated
 // user.
 func (m *Manager) Create(user string, token auth.Token) *Session {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.counter++
 	s := &Session{
-		ClientID: fmt.Sprintf("%s/client-%d", m.serverName, m.counter),
+		ClientID: fmt.Sprintf("%s/client-%d", m.serverName, m.counter.Add(1)),
 		User:     user,
 		Token:    token,
 		Buffer:   NewFifo(m.capacity),
 		lastSeen: m.now(),
 	}
-	m.sessions[s.ClientID] = s
+	s.Buffer.EmitOverflowEvents(m.serverName)
+	sh := m.shardOf(s.ClientID)
+	sh.mu.Lock()
+	sh.sessions[s.ClientID] = s
+	sh.mu.Unlock()
 	return s
 }
 
 // Get returns a session by client-id and marks it active.
 func (m *Manager) Get(clientID string) (*Session, bool) {
-	m.mu.Lock()
-	s, ok := m.sessions[clientID]
-	m.mu.Unlock()
+	sh := m.shardOf(clientID)
+	sh.mu.Lock()
+	s, ok := sh.sessions[clientID]
+	sh.mu.Unlock()
 	if ok {
 		s.touch(m.now())
 	}
@@ -250,26 +337,41 @@ func (m *Manager) Get(clientID string) (*Session, bool) {
 
 // Peek returns a session without touching its activity clock.
 func (m *Manager) Peek(clientID string) (*Session, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	s, ok := m.sessions[clientID]
+	sh := m.shardOf(clientID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s, ok := sh.sessions[clientID]
 	return s, ok
 }
 
 // Remove deletes a session.
 func (m *Manager) Remove(clientID string) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	delete(m.sessions, clientID)
+	sh := m.shardOf(clientID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	delete(sh.sessions, clientID)
+}
+
+// Len reports the number of live sessions.
+func (m *Manager) Len() int {
+	n := 0
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		n += len(sh.sessions)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // List returns all sessions.
 func (m *Manager) List() []*Session {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]*Session, 0, len(m.sessions))
-	for _, s := range m.sessions {
-		out = append(out, s)
+	var out []*Session
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		for _, s := range sh.sessions {
+			out = append(out, s)
+		}
+		sh.mu.Unlock()
 	}
 	return out
 }
@@ -277,15 +379,17 @@ func (m *Manager) List() []*Session {
 // Users returns the distinct logged-in user names, for the level-one
 // "list users" interface.
 func (m *Manager) Users() []string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	seen := make(map[string]bool)
 	var out []string
-	for _, s := range m.sessions {
-		if !seen[s.User] {
-			seen[s.User] = true
-			out = append(out, s.User)
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		for _, s := range sh.sessions {
+			if !seen[s.User] {
+				seen[s.User] = true
+				out = append(out, s.User)
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return out
 }
@@ -294,14 +398,16 @@ func (m *Manager) Users() []string {
 // removed client ids.
 func (m *Manager) ExpireIdle(maxIdle time.Duration) []string {
 	cutoff := m.now().Add(-maxIdle)
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	var removed []string
-	for id, s := range m.sessions {
-		if s.LastSeen().Before(cutoff) {
-			delete(m.sessions, id)
-			removed = append(removed, id)
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		for id, s := range sh.sessions {
+			if s.LastSeen().Before(cutoff) {
+				delete(sh.sessions, id)
+				removed = append(removed, id)
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return removed
 }

@@ -183,7 +183,14 @@ func TestManagerWithCapacity(t *testing.T) {
 	for i := uint64(1); i <= 4; i++ {
 		s.Buffer.Push(msg(i))
 	}
-	if out := s.Buffer.Drain(0); len(out) != 2 || out[0].Seq != 3 {
+	// Manager-created FIFOs announce drops: the drain leads with a
+	// buffer-overflow event counting the 2 shed messages, then the
+	// 2 survivors.
+	out := s.Buffer.Drain(0)
+	if len(out) != 3 || out[0].Op != OverflowEvent || out[0].Text != "2" {
+		t.Fatalf("missing overflow event: %v", out)
+	}
+	if out[1].Seq != 3 || out[2].Seq != 4 {
 		t.Errorf("capacity option not applied: %v", out)
 	}
 }

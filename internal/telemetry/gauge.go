@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+)
+
+// Gauge is a settable instantaneous value (e.g. in-flight requests).
+// Like Counter its hot path is one atomic operation; callers cache the
+// *Gauge in a struct field so the registry map is touched once per
+// series.
+type Gauge struct {
+	name   string
+	labels string // rendered `k="v"` label-set, "" when unlabeled
+
+	v atomic.Int64
+}
+
+// Name returns the metric name the gauge was registered under.
+func (g *Gauge) Name() string { return g.name }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) int64 { return g.v.Add(delta) }
+
+// Inc increments the gauge by one and returns the new value.
+func (g *Gauge) Inc() int64 { return g.v.Add(1) }
+
+// Dec decrements the gauge by one and returns the new value.
+func (g *Gauge) Dec() int64 { return g.v.Add(-1) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// GaugeSnapshot is a point-in-time copy of one gauge.
+type GaugeSnapshot struct {
+	Name   string `json:"name"`
+	Labels string `json:"labels,omitempty"`
+	Value  int64  `json:"value"`
+}
+
+// Gauge returns the gauge registered under name and an optional single
+// label pair, creating it on first use. The triple (name, k, v)
+// identifies the series, exactly as with Registry.Histogram.
+func (r *Registry) Gauge(name string, labelKV ...string) *Gauge {
+	key := name
+	var labels string
+	if len(labelKV) >= 2 {
+		labels = labelKV[0] + `="` + labelKV[1] + `"`
+		key = name + "{" + labels + "}"
+	}
+	r.gmu.RLock()
+	g := r.gauges[key]
+	r.gmu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.gmu.Lock()
+	defer r.gmu.Unlock()
+	if g = r.gauges[key]; g == nil {
+		g = &Gauge{name: name, labels: labels}
+		r.gauges[key] = g
+	}
+	return g
+}
+
+// GaugeSnapshots returns a snapshot of every registered gauge, sorted by
+// name then label set.
+func (r *Registry) GaugeSnapshots() []GaugeSnapshot {
+	r.gmu.RLock()
+	out := make([]GaugeSnapshot, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		out = append(out, GaugeSnapshot{Name: g.name, Labels: g.labels, Value: g.v.Load()})
+	}
+	r.gmu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Labels < out[j].Labels
+	})
+	return out
+}
+
+// writePrometheusGauges writes every gauge in the Prometheus text
+// exposition format; WritePrometheus calls it after the counters.
+func (r *Registry) writePrometheusGauges(w io.Writer) error {
+	snaps := r.GaugeSnapshots()
+	var lastName string
+	for _, s := range snaps {
+		if s.Name != lastName {
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", s.Name); err != nil {
+				return err
+			}
+			lastName = s.Name
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", s.Name, promLabelSet(s.Labels), s.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GetGauge returns a gauge from the default registry, creating it on
+// first use. See Registry.Gauge.
+func GetGauge(name string, labelKV ...string) *Gauge {
+	return defaultRegistry.Gauge(name, labelKV...)
+}

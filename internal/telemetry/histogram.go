@@ -188,11 +188,18 @@ type Registry struct {
 
 	cmu      sync.RWMutex
 	counters map[string]*Counter
+
+	gmu    sync.RWMutex
+	gauges map[string]*Gauge
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{m: make(map[string]*Histogram), counters: make(map[string]*Counter)}
+	return &Registry{
+		m:        make(map[string]*Histogram),
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+	}
 }
 
 // Histogram returns the histogram registered under name and an optional
@@ -253,6 +260,9 @@ func (r *Registry) Reset() {
 	r.cmu.Lock()
 	r.counters = make(map[string]*Counter)
 	r.cmu.Unlock()
+	r.gmu.Lock()
+	r.gauges = make(map[string]*Gauge)
+	r.gmu.Unlock()
 }
 
 // WritePrometheus writes every histogram in the Prometheus text exposition
@@ -288,7 +298,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			return err
 		}
 	}
-	return r.writePrometheusCounters(w)
+	if err := r.writePrometheusCounters(w); err != nil {
+		return err
+	}
+	return r.writePrometheusGauges(w)
 }
 
 func promLabelPrefix(labels string) string {

@@ -1,0 +1,100 @@
+// Command apidrift keeps API.md honest. It extracts:
+//
+//   - the route table from internal/server/http.go (every
+//     `{Method: "...", Path: "..."}` entry in Routes()), and
+//   - the error-code registry from internal/server/errors.go (every
+//     `Code... ErrCode = "..."` constant),
+//
+// then cross-checks both against API.md: every route must have a
+// `### `METHOD /api/v1/path“ heading (and vice versa — documented
+// endpoints must exist in code), and every code must appear as a
+// “ `code` “ row in the registry table (and vice versa). Any drift
+// in either direction is a failure, so the doc cannot rot silently.
+//
+// Usage: go run ./scripts/apidrift [repo-root]   (default ".")
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+)
+
+var (
+	routeRe = regexp.MustCompile(`\{Method:\s*"(GET|POST|PUT|DELETE|PATCH)",\s*Path:\s*"([^"]+)"`)
+	codeRe  = regexp.MustCompile(`Code\w+\s+ErrCode\s*=\s*"([^"]+)"`)
+	// Endpoint headings in API.md: ### `POST /api/v1/login` (open)?
+	headingRe = regexp.MustCompile("(?m)^### `(GET|POST|PUT|DELETE|PATCH) (/api/v1[^`]*)`")
+	// Registry rows in API.md: | `code` | 429 | ... |
+	rowRe = regexp.MustCompile("(?m)^\\| `([a-z_]+)` \\| [0-9]{3} \\|")
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	httpSrc := mustRead(filepath.Join(root, "internal", "server", "http.go"))
+	errSrc := mustRead(filepath.Join(root, "internal", "server", "errors.go"))
+	doc := mustRead(filepath.Join(root, "API.md"))
+
+	codeRoutes := map[string]bool{}
+	for _, m := range routeRe.FindAllStringSubmatch(httpSrc, -1) {
+		codeRoutes[m[1]+" /api/v1"+m[2]] = true
+	}
+	docRoutes := map[string]bool{}
+	for _, m := range headingRe.FindAllStringSubmatch(doc, -1) {
+		docRoutes[m[1]+" "+m[2]] = true
+	}
+	codes := map[string]bool{}
+	for _, m := range codeRe.FindAllStringSubmatch(errSrc, -1) {
+		codes[m[1]] = true
+	}
+	docCodes := map[string]bool{}
+	for _, m := range rowRe.FindAllStringSubmatch(doc, -1) {
+		docCodes[m[1]] = true
+	}
+
+	if len(codeRoutes) == 0 || len(codes) == 0 {
+		fmt.Fprintln(os.Stderr, "apidrift: extraction came up empty; the source patterns drifted")
+		os.Exit(1)
+	}
+
+	var drift []string
+	drift = append(drift, diff("route undocumented in API.md", codeRoutes, docRoutes)...)
+	drift = append(drift, diff("documented route missing from http.go", docRoutes, codeRoutes)...)
+	drift = append(drift, diff("error code missing from API.md registry", codes, docCodes)...)
+	drift = append(drift, diff("documented code missing from errors.go", docCodes, codes)...)
+
+	if len(drift) > 0 {
+		for _, d := range drift {
+			fmt.Fprintln(os.Stderr, "apidrift: "+d)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("apidrift: API.md in sync (%d routes, %d error codes)\n",
+		len(codeRoutes), len(codes))
+}
+
+// diff reports members of a that are absent from b, labelled.
+func diff(label string, a, b map[string]bool) []string {
+	var out []string
+	for k := range a {
+		if !b[k] {
+			out = append(out, fmt.Sprintf("%s: %s", label, k))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func mustRead(path string) string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "apidrift: %v\n", err)
+		os.Exit(1)
+	}
+	return string(data)
+}

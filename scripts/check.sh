@@ -17,6 +17,10 @@ go test -race ./...
 # Documentation: every intra-repo markdown link must resolve.
 go run ./scripts/doclinkcheck
 
+# API contract: API.md's endpoint headings and error-code registry must
+# match the route table and code registry in internal/server.
+go run ./scripts/apidrift
+
 # Observability smoke: boot a domain, drive a sampled command, fetch its
 # trace back and scrape /metrics as Prometheus text.
 go run ./scripts/metricssmoke
