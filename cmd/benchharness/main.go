@@ -124,6 +124,12 @@ var all = []experiment{
 		}
 		return experiments.RunS1([]int{16, 256}, 300*time.Millisecond)
 	}},
+	{"S2", func(q bool) (experiments.Result, error) {
+		if q {
+			return experiments.RunS2(5000, 100*time.Millisecond, 1500*time.Millisecond)
+		}
+		return experiments.RunS2(100000, time.Second, 15*time.Second)
+	}},
 }
 
 // benchReport is the shape of the -json output file: every experiment's
@@ -197,6 +203,19 @@ func main() {
 			failures++
 		} else {
 			fmt.Printf("benchharness: wrote %s (%d histograms)\n", *jsonOut, len(report.Histograms))
+		}
+		// S2's compact scaling record rides along whenever S2 ran.
+		if snap, ok := experiments.S2LastSnapshot(); ok {
+			data, err := json.MarshalIndent(snap, "", "  ")
+			if err == nil {
+				err = os.WriteFile("BENCH_S2.json", append(data, '\n'), 0o644)
+			}
+			if err != nil {
+				fmt.Printf("benchharness: writing BENCH_S2.json: %v\n", err)
+				failures++
+			} else {
+				fmt.Println("benchharness: wrote BENCH_S2.json")
+			}
 		}
 	}
 	if failures > 0 {

@@ -6,8 +6,13 @@ package discover
 // repository gets to the paper's operational deployment.
 
 import (
+	"bufio"
+	"context"
+	"encoding/json"
 	"fmt"
 	"net"
+	"net/http"
+	"net/url"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -205,6 +210,73 @@ func TestBinariesEndToEnd(t *testing.T) {
 			t.Fatal("auto-checkpoint agent never wrote a snapshot")
 		}
 		time.Sleep(100 * time.Millisecond)
+	}
+
+	// 8. Curl-level SSE round trip: a raw HTTP client (no portal
+	// library) logs in, parks on the session stream, and sees a domain
+	// event arrive as a framed push when a second application registers.
+	loginResp, err := http.Post("http://"+httpAddr+"/api/v1/login",
+		"application/json", strings.NewReader(`{"user":"alice","secret":"pw"}`))
+	if err != nil {
+		t.Fatalf("raw login: %v", err)
+	}
+	var login struct {
+		ClientID string `json:"clientId"`
+	}
+	if err := json.NewDecoder(loginResp.Body).Decode(&login); err != nil {
+		t.Fatalf("decoding login response: %v", err)
+	}
+	loginResp.Body.Close()
+	if login.ClientID == "" {
+		t.Fatal("raw login returned no client id")
+	}
+
+	sctx, scancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer scancel()
+	sreq, err := http.NewRequestWithContext(sctx, "GET",
+		"http://"+httpAddr+"/api/v1/session/"+url.PathEscape(login.ClientID)+"/stream", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sresp, err := http.DefaultClient.Do(sreq)
+	if err != nil {
+		t.Fatalf("opening SSE stream: %v", err)
+	}
+	defer sresp.Body.Close()
+	if sresp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status = %d, want 200", sresp.StatusCode)
+	}
+	if ct := sresp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("stream content type = %q", ct)
+	}
+
+	// Registering another application pushes an "app-registered" control
+	// event into every live session's delivery queue — including the
+	// stream parked above.
+	startDaemonProc(t, bins["appsim"],
+		"-server", daemonAddr,
+		"-name", "reservoir2",
+		"-kernel", "oil-reservoir",
+		"-grant", "alice:monitor",
+		"-phase-delay", "1ms")
+
+	br := bufio.NewReader(sresp.Body)
+	sawID := false
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading SSE stream (saw id line: %v): %v", sawID, err)
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if strings.HasPrefix(line, "id: ") {
+			sawID = true
+		}
+		if strings.HasPrefix(line, "data: ") && strings.Contains(line, "app-registered") {
+			break
+		}
+	}
+	if !sawID {
+		t.Fatal("SSE frames arrived without any id: line")
 	}
 
 	fmt.Println("binary end-to-end session complete")

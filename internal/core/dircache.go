@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -34,8 +35,24 @@ type dirKey struct{ peer, user string }
 type dirEntry struct {
 	apps    []server.AppInfo // last good listing; never mutated in place
 	fetched time.Time        // zero: invalidated or never fetched
+	jitter  float64          // per-entry TTL multiplier in [0.9, 1.1]
 	flight  chan struct{}    // non-nil while a fetch is in flight; closed on completion
 	lastErr error            // outcome of the last completed fetch
+}
+
+// ttlJitter draws a fresh TTL multiplier for one entry. A flash crowd of
+// listings cached within the same burst would otherwise expire in
+// lockstep and thundering-herd the fan-out engine with simultaneous
+// revalidations; ±10% spreads the expiries out.
+func ttlJitter() float64 { return 0.9 + 0.2*rand.Float64() }
+
+// effectiveTTL applies an entry's jitter multiplier to the configured
+// freshness window.
+func effectiveTTL(ttl time.Duration, jitter float64) time.Duration {
+	if jitter <= 0 {
+		return ttl
+	}
+	return time.Duration(float64(ttl) * jitter)
 }
 
 // dirPlan is the cache's decision for one peer's slot in a listing round.
@@ -158,7 +175,7 @@ func (c *dirCache) plan(peer, user string, down bool) (p dirPlan) {
 		return p
 	}
 	if e != nil && !e.fetched.IsZero() && ttl >= 0 {
-		if time.Since(e.fetched) <= ttl {
+		if time.Since(e.fetched) <= effectiveTTL(ttl, e.jitter) {
 			p.state = dirFresh
 			p.apps = copyApps(e.apps)
 			c.hits.inc()
@@ -208,6 +225,7 @@ func (c *dirCache) complete(peer, user string, apps []server.AppInfo, err error)
 	if err == nil {
 		e.apps = copyApps(apps)
 		e.fetched = time.Now()
+		e.jitter = ttlJitter()
 	}
 	e.lastErr = err
 	if e.flight != nil {

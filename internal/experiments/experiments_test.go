@@ -115,3 +115,11 @@ func TestS1VersionedEdge(t *testing.T) {
 	res, err := RunS1([]int{4, 32}, 60*time.Millisecond)
 	checkResult(t, res, err)
 }
+
+func TestS2StreamingEdge(t *testing.T) {
+	res, err := RunS2(2000, 50*time.Millisecond, 750*time.Millisecond)
+	checkResult(t, res, err)
+	if _, ok := S2LastSnapshot(); !ok {
+		t.Error("RunS2 left no snapshot for BENCH_S2.json")
+	}
+}

@@ -8,6 +8,7 @@
 package portal
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -16,6 +17,7 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -35,12 +37,13 @@ type Client struct {
 	user     string
 	app      string
 
-	pumpMu   sync.Mutex
-	pending  map[uint64]chan *wire.Message
-	onEvent  func(*wire.Message)
-	pumping  bool
-	pumpStop chan struct{}
-	pumpDone chan struct{}
+	pumpMu    sync.Mutex
+	pending   map[uint64]chan *wire.Message
+	onEvent   func(*wire.Message)
+	pumping   bool
+	pumpStop  chan struct{}
+	pumpDone  chan struct{}
+	streaming bool // delivery is currently riding an open SSE stream
 }
 
 // Option configures a Client.
@@ -467,7 +470,8 @@ func (c *Client) StartPump(onEvent func(*wire.Message)) {
 	go c.pumpLoop(c.pumpStop, c.pumpDone)
 }
 
-// StopPump stops background polling.
+// StopPump stops background delivery (either the poll pump or the
+// streaming loop).
 func (c *Client) StopPump() {
 	c.pumpMu.Lock()
 	if !c.pumping {
@@ -483,6 +487,12 @@ func (c *Client) StopPump() {
 
 func (c *Client) pumpLoop(stop, done chan struct{}) {
 	defer close(done)
+	c.pumpRun(stop)
+}
+
+// pumpRun is the polling delivery body, shared by StartPump and the
+// streaming loop's pre-v6 fallback. It returns when stop is closed.
+func (c *Client) pumpRun(stop chan struct{}) {
 	for {
 		select {
 		case <-stop:
@@ -504,6 +514,163 @@ func (c *Client) pumpLoop(stop, done chan struct{}) {
 			c.dispatch(m)
 		}
 	}
+}
+
+// ---------------------------------------------------------------------------
+// The streaming pump: SSE delivery with auto-resume.
+// ---------------------------------------------------------------------------
+
+// streamBackoffMax caps the reconnect backoff between stream attempts.
+const streamBackoffMax = 2 * time.Second
+
+// StreamEvents begins background delivery over the server's SSE stream
+// (GET /api/v1/session/{id}/stream) instead of the poll loop. Dispatch
+// semantics are identical to StartPump: responses and errors matching a
+// WaitResponse caller wake that caller, everything else goes to onEvent.
+//
+// The loop reconnects automatically, presenting the last event id it
+// processed as a resume token so the server splices the gap from its
+// replay ring (or reports the loss as an events-lost marker, which is
+// delivered to onEvent like any other event). Against a server that
+// predates the streaming edge (404/405 on the stream route) it degrades
+// permanently to the polling pump. StopPump stops either mode.
+func (c *Client) StreamEvents(onEvent func(*wire.Message)) {
+	c.pumpMu.Lock()
+	defer c.pumpMu.Unlock()
+	if c.pumping {
+		return
+	}
+	c.pumping = true
+	c.onEvent = onEvent
+	c.pumpStop = make(chan struct{})
+	c.pumpDone = make(chan struct{})
+	go c.streamLoop(c.pumpStop, c.pumpDone)
+}
+
+// Streaming reports whether delivery currently rides an open SSE stream
+// (false before the first connect, after falling back to polling, or
+// between reconnect attempts).
+func (c *Client) Streaming() bool {
+	c.pumpMu.Lock()
+	defer c.pumpMu.Unlock()
+	return c.streaming
+}
+
+func (c *Client) setStreaming(on bool) {
+	c.pumpMu.Lock()
+	c.streaming = on
+	c.pumpMu.Unlock()
+}
+
+func (c *Client) streamLoop(stop, done chan struct{}) {
+	defer close(done)
+	defer c.setStreaming(false)
+	var lastID uint64
+	backoff := 100 * time.Millisecond
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		delivered, retry, wait := c.streamOnce(stop, &lastID)
+		if !retry {
+			// The domain has no streaming edge (pre-v6 server): degrade to
+			// the poll pump for the rest of this session.
+			c.pumpRun(stop)
+			return
+		}
+		if delivered {
+			backoff = 100 * time.Millisecond
+		}
+		if wait < backoff {
+			wait = backoff
+		}
+		select {
+		case <-stop:
+			return
+		case <-time.After(wait):
+		}
+		if backoff *= 2; backoff > streamBackoffMax {
+			backoff = streamBackoffMax
+		}
+	}
+}
+
+// streamOnce opens one stream connection and consumes it until it ends.
+// delivered reports whether any event arrived (resets the backoff), retry
+// whether the stream route is worth another attempt, and wait a server-
+// supplied floor on the reconnect delay (shed retry hints).
+func (c *Client) streamOnce(stop chan struct{}, lastID *uint64) (delivered, retry bool, wait time.Duration) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		select {
+		case <-stop:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+
+	u := c.base + "/api/v1/session/" + url.PathEscape(c.ClientID()) + "/stream"
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return false, true, 0
+	}
+	if *lastID > 0 {
+		req.Header.Set("Last-Event-ID", strconv.FormatUint(*lastID, 10))
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return false, true, 0
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusNotFound || resp.StatusCode == http.StatusMethodNotAllowed:
+		// The mux itself rejected the route: a server from before the
+		// streaming edge existed. (A dead session is 401, not 404.)
+		return false, false, 0
+	case resp.StatusCode != http.StatusOK:
+		err := decodeAPIError(resp)
+		if d, ok := RetryAfter(err); ok {
+			return false, true, d
+		}
+		return false, true, 0
+	}
+
+	c.setStreaming(true)
+	defer c.setStreaming(false)
+
+	// SSE framing: "id:" and "data:" lines accumulate into one event,
+	// a blank line dispatches it, ":" lines are heartbeat comments.
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	var id uint64
+	var data []byte
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if len(data) > 0 {
+				var m wire.Message
+				if json.Unmarshal(data, &m) == nil {
+					if id > 0 {
+						*lastID = id
+					}
+					delivered = true
+					c.dispatch(&m)
+				}
+			}
+			id, data = 0, nil
+		case strings.HasPrefix(line, "id:"):
+			id, _ = strconv.ParseUint(strings.TrimSpace(line[len("id:"):]), 10, 64)
+		case strings.HasPrefix(line, "data:"):
+			data = append(data, strings.TrimSpace(line[len("data:"):])...)
+		}
+	}
+	// The server closed the stream: a shed after buffer-overflow, a
+	// drain, or a network fault. Reconnect with the resume token.
+	return delivered, true, 0
 }
 
 func (c *Client) dispatch(m *wire.Message) {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -436,4 +437,186 @@ func TestPortalUnauthenticated(t *testing.T) {
 	if _, err := c.Do(ctx, "status", nil); err == nil {
 		t.Error("Do without pump/login succeeded")
 	}
+}
+
+// TestPortalStreamEvents drives the full portal surface over the SSE
+// streaming pump instead of the poll loop: request/response correlation
+// (Do/WaitResponse), collaboration events, and update delivery all ride
+// one long-lived stream connection.
+func TestPortalStreamEvents(t *testing.T) {
+	env := newEnv(t)
+	ctx := context.Background()
+	a, b := New(env.base), New(env.base)
+	if err := a.Login(ctx, "alice", "pw"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Login(ctx, "bob", "pw"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.ConnectApp(ctx, env.appID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.ConnectApp(ctx, env.appID); err != nil {
+		t.Fatal(err)
+	}
+
+	chats := make(chan string, 8)
+	var updates sync.Map
+	a.StreamEvents(func(m *wire.Message) {
+		switch m.Kind {
+		case wire.KindChat:
+			chats <- m.Text
+		case wire.KindUpdate:
+			updates.Store(m.Seq, true)
+		}
+	})
+	defer a.StopPump()
+
+	// Command round trip: the response arrives over the stream and wakes
+	// the WaitResponse caller exactly as the poll pump would.
+	wctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if granted, _, err := a.AcquireLock(ctx); err != nil || !granted {
+		t.Fatalf("AcquireLock = %v, %v", granted, err)
+	}
+	resp, err := a.Do(wctx, "set_param", map[string]string{"name": "source_freq", "value": "0.17"})
+	if err != nil || resp.Kind != wire.KindResponse {
+		t.Fatalf("Do over stream: %v, %v", resp, err)
+	}
+
+	// Collaboration events flow through too.
+	if err := b.Chat(ctx, "hi alice"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case text := <-chats:
+		if text != "hi alice" {
+			t.Errorf("chat = %q", text)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("chat never arrived over the stream")
+	}
+
+	if !a.Streaming() {
+		t.Error("Streaming() = false while the SSE connection is live")
+	}
+
+	// Updates accumulate without any polling.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		n := 0
+		updates.Range(func(_, _ any) bool { n++; return true })
+		if n > 0 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	n := 0
+	updates.Range(func(_, _ any) bool { n++; return true })
+	if n == 0 {
+		t.Error("no updates via stream")
+	}
+}
+
+// TestPortalStreamFallback points StreamEvents at a domain whose edge
+// predates the streaming route (the mux 404s it). The portal must degrade
+// to the poll pump transparently: same dispatch semantics, Streaming()
+// stays false, StopPump still tears it down.
+func TestPortalStreamFallback(t *testing.T) {
+	env := newEnv(t)
+	// A pre-v6 edge: every /stream route is unknown to the mux.
+	legacy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/stream") {
+			http.NotFound(w, r)
+			return
+		}
+		env.srv.HTTPHandler().ServeHTTP(w, r)
+	}))
+	defer legacy.Close()
+
+	ctx := context.Background()
+	c := New(legacy.URL)
+	if err := c.Login(ctx, "alice", "pw"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ConnectApp(ctx, env.appID); err != nil {
+		t.Fatal(err)
+	}
+	c.StreamEvents(nil)
+	defer c.StopPump()
+
+	// The command round trip works over the polling fallback.
+	wctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if granted, _, err := c.AcquireLock(ctx); err != nil || !granted {
+		t.Fatalf("AcquireLock = %v, %v", granted, err)
+	}
+	resp, err := c.Do(wctx, "set_param", map[string]string{"name": "source_freq", "value": "0.19"})
+	if err != nil || resp.Kind != wire.KindResponse {
+		t.Fatalf("Do over fallback: %v, %v", resp, err)
+	}
+	if c.Streaming() {
+		t.Error("Streaming() = true against a server with no stream route")
+	}
+}
+
+// TestPortalStreamReconnects severs the live SSE connection out from
+// under the portal and proves the auto-reconnect loop resumes delivery:
+// events published after the cut still arrive, spliced by the resume
+// token rather than lost or duplicated.
+func TestPortalStreamReconnects(t *testing.T) {
+	env := newEnv(t)
+	// A second front end to the same server whose client connections the
+	// test can sever on demand.
+	ts := httptest.NewServer(env.srv.HTTPHandler())
+	defer ts.Close()
+
+	ctx := context.Background()
+	a, b := New(ts.URL), New(ts.URL)
+	if err := a.Login(ctx, "alice", "pw"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Login(ctx, "bob", "pw"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.ConnectApp(ctx, env.appID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.ConnectApp(ctx, env.appID); err != nil {
+		t.Fatal(err)
+	}
+
+	chats := make(chan string, 16)
+	a.StreamEvents(func(m *wire.Message) {
+		if m.Kind == wire.KindChat {
+			chats <- m.Text
+		}
+	})
+	defer a.StopPump()
+
+	recv := func(want string) {
+		t.Helper()
+		for {
+			select {
+			case text := <-chats:
+				if text == want {
+					return
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatalf("chat %q never arrived", want)
+			}
+		}
+	}
+	if err := b.Chat(ctx, "before"); err != nil {
+		t.Fatal(err)
+	}
+	recv("before")
+
+	// Sever every connection under the portal's feet; the next chat must
+	// still arrive via the reconnect (carrying the resume token).
+	ts.CloseClientConnections()
+	if err := b.Chat(ctx, "after"); err != nil {
+		t.Fatal(err)
+	}
+	recv("after")
 }

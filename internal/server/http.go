@@ -157,11 +157,15 @@ const APIVersion = "/api/v1"
 
 // apiRoute is one row of the portal route table. Path is relative to the
 // version prefix; Open routes (operator/observability surface) bypass
-// edge admission so an overloaded or draining server stays inspectable.
+// edge admission so an overloaded or draining server stays inspectable;
+// Stream routes hold a connection open and so clear the long-lived
+// connection cap inside their handler instead of the per-request
+// in-flight limiter.
 type apiRoute struct {
 	Method string
 	Path   string
 	Open   bool
+	Stream bool
 
 	handler http.HandlerFunc
 }
@@ -179,6 +183,8 @@ func (s *Server) Routes() []apiRoute {
 		{Method: "POST", Path: "/disconnect", handler: s.handleDisconnect},
 		{Method: "POST", Path: "/command", handler: s.handleCommand},
 		{Method: "GET", Path: "/poll", handler: s.handlePoll},
+		{Method: "GET", Path: "/session/{id}/events", handler: s.handleSessionEvents},
+		{Method: "GET", Path: "/session/{id}/stream", Stream: true, handler: s.handleSessionStream},
 		{Method: "POST", Path: "/lock", handler: s.handleLock},
 		{Method: "POST", Path: "/chat", handler: s.handleChat},
 		{Method: "POST", Path: "/whiteboard", handler: s.handleWhiteboard},
@@ -211,7 +217,7 @@ func (s *Server) HTTPHandler() http.Handler {
 	retryMS := s.gate.retryAfter.Milliseconds()
 	for _, rt := range s.Routes() {
 		h := rt.handler
-		if !rt.Open {
+		if !rt.Open && !rt.Stream {
 			h = s.gate.admit(h, retryMS)
 		}
 		mux.HandleFunc(rt.Method+" "+APIVersion+rt.Path, h)

@@ -48,9 +48,9 @@ func (c *httpClient) get(path string, out any) int {
 	return resp.StatusCode
 }
 
-func deployHTTP(t *testing.T) (*testDeployment, *httpClient) {
+func deployHTTP(t *testing.T, opts ...func(*Config)) (*testDeployment, *httpClient) {
 	t.Helper()
-	d := deploy(t)
+	d := deploy(t, opts...)
 	ts := httptest.NewServer(d.srv.HTTPHandler())
 	t.Cleanup(ts.Close)
 	return d, &httpClient{t: t, base: ts.URL}

@@ -120,11 +120,16 @@ type Config struct {
 	// Edge admission control (the /api/v1 gate).
 	SessionShards     int           // session-table shards (0 = default, 1 = unsharded)
 	MaxInflight       int           // global concurrent-request cap (0 = default)
+	MaxStreams        int           // long-lived delivery-stream cap (0 = default)
 	LoginRatePerSec   float64       // per-user login token-bucket rate (0 = unlimited)
 	LoginBurst        float64       // login bucket burst (0 = rate)
 	RequestRatePerSec float64       // per-session request bucket rate (0 = unlimited)
 	RequestBurst      float64       // request bucket burst (0 = rate)
 	RetryAfterHint    time.Duration // retry_after_ms hint on shed requests (0 = default)
+
+	// Streaming delivery (the /session/{id}/stream edge).
+	ReplayRing      int           // per-session resume replay ring length (0 = default)
+	StreamHeartbeat time.Duration // SSE heartbeat/liveness interval (0 = default)
 }
 
 // Server is one interaction/collaboration server instance.
@@ -138,6 +143,7 @@ type Server struct {
 	db       *recorddb.DB
 	daemon   *appproto.Daemon
 	gate     *edgeGate
+	streams  *streamHub
 
 	mu       sync.Mutex
 	counter  uint64
@@ -166,6 +172,7 @@ func New(cfg Config) (*Server, error) {
 		auth: auth.NewService(cfg.Name),
 		sessions: session.NewManager(cfg.Name,
 			session.WithCapacity(cfg.FifoCapacity),
+			session.WithReplay(cfg.ReplayRing),
 			session.WithShards(cfg.SessionShards)),
 		hub:      collab.NewHub(),
 		locks:    lockmgr.NewManager(),
@@ -174,6 +181,7 @@ func New(cfg Config) (*Server, error) {
 		proxies:  make(map[string]*ApplicationProxy),
 		updateCt: make(map[string]uint64),
 		gate:     newEdgeGate(cfg),
+		streams:  newStreamHub(cfg.StreamHeartbeat),
 	}
 	s.daemon = appproto.NewDaemon((*daemonHandler)(s))
 	if cfg.TraceSampleEvery > 0 {

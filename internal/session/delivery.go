@@ -1,0 +1,326 @@
+// The shared delivery queue: one bounded, resumable buffer per client
+// that both delivery paths drain — request/response polling (Drain,
+// DrainWait) and the streaming edge (DrainEntries plus Wakeup, which
+// parks an idle stream on a channel instead of a per-client ticker).
+// Push never blocks: a slow consumer overflows the bounded window and
+// the producer keeps going, which is the backpressure contract the
+// streaming edge relies on to shed stalled clients instead of stalling
+// applications.
+//
+// Every message is stamped with a monotonic per-queue sequence number at
+// Push. The sequence doubles as the SSE resume token (Last-Event-ID): a
+// replay ring retains the last ringCap deliveries so a reconnecting
+// client can splice the gap it missed, and when the ring has rotated
+// past the token the loss is reported exactly (an "events-lost" event)
+// rather than silently. WAL-backed splice beyond the ring is ROADMAP
+// item 1.
+package session
+
+import (
+	"strconv"
+	"sync"
+	"time"
+
+	"discover/internal/telemetry"
+	"discover/internal/wire"
+)
+
+// DefaultReplay is the replay-ring length when WithReplay is not given:
+// how many already-delivered messages a queue retains for resume
+// splicing. The ring is allocated lazily on first push, so idle sessions
+// pay nothing for it.
+const DefaultReplay = 1024
+
+// OverflowEvent is the Op of the synthetic event a queue emits after
+// dropping messages; its Text is the number of messages lost.
+const OverflowEvent = "buffer-overflow"
+
+// LostEvent is the Op of the synthetic event the streaming edge emits
+// when a resume token falls behind the replay ring: the gap could not be
+// spliced and its Text is the number of messages irrecoverably missed.
+const LostEvent = "events-lost"
+
+// fifoOverflowTotal counts messages dropped by bounded client FIFOs
+// across the process (exported as discover_edge_fifo_overflow_total).
+var fifoOverflowTotal = telemetry.GetCounter("discover_edge_fifo_overflow_total")
+
+// Entry is one queued message together with its delivery metadata: the
+// monotonic per-queue sequence number (the resume token) and the push
+// time (for the delivery-lag histogram).
+type Entry struct {
+	Seq uint64
+	At  time.Time
+	Msg *wire.Message
+}
+
+// Queue is the bounded delivery FIFO for one client. Push never blocks;
+// overflow drops the oldest undelivered entry — and, when overflow
+// events are enabled, the next drain is prefixed with a synthetic
+// "buffer-overflow" event telling the portal how many messages it lost,
+// so a slow client learns about the gap instead of silently missing
+// state. Drain empties it; DrainWait performs a bounded wait for the
+// long-poll variant of the client protocol; DrainEntries/Wakeup serve
+// the streaming edge; Resume splices missed entries for a reconnecting
+// stream.
+type Queue struct {
+	mu         sync.Mutex
+	buf        []Entry // undelivered window, bounded by capacity
+	capacity   int
+	seq        uint64 // last assigned sequence number; 0 = nothing pushed
+	dropped    uint64
+	highWater  int
+	overflowed uint64 // drops since the last drain (pending event)
+	origin     string // event source name; "" disables overflow events
+
+	// Replay ring: the last ringCap pushes, delivered or not, kept for
+	// resume splicing. Allocated on first push; ringCap >= capacity so
+	// the ring always covers the undelivered window.
+	ring     []Entry
+	ringCap  int
+	ringHead int // index of the oldest retained entry
+	ringLen  int
+
+	notify   chan struct{}
+	waitHist *telemetry.Histogram
+}
+
+// Fifo is the original name of the delivery queue; the polling edge and
+// its tests use the two interchangeably.
+type Fifo = Queue
+
+// NewFifo returns a queue with the given capacity (DefaultCapacity if
+// <= 0) and the default replay ring.
+func NewFifo(capacity int) *Queue { return NewQueue(capacity, 0) }
+
+// NewQueue returns a delivery queue holding at most capacity undelivered
+// messages (DefaultCapacity if <= 0) and retaining replay delivered
+// messages for resume splicing (DefaultReplay if <= 0). The ring is
+// never smaller than the buffer, so anything still undelivered is always
+// resumable.
+func NewQueue(capacity, replay int) *Queue {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	if replay <= 0 {
+		replay = DefaultReplay
+	}
+	if replay < capacity {
+		replay = capacity
+	}
+	return &Queue{
+		capacity: capacity,
+		ringCap:  replay,
+		notify:   make(chan struct{}, 1),
+		waitHist: telemetry.GetHistogram("discover_fifo_wait_seconds"),
+	}
+}
+
+// EmitOverflowEvents makes drops visible to the client: after an
+// overflow episode the next drain is prefixed with a "buffer-overflow"
+// event attributed to origin (the server name). The session manager
+// enables this for every session queue it creates; standalone queues
+// keep the silent-drop behavior.
+func (q *Queue) EmitOverflowEvents(origin string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.origin = origin
+}
+
+// Push stamps m with the next sequence number and appends it, dropping
+// the oldest undelivered entry if the window is full. It never blocks.
+func (q *Queue) Push(m *wire.Message) {
+	q.mu.Lock()
+	q.seq++
+	e := Entry{Seq: q.seq, At: time.Now(), Msg: m}
+	if len(q.buf) >= q.capacity {
+		copy(q.buf, q.buf[1:])
+		q.buf = q.buf[:len(q.buf)-1]
+		q.dropped++
+		if q.origin != "" {
+			q.overflowed++
+		}
+		fifoOverflowTotal.Inc()
+	}
+	q.buf = append(q.buf, e)
+	if len(q.buf) > q.highWater {
+		q.highWater = len(q.buf)
+	}
+	q.ringPut(e)
+	q.mu.Unlock()
+	select {
+	case q.notify <- struct{}{}:
+	default:
+	}
+}
+
+// ringPut retains e in the replay ring, evicting the oldest entry once
+// full. Caller holds q.mu.
+func (q *Queue) ringPut(e Entry) {
+	if q.ring == nil {
+		q.ring = make([]Entry, q.ringCap)
+	}
+	if q.ringLen < q.ringCap {
+		q.ring[(q.ringHead+q.ringLen)%q.ringCap] = e
+		q.ringLen++
+		return
+	}
+	q.ring[q.ringHead] = e
+	q.ringHead = (q.ringHead + 1) % q.ringCap
+}
+
+// DrainEntries removes and returns up to max undelivered entries (all if
+// max <= 0) plus the number of messages dropped since the last drain.
+// Like Drain it returns nothing while the queue is empty, leaving any
+// pending overflow count for the drain that has messages to carry it.
+func (q *Queue) DrainEntries(max int) ([]Entry, uint64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := len(q.buf)
+	if max > 0 && max < n {
+		n = max
+	}
+	if n == 0 {
+		return nil, 0
+	}
+	out := make([]Entry, n)
+	copy(out, q.buf[:n])
+	now := time.Now()
+	for _, e := range out {
+		q.waitHist.Observe(now.Sub(e.At))
+	}
+	q.buf = q.buf[:copy(q.buf, q.buf[n:])]
+	overflow := q.overflowed
+	q.overflowed = 0
+	return out, overflow
+}
+
+// DrainEntriesWait behaves like DrainEntries but, when empty, waits up
+// to timeout for a message to arrive, returning early if cancel closes.
+func (q *Queue) DrainEntriesWait(max int, timeout time.Duration, cancel <-chan struct{}) ([]Entry, uint64) {
+	if out, overflow := q.DrainEntries(max); out != nil {
+		return out, overflow
+	}
+	if timeout <= 0 {
+		return nil, 0
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	for {
+		select {
+		case <-q.notify:
+			if out, overflow := q.DrainEntries(max); out != nil {
+				return out, overflow
+			}
+		case <-timer.C:
+			return q.DrainEntries(max)
+		case <-cancel:
+			return nil, 0
+		}
+	}
+}
+
+// Drain removes and returns up to max buffered messages (all if
+// max <= 0), prefixed with the pending "buffer-overflow" event when
+// drops occurred since the last drain and overflow events are enabled.
+func (q *Queue) Drain(max int) []*wire.Message {
+	ents, overflow := q.DrainEntries(max)
+	if ents == nil {
+		return nil
+	}
+	out := make([]*wire.Message, 0, len(ents)+1)
+	if overflow > 0 && q.origin != "" {
+		// Tell the client how many messages the bounded buffer shed
+		// since it last polled, ahead of what survived.
+		out = append(out, wire.NewEvent(q.origin, OverflowEvent,
+			strconv.FormatUint(overflow, 10)))
+	}
+	for _, e := range ents {
+		out = append(out, e.Msg)
+	}
+	return out
+}
+
+// DrainWait behaves like Drain but, when empty, waits up to timeout for a
+// message to arrive (long poll). It may still return nil on timeout.
+func (q *Queue) DrainWait(max int, timeout time.Duration) []*wire.Message {
+	if out := q.Drain(max); out != nil {
+		return out
+	}
+	if timeout <= 0 {
+		return nil
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	for {
+		select {
+		case <-q.notify:
+			if out := q.Drain(max); out != nil {
+				return out
+			}
+		case <-timer.C:
+			return q.Drain(max)
+		}
+	}
+}
+
+// Wakeup returns the queue's notification channel: it receives (with a
+// buffer of one, coalescing bursts) after every Push. The streaming edge
+// parks an idle client here — no ticker, no goroutine per tick.
+func (q *Queue) Wakeup() <-chan struct{} { return q.notify }
+
+// LastSeq reports the most recently assigned sequence number (0 when
+// nothing has been pushed): the resume token for a client that is fully
+// caught up.
+func (q *Queue) LastSeq() uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.seq
+}
+
+// Resume serves a reconnecting stream: it returns, in order, every
+// retained entry with sequence number greater than fromSeq, and the
+// number of messages irretrievably lost because the replay ring rotated
+// past them. The undelivered window is absorbed into the splice (its
+// entries are covered by the ring), so a subsequent drain does not
+// deliver duplicates; any pending overflow count is cleared because the
+// loss is reported exactly.
+func (q *Queue) Resume(fromSeq uint64) (ents []Entry, lost uint64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if fromSeq > q.seq {
+		// A token from the future (manager restart, client bug): treat
+		// the client as caught up rather than replaying everything.
+		fromSeq = q.seq
+	}
+	for i := 0; i < q.ringLen; i++ {
+		e := q.ring[(q.ringHead+i)%q.ringCap]
+		if e.Seq > fromSeq {
+			ents = append(ents, e)
+		}
+	}
+	switch {
+	case q.ringLen > 0:
+		if oldest := q.ring[q.ringHead].Seq; fromSeq+1 < oldest {
+			lost = oldest - fromSeq - 1
+		}
+	default:
+		lost = q.seq - fromSeq
+	}
+	q.buf = q.buf[:0]
+	q.overflowed = 0
+	return ents, lost
+}
+
+// Len reports the number of undelivered messages.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.buf)
+}
+
+// Stats reports drop count and high-water mark.
+func (q *Queue) Stats() (dropped uint64, highWater int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.dropped, q.highWater
+}

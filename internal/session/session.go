@@ -1,26 +1,24 @@
 // Package session manages client sessions at an interaction/collaboration
-// server: client identifiers, per-session state, and the per-client FIFO
-// delivery buffers that the paper's poll-and-pull HTTP model requires
+// server: client identifiers, per-session state, and the per-client
+// delivery queues that the paper's poll-and-pull HTTP model requires
 // ("the poll and pull mechanism makes it necessary to maintain FIFO
-// buffers at the server for each client to support slow clients").
+// buffers at the server for each client to support slow clients") — and
+// that the streaming edge drains over SSE (delivery.go).
 package session
 
 import (
 	"fmt"
 	"hash/fnv"
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"discover/internal/auth"
-	"discover/internal/telemetry"
-	"discover/internal/wire"
 )
 
-// DefaultCapacity bounds each client's FIFO buffer. When a slow client
-// falls this far behind, the oldest messages are dropped (and counted) so
-// that one stalled browser cannot hold server memory hostage.
+// DefaultCapacity bounds each client's delivery buffer. When a slow
+// client falls this far behind, the oldest messages are dropped (and
+// counted) so that one stalled browser cannot hold server memory hostage.
 const DefaultCapacity = 256
 
 // DefaultShards is the session-table shard count when WithShards is not
@@ -28,150 +26,6 @@ const DefaultCapacity = 256
 // hash; 16 keeps login/poll/logout from serializing on a single lock
 // while staying cheap to scan for List/Users/ExpireIdle.
 const DefaultShards = 16
-
-// Fifo is a bounded FIFO of messages for one client. Push never blocks;
-// overflow drops the oldest entry — and, when overflow events are
-// enabled, the next Drain is prefixed with a synthetic "buffer-overflow"
-// event telling the portal how many messages it lost, so a slow client
-// learns about the gap instead of silently missing state. Drain empties
-// it; DrainWait performs a bounded wait for the long-poll variant of the
-// client protocol.
-type Fifo struct {
-	mu         sync.Mutex
-	buf        []*wire.Message
-	pushedAt   []time.Time // parallel to buf, for the delivery-wait histogram
-	capacity   int
-	dropped    uint64
-	highWater  int
-	overflowed uint64 // drops since the last drain (pending event)
-	origin     string // event source name; "" disables overflow events
-	notify     chan struct{}
-	waitHist   *telemetry.Histogram
-}
-
-// fifoOverflowTotal counts messages dropped by bounded client FIFOs
-// across the process (exported as discover_edge_fifo_overflow_total).
-var fifoOverflowTotal = telemetry.GetCounter("discover_edge_fifo_overflow_total")
-
-// OverflowEvent is the Op of the synthetic event a Fifo emits after
-// dropping messages; its Text is the number of messages lost.
-const OverflowEvent = "buffer-overflow"
-
-// NewFifo returns a FIFO with the given capacity (DefaultCapacity if <=0).
-func NewFifo(capacity int) *Fifo {
-	if capacity <= 0 {
-		capacity = DefaultCapacity
-	}
-	return &Fifo{
-		capacity: capacity,
-		notify:   make(chan struct{}, 1),
-		waitHist: telemetry.GetHistogram("discover_fifo_wait_seconds"),
-	}
-}
-
-// EmitOverflowEvents makes drops visible to the client: after an
-// overflow episode the next Drain is prefixed with a "buffer-overflow"
-// event attributed to origin (the server name). The session manager
-// enables this for every session FIFO it creates; standalone FIFOs keep
-// the silent-drop behavior.
-func (f *Fifo) EmitOverflowEvents(origin string) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.origin = origin
-}
-
-// Push appends m, dropping the oldest entry if the buffer is full.
-func (f *Fifo) Push(m *wire.Message) {
-	f.mu.Lock()
-	if len(f.buf) >= f.capacity {
-		copy(f.buf, f.buf[1:])
-		f.buf = f.buf[:len(f.buf)-1]
-		copy(f.pushedAt, f.pushedAt[1:])
-		f.pushedAt = f.pushedAt[:len(f.pushedAt)-1]
-		f.dropped++
-		if f.origin != "" {
-			f.overflowed++
-		}
-		fifoOverflowTotal.Inc()
-	}
-	f.buf = append(f.buf, m)
-	f.pushedAt = append(f.pushedAt, time.Now())
-	if len(f.buf) > f.highWater {
-		f.highWater = len(f.buf)
-	}
-	f.mu.Unlock()
-	select {
-	case f.notify <- struct{}{}:
-	default:
-	}
-}
-
-// Drain removes and returns up to max buffered messages (all if max <= 0).
-func (f *Fifo) Drain(max int) []*wire.Message {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	n := len(f.buf)
-	if max > 0 && max < n {
-		n = max
-	}
-	if n == 0 {
-		return nil
-	}
-	out := make([]*wire.Message, 0, n+1)
-	if f.overflowed > 0 {
-		// Tell the client how many messages the bounded buffer shed
-		// since it last polled, ahead of what survived.
-		out = append(out, wire.NewEvent(f.origin, OverflowEvent,
-			strconv.FormatUint(f.overflowed, 10)))
-		f.overflowed = 0
-	}
-	out = append(out, f.buf[:n]...)
-	now := time.Now()
-	for _, at := range f.pushedAt[:n] {
-		f.waitHist.Observe(now.Sub(at))
-	}
-	remaining := copy(f.buf, f.buf[n:])
-	f.buf = f.buf[:remaining]
-	f.pushedAt = f.pushedAt[:copy(f.pushedAt, f.pushedAt[n:])]
-	return out
-}
-
-// DrainWait behaves like Drain but, when empty, waits up to timeout for a
-// message to arrive (long poll). It may still return nil on timeout.
-func (f *Fifo) DrainWait(max int, timeout time.Duration) []*wire.Message {
-	if out := f.Drain(max); out != nil {
-		return out
-	}
-	if timeout <= 0 {
-		return nil
-	}
-	timer := time.NewTimer(timeout)
-	defer timer.Stop()
-	for {
-		select {
-		case <-f.notify:
-			if out := f.Drain(max); out != nil {
-				return out
-			}
-		case <-timer.C:
-			return f.Drain(max)
-		}
-	}
-}
-
-// Len reports the number of buffered messages.
-func (f *Fifo) Len() int {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return len(f.buf)
-}
-
-// Stats reports drop count and high-water mark.
-func (f *Fifo) Stats() (dropped uint64, highWater int) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.dropped, f.highWater
-}
 
 // Session is one client's server-side state. The client-id plus the
 // application-id identify a client-server-application session, as in the
@@ -239,6 +93,7 @@ func (s *Session) touch(t time.Time) {
 type Manager struct {
 	serverName string
 	capacity   int
+	replay     int
 	now        func() time.Time
 
 	counter atomic.Uint64
@@ -257,6 +112,11 @@ type Option func(*Manager)
 
 // WithCapacity sets each session's FIFO capacity.
 func WithCapacity(n int) Option { return func(m *Manager) { m.capacity = n } }
+
+// WithReplay sets each session's replay-ring length — how many delivered
+// messages are retained for stream resume splicing (0 keeps
+// DefaultReplay; never less than the buffer capacity).
+func WithReplay(n int) Option { return func(m *Manager) { m.replay = n } }
 
 // WithClock injects a clock for idle-expiry tests.
 func WithClock(now func() time.Time) Option { return func(m *Manager) { m.now = now } }
@@ -312,7 +172,7 @@ func (m *Manager) Create(user string, token auth.Token) *Session {
 		ClientID: fmt.Sprintf("%s/client-%d", m.serverName, m.counter.Add(1)),
 		User:     user,
 		Token:    token,
-		Buffer:   NewFifo(m.capacity),
+		Buffer:   NewQueue(m.capacity, m.replay),
 		lastSeen: m.now(),
 	}
 	s.Buffer.EmitOverflowEvents(m.serverName)

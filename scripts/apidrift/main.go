@@ -1,7 +1,11 @@
 // Command apidrift keeps API.md honest. It extracts:
 //
 //   - the route table from internal/server/http.go (every
-//     `{Method: "...", Path: "..."}` entry in Routes()), and
+//     `{Method: "...", Path: "..."}` entry in Routes()),
+//   - any direct mux registration in internal/server/*.go
+//     (`HandleFunc("METHOD /api/v1/...")`), so a streaming or
+//     special-cased endpoint wired outside the table cannot dodge the
+//     check, and
 //   - the error-code registry from internal/server/errors.go (every
 //     `Code... ErrCode = "..."` constant),
 //
@@ -20,11 +24,15 @@ import (
 	"path/filepath"
 	"regexp"
 	"sort"
+	"strings"
 )
 
 var (
 	routeRe = regexp.MustCompile(`\{Method:\s*"(GET|POST|PUT|DELETE|PATCH)",\s*Path:\s*"([^"]+)"`)
-	codeRe  = regexp.MustCompile(`Code\w+\s+ErrCode\s*=\s*"([^"]+)"`)
+	// Direct registrations bypassing the route table, e.g.
+	// mux.HandleFunc("GET /api/v1/session/{id}/stream", ...).
+	handleRe = regexp.MustCompile(`HandleFunc\("(GET|POST|PUT|DELETE|PATCH) (/api/v1[^"]*)"`)
+	codeRe   = regexp.MustCompile(`Code\w+\s+ErrCode\s*=\s*"([^"]+)"`)
 	// Endpoint headings in API.md: ### `POST /api/v1/login` (open)?
 	headingRe = regexp.MustCompile("(?m)^### `(GET|POST|PUT|DELETE|PATCH) (/api/v1[^`]*)`")
 	// Registry rows in API.md: | `code` | 429 | ... |
@@ -43,6 +51,19 @@ func main() {
 	codeRoutes := map[string]bool{}
 	for _, m := range routeRe.FindAllStringSubmatch(httpSrc, -1) {
 		codeRoutes[m[1]+" /api/v1"+m[2]] = true
+	}
+	srcs, err := filepath.Glob(filepath.Join(root, "internal", "server", "*.go"))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "apidrift: %v\n", err)
+		os.Exit(1)
+	}
+	for _, src := range srcs {
+		if strings.HasSuffix(src, "_test.go") {
+			continue
+		}
+		for _, m := range handleRe.FindAllStringSubmatch(mustRead(src), -1) {
+			codeRoutes[m[1]+" "+m[2]] = true
+		}
 	}
 	docRoutes := map[string]bool{}
 	for _, m := range headingRe.FindAllStringSubmatch(doc, -1) {

@@ -29,8 +29,10 @@ go run ./scripts/metricssmoke
 # partition + heal, breaker fast-fail) rerun uncached so flakiness in the
 # failure detector surfaces here, not in CI roulette. P1 rides along: a
 # listing under partition must return within its context budget with
-# unavailable-marked entries — never hang.
-go test -race -count=1 -run 'Chaos|R1|P1' ./internal/core/ ./internal/experiments/
+# unavailable-marked entries — never hang. S2 rides along too: the
+# streaming edge's request-reduction and shed shapes involve real timing,
+# so they rerun uncached with the chaos batch.
+go test -race -count=1 -run 'Chaos|R1|P1|S2' ./internal/core/ ./internal/experiments/
 
 # Bench smoke: one iteration of every benchmark, so the bench code itself
 # cannot rot between full harness runs.
