@@ -106,6 +106,12 @@ var all = []experiment{
 		}
 		return experiments.RunR1(20 * time.Millisecond)
 	}},
+	{"R2", func(q bool) (experiments.Result, error) {
+		if q {
+			return experiments.RunR2("", 24)
+		}
+		return experiments.RunR2("", 120)
+	}},
 	{"P1", func(q bool) (experiments.Result, error) {
 		if q {
 			return experiments.RunP1([]int{2, 8}, 20*time.Millisecond)
@@ -203,6 +209,19 @@ func main() {
 			failures++
 		} else {
 			fmt.Printf("benchharness: wrote %s (%d histograms)\n", *jsonOut, len(report.Histograms))
+		}
+		// R2's compact durability record rides along whenever R2 ran.
+		if snap, ok := experiments.R2LastSnapshot(); ok {
+			data, err := json.MarshalIndent(snap, "", "  ")
+			if err == nil {
+				err = os.WriteFile("BENCH_R2.json", append(data, '\n'), 0o644)
+			}
+			if err != nil {
+				fmt.Printf("benchharness: writing BENCH_R2.json: %v\n", err)
+				failures++
+			} else {
+				fmt.Println("benchharness: wrote BENCH_R2.json")
+			}
 		}
 		// S2's compact scaling record rides along whenever S2 ran.
 		if snap, ok := experiments.S2LastSnapshot(); ok {

@@ -17,6 +17,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"discover"
@@ -43,6 +44,9 @@ func main() {
 	tlsKey := flag.String("tls-key", "", "PEM key for the HTTPS portal")
 	traceSample := flag.Int("trace-sample", 0, "sample 1-in-N portal requests for tracing (0 = off)")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof on the portal")
+	dataDir := flag.String("data-dir", "", "persist domain state (WAL + snapshots) under this directory; empty = in-memory")
+	snapEvery := flag.Duration("snapshot-every", 0, "durable domain snapshot/compaction cadence (0 = 1m)")
+	walSync := flag.Duration("wal-sync-every", 0, "WAL group-fsync interval (0 = 100ms)")
 	flag.Var(&users, "user", "home user as user:secret (repeatable)")
 	flag.Parse()
 
@@ -58,6 +62,9 @@ func main() {
 
 		TraceSampleEvery: *traceSample,
 		EnablePprof:      *pprofOn,
+		DataDir:          *dataDir,
+		SnapshotEvery:    *snapEvery,
+		WalSyncEvery:     *walSync,
 	}
 	switch *mode {
 	case "push":
@@ -100,8 +107,11 @@ func main() {
 		fmt.Println("  mode   : standalone (no federation)")
 	}
 
+	// SIGTERM must take the graceful path too: on a durable domain the
+	// deferred Close drains, snapshots, and writes the clean-shutdown
+	// marker so the next start skips WAL replay.
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("discoverd: shutting down")
 }

@@ -37,6 +37,7 @@ import (
 	"discover/internal/orb"
 	"discover/internal/portal"
 	"discover/internal/server"
+	"discover/internal/storage"
 	"discover/internal/tlsutil"
 	"discover/internal/userdir"
 )
@@ -174,6 +175,17 @@ type DomainConfig struct {
 	SessionIdleTimeout time.Duration
 	// RecordUpdates stores periodic updates in the record database.
 	RecordUpdates bool
+	// DataDir makes the domain durable: sessions, delivery queues, lock
+	// holders, archives and records are WAL-journaled and snapshotted
+	// under this directory, and StartDomain replays them after a crash
+	// ("" keeps the domain purely in memory, as before).
+	DataDir string
+	// SnapshotEvery tunes the durable domain's snapshot/compaction
+	// cadence (0 = default 1m; ignored without DataDir).
+	SnapshotEvery time.Duration
+	// WalSyncEvery tunes the WAL group-fsync interval (0 = default
+	// 100ms; ignored without DataDir).
+	WalSyncEvery time.Duration
 	// TraceSampleEvery samples one in every N portal requests for
 	// distributed tracing (GET /api/trace/{id}); 0 disables sampling.
 	// The tracer is process-wide, so the last domain started in a
@@ -211,6 +223,14 @@ type Domain struct {
 // StartDomain brings a domain up: server, daemon, ORB, substrate, and
 // (optionally) the HTTP portal listener.
 func StartDomain(cfg DomainConfig) (*Domain, error) {
+	var backend storage.Backend
+	if cfg.DataDir != "" {
+		fb, err := storage.OpenFile(cfg.DataDir)
+		if err != nil {
+			return nil, fmt.Errorf("discover: opening data dir: %w", err)
+		}
+		backend = fb
+	}
 	srv, err := server.New(server.Config{
 		Name:              cfg.Name,
 		FifoCapacity:      cfg.FifoCapacity,
@@ -225,8 +245,14 @@ func StartDomain(cfg DomainConfig) (*Domain, error) {
 		RequestRatePerSec: cfg.RequestRatePerSec,
 		RequestBurst:      cfg.RequestBurst,
 		RetryAfterHint:    cfg.EdgeRetryAfter,
+		Storage:           backend,
+		SnapshotEvery:     cfg.SnapshotEvery,
+		WalSyncEvery:      cfg.WalSyncEvery,
 	})
 	if err != nil {
+		if backend != nil {
+			backend.Close()
+		}
 		return nil, err
 	}
 	daemonAddr := cfg.DaemonAddr

@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"discover/internal/storage"
 	"discover/internal/wire"
 )
 
@@ -36,6 +37,13 @@ type Log struct {
 	entries []Entry
 	nextSeq uint64
 	limit   int // 0 = unlimited
+
+	// Durability identity: when journal is set, appends are recorded as
+	// archive.append events tagged with the log's family and app id so
+	// replay routes them back here.
+	journal storage.Recorder
+	family  string
+	app     string
 }
 
 // NewLog returns an empty log. limit > 0 keeps only the most recent
@@ -45,15 +53,40 @@ func NewLog(limit int) *Log { return &Log{limit: limit} }
 // Append records a message and returns its entry.
 func (l *Log) Append(client string, m *wire.Message) Entry {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	l.nextSeq++
 	e := Entry{Seq: l.nextSeq, Time: time.Now(), Client: client, Msg: m}
+	l.appendLocked(e)
+	journal := l.journal
+	l.mu.Unlock()
+	if journal != nil {
+		journal.Record(storage.KindArchiveAppend, storage.ArchiveAppendEvent{
+			Family: l.family, App: l.app,
+			Seq: e.Seq, At: e.Time, Client: e.Client, Msg: e.Msg,
+		})
+	}
+	return e
+}
+
+// appendLocked adds e and enforces the retention limit. Caller holds
+// l.mu.
+func (l *Log) appendLocked(e Entry) {
 	l.entries = append(l.entries, e)
 	if l.limit > 0 && len(l.entries) > l.limit {
 		drop := len(l.entries) - l.limit
 		l.entries = append(l.entries[:0:0], l.entries[drop:]...)
 	}
-	return e
+}
+
+// restoreAppend re-applies a journaled entry during WAL replay, without
+// journaling and skipping entries already covered by a snapshot.
+func (l *Log) restoreAppend(e Entry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if e.Seq <= l.nextSeq {
+		return
+	}
+	l.nextSeq = e.Seq
+	l.appendLocked(e)
 }
 
 // Since returns entries with Seq > seq, oldest first. Since(0) replays
@@ -135,6 +168,7 @@ type Store struct {
 	interaction map[string]*Log
 	application map[string]*Log
 	limit       int
+	journal     storage.Recorder // nil = durability off
 }
 
 // NewStore returns an empty store; limit bounds each log (0 = unlimited).
@@ -146,6 +180,31 @@ func NewStore(limit int) *Store {
 	}
 }
 
+// SetJournal event-sources the store through a WAL recorder: every
+// append to either family is journaled with the log's identity so
+// replay reproduces the same state trajectory (DESIGN §6 invariant).
+// Call before the store sees traffic.
+func (s *Store) SetJournal(r storage.Recorder) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.journal = r
+	for app, l := range s.interaction {
+		l.bind(r, storage.FamilyInteraction, app)
+	}
+	for app, l := range s.application {
+		l.bind(r, storage.FamilyApplication, app)
+	}
+}
+
+// bind sets a log's durability identity.
+func (l *Log) bind(r storage.Recorder, family, app string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.journal = r
+	l.family = family
+	l.app = app
+}
+
 // InteractionLog returns (creating on demand) the client-interaction log
 // for an application.
 func (s *Store) InteractionLog(app string) *Log {
@@ -154,6 +213,7 @@ func (s *Store) InteractionLog(app string) *Log {
 	l, ok := s.interaction[app]
 	if !ok {
 		l = NewLog(s.limit)
+		l.bind(s.journal, storage.FamilyInteraction, app)
 		s.interaction[app] = l
 	}
 	return l
@@ -167,9 +227,24 @@ func (s *Store) ApplicationLog(app string) *Log {
 	l, ok := s.application[app]
 	if !ok {
 		l = NewLog(s.limit)
+		l.bind(s.journal, storage.FamilyApplication, app)
 		s.application[app] = l
 	}
 	return l
+}
+
+// ApplyAppend re-applies one journaled archive.append event during WAL
+// replay: the entry lands in the named family's log for app, without
+// re-journaling, skipping entries a snapshot already covered.
+func (s *Store) ApplyAppend(family, app string, e Entry) {
+	var l *Log
+	switch family {
+	case storage.FamilyApplication:
+		l = s.ApplicationLog(app)
+	default:
+		l = s.InteractionLog(app)
+	}
+	l.restoreAppend(e)
 }
 
 // Drop discards both logs of an application.
@@ -252,10 +327,14 @@ func (s *Store) LoadAll(r io.Reader) error {
 	s.interaction = make(map[string]*Log, len(snap.Interaction))
 	s.application = make(map[string]*Log, len(snap.Application))
 	for id, ls := range snap.Interaction {
-		s.interaction[id] = &Log{nextSeq: ls.NextSeq, entries: ls.Entries, limit: s.limit}
+		l := &Log{nextSeq: ls.NextSeq, entries: ls.Entries, limit: s.limit}
+		l.bind(s.journal, storage.FamilyInteraction, id)
+		s.interaction[id] = l
 	}
 	for id, ls := range snap.Application {
-		s.application[id] = &Log{nextSeq: ls.NextSeq, entries: ls.Entries, limit: s.limit}
+		l := &Log{nextSeq: ls.NextSeq, entries: ls.Entries, limit: s.limit}
+		l.bind(s.journal, storage.FamilyApplication, id)
+		s.application[id] = l
 	}
 	return nil
 }

@@ -26,6 +26,7 @@ import (
 	"discover/internal/orb"
 	"discover/internal/server"
 	"discover/internal/session"
+	"discover/internal/storage"
 )
 
 // Row is one paper-vs-measured comparison line.
@@ -116,6 +117,15 @@ type FederationConfig struct {
 	// counters mid-measurement.
 	OfferTTL      time.Duration
 	DiscoverEvery time.Duration
+
+	// Durability knobs (experiment R2). Domains named in StorageDirs run
+	// with a file-backed WAL + snapshots rooted at the mapped directory;
+	// everyone else stays in-memory. SnapshotEvery/WalSyncEvery pass
+	// through to server.Config for the durable domains.
+	StorageDirs   map[string]string
+	SnapshotEvery time.Duration
+	WalSyncEvery  time.Duration
+	ReplayRing    int // per-session resume replay ring (0 = default)
 }
 
 // DomainAt is a convenience constructor for FederationConfig.Domains.
@@ -202,10 +212,23 @@ func (f *Federation) HTTPClientFrom(site netsim.Site) *http.Client {
 }
 
 func (f *Federation) addDomain(name string, site netsim.Site, cfg FederationConfig) (*Domain, error) {
-	srv, err := server.New(server.Config{
-		Name: name, FifoCapacity: cfg.FifoCapacity, Logf: quiet,
-	})
+	scfg := server.Config{
+		Name: name, FifoCapacity: cfg.FifoCapacity, ReplayRing: cfg.ReplayRing, Logf: quiet,
+	}
+	if dir, ok := cfg.StorageDirs[name]; ok {
+		backend, err := storage.OpenFile(dir)
+		if err != nil {
+			return nil, err
+		}
+		scfg.Storage = backend
+		scfg.SnapshotEvery = cfg.SnapshotEvery
+		scfg.WalSyncEvery = cfg.WalSyncEvery
+	}
+	srv, err := server.New(scfg)
 	if err != nil {
+		if scfg.Storage != nil {
+			scfg.Storage.Close()
+		}
 		return nil, err
 	}
 	if err := srv.ListenDaemon("127.0.0.1:0"); err != nil {
@@ -262,6 +285,40 @@ func (f *Federation) addDomain(name string, site netsim.Site, cfg FederationConf
 	f.setSite(ln.Addr().String(), site)
 
 	return &Domain{Name: name, Site: site, Srv: srv, ORB: o, Sub: sub, httpLn: ln, hsrv: hsrv}, nil
+}
+
+// Kill crashes a domain: its site goes dark (in-flight client and peer
+// connections sever), the server crash-stops (no final snapshot, no WAL
+// sync, no clean-shutdown marker, no journaled teardown), and the
+// substrate, ORB, and portal die without deregistering. Restart brings
+// the domain back from its durable directory.
+func (f *Federation) Kill(d *Domain) {
+	f.Net.KillSite(d.Site)
+	d.Srv.CrashStop()
+	d.hsrv.Close()
+	d.Sub.Close()
+	d.ORB.Close()
+}
+
+// Restart revives a killed domain's site and rebuilds the domain from
+// its durable directory under the same name and site, then re-runs peer
+// discovery federation-wide so everyone learns the reborn addresses.
+// The restarted listeners get fresh ports: clients re-resolve BaseURL
+// and resume their streams with Last-Event-ID, exactly as they would
+// after a real host restart. d is updated in place.
+func (f *Federation) Restart(d *Domain, cfg FederationConfig) error {
+	f.Net.Revive(d.Site)
+	nd, err := f.addDomain(d.Name, d.Site, cfg)
+	if err != nil {
+		return err
+	}
+	*d = *nd
+	for _, dd := range f.Domains {
+		if err := dd.Sub.DiscoverPeers(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Close tears the federation down.

@@ -101,6 +101,11 @@ func TestR1ChaosFaultInjection(t *testing.T) {
 	checkResult(t, res, err)
 }
 
+func TestR2KillRecover(t *testing.T) {
+	res, err := RunR2(t.TempDir(), 24)
+	checkResult(t, res, err)
+}
+
 func TestP1DirectoryFanout(t *testing.T) {
 	res, err := RunP1([]int{2, 8}, 20*time.Millisecond)
 	checkResult(t, res, err)

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"discover/internal/storage"
 	"discover/internal/telemetry"
 )
 
@@ -41,6 +42,7 @@ type Manager struct {
 	locks        map[string]*lock
 	defaultLease time.Duration
 	now          func() time.Time
+	journal      storage.Recorder     // nil = durability off
 	acquireHist  *telemetry.Histogram // request-to-grant latency
 }
 
@@ -53,6 +55,11 @@ func WithLease(d time.Duration) Option { return func(m *Manager) { m.defaultLeas
 // WithClock injects a clock for expiry tests. Note that expiry timers
 // still use real time; tests combine both.
 func WithClock(now func() time.Time) Option { return func(m *Manager) { m.now = now } }
+
+// WithJournal event-sources the lock table through a WAL recorder:
+// every grant and release (explicit, expiry, break, failover) is
+// journaled, so replaying the log yields the final holder of each lock.
+func WithJournal(r storage.Recorder) Option { return func(m *Manager) { m.journal = r } }
 
 // NewManager returns an empty lock table.
 func NewManager(opts ...Option) *Manager {
@@ -186,6 +193,10 @@ func (m *Manager) Break(app string) {
 	if l.timer != nil {
 		l.timer.Stop()
 	}
+	if l.holder != "" && m.journal != nil {
+		m.journal.Record(storage.KindLockRelease,
+			storage.LockReleaseEvent{App: app, Owner: l.holder})
+	}
 	for _, w := range l.queue {
 		close(w.grant) // granted-on-break: waiters find the app gone anyway
 	}
@@ -249,6 +260,34 @@ func (m *Manager) FailOwners(match func(owner string) bool, reason error) []stri
 	return apps
 }
 
+// Holders snapshots the current holder of every held lock (for domain
+// snapshots), expiring stale leases on the way.
+func (m *Manager) Holders() map[string]string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]string)
+	for app, l := range m.locks {
+		m.reapLocked(app, l)
+		if l.holder != "" {
+			out[app] = l.holder
+		}
+	}
+	return out
+}
+
+// Reassert installs owner as app's holder with a fresh lease — the
+// recovery path re-granting locks that were held when the domain died.
+// The grant is journaled like any other, so the reasserted state is
+// itself durable.
+func (m *Manager) Reassert(app, owner string, lease time.Duration) {
+	if lease <= 0 {
+		lease = m.defaultLease
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.grantLocked(app, m.lockFor(app), owner, lease)
+}
+
 func (m *Manager) lockFor(app string) *lock {
 	l, ok := m.locks[app]
 	if !ok {
@@ -273,6 +312,10 @@ func (m *Manager) grantLocked(app string, l *lock, owner string, lease time.Dura
 		l.timer.Stop()
 	}
 	l.timer = time.AfterFunc(lease, func() { m.expire(app, owner) })
+	if m.journal != nil {
+		m.journal.Record(storage.KindLockGrant,
+			storage.LockGrantEvent{App: app, Owner: owner})
+	}
 }
 
 // expire runs when a lease timer fires.
@@ -296,6 +339,10 @@ func (m *Manager) releaseLocked(app string, l *lock, owner string) {
 		l.timer = nil
 	}
 	l.holder = ""
+	if m.journal != nil {
+		m.journal.Record(storage.KindLockRelease,
+			storage.LockReleaseEvent{App: app, Owner: owner})
+	}
 	for len(l.queue) > 0 {
 		w := l.queue[0]
 		l.queue = l.queue[1:]

@@ -19,6 +19,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"discover/internal/server"
@@ -44,6 +45,8 @@ type Client struct {
 	pumpStop  chan struct{}
 	pumpDone  chan struct{}
 	streaming bool // delivery is currently riding an open SSE stream
+
+	lastEventID atomic.Uint64 // newest SSE id processed (resume token)
 }
 
 // Option configures a Client.
@@ -547,6 +550,12 @@ func (c *Client) StreamEvents(onEvent func(*wire.Message)) {
 	go c.streamLoop(c.pumpStop, c.pumpDone)
 }
 
+// LastEventID reports the newest SSE sequence number the streaming pump
+// has processed — the resume token it presents on reconnect. Tests use
+// it to assert a client resumed (spliced) rather than restarted after a
+// domain recovery; 0 means no identified event has arrived yet.
+func (c *Client) LastEventID() uint64 { return c.lastEventID.Load() }
+
 // Streaming reports whether delivery currently rides an open SSE stream
 // (false before the first connect, after falling back to polling, or
 // between reconnect attempts).
@@ -656,6 +665,7 @@ func (c *Client) streamOnce(stop chan struct{}, lastID *uint64) (delivered, retr
 				if json.Unmarshal(data, &m) == nil {
 					if id > 0 {
 						*lastID = id
+						c.lastEventID.Store(id)
 					}
 					delivered = true
 					c.dispatch(&m)

@@ -14,9 +14,12 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
+
+	"discover/internal/storage"
 )
 
 // Errors.
@@ -52,7 +55,8 @@ func (r *Record) Readers() []string {
 
 // Table is one named collection of records.
 type Table struct {
-	name string
+	name    string
+	journal storage.Recorder // nil = durability off
 
 	mu      sync.RWMutex
 	records map[string]*Record
@@ -62,12 +66,27 @@ type Table struct {
 
 // DB is a server's record store.
 type DB struct {
-	mu     sync.Mutex
-	tables map[string]*Table
+	mu      sync.Mutex
+	tables  map[string]*Table
+	journal storage.Recorder
 }
 
 // New returns an empty store.
 func New() *DB { return &DB{tables: make(map[string]*Table)} }
+
+// SetJournal event-sources the store through a WAL recorder: record
+// creation, read grants, and deletion are journaled so ownership state
+// (§6.3) survives a domain restart. Call before the store sees traffic.
+func (db *DB) SetJournal(r storage.Recorder) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.journal = r
+	for _, t := range db.tables {
+		t.mu.Lock()
+		t.journal = r
+		t.mu.Unlock()
+	}
+}
 
 // Table returns a table, creating it on first use.
 func (db *DB) Table(name string) *Table {
@@ -75,7 +94,7 @@ func (db *DB) Table(name string) *Table {
 	defer db.mu.Unlock()
 	t, ok := db.tables[name]
 	if !ok {
-		t = &Table{name: name, records: make(map[string]*Record)}
+		t = &Table{name: name, journal: db.journal, records: make(map[string]*Record)}
 		db.tables[name] = t
 	}
 	return t
@@ -108,7 +127,6 @@ func (db *DB) Tables() []string {
 // readers, returning its id.
 func (t *Table) Insert(owner string, fields map[string]string, readers []string) string {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	t.nextID++
 	id := fmt.Sprintf("%s-%d", t.name, t.nextID)
 	cp := make(map[string]string, len(fields))
@@ -121,9 +139,77 @@ func (t *Table) Insert(owner string, fields map[string]string, readers []string)
 			rs[u] = true
 		}
 	}
-	t.records[id] = &Record{ID: id, Owner: owner, Created: time.Now(), Fields: cp, readers: rs}
+	created := time.Now()
+	t.records[id] = &Record{ID: id, Owner: owner, Created: created, Fields: cp, readers: rs}
 	t.order = append(t.order, id)
+	journal := t.journal
+	t.mu.Unlock()
+	if journal != nil {
+		rl := make([]string, 0, len(rs))
+		for u := range rs {
+			rl = append(rl, u)
+		}
+		sort.Strings(rl)
+		journal.Record(storage.KindRecordInsert, storage.RecordInsertEvent{
+			Table: t.name, ID: id, Owner: owner, At: created, Fields: cp, Readers: rl,
+		})
+	}
 	return id
+}
+
+// ApplyInsert re-applies a journaled insert during WAL replay: the
+// record lands under its original id without re-journaling, and the id
+// counter is bumped past it so post-recovery inserts cannot collide.
+// An id that already exists (snapshot coverage) is left unchanged.
+func (t *Table) ApplyInsert(id, owner string, created time.Time, fields map[string]string, readers []string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if i := strings.LastIndex(id, "-"); i >= 0 {
+		if n, err := strconv.ParseUint(id[i+1:], 10, 64); err == nil && n > t.nextID {
+			t.nextID = n
+		}
+	}
+	if _, exists := t.records[id]; exists {
+		return
+	}
+	cp := make(map[string]string, len(fields))
+	for k, v := range fields {
+		cp[k] = v
+	}
+	rs := make(map[string]bool, len(readers))
+	for _, u := range readers {
+		if u != "" {
+			rs[u] = true
+		}
+	}
+	t.records[id] = &Record{ID: id, Owner: owner, Created: created, Fields: cp, readers: rs}
+	t.order = append(t.order, id)
+}
+
+// ApplyGrant re-applies a journaled read grant (WAL replay; no
+// ownership check — the original Insert/GrantRead already enforced it).
+func (t *Table) ApplyGrant(id, user string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if r, ok := t.records[id]; ok {
+		r.readers[user] = true
+	}
+}
+
+// ApplyDelete re-applies a journaled deletion (WAL replay).
+func (t *Table) ApplyDelete(id string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.records[id]; !ok {
+		return
+	}
+	delete(t.records, id)
+	for i, oid := range t.order {
+		if oid == id {
+			t.order = append(t.order[:i], t.order[i+1:]...)
+			break
+		}
+	}
 }
 
 // Get returns a record if user may read it. The returned record's Fields
@@ -157,27 +243,35 @@ func (r *Record) copyOut() Record {
 // GrantRead adds a read-only grant; only the owner may grant.
 func (t *Table) GrantRead(owner, id, user string) error {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	r, ok := t.records[id]
 	if !ok {
+		t.mu.Unlock()
 		return ErrNoRecord
 	}
 	if r.Owner != owner {
+		t.mu.Unlock()
 		return ErrDenied
 	}
 	r.readers[user] = true
+	journal := t.journal
+	t.mu.Unlock()
+	if journal != nil {
+		journal.Record(storage.KindRecordGrant,
+			storage.RecordGrantEvent{Table: t.name, ID: id, User: user})
+	}
 	return nil
 }
 
 // Delete removes a record; only the owner may delete.
 func (t *Table) Delete(owner, id string) error {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	r, ok := t.records[id]
 	if !ok {
+		t.mu.Unlock()
 		return ErrNoRecord
 	}
 	if r.Owner != owner {
+		t.mu.Unlock()
 		return ErrDenied
 	}
 	delete(t.records, id)
@@ -186,6 +280,12 @@ func (t *Table) Delete(owner, id string) error {
 			t.order = append(t.order[:i], t.order[i+1:]...)
 			break
 		}
+	}
+	journal := t.journal
+	t.mu.Unlock()
+	if journal != nil {
+		journal.Record(storage.KindRecordDelete,
+			storage.RecordDeleteEvent{Table: t.name, ID: id})
 	}
 	return nil
 }
@@ -220,4 +320,64 @@ func (t *Table) Len() int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	return len(t.records)
+}
+
+// TableDump is the persisted form of one table (domain snapshots).
+type TableDump struct {
+	Name    string
+	NextID  uint64
+	Records []RecordDump
+}
+
+// RecordDump is the persisted form of one record, with the unexported
+// reader set flattened to a sorted slice.
+type RecordDump struct {
+	ID      string
+	Owner   string
+	Created time.Time
+	Fields  map[string]string
+	Readers []string
+}
+
+// Dump captures every table for a domain snapshot, sorted by name.
+func (db *DB) Dump() []TableDump {
+	db.mu.Lock()
+	tables := make([]*Table, 0, len(db.tables))
+	for _, t := range db.tables {
+		tables = append(tables, t)
+	}
+	db.mu.Unlock()
+	sort.Slice(tables, func(i, j int) bool { return tables[i].name < tables[j].name })
+	out := make([]TableDump, 0, len(tables))
+	for _, t := range tables {
+		t.mu.RLock()
+		td := TableDump{Name: t.name, NextID: t.nextID, Records: make([]RecordDump, 0, len(t.order))}
+		for _, id := range t.order {
+			r := t.records[id]
+			td.Records = append(td.Records, RecordDump{
+				ID: r.ID, Owner: r.Owner, Created: r.Created,
+				Fields: r.Fields, Readers: r.Readers(),
+			})
+		}
+		t.mu.RUnlock()
+		out = append(out, td)
+	}
+	return out
+}
+
+// Restore rebuilds tables from a snapshot dump without journaling.
+// Existing records with the same id are left unchanged (idempotent with
+// WAL replay), and each table's id counter never moves backwards.
+func (db *DB) Restore(dump []TableDump) {
+	for _, td := range dump {
+		t := db.Table(td.Name)
+		for _, rd := range td.Records {
+			t.ApplyInsert(rd.ID, rd.Owner, rd.Created, rd.Fields, rd.Readers)
+		}
+		t.mu.Lock()
+		if td.NextID > t.nextID {
+			t.nextID = td.NextID
+		}
+		t.mu.Unlock()
+	}
 }

@@ -207,6 +207,13 @@ func (g *edgeGate) admit(h http.HandlerFunc, retryMS int64) http.HandlerFunc {
 func (s *Server) BeginDrain() {
 	s.gate.draining.Store(true)
 	s.gate.drainOnce.Do(func() { close(s.gate.drainCh) })
+	if s.storage != nil {
+		// Flush the WAL and write the clean-shutdown marker now: a drain
+		// followed by process exit restarts without replay. Any append
+		// after this point invalidates the marker again, so it is safe
+		// even while in-flight requests finish.
+		s.storage.flushMarkClean(s.cfg.Logf)
+	}
 }
 
 // Draining reports whether the edge is refusing new requests.

@@ -294,6 +294,9 @@ type StatsResponse struct {
 	// Edge reports the portal's admission-control state: session shards,
 	// in-flight requests vs the cap, shed counts by reason, and draining.
 	Edge *EdgeStats `json:"edge,omitempty"`
+	// Storage reports the durable backend's WAL/snapshot counters and the
+	// last startup recovery, when the domain persists its state.
+	Storage *StorageStats `json:"storage,omitempty"`
 }
 
 // DirectoryStats aggregates the substrate's directory-cache and
@@ -440,6 +443,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	es := s.EdgeStats()
 	resp.Edge = &es
+	if ss, ok := s.StorageStats(); ok {
+		resp.Storage = &ss
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -1,0 +1,294 @@
+package server
+
+// Durable domain state (DESIGN §4i). When Config.Storage is set, every
+// domain mutation — session create/close, delivery-queue pushes, lock
+// grant/release, archive appends, record create/grant/delete — is
+// event-sourced through a WAL, and a periodic snapshot bounds both the
+// log's size (compaction) and recovery time (replay starts at the
+// snapshot). recovery.go replays snapshot + WAL on startup; this file
+// holds the write side: snapshot gathering, the snapshot ticker, and
+// the shutdown/crash paths.
+
+import (
+	"bytes"
+	"crypto/rand"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"discover/internal/recorddb"
+	"discover/internal/session"
+	"discover/internal/storage"
+)
+
+// DefaultSnapshotEvery is the periodic snapshot cadence when
+// Config.SnapshotEvery is zero: frequent enough to keep WAL replay (and
+// so recovery time) short, rare enough that gathering the domain state
+// is negligible against steering traffic.
+const DefaultSnapshotEvery = time.Minute
+
+// domainStorage bundles the durable backend with the journal the
+// subsystems record through and the snapshotter's lifecycle.
+type domainStorage struct {
+	backend   storage.Backend
+	journal   *storage.Journal
+	authKey   []byte
+	snapEvery time.Duration
+
+	snapMu  sync.Mutex // serializes snapshot gathering
+	stop    chan struct{}
+	stopOn  sync.Once
+	closeOn sync.Once
+
+	mu        sync.Mutex
+	recovered RecoveryStats
+}
+
+// newDomainStorage opens the durable side of a domain: the HMAC key is
+// loaded from (or persisted to) backend metadata so tokens and
+// capabilities minted before a restart still verify after it.
+func newDomainStorage(cfg Config) (*domainStorage, error) {
+	key, ok := cfg.Storage.GetMeta("authkey")
+	if !ok {
+		key = make([]byte, 32)
+		if _, err := rand.Read(key); err != nil {
+			return nil, fmt.Errorf("server: auth key: %w", err)
+		}
+		if err := cfg.Storage.SetMeta("authkey", key); err != nil {
+			return nil, fmt.Errorf("server: persist auth key: %w", err)
+		}
+	}
+	every := cfg.SnapshotEvery
+	if every <= 0 {
+		every = DefaultSnapshotEvery
+	}
+	return &domainStorage{
+		backend:   cfg.Storage,
+		journal:   storage.NewJournal(cfg.Storage, cfg.WalSyncEvery, cfg.Logf),
+		authKey:   key,
+		snapEvery: every,
+		stop:      make(chan struct{}),
+	}, nil
+}
+
+// startSnapshotter launches the periodic snapshot goroutine.
+func (ds *domainStorage) startSnapshotter(s *Server) {
+	go func() {
+		t := time.NewTicker(ds.snapEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-ds.stop:
+				return
+			case <-t.C:
+				if err := s.snapshotNow(); err != nil {
+					s.cfg.Logf("server %s: snapshot failed: %v", s.cfg.Name, err)
+				}
+			}
+		}
+	}()
+}
+
+// flushMarkClean fsyncs the WAL and writes the clean-shutdown marker.
+// BeginDrain calls it so that a drain followed by process exit restarts
+// without replay; any append after the marker invalidates it again.
+func (ds *domainStorage) flushMarkClean(logf func(string, ...any)) {
+	if err := ds.backend.Sync(); err != nil {
+		logf("server: drain sync: %v", err)
+		return
+	}
+	if err := ds.backend.MarkClean(); err != nil {
+		logf("server: clean marker: %v", err)
+	}
+}
+
+// shutdown is the graceful-exit persistence path: final snapshot, WAL
+// sync, clean-shutdown marker, backend closed.
+func (ds *domainStorage) shutdown(s *Server) {
+	ds.closeOn.Do(func() {
+		ds.stopOn.Do(func() { close(ds.stop) })
+		if err := s.snapshotNow(); err != nil {
+			s.cfg.Logf("server %s: final snapshot: %v", s.cfg.Name, err)
+		}
+		ds.journal.Close()
+		ds.flushMarkClean(s.cfg.Logf)
+		if err := ds.backend.Close(); err != nil {
+			s.cfg.Logf("server %s: storage close: %v", s.cfg.Name, err)
+		}
+	})
+}
+
+// CrashStop terminates the server the way a crash would: the daemon
+// dies and the storage backend closes without a final snapshot, WAL
+// sync, or clean-shutdown marker, so the next start exercises the full
+// recovery path. Kill-and-recover tests (experiment R2) use it.
+func (s *Server) CrashStop() {
+	if ds := s.storage; ds != nil {
+		// Sever the journal before any teardown runs: the lock breaks and
+		// close events that in-process cleanup emits must not reach the
+		// WAL — a killed process would never have written them.
+		ds.journal.Detach()
+	}
+	s.daemon.Close()
+	if ds := s.storage; ds != nil {
+		ds.closeOn.Do(func() {
+			ds.stopOn.Do(func() { close(ds.stop) })
+			ds.journal.Close()
+			ds.backend.Close()
+		})
+	}
+}
+
+// domainSnapshot is the gob-persisted image of a domain's durable
+// state. Everything here is also reconstructible from a full WAL
+// replay; the snapshot exists to bound replay length.
+type domainSnapshot struct {
+	AppCounter     uint64
+	SessionCounter uint64
+	Sessions       []sessionSnap
+	Locks          map[string]string // app -> holder
+	Archive        []byte            // archive.Store.SaveAll image
+	Tables         []recorddb.TableDump
+}
+
+// sessionSnap is one session's durable state: identity, the encoded
+// login token (re-verifiable because the HMAC key is persisted), the
+// app binding by privilege name (the capability itself is re-minted on
+// recovery), and the delivery queue's sequence position + replay ring.
+type sessionSnap struct {
+	ClientID string
+	User     string
+	Token    string
+	App      string
+	Priv     string
+	QueueSeq uint64
+	Ring     []session.Entry
+}
+
+// snapshotNow gathers and persists one domain snapshot. The WAL
+// position is captured before the state: records appended while we
+// gather are replayed on top of the snapshot, and every restore path is
+// idempotent, so a record straddling the snapshot is harmless.
+func (s *Server) snapshotNow() error {
+	ds := s.storage
+	if ds == nil {
+		return nil
+	}
+	ds.snapMu.Lock()
+	defer ds.snapMu.Unlock()
+	seq := ds.backend.LastSeq()
+	snap := domainSnapshot{
+		SessionCounter: s.sessions.Counter(),
+		Locks:          s.locks.Holders(),
+		Tables:         s.db.Dump(),
+	}
+	s.mu.Lock()
+	snap.AppCounter = s.counter
+	s.mu.Unlock()
+	for _, sess := range s.sessions.List() {
+		qseq, ring := sess.Buffer.SnapshotState()
+		snap.Sessions = append(snap.Sessions, sessionSnap{
+			ClientID: sess.ClientID, User: sess.User, Token: sess.Token.Encode(),
+			App: sess.App(), Priv: sess.Capability().Priv.String(),
+			QueueSeq: qseq, Ring: ring,
+		})
+	}
+	sort.Slice(snap.Sessions, func(i, j int) bool {
+		return snap.Sessions[i].ClientID < snap.Sessions[j].ClientID
+	})
+	var arch bytes.Buffer
+	if err := s.store.SaveAll(&arch); err != nil {
+		return err
+	}
+	snap.Archive = arch.Bytes()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		return fmt.Errorf("server: encode snapshot: %w", err)
+	}
+	return ds.journal.SaveSnapshot(buf.Bytes(), seq)
+}
+
+// RecoveryStats describes the last startup recovery.
+type RecoveryStats struct {
+	Clean       bool    `json:"clean"`       // previous shutdown wrote the marker
+	SnapshotSeq uint64  `json:"snapshotSeq"` // WAL position the snapshot covered
+	Replayed    int     `json:"replayed"`    // WAL records replayed past it
+	Sessions    int     `json:"sessions"`    // sessions alive after recovery
+	Locks       int     `json:"locks"`       // steering locks reasserted
+	DurationMS  float64 `json:"durationMs"`
+}
+
+// StorageStats is the durability block of GET /api/v1/stats; ok is
+// false on a memory-only domain.
+type StorageStats struct {
+	Backend        string        `json:"backend"`
+	WalAppends     uint64        `json:"walAppends"`
+	WalBytes       uint64        `json:"walBytes"`
+	LastSeq        uint64        `json:"lastSeq"`
+	Snapshots      uint64        `json:"snapshots"`
+	SnapshotSeq    uint64        `json:"snapshotSeq"`
+	Segments       int           `json:"segments"`
+	TruncatedBytes uint64        `json:"truncatedBytes"` // torn tail discarded at open
+	JournalFailed  bool          `json:"journalFailed"`  // sticky failure; running in-memory
+	Recovery       RecoveryStats `json:"recovery"`
+}
+
+// StorageStats reports the durable backend's counters and the last
+// recovery, when the domain has one.
+func (s *Server) StorageStats() (StorageStats, bool) {
+	ds := s.storage
+	if ds == nil {
+		return StorageStats{}, false
+	}
+	bs := ds.backend.Stats()
+	ds.mu.Lock()
+	rec := ds.recovered
+	ds.mu.Unlock()
+	return StorageStats{
+		Backend:        bs.Backend,
+		WalAppends:     bs.Appends,
+		WalBytes:       bs.AppendedBytes,
+		LastSeq:        bs.LastSeq,
+		Snapshots:      bs.Snapshots,
+		SnapshotSeq:    bs.SnapshotSeq,
+		Segments:       bs.Segments,
+		TruncatedBytes: bs.TruncatedBytes,
+		JournalFailed:  ds.journal.Failed(),
+		Recovery:       rec,
+	}, true
+}
+
+// walSplice recovers queue entries the in-memory replay ring rotated
+// past from the durable WAL: every journaled push for clientID with a
+// sequence number in (fromSeq, fromSeq+lost]. The scan walks the whole
+// retained log, which compaction keeps bounded to roughly one snapshot
+// interval of traffic. Returns nil on a memory-only domain or on any
+// read error (the caller falls back to reporting the loss).
+func (s *Server) walSplice(clientID string, fromSeq, lost uint64) []session.Entry {
+	ds := s.storage
+	if ds == nil {
+		return nil
+	}
+	var out []session.Entry
+	err := ds.backend.Replay(0, func(rec storage.Record) error {
+		if rec.Kind != storage.KindQueuePush {
+			return nil
+		}
+		var ev storage.QueuePushEvent
+		if storage.Decode(rec, &ev) != nil {
+			return nil
+		}
+		if ev.ClientID != clientID || ev.Seq <= fromSeq || ev.Seq > fromSeq+lost {
+			return nil
+		}
+		out = append(out, session.Entry{Seq: ev.Seq, At: ev.At, Msg: ev.Msg})
+		return nil
+	})
+	if err != nil {
+		return nil
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}

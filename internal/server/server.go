@@ -32,6 +32,7 @@ import (
 	"discover/internal/lockmgr"
 	"discover/internal/recorddb"
 	"discover/internal/session"
+	"discover/internal/storage"
 	"discover/internal/telemetry"
 	"discover/internal/wire"
 )
@@ -130,6 +131,14 @@ type Config struct {
 	// Streaming delivery (the /session/{id}/stream edge).
 	ReplayRing      int           // per-session resume replay ring length (0 = default)
 	StreamHeartbeat time.Duration // SSE heartbeat/liveness interval (0 = default)
+
+	// Durability (internal/storage). A nil Storage runs the domain
+	// purely in memory, exactly as before; a backend makes every domain
+	// mutation WAL-journaled with periodic snapshots, and New replays
+	// snapshot + WAL before the server becomes reachable.
+	Storage       storage.Backend // WAL + snapshot backend (nil = no durability)
+	SnapshotEvery time.Duration   // snapshot/compaction cadence (0 = default)
+	WalSyncEvery  time.Duration   // WAL group-fsync cadence (0 = storage default)
 }
 
 // Server is one interaction/collaboration server instance.
@@ -144,6 +153,7 @@ type Server struct {
 	daemon   *appproto.Daemon
 	gate     *edgeGate
 	streams  *streamHub
+	storage  *domainStorage // nil = memory-only domain
 
 	mu       sync.Mutex
 	counter  uint64
@@ -167,27 +177,57 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
-	s := &Server{
-		cfg:  cfg,
-		auth: auth.NewService(cfg.Name),
-		sessions: session.NewManager(cfg.Name,
+	var (
+		authOpts []auth.Option
+		lockOpts []lockmgr.Option
+		sessOpts = []session.Option{
 			session.WithCapacity(cfg.FifoCapacity),
 			session.WithReplay(cfg.ReplayRing),
-			session.WithShards(cfg.SessionShards)),
+			session.WithShards(cfg.SessionShards),
+		}
+		ds *domainStorage
+	)
+	if cfg.Storage != nil {
+		var err error
+		if ds, err = newDomainStorage(cfg); err != nil {
+			return nil, err
+		}
+		// The HMAC key persists with the domain so tokens and
+		// capabilities issued before a restart verify after it.
+		authOpts = append(authOpts, auth.WithKey(ds.authKey))
+		sessOpts = append(sessOpts, session.WithJournal(ds.journal))
+		lockOpts = append(lockOpts, lockmgr.WithJournal(ds.journal))
+	}
+	s := &Server{
+		cfg:      cfg,
+		auth:     auth.NewService(cfg.Name, authOpts...),
+		sessions: session.NewManager(cfg.Name, sessOpts...),
 		hub:      collab.NewHub(),
-		locks:    lockmgr.NewManager(),
+		locks:    lockmgr.NewManager(lockOpts...),
 		store:    archive.NewStore(cfg.ArchiveLimit),
 		db:       recorddb.New(),
 		proxies:  make(map[string]*ApplicationProxy),
 		updateCt: make(map[string]uint64),
 		gate:     newEdgeGate(cfg),
 		streams:  newStreamHub(cfg.StreamHeartbeat),
+		storage:  ds,
+	}
+	if ds != nil {
+		s.store.SetJournal(ds.journal)
+		s.db.SetJournal(ds.journal)
 	}
 	s.daemon = appproto.NewDaemon((*daemonHandler)(s))
 	if cfg.TraceSampleEvery > 0 {
 		// The tracer is process-wide: in-process federations share it so a
 		// trace's hops across domains merge under one id.
 		telemetry.Default().SetSampleEvery(cfg.TraceSampleEvery)
+	}
+	if ds != nil {
+		if err := s.recoverFromStorage(); err != nil {
+			ds.journal.Close()
+			return nil, err
+		}
+		ds.startSnapshotter(s)
 	}
 	return s, nil
 }
@@ -270,8 +310,15 @@ func (s *Server) ReapIdleSessions(maxIdle time.Duration) int {
 	return reaped
 }
 
-// Close shuts the daemon down.
-func (s *Server) Close() { s.daemon.Close() }
+// Close shuts the daemon down and, on a durable domain, persists a
+// final snapshot, syncs the WAL, and writes the clean-shutdown marker
+// so the next start recovers without replay.
+func (s *Server) Close() {
+	s.daemon.Close()
+	if s.storage != nil {
+		s.storage.shutdown(s)
+	}
+}
 
 // ---------------------------------------------------------------------------
 // Level-one interfaces (§3): server-level queries, used by HTTP clients

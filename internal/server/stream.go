@@ -49,9 +49,10 @@ var (
 	streamEventsTotal = telemetry.GetCounter("discover_edge_stream_events_total")
 	streamLagHist     = telemetry.GetHistogram("discover_stream_delivery_lag_seconds")
 	streamResumeTotal = map[string]*telemetry.Counter{
-		"spliced": telemetry.GetCounter("discover_edge_stream_resume_total", "outcome", "spliced"),
-		"lost":    telemetry.GetCounter("discover_edge_stream_resume_total", "outcome", "lost"),
-		"fresh":   telemetry.GetCounter("discover_edge_stream_resume_total", "outcome", "fresh"),
+		"spliced":     telemetry.GetCounter("discover_edge_stream_resume_total", "outcome", "spliced"),
+		"wal_spliced": telemetry.GetCounter("discover_edge_stream_resume_total", "outcome", "wal_spliced"),
+		"lost":        telemetry.GetCounter("discover_edge_stream_resume_total", "outcome", "lost"),
+		"fresh":       telemetry.GetCounter("discover_edge_stream_resume_total", "outcome", "fresh"),
 	}
 )
 
@@ -195,6 +196,17 @@ func (s *Server) handleSessionStream(w http.ResponseWriter, r *http.Request) {
 			outcome = "lost"
 		case len(ents) > 0:
 			outcome = "spliced"
+		}
+		if lost > 0 {
+			// The in-memory ring rotated past the token, but on a durable
+			// domain the missing entries are still in the WAL: splice them
+			// from disk and report only what even the log no longer has
+			// (compacted away below the last snapshot).
+			if walEnts := s.walSplice(sess.ClientID, resume, lost); len(walEnts) > 0 {
+				lost -= uint64(len(walEnts))
+				ents = append(walEnts, ents...)
+				outcome = "wal_spliced"
+			}
 		}
 		streamResumeTotal[outcome].Inc()
 		if lost > 0 {

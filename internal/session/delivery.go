@@ -12,8 +12,9 @@
 // replay ring retains the last ringCap deliveries so a reconnecting
 // client can splice the gap it missed, and when the ring has rotated
 // past the token the loss is reported exactly (an "events-lost" event)
-// rather than silently. WAL-backed splice beyond the ring is ROADMAP
-// item 1.
+// rather than silently — and, when the domain runs on a durable
+// backend, the streaming edge splices the remainder from the WAL before
+// declaring anything lost (internal/server/stream.go).
 package session
 
 import (
@@ -21,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"discover/internal/storage"
 	"discover/internal/telemetry"
 	"discover/internal/wire"
 )
@@ -80,6 +82,11 @@ type Queue struct {
 	ringHead int // index of the oldest retained entry
 	ringLen  int
 
+	// Durability: when journal is set, every push is recorded (under
+	// q.mu, so the WAL sees one queue's pushes in sequence order).
+	journal storage.Recorder
+	client  string
+
 	notify   chan struct{}
 	waitHist *telemetry.Histogram
 }
@@ -126,6 +133,15 @@ func (q *Queue) EmitOverflowEvents(origin string) {
 	q.origin = origin
 }
 
+// journalTo attaches a WAL recorder; client names this queue's session
+// in the journaled events. A nil recorder leaves journaling off.
+func (q *Queue) journalTo(rec storage.Recorder, client string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.journal = rec
+	q.client = client
+}
+
 // Push stamps m with the next sequence number and appends it, dropping
 // the oldest undelivered entry if the window is full. It never blocks.
 func (q *Queue) Push(m *wire.Message) {
@@ -146,6 +162,11 @@ func (q *Queue) Push(m *wire.Message) {
 		q.highWater = len(q.buf)
 	}
 	q.ringPut(e)
+	if q.journal != nil {
+		q.journal.Record(storage.KindQueuePush, storage.QueuePushEvent{
+			ClientID: q.client, Seq: e.Seq, At: e.At, Msg: m,
+		})
+	}
 	q.mu.Unlock()
 	select {
 	case q.notify <- struct{}{}:
@@ -309,6 +330,52 @@ func (q *Queue) Resume(fromSeq uint64) (ents []Entry, lost uint64) {
 	q.buf = q.buf[:0]
 	q.overflowed = 0
 	return ents, lost
+}
+
+// SnapshotState captures the queue's durable state for a snapshot: the
+// last assigned sequence number and the replay ring's entries, oldest
+// first. The undelivered window is not captured separately — clients
+// reconnect with resume tokens after a restart, and Resume serves from
+// the ring.
+func (q *Queue) SnapshotState() (seq uint64, ring []Entry) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	ring = make([]Entry, 0, q.ringLen)
+	for i := 0; i < q.ringLen; i++ {
+		ring = append(ring, q.ring[(q.ringHead+i)%q.ringCap])
+	}
+	return q.seq, ring
+}
+
+// RestoreState rebuilds the queue from a snapshot without journaling:
+// the sequence counter resumes where it left off (so post-restart pushes
+// continue the same token space) and the ring refills for resume
+// splicing. The undelivered window stays empty: a restart must not
+// re-deliver messages to polling clients that may already have seen
+// them; resumable clients splice exactly via their tokens.
+func (q *Queue) RestoreState(seq uint64, ring []Entry) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if seq > q.seq {
+		q.seq = seq
+	}
+	for _, e := range ring {
+		q.ringPut(e)
+	}
+}
+
+// RestoreEntry re-applies one journaled push during WAL replay: it
+// advances the sequence counter and refills the ring, skipping entries
+// the snapshot already covered (replay idempotence). Like RestoreState
+// it leaves the undelivered window alone.
+func (q *Queue) RestoreEntry(e Entry) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if e.Seq <= q.seq {
+		return
+	}
+	q.seq = e.Seq
+	q.ringPut(e)
 }
 
 // Len reports the number of undelivered messages.

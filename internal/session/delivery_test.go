@@ -145,6 +145,12 @@ func TestQueueOverflowResumeRace(t *testing.T) {
 		ents, overflow := q.DrainEntries(4)
 		record(ents)
 		if overflow > 0 {
+			// The overflow count is the drop tally a real client reads
+			// from the buffer-overflow event: messages shed below the
+			// token the drain just advanced past. The resume gap below
+			// only covers ring rotation above the token, so the two
+			// never overlap and both must be counted.
+			lost += overflow
 			// The stream handler sheds the connection here; the client
 			// reconnects with its last-seen token and resumes.
 			ents, gap := q.Resume(lastSeq)

@@ -9,11 +9,14 @@ package session
 import (
 	"fmt"
 	"hash/fnv"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"discover/internal/auth"
+	"discover/internal/storage"
 )
 
 // DefaultCapacity bounds each client's delivery buffer. When a slow
@@ -35,6 +38,8 @@ type Session struct {
 	User     string
 	Token    auth.Token
 	Buffer   *Fifo
+
+	journal storage.Recorder // nil = durability off
 
 	mu       sync.Mutex
 	app      string // application currently connected to ("" if none)
@@ -59,17 +64,36 @@ func (s *Session) Capability() auth.Capability {
 // Connect binds the session to an application with its capability.
 func (s *Session) Connect(app string, cap auth.Capability) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.app = app
 	s.cap = cap
+	s.mu.Unlock()
+	if s.journal != nil {
+		s.journal.Record(storage.KindSessionConnect, storage.SessionConnectEvent{
+			ClientID: s.ClientID, App: app, Priv: cap.Priv.String(),
+		})
+	}
 }
 
 // Disconnect unbinds the session from its application.
 func (s *Session) Disconnect() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.app = ""
 	s.cap = auth.Capability{}
+	s.mu.Unlock()
+	if s.journal != nil {
+		s.journal.Record(storage.KindSessionDisconnect,
+			storage.SessionDisconnectEvent{ClientID: s.ClientID})
+	}
+}
+
+// RestoreBinding installs an application binding without journaling —
+// the recovery path re-applies a logged connect with a freshly minted
+// capability (the old one was only ever held in memory).
+func (s *Session) RestoreBinding(app string, cap auth.Capability) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.app = app
+	s.cap = cap
 }
 
 // LastSeen reports the last poll/request time.
@@ -95,6 +119,7 @@ type Manager struct {
 	capacity   int
 	replay     int
 	now        func() time.Time
+	journal    storage.Recorder // nil = durability off
 
 	counter atomic.Uint64
 	mask    uint32 // len(shards)-1; shard count is a power of two
@@ -120,6 +145,12 @@ func WithReplay(n int) Option { return func(m *Manager) { m.replay = n } }
 
 // WithClock injects a clock for idle-expiry tests.
 func WithClock(now func() time.Time) Option { return func(m *Manager) { m.now = now } }
+
+// WithJournal event-sources the session table through a WAL recorder:
+// session create/remove, app connect/disconnect, and every delivery-
+// queue push are journaled so a restarted domain can rebuild its
+// sessions and resume their queues at the last sequence number.
+func WithJournal(r storage.Recorder) Option { return func(m *Manager) { m.journal = r } }
 
 // WithShards sets the session-table shard count, rounded up to a power
 // of two (n <= 1 gives the unsharded single-lock table, the baseline the
@@ -168,19 +199,67 @@ func (m *Manager) shardOf(clientID string) *shard {
 // Create mints a session with a unique client-id for an authenticated
 // user.
 func (m *Manager) Create(user string, token auth.Token) *Session {
+	s := m.install(fmt.Sprintf("%s/client-%d", m.serverName, m.counter.Add(1)), user, token)
+	if m.journal != nil {
+		m.journal.Record(storage.KindSessionCreate, storage.SessionCreateEvent{
+			ClientID: s.ClientID, User: user, Token: token.Encode(),
+		})
+	}
+	return s
+}
+
+// install builds and registers a session (shared by Create and Restore).
+func (m *Manager) install(clientID, user string, token auth.Token) *Session {
 	s := &Session{
-		ClientID: fmt.Sprintf("%s/client-%d", m.serverName, m.counter.Add(1)),
+		ClientID: clientID,
 		User:     user,
 		Token:    token,
 		Buffer:   NewQueue(m.capacity, m.replay),
+		journal:  m.journal,
 		lastSeen: m.now(),
 	}
 	s.Buffer.EmitOverflowEvents(m.serverName)
+	s.Buffer.journalTo(m.journal, clientID)
 	sh := m.shardOf(s.ClientID)
 	sh.mu.Lock()
 	sh.sessions[s.ClientID] = s
 	sh.mu.Unlock()
 	return s
+}
+
+// Restore re-creates a session from durable state without journaling.
+// If the client-id carries this server's counter form, the id counter is
+// bumped past it so post-recovery Creates cannot collide. An existing
+// session with the same id is returned unchanged (replay idempotence).
+func (m *Manager) Restore(clientID, user string, token auth.Token) *Session {
+	if s, ok := m.Peek(clientID); ok {
+		return s
+	}
+	if rest, found := strings.CutPrefix(clientID, m.serverName+"/client-"); found {
+		if n, err := strconv.ParseUint(rest, 10, 64); err == nil {
+			for {
+				cur := m.counter.Load()
+				if cur >= n || m.counter.CompareAndSwap(cur, n) {
+					break
+				}
+			}
+		}
+	}
+	return m.install(clientID, user, token)
+}
+
+// Counter reports the session-id counter (for snapshots); SetCounter
+// restores it, never moving backwards.
+func (m *Manager) Counter() uint64 { return m.counter.Load() }
+
+// SetCounter restores the session-id counter from a snapshot.
+func (m *Manager) SetCounter(n uint64) {
+	for {
+		cur := m.counter.Load()
+		if cur >= n || m.counter.CompareAndSwap(cur, n) {
+			return
+		}
+	}
 }
 
 // Get returns a session by client-id and marks it active.
@@ -206,6 +285,19 @@ func (m *Manager) Peek(clientID string) (*Session, bool) {
 
 // Remove deletes a session.
 func (m *Manager) Remove(clientID string) {
+	sh := m.shardOf(clientID)
+	sh.mu.Lock()
+	_, existed := sh.sessions[clientID]
+	delete(sh.sessions, clientID)
+	sh.mu.Unlock()
+	if existed && m.journal != nil {
+		m.journal.Record(storage.KindSessionRemove,
+			storage.SessionRemoveEvent{ClientID: clientID})
+	}
+}
+
+// RestoreRemove deletes a session without journaling (WAL replay).
+func (m *Manager) RestoreRemove(clientID string) {
 	sh := m.shardOf(clientID)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -268,6 +360,12 @@ func (m *Manager) ExpireIdle(maxIdle time.Duration) []string {
 			}
 		}
 		sh.mu.Unlock()
+	}
+	if m.journal != nil {
+		for _, id := range removed {
+			m.journal.Record(storage.KindSessionRemove,
+				storage.SessionRemoveEvent{ClientID: id})
+		}
 	}
 	return removed
 }

@@ -1,0 +1,129 @@
+package storage
+
+import (
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"discover/internal/telemetry"
+)
+
+// DefaultSyncEvery is the group-fsync cadence when NewJournal is given
+// zero: appends hit the OS write path immediately (so an in-process
+// crash loses nothing) and are fsynced in batches (so a machine crash
+// loses at most one interval).
+const DefaultSyncEvery = 100 * time.Millisecond
+
+// Process-wide storage metrics, exported through /metrics like every
+// other discover_* series.
+var (
+	walAppendsTotal = telemetry.GetCounter("discover_storage_wal_appends_total")
+	walBytesTotal   = telemetry.GetCounter("discover_storage_wal_bytes_total")
+	snapshotsTotal  = telemetry.GetCounter("discover_storage_snapshots_total")
+	recoveryHist    = telemetry.GetHistogram("discover_storage_recovery_seconds")
+)
+
+// ObserveRecovery records one recovery duration in the process-wide
+// discover_storage_recovery_seconds histogram.
+func ObserveRecovery(d time.Duration) { recoveryHist.Observe(d) }
+
+// Journal adapts a Backend to the Recorder interface the domain
+// subsystems journal through: it JSON-encodes typed events, appends
+// them, and keeps a background group-fsync ticking.
+//
+// Record deliberately returns nothing — the mutating hot paths
+// (queue pushes, lock grants) cannot usefully handle a disk error
+// mid-operation. Instead the journal fails sticky: the first append
+// error is logged once, Failed() starts reporting true (surfaced in the
+// stats storage block), and the domain degrades to in-memory operation
+// rather than crashing mid-collaboration.
+type Journal struct {
+	backend Backend
+	logf    func(format string, args ...any)
+
+	failed atomic.Bool
+	once   sync.Once // logs the first failure
+	stop   chan struct{}
+	stopOn sync.Once
+}
+
+// NewJournal wraps backend. syncEvery <= 0 uses DefaultSyncEvery; logf
+// may be nil.
+func NewJournal(backend Backend, syncEvery time.Duration, logf func(string, ...any)) *Journal {
+	if syncEvery <= 0 {
+		syncEvery = DefaultSyncEvery
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	j := &Journal{backend: backend, logf: logf, stop: make(chan struct{})}
+	go func() {
+		t := time.NewTicker(syncEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-j.stop:
+				return
+			case <-t.C:
+				backend.Sync()
+			}
+		}
+	}()
+	return j
+}
+
+// Backend returns the wrapped backend.
+func (j *Journal) Backend() Backend { return j.backend }
+
+// Record implements Recorder: marshal v, append it under kind.
+func (j *Journal) Record(kind string, v any) {
+	if j.failed.Load() {
+		return
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		j.fail(kind, err)
+		return
+	}
+	if _, err := j.backend.Append(kind, data); err != nil {
+		j.fail(kind, err)
+		return
+	}
+	walAppendsTotal.Inc()
+	walBytesTotal.Add(uint64(len(data)))
+}
+
+func (j *Journal) fail(kind string, err error) {
+	j.failed.Store(true)
+	j.once.Do(func() {
+		j.logf("storage: journal failed (degrading to in-memory): %s: %v", kind, err)
+	})
+}
+
+// Failed reports whether the journal has hit a sticky write error.
+func (j *Journal) Failed() bool { return j.failed.Load() }
+
+// Detach stops recording: subsequent Record calls are dropped silently.
+// Crash simulation uses it so the in-process teardown that follows (app
+// close handlers breaking locks, queues draining) is not journaled the
+// way a graceful shutdown would be — a killed process writes nothing.
+func (j *Journal) Detach() { j.failed.Store(true) }
+
+// Sync flushes the backend.
+func (j *Journal) Sync() error { return j.backend.Sync() }
+
+// SaveSnapshot stores a snapshot through the backend and counts it.
+func (j *Journal) SaveSnapshot(state []byte, seq uint64) error {
+	if err := j.backend.SaveSnapshot(state, seq); err != nil {
+		return err
+	}
+	snapshotsTotal.Inc()
+	return nil
+}
+
+// Close stops the group-fsync goroutine. It does not close the backend.
+func (j *Journal) Close() { j.stopOn.Do(func() { close(j.stop) }) }
+
+// Decode unmarshals a WAL record's payload into out.
+func Decode(rec Record, out any) error { return json.Unmarshal(rec.Data, out) }

@@ -31,8 +31,19 @@ go run ./scripts/metricssmoke
 # listing under partition must return within its context budget with
 # unavailable-marked entries — never hang. S2 rides along too: the
 # streaming edge's request-reduction and shed shapes involve real timing,
-# so they rerun uncached with the chaos batch.
-go test -race -count=1 -run 'Chaos|R1|P1|S2' ./internal/core/ ./internal/experiments/
+# so they rerun uncached with the chaos batch. R2 (kill a durable domain,
+# recover from WAL + snapshots) joins for the same reason: crash/restart
+# timing and fsync interleavings deserve an uncached race-enabled pass.
+# -p 1 keeps the packages sequential: S2's CPU-shape and R2's recovery
+# budget are measured, and a concurrently running chaos package skews
+# them.
+go test -race -p 1 -count=1 -run 'Chaos|R1|R2|P1|S2' ./internal/core/ ./internal/experiments/
+
+# Durability smoke: the storage fuzz/property pair (WAL crash-point fuzz,
+# archive replay determinism) and the server kill-recover path rerun
+# uncached under the race detector.
+go test -race -count=1 -run 'TestWALCrashPointFuzz|TestReplayDeterminismProperty|TestPersist' \
+    ./internal/storage/ ./internal/archive/ ./internal/server/
 
 # Bench smoke: one iteration of every benchmark, so the bench code itself
 # cannot rot between full harness runs.
