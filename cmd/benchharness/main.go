@@ -136,6 +136,12 @@ var all = []experiment{
 		}
 		return experiments.RunS2(100000, time.Second, 15*time.Second)
 	}},
+	{"W1", func(q bool) (experiments.Result, error) {
+		if q {
+			return experiments.RunW1(500, 1<<20)
+		}
+		return experiments.RunW1(3000, 2<<20)
+	}},
 }
 
 // benchReport is the shape of the -json output file: every experiment's
@@ -234,6 +240,19 @@ func main() {
 				failures++
 			} else {
 				fmt.Println("benchharness: wrote BENCH_S2.json")
+			}
+		}
+		// W1's compact wire-protocol record rides along whenever W1 ran.
+		if snap, ok := experiments.W1LastSnapshot(); ok {
+			data, err := json.MarshalIndent(snap, "", "  ")
+			if err == nil {
+				err = os.WriteFile("BENCH_W1.json", append(data, '\n'), 0o644)
+			}
+			if err != nil {
+				fmt.Printf("benchharness: writing BENCH_W1.json: %v\n", err)
+				failures++
+			} else {
+				fmt.Println("benchharness: wrote BENCH_W1.json")
 			}
 		}
 	}

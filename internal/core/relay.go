@@ -282,7 +282,9 @@ func (p *poller) pollOnce() {
 	ctx, cancel := context.WithTimeout(context.Background(), p.sub.cfg.RPCTimeout)
 	defer cancel()
 	var resp pollResp
-	err := p.sub.orb.Invoke(ctx, p.sub.proxyRef(p.peer, p.appID), "pollUpdates",
+	// Polls are bulk exchanges: a busy application's accumulated update
+	// batch is large and compressible on a v2 connection.
+	err := p.sub.orb.Invoke(orb.WithBulk(ctx), p.sub.proxyRef(p.peer, p.appID), "pollUpdates",
 		pollReq{SinceSeq: p.lastSeq, From: p.sub.srv.Name()}, &resp)
 	p.sub.observePeer(p.peer, err)
 	if err != nil {

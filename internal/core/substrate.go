@@ -418,6 +418,12 @@ func (s *Substrate) WireStats() server.WireStats {
 		Writes:      st.Writes,
 		BytesOut:    st.BytesOut,
 		Replies:     st.Replies,
+		V2Conns:     st.V2Conns,
+		BytesV1:     st.BytesV1,
+		BytesV2:     st.BytesV2,
+		InternDefs:  st.InternDefs,
+		InternHits:  st.InternHits,
+		Compressed:  st.Compressed,
 	}
 }
 
@@ -588,7 +594,9 @@ func (s *Substrate) peerApps(ctx context.Context, p peerInfo, user string, plan 
 // failure it returns the unavailable-marked fallback alongside the error.
 func (s *Substrate) fetchApps(ctx context.Context, p peerInfo, user string) ([]server.AppInfo, error) {
 	var resp listAppsResp
-	err := s.invokePeer(ctx, p, p.serverRef(), "listApplications", listAppsReq{User: user}, &resp)
+	// Directory listings are bulk exchanges: on a v2 connection the reply
+	// (potentially hundreds of AppInfo entries) may compress and stream.
+	err := s.invokePeer(orb.WithBulk(ctx), p, p.serverRef(), "listApplications", listAppsReq{User: user}, &resp)
 	s.dir.complete(p.name, user, resp.Apps, err)
 	if err != nil {
 		apps, _ := s.dir.resolve(p.name, user)
@@ -630,7 +638,7 @@ func (s *Substrate) revalidateApps(p peerInfo, user string) {
 func (s *Substrate) RemoteUsers(ctx context.Context, peerName string) ([]string, error) {
 	listUsers := func(c context.Context, p peerInfo) ([]string, error) {
 		var resp listUsersResp
-		err := s.invokePeer(c, p, p.serverRef(), "listUsers", listUsersReq{}, &resp)
+		err := s.invokePeer(orb.WithBulk(c), p, p.serverRef(), "listUsers", listUsersReq{}, &resp)
 		return resp.Users, err
 	}
 	if peerName == "" {

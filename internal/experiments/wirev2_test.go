@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"discover/internal/core"
+	"discover/internal/netsim"
+	"discover/internal/server"
+	"discover/internal/session"
+	"discover/internal/telemetry"
+	"discover/internal/wire"
+)
+
+func TestW1WireProtocolV2(t *testing.T) {
+	// 2 MiB blob: the head-of-line row compares worst probe latency
+	// against the bulk transfer time (~260 ms at 8 MB/s), which must
+	// dominate scheduler jitter when the whole suite runs under -race.
+	res, err := RunW1(400, 2<<20)
+	checkResult(t, res, err)
+}
+
+// TestMixedVersionFederation deploys a federation where the "host"
+// domain is pinned to wire protocol v1 (a pre-v2 peer) while the "edge"
+// domain and the trader speak v2, then checks the interop guarantees:
+//
+//   - negotiation falls back: the edge's connection to the host carries
+//     v1 bytes, its connection to the trader negotiates v2, and the host
+//     never sees a v2 connection;
+//   - a traced steer from the edge to the host's application still gets
+//     its servant hop echoed back over the v1 fallback connection;
+//   - relay push delivery from the v1 host to a v2 edge session works.
+func TestMixedVersionFederation(t *testing.T) {
+	telemetry.Default().Reset()
+	telemetry.Default().SetSampleEvery(1)
+	defer telemetry.Default().SetSampleEvery(0)
+
+	fed, err := NewFederation(FederationConfig{
+		Mode: core.Push,
+		Domains: []struct {
+			Name string
+			Site netsim.Site
+		}{DomainAt("host", "east"), DomainAt("edge", "west")},
+		Topology:      func(tp *netsim.Topology) { tp.SetRTT("east", "west", 2*time.Millisecond) },
+		WireV1Domains: []string{"host"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fed.Close()
+	host, edge := fed.Domains[0], fed.Domains[1]
+
+	as, err := AttachApp(host, "mixed-app", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer as.Close()
+	if err := edge.Sub.DiscoverPeers(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Alice at the v2 edge steers the v1 host's application.
+	ctx := context.Background()
+	sess, err := LoginLocal(edge, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := edge.Srv.ConnectApp(ctx, sess, as.AppID()); err != nil {
+		t.Fatal(err)
+	}
+	if granted, holder, err := edge.Srv.LockOp(ctx, sess, true); err != nil || !granted {
+		t.Fatalf("lock not granted (holder %q): %v", holder, err)
+	}
+
+	post := func(op string, params map[string]string) server.CommandResponse {
+		t.Helper()
+		body, _ := json.Marshal(server.CommandRequest{ClientID: sess.ClientID, Op: op, Params: params})
+		resp, err := http.Post(edge.BaseURL()+"/api/command", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var cr server.CommandResponse
+		if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("command %s -> %d", op, resp.StatusCode)
+		}
+		return cr
+	}
+	post("status", nil) // warm the pooled edge->host connection
+	cr := post("set_param", map[string]string{"name": "source_freq", "value": "0.25"})
+	if cr.TraceID == "" {
+		t.Fatal("traced steer returned no trace id")
+	}
+
+	// The trace's servant hop only exists if the host echoed the DTRC
+	// trailer back over the fallback v1 connection.
+	var rec telemetry.TraceRecord
+	tresp, err := http.Get(edge.BaseURL() + "/api/trace/" + cr.TraceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tresp.Body.Close()
+	if tresp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /api/trace/%s -> %d", cr.TraceID, tresp.StatusCode)
+	}
+	if err := json.NewDecoder(tresp.Body).Decode(&rec); err != nil {
+		t.Fatal(err)
+	}
+	var servantNanos int64
+	for _, sp := range rec.Spans {
+		if sp.Hop == telemetry.HopServant {
+			servantNanos += sp.DurNanos
+		}
+	}
+	if servantNanos <= 0 {
+		t.Errorf("trace %s has no servant hop: the DTRC trailer did not survive the v1 fallback", cr.TraceID)
+	}
+
+	// Relay push from the v1 host reaches the v2 edge's session buffer.
+	for i := 0; i < 3; i++ {
+		if _, err := as.RunPhase(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := waitForUpdate(sess.Buffer, 10*time.Second); err != nil {
+		t.Errorf("relay push over mixed versions: %v", err)
+	}
+
+	hs, es := host.ORB.Stats(), edge.ORB.Stats()
+	if hs.V2Conns != 0 || hs.BytesV2 != 0 {
+		t.Errorf("v1-pinned host negotiated v2: %+v", hs)
+	}
+	if hs.BytesV1 == 0 {
+		t.Errorf("v1-pinned host sent no v1 bytes: %+v", hs)
+	}
+	if es.BytesV1 == 0 {
+		t.Errorf("edge sent no v1 bytes to the legacy host: %+v", es)
+	}
+	if es.V2Conns == 0 || es.BytesV2 == 0 {
+		t.Errorf("edge negotiated no v2 connection to the trader: %+v", es)
+	}
+}
+
+// waitForUpdate drains a session buffer until an application update
+// arrives or the deadline passes.
+func waitForUpdate(q *session.Fifo, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		ents, _ := q.DrainEntries(64)
+		for _, e := range ents {
+			if e.Msg != nil && e.Msg.Kind == wire.KindUpdate {
+				return nil
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return fmt.Errorf("no update within %s", timeout)
+}

@@ -1,6 +1,7 @@
 package orb
 
 import (
+	"bufio"
 	"context"
 	"encoding/binary"
 	"net"
@@ -10,12 +11,22 @@ import (
 )
 
 // poolConn is one multiplexed client connection: many in-flight requests
-// share it, matched to replies by request id.
+// share it, matched to replies by request id. After a successful version
+// handshake the connection speaks protocol v2 (varint frames, interned
+// descriptors, chunked replies); against a legacy peer it stays on v1.
 type poolConn struct {
 	conn    net.Conn
 	stats   *orbStats
 	writeMu sync.Mutex
 	sendBuf []byte // frame assembly buffer, guarded by writeMu
+
+	// v2 state. Fixed before the read loop starts (see start), so the
+	// flag needs no synchronization afterwards.
+	v2      bool
+	targets *targetTable      // sender target interning, guarded by writeMu
+	interns *wire.InternTable // sender descriptor interning, guarded by writeMu
+	defs    *wire.InternDefs  // reply descriptor definitions, read loop only
+	pbuf    []byte            // v2 payload scratch, guarded by writeMu
 
 	mu      sync.Mutex
 	nextID  uint64
@@ -23,10 +34,71 @@ type poolConn struct {
 	err     error
 }
 
+// newPoolConn wraps an established connection and starts the v1 read
+// loop immediately — the pre-handshake behaviour, used directly by tests
+// and by ORBs with v2 disabled.
 func newPoolConn(conn net.Conn, stats *orbStats) *poolConn {
-	pc := &poolConn{conn: conn, stats: stats, pending: make(map[uint64]chan *reply)}
-	go pc.readLoop()
+	pc := newPoolConnIdle(conn, stats)
+	pc.start()
 	return pc
+}
+
+// newPoolConnIdle wraps an established connection without starting a
+// read loop, leaving room for the synchronous version handshake: until
+// start runs, the caller owns the connection exclusively.
+func newPoolConnIdle(conn net.Conn, stats *orbStats) *poolConn {
+	return &poolConn{conn: conn, stats: stats, pending: make(map[uint64]chan *reply)}
+}
+
+// start launches the read loop matching the negotiated protocol version.
+func (pc *poolConn) start() {
+	if pc.v2 {
+		pc.targets = newTargetTable()
+		pc.interns = wire.NewInternTable()
+		pc.defs = wire.NewInternDefs()
+		go pc.readLoopV2()
+		return
+	}
+	go pc.readLoop()
+}
+
+// handshake probes the peer with the v2 hello as the first (v1) request
+// on the connection and reads its reply directly — no read loop is
+// running yet, so the exchange is race-free. A positive ack flips the
+// connection to v2; OBJECT_NOT_EXIST (or any servant-level error) means
+// a legacy peer and the connection continues in v1. A transport error is
+// returned and the connection is unusable.
+func (pc *poolConn) handshake() (v2 bool, err error) {
+	args, err := Marshal(helloReq{Magic: helloMagic, MaxVersion: wireV2Version})
+	if err != nil {
+		return false, err
+	}
+	pc.mu.Lock()
+	pc.nextID++
+	id := pc.nextID
+	pc.mu.Unlock()
+	if err := pc.writeRequests(&request{id: id, key: wireControlKey, method: helloMethod, args: args}); err != nil {
+		return false, err
+	}
+	for {
+		payload, err := wire.ReadFrame(pc.conn)
+		if err != nil {
+			return false, err
+		}
+		_, rp, err := decodeFrame(payload)
+		if err != nil || rp == nil || rp.id != id {
+			return false, errBadFrame
+		}
+		if rp.status != replyOK {
+			return false, nil // legacy peer: the pseudo-servant does not exist
+		}
+		var ack helloAck
+		if err := Unmarshal(rp.body, &ack); err != nil || ack.Version != wireV2Version {
+			return false, nil
+		}
+		pc.v2 = true
+		return true, nil
+	}
 }
 
 func (pc *poolConn) dead() bool {
@@ -50,6 +122,18 @@ func (pc *poolConn) close(err error) {
 	}
 }
 
+// deliver hands a decoded reply to its waiting invocation, dropping it
+// when the waiter has gone (cancelled or timed out).
+func (pc *poolConn) deliver(rp *reply) {
+	pc.mu.Lock()
+	ch, ok := pc.pending[rp.id]
+	delete(pc.pending, rp.id)
+	pc.mu.Unlock()
+	if ok {
+		ch <- rp
+	}
+}
+
 func (pc *poolConn) readLoop() {
 	for {
 		payload, err := wire.ReadFrame(pc.conn)
@@ -62,43 +146,181 @@ func (pc *poolConn) readLoop() {
 			pc.close(&RemoteError{Code: CodeComm, Msg: "protocol violation"})
 			return
 		}
-		pc.mu.Lock()
-		ch, ok := pc.pending[rp.id]
-		delete(pc.pending, rp.id)
-		pc.mu.Unlock()
-		if ok {
-			ch <- rp
+		pc.deliver(rp)
+	}
+}
+
+// readLoopV2 demultiplexes v2 frames: complete replies deliver directly;
+// chunked bodies accumulate per stream until END, with every received
+// chunk immediately credited back so the sender's flow-control window
+// keeps moving even for streams whose waiter has gone. Budget bounds
+// protect the receive side: one body may not exceed MaxStreamBody and
+// all partial bodies together may not exceed MaxConnStreamBudget.
+func (pc *poolConn) readLoopV2() {
+	br := bufio.NewReaderSize(pc.conn, 32<<10)
+	var frameBuf []byte
+	streams := make(map[uint64][]byte)
+	budget := 0
+	violation := func(msg string) {
+		pc.close(&RemoteError{Code: CodeComm, Msg: msg})
+	}
+	for {
+		h, payload, err := wire.ReadV2Frame(br, frameBuf)
+		if err != nil {
+			pc.close(&RemoteError{Code: CodeComm, Msg: "connection lost: " + err.Error()})
+			return
+		}
+		if cap(payload) > cap(frameBuf) {
+			frameBuf = payload[:0]
+		}
+		data := payload
+		if h.Flags&wire.V2FlagCompressed != 0 {
+			if data, err = wire.DecompressPayload(payload, wire.MaxFrameSize); err != nil {
+				violation("undecodable compressed frame")
+				return
+			}
+		}
+		switch h.Type {
+		case wire.V2FrameReply:
+			rp, err := decodeReplyV2(data, h.Stream, pc.defs)
+			if err != nil {
+				violation("protocol violation")
+				return
+			}
+			pc.deliver(rp)
+		case wire.V2FrameChunk:
+			pc.mu.Lock()
+			_, wanted := pc.pending[h.Stream]
+			pc.mu.Unlock()
+			if wanted {
+				body := append(streams[h.Stream], data...)
+				if len(body) > wire.MaxStreamBody {
+					violation("streamed body over MaxStreamBody")
+					return
+				}
+				budget += len(data)
+				if budget > wire.MaxConnStreamBudget {
+					violation("streamed bodies over connection budget")
+					return
+				}
+				streams[h.Stream] = body
+			}
+			// Credit what arrived on the wire — including frames for
+			// abandoned streams, so the sender never stalls on a waiter
+			// that left.
+			if err := pc.writeCredit(h.Stream, len(payload)); err != nil {
+				pc.close(&RemoteError{Code: CodeComm, Msg: "write failed: " + err.Error()})
+				return
+			}
+		case wire.V2FrameEnd:
+			body := streams[h.Stream]
+			delete(streams, h.Stream)
+			budget -= len(body)
+			rp, err := decodeEndV2(data, h.Stream, body)
+			if err != nil {
+				violation("protocol violation")
+				return
+			}
+			pc.deliver(rp)
+		default:
+			violation("unexpected frame " + h.Type.String())
+			return
 		}
 	}
 }
 
-// writeRequests encodes every request as a length-prefixed frame in the
-// connection's reusable buffer and issues a single Write — the request
-// path's only syscall, shared by single invocations and coalesced batches.
+// writeCredit grants n bytes of flow-control credit on stream.
+func (pc *poolConn) writeCredit(stream uint64, n int) error {
+	var payload [binary.MaxVarintLen64]byte
+	pn := binary.PutUvarint(payload[:], uint64(n))
+	pc.writeMu.Lock()
+	buf := wire.AppendV2Header(pc.sendBuf[:0], wire.V2FrameCredit, 0, stream, pn)
+	buf = append(buf, payload[:pn]...)
+	written := len(buf)
+	_, err := pc.conn.Write(buf)
+	pc.sendBuf = buf[:0]
+	pc.writeMu.Unlock()
+	if err == nil {
+		pc.stats.addWireBytes(true, uint64(written))
+	}
+	return err
+}
+
+// writeRequests encodes every request as a frame in the connection's
+// reusable buffer and issues a single Write — the request path's only
+// syscall, shared by single invocations and coalesced batches. On a v2
+// connection the frame is varint-headed, the target and the args
+// descriptor are interned, and a bulk request may be compressed.
 func (pc *poolConn) writeRequests(rqs ...*request) error {
+	return pc.writeRequestsOpt(false, rqs...)
+}
+
+func (pc *poolConn) writeRequestsOpt(bulk bool, rqs ...*request) error {
 	pc.writeMu.Lock()
 	buf := pc.sendBuf[:0]
+	var err error
+	if pc.v2 {
+		buf, err = pc.appendV2Requests(buf, bulk, rqs)
+	} else {
+		buf, err = appendV1Requests(buf, rqs)
+	}
+	if err != nil {
+		pc.sendBuf = buf[:0]
+		pc.writeMu.Unlock()
+		return err
+	}
+	written := len(buf)
+	_, err = pc.conn.Write(buf)
+	pc.sendBuf = buf[:0]
+	pc.writeMu.Unlock()
+	if err == nil {
+		pc.stats.writes.Add(1)
+		pc.stats.bytesOut.Add(uint64(written))
+		pc.stats.addWireBytes(pc.v2, uint64(written))
+	}
+	return err
+}
+
+// appendV1Requests assembles length-prefixed v1 frames.
+func appendV1Requests(buf []byte, rqs []*request) ([]byte, error) {
 	for _, rq := range rqs {
 		start := len(buf)
 		buf = append(buf, 0, 0, 0, 0)
 		buf = appendRequest(buf, rq)
 		n := len(buf) - start - 4
 		if n > wire.MaxFrameSize {
-			pc.sendBuf = buf[:0]
-			pc.writeMu.Unlock()
-			return wire.ErrFrameTooLarge
+			return buf, wire.ErrFrameTooLarge
 		}
 		binary.BigEndian.PutUint32(buf[start:start+4], uint32(n))
 	}
-	written := len(buf)
-	_, err := pc.conn.Write(buf)
-	pc.sendBuf = buf[:0]
-	pc.writeMu.Unlock()
-	if err == nil {
-		pc.stats.writes.Add(1)
-		pc.stats.bytesOut.Add(uint64(written))
+	return buf, nil
+}
+
+// appendV2Requests assembles v2 REQUEST frames, interning targets and
+// descriptors through the connection tables (all guarded by writeMu).
+func (pc *poolConn) appendV2Requests(buf []byte, bulk bool, rqs []*request) ([]byte, error) {
+	for _, rq := range rqs {
+		payload := appendRequestV2(pc.pbuf[:0], pc.targets, pc.interns, pc.stats, rq)
+		pc.pbuf = payload[:0]
+		if len(payload) > wire.MaxFrameSize {
+			return buf, wire.ErrFrameTooLarge
+		}
+		var flags uint8
+		if rq.oneway {
+			flags |= wire.V2FlagOneway
+		}
+		if bulk {
+			flags |= wire.V2FlagBulk
+			if comp, ok := wire.CompressPayload(payload[len(payload):], payload); ok {
+				payload = comp
+				flags |= wire.V2FlagCompressed
+				pc.stats.compressed.Add(1)
+			}
+		}
+		buf = wire.AppendV2Header(buf, wire.V2FrameRequest, flags, rq.id, len(payload))
+		buf = append(buf, payload...)
 	}
-	return err
+	return buf, nil
 }
 
 // sendOneway writes a request that expects no reply.
@@ -153,7 +375,9 @@ func (pc *poolConn) sendOnewayBatch(key, method string, argsList [][]byte) error
 
 // roundTrip sends one request and waits for its reply or ctx cancellation.
 // trace, when nonzero, rides as the frame's trailing metadata; the
-// returned TraceMeta is the reply's echo (zero Trace = legacy peer).
+// returned TraceMeta is the reply's echo (zero Trace = legacy peer). A
+// WithBulk context flags the exchange for compression and streaming on a
+// v2 connection.
 func (pc *poolConn) roundTrip(ctx context.Context, key, method string, args []byte, trace uint64) ([]byte, wire.TraceMeta, error) {
 	pc.mu.Lock()
 	if pc.err != nil {
@@ -167,7 +391,8 @@ func (pc *poolConn) roundTrip(ctx context.Context, key, method string, args []by
 	pc.pending[id] = ch
 	pc.mu.Unlock()
 
-	err := pc.writeRequests(&request{id: id, key: key, method: method, args: args, trace: trace})
+	bulk := pc.v2 && IsBulk(ctx)
+	err := pc.writeRequestsOpt(bulk, &request{id: id, key: key, method: method, args: args, trace: trace})
 	if err != nil {
 		pc.mu.Lock()
 		delete(pc.pending, id)

@@ -20,6 +20,36 @@
 // Argument marshalling uses encoding/gob, mirroring the prototype's use of
 // Java object serialization over IIOP.
 //
+// # Wire protocol versions
+//
+// Two protocol generations share every pooled connection's lifecycle;
+// WIRE.md at the repository root is the normative spec of both.
+//
+// v1 is the original GIOP-like exchange: 4-byte length-prefixed frames,
+// one complete gob-self-describing message per frame, replies matched to
+// requests by id. It remains fully supported — it is the negotiation
+// carrier and the fallback.
+//
+// v2 is negotiated per connection: the client's first request invokes
+// the "__wire"/"hello" pseudo-object as an ordinary v1 call. A
+// v2-capable server intercepts it and acknowledges, after which both
+// sides switch to varint-headed frames with
+//
+//   - interned targets and type descriptors ((key, method) pairs and gob
+//     descriptor prefixes ship once per connection, then travel as ids),
+//   - multiplexed pipelining (each request is a stream; reply bodies over
+//     wire.V2ChunkSize stream as CHUNK frames that interleave with other
+//     streams, paced by per-stream CREDIT flow control, so one bulk reply
+//     no longer head-of-line-blocks concurrent invocations), and
+//   - opt-in flate compression for bulk exchanges (WithBulk).
+//
+// A v1 peer has no "__wire" servant; its OBJECT_NOT_EXIST reply leaves
+// the connection in v1, the verdict is cached per address, and DropConn
+// clears it so a restarted peer is re-probed. SetWireV2(false) disables
+// both sides of the mechanism, making the ORB indistinguishable from a
+// pre-v2 peer. Stats reports the negotiated-connection count, per-version
+// byte totals, and descriptor-cache defs/hits.
+//
 // # Telemetry
 //
 // When a sampled trace rides the invocation context

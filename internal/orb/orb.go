@@ -1,6 +1,7 @@
 package orb
 
 import (
+	"bufio"
 	"context"
 	"encoding/binary"
 	"errors"
@@ -85,6 +86,33 @@ type orbStats struct {
 	writes      atomic.Uint64 // client-side write syscalls on pooled conns
 	bytesOut    atomic.Uint64 // client-side bytes written on pooled conns
 	replies     atomic.Uint64 // server-side replies written
+
+	v2conns    atomic.Uint64 // client connections negotiated to protocol v2
+	bytesV1    atomic.Uint64 // bytes written on v1 connections (both roles)
+	bytesV2    atomic.Uint64 // bytes written on v2 connections (both roles)
+	internDefs atomic.Uint64 // descriptor/target definitions sent
+	internHits atomic.Uint64 // interned references sent (cache hits)
+	compressed atomic.Uint64 // frames sent flate-compressed
+
+	// Mirrors of the byte counters in the process-wide metric
+	// discover_wire_bytes_total{ver}; nil when the stats block was not
+	// built by New (direct test construction).
+	ctrV1, ctrV2 *telemetry.Counter
+}
+
+// addWireBytes accounts n written bytes to the per-version counters.
+func (s *orbStats) addWireBytes(v2 bool, n uint64) {
+	if v2 {
+		s.bytesV2.Add(n)
+		if s.ctrV2 != nil {
+			s.ctrV2.Add(n)
+		}
+		return
+	}
+	s.bytesV1.Add(n)
+	if s.ctrV1 != nil {
+		s.ctrV1.Add(n)
+	}
 }
 
 // Stats is a snapshot of an ORB's cumulative wire-level work: how many
@@ -96,6 +124,13 @@ type Stats struct {
 	Writes      uint64 // write syscalls issued for requests
 	BytesOut    uint64 // request bytes written
 	Replies     uint64 // replies served to remote callers
+
+	V2Conns    uint64 // client connections negotiated to protocol v2
+	BytesV1    uint64 // bytes written on v1 connections (both roles)
+	BytesV2    uint64 // bytes written on v2 connections (both roles)
+	InternDefs uint64 // descriptor/target definitions sent
+	InternHits uint64 // interned references sent (cache hits)
+	Compressed uint64 // frames sent flate-compressed
 }
 
 // ORB hosts servants on a listening endpoint and invokes methods on remote
@@ -110,6 +145,17 @@ type ORB struct {
 	// exactly like a pre-telemetry peer. Tests use it to exercise the
 	// legacy-interop path; operators can use it as a kill switch.
 	wireTrace atomic.Bool
+
+	// wireV2 gates protocol v2: off, the ORB neither probes peers nor
+	// answers the hello, behaving exactly like a pre-v2 peer. Tests use
+	// it to stand up v1 domains; operators get a kill switch.
+	wireV2 atomic.Bool
+
+	// verMu guards verCache: peer addresses that failed the v2 probe and
+	// are spoken to in v1 without re-probing. DropConn clears the verdict
+	// so a restarted (possibly upgraded) peer is probed afresh.
+	verMu    sync.Mutex
+	verCache map[string]struct{}
 
 	histMu      sync.RWMutex
 	invokeHist  map[string]*telemetry.Histogram
@@ -136,6 +182,31 @@ func (o *ORB) SetWireTrace(enabled bool) { o.wireTrace.Store(enabled) }
 
 // WireTraceEnabled reports whether trace trailers are handled.
 func (o *ORB) WireTraceEnabled() bool { return o.wireTrace.Load() }
+
+// SetWireV2 enables or disables protocol v2 negotiation (default
+// enabled). Disabled, the ORB behaves exactly like a pre-v2 peer on both
+// its client and server sides; existing pooled connections are not
+// affected.
+func (o *ORB) SetWireV2(enabled bool) { o.wireV2.Store(enabled) }
+
+// WireV2Enabled reports whether protocol v2 is negotiated.
+func (o *ORB) WireV2Enabled() bool { return o.wireV2.Load() }
+
+// markLegacy records that addr failed the v2 probe; future connections
+// skip the handshake until DropConn clears the verdict.
+func (o *ORB) markLegacy(addr string) {
+	o.verMu.Lock()
+	o.verCache[addr] = struct{}{}
+	o.verMu.Unlock()
+}
+
+// knownLegacy reports whether addr has a cached failed-probe verdict.
+func (o *ORB) knownLegacy(addr string) bool {
+	o.verMu.Lock()
+	_, ok := o.verCache[addr]
+	o.verMu.Unlock()
+	return ok
+}
 
 // histFor returns the per-method histogram cached in m, registering it in
 // the default registry on first use.
@@ -164,6 +235,12 @@ func (o *ORB) Stats() Stats {
 		Writes:      o.stats.writes.Load(),
 		BytesOut:    o.stats.bytesOut.Load(),
 		Replies:     o.stats.replies.Load(),
+		V2Conns:     o.stats.v2conns.Load(),
+		BytesV1:     o.stats.bytesV1.Load(),
+		BytesV2:     o.stats.bytesV2.Load(),
+		InternDefs:  o.stats.internDefs.Load(),
+		InternHits:  o.stats.internHits.Load(),
+		Compressed:  o.stats.compressed.Load(),
 	}
 }
 
@@ -174,11 +251,15 @@ func New(opts ...Option) *ORB {
 		servants:    make(map[string]Servant),
 		pool:        make(map[string]*poolConn),
 		accepted:    make(map[net.Conn]struct{}),
+		verCache:    make(map[string]struct{}),
 		invokeHist:  make(map[string]*telemetry.Histogram),
 		servantHist: make(map[string]*telemetry.Histogram),
 		onewayHist:  make(map[string]*telemetry.Histogram),
 	}
 	o.wireTrace.Store(true)
+	o.wireV2.Store(true)
+	o.stats.ctrV1 = telemetry.GetCounter("discover_wire_bytes_total", "ver", "v1")
+	o.stats.ctrV2 = telemetry.GetCounter("discover_wire_bytes_total", "ver", "v2")
 	var d net.Dialer
 	o.dial = d.DialContext
 	for _, opt := range opts {
@@ -288,6 +369,7 @@ func (o *ORB) serveConn(conn net.Conn) {
 	var handlers sync.WaitGroup
 	defer handlers.Wait()
 	var readBuf []byte
+	first := true
 	for {
 		payload, err := wire.ReadFrameBuf(conn, readBuf)
 		if err != nil {
@@ -302,6 +384,22 @@ func (o *ORB) serveConn(conn net.Conn) {
 		if err != nil || rq == nil {
 			return // protocol violation: drop the connection
 		}
+		// A v2-capable client's first request is the version probe. When
+		// this ORB speaks v2, acknowledge and switch the connection; when
+		// it doesn't, fall through to normal dispatch, which fails the
+		// call with OBJECT_NOT_EXIST — the client's signal to stay on v1.
+		if first && !rq.oneway && rq.key == wireControlKey && rq.method == helloMethod && o.wireV2.Load() {
+			var hr helloReq
+			if Unmarshal(rq.args, &hr) == nil && hr.Magic == helloMagic && hr.MaxVersion >= wireV2Version {
+				body, err := Marshal(helloAck{Version: wireV2Version})
+				if err != nil || rw.write(&reply{id: rq.id, status: replyOK, body: body}) != nil {
+					return
+				}
+				o.serveConnV2(conn, rw)
+				return
+			}
+		}
+		first = false
 		handlers.Add(1)
 		go func(rq *request) {
 			defer handlers.Done()
@@ -316,13 +414,87 @@ func (o *ORB) serveConn(conn net.Conn) {
 	}
 }
 
+// serveConnV2 serves a connection that completed the version handshake:
+// varint-headed frames, interned targets and descriptors, chunked
+// streamed replies with credit-based flow control. The caller's defers
+// still own connection teardown.
+func (o *ORB) serveConnV2(conn net.Conn, rw *replyWriter) {
+	rw.v2 = true
+	rw.interns = wire.NewInternTable()
+	rw.flows = make(map[uint64]*streamFlow)
+	targets := newTargetDefs()
+	defs := wire.NewInternDefs()
+	var handlers sync.WaitGroup
+	// LIFO defers: when the read loop exits, first unblock any chunk
+	// writers waiting on flow credit, then wait the handlers out.
+	defer handlers.Wait()
+	defer rw.closeFlows()
+	br := bufio.NewReaderSize(conn, 32<<10)
+	var readBuf []byte
+	for {
+		h, payload, err := wire.ReadV2Frame(br, readBuf)
+		if err != nil {
+			return
+		}
+		if cap(payload) > cap(readBuf) {
+			readBuf = payload[:0]
+		}
+		switch h.Type {
+		case wire.V2FrameRequest:
+			data := payload
+			if h.Flags&wire.V2FlagCompressed != 0 {
+				if data, err = wire.DecompressPayload(payload, wire.MaxFrameSize); err != nil {
+					return
+				}
+			}
+			// decodeRequestV2 copies every field out of data, so the read
+			// buffer is free for reuse as soon as it returns.
+			rq, err := decodeRequestV2(data, h.Stream, h.Flags&wire.V2FlagOneway != 0, targets, defs)
+			if err != nil {
+				return // protocol violation: drop the connection
+			}
+			bulk := h.Flags&wire.V2FlagBulk != 0
+			handlers.Add(1)
+			go func(rq *request, bulk bool) {
+				defer handlers.Done()
+				rp := o.execute(rq)
+				if rq.oneway {
+					return
+				}
+				if err := rw.writeV2(rp, rq.id, bulk); err != nil {
+					conn.Close()
+				}
+			}(rq, bulk)
+		case wire.V2FrameCredit:
+			n, sz := binary.Uvarint(payload)
+			if sz <= 0 || n > wire.MaxConnStreamBudget {
+				return
+			}
+			rw.credit(h.Stream, int(n))
+		default:
+			return // clients send only REQUEST and CREDIT
+		}
+	}
+}
+
 // replyWriter assembles each reply frame in a per-connection reusable
-// buffer and writes it with a single syscall.
+// buffer and writes it with a single syscall. On a v2 connection it also
+// owns the server half of multiplexing: small replies go out as one
+// REPLY frame, large bodies as CHUNK frames interleavable with other
+// streams, paced by per-stream flow-control credit.
 type replyWriter struct {
 	mu    sync.Mutex
 	buf   []byte
 	conn  net.Conn
 	stats *orbStats
+
+	// v2 state, set by serveConnV2 before any concurrent use.
+	v2      bool
+	pbuf    []byte            // v2 payload scratch, guarded by mu
+	interns *wire.InternTable // descriptor interning, guarded by mu
+
+	flowMu sync.Mutex
+	flows  map[uint64]*streamFlow
 }
 
 func (rw *replyWriter) write(rp *reply) error {
@@ -335,13 +507,196 @@ func (rw *replyWriter) write(rp *reply) error {
 		return wire.ErrFrameTooLarge
 	}
 	binary.BigEndian.PutUint32(buf[:4], uint32(len(buf)-4))
+	written := len(buf)
 	_, err := rw.conn.Write(buf)
 	rw.buf = buf[:0]
 	rw.mu.Unlock()
 	if err == nil {
 		rw.stats.replies.Add(1)
+		rw.stats.addWireBytes(false, uint64(written))
 	}
 	return err
+}
+
+// writeV2 sends one reply on a v2 connection. Bodies up to V2ChunkSize
+// travel as a single REPLY frame with descriptor interning; larger
+// bodies stream as raw CHUNK frames plus a terminating END, releasing
+// the write lock between chunks so concurrent small replies interleave
+// instead of queueing behind the bulk transfer.
+func (rw *replyWriter) writeV2(rp *reply, stream uint64, bulk bool) error {
+	if len(rp.body) <= wire.V2ChunkSize {
+		return rw.writeV2Single(rp, stream, bulk)
+	}
+	if len(rp.body) > wire.MaxStreamBody {
+		return wire.ErrFrameTooLarge
+	}
+	flow := rw.newFlow(stream)
+	defer rw.dropFlow(stream)
+	for off := 0; off < len(rp.body); off += wire.V2ChunkSize {
+		end := off + wire.V2ChunkSize
+		if end > len(rp.body) {
+			end = len(rp.body)
+		}
+		if err := rw.writeChunk(stream, rp.body[off:end], bulk, flow); err != nil {
+			return err
+		}
+	}
+	rw.mu.Lock()
+	payload := appendEndV2(rw.pbuf[:0], rp)
+	rw.pbuf = payload[:0]
+	buf := wire.AppendV2Header(rw.buf[:0], wire.V2FrameEnd, 0, stream, len(payload))
+	buf = append(buf, payload...)
+	written := len(buf)
+	_, err := rw.conn.Write(buf)
+	rw.buf = buf[:0]
+	rw.mu.Unlock()
+	if err == nil {
+		rw.stats.replies.Add(1)
+		rw.stats.addWireBytes(true, uint64(written))
+	}
+	return err
+}
+
+func (rw *replyWriter) writeV2Single(rp *reply, stream uint64, bulk bool) error {
+	rw.mu.Lock()
+	payload := appendReplyV2(rw.pbuf[:0], rw.interns, rw.stats, rp)
+	rw.pbuf = payload[:0]
+	if len(payload) > wire.MaxFrameSize {
+		rw.mu.Unlock()
+		return wire.ErrFrameTooLarge
+	}
+	var flags uint8
+	if bulk {
+		if comp, ok := wire.CompressPayload(payload[len(payload):], payload); ok {
+			payload = comp
+			flags |= wire.V2FlagCompressed
+			rw.stats.compressed.Add(1)
+		}
+	}
+	buf := wire.AppendV2Header(rw.buf[:0], wire.V2FrameReply, flags, stream, len(payload))
+	buf = append(buf, payload...)
+	written := len(buf)
+	_, err := rw.conn.Write(buf)
+	rw.buf = buf[:0]
+	rw.mu.Unlock()
+	if err == nil {
+		rw.stats.replies.Add(1)
+		rw.stats.addWireBytes(true, uint64(written))
+	}
+	return err
+}
+
+// writeChunk sends one CHUNK frame, blocking on the stream's credit
+// window first — off the write lock, so other streams keep flowing while
+// this one waits for the receiver.
+func (rw *replyWriter) writeChunk(stream uint64, body []byte, bulk bool, flow *streamFlow) error {
+	payload := body
+	var flags uint8
+	if bulk {
+		if c, ok := wire.CompressPayload(nil, body); ok {
+			payload = c
+			flags |= wire.V2FlagCompressed
+			rw.stats.compressed.Add(1)
+		}
+	}
+	if !flow.acquire(len(payload)) {
+		return &RemoteError{Code: CodeComm, Msg: "stream closed"}
+	}
+	rw.mu.Lock()
+	buf := wire.AppendV2Header(rw.buf[:0], wire.V2FrameChunk, flags, stream, len(payload))
+	buf = append(buf, payload...)
+	written := len(buf)
+	_, err := rw.conn.Write(buf)
+	rw.buf = buf[:0]
+	rw.mu.Unlock()
+	if err == nil {
+		rw.stats.addWireBytes(true, uint64(written))
+	}
+	return err
+}
+
+// streamFlow is the server half of one stream's flow-control window:
+// chunk writers acquire credit, the read loop grants it back as CREDIT
+// frames arrive.
+type streamFlow struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	avail  int
+	closed bool
+}
+
+func newStreamFlow() *streamFlow {
+	f := &streamFlow{avail: wire.V2StreamWindow}
+	f.cond = sync.NewCond(&f.mu)
+	return f
+}
+
+// acquire blocks until n bytes of window are available (or the flow is
+// closed, returning false).
+func (f *streamFlow) acquire(n int) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for f.avail < n && !f.closed {
+		f.cond.Wait()
+	}
+	if f.closed {
+		return false
+	}
+	f.avail -= n
+	return true
+}
+
+// credit returns n bytes to the window.
+func (f *streamFlow) credit(n int) {
+	f.mu.Lock()
+	f.avail += n
+	f.mu.Unlock()
+	f.cond.Signal()
+}
+
+func (f *streamFlow) close() {
+	f.mu.Lock()
+	f.closed = true
+	f.mu.Unlock()
+	f.cond.Broadcast()
+}
+
+func (rw *replyWriter) newFlow(stream uint64) *streamFlow {
+	f := newStreamFlow()
+	rw.flowMu.Lock()
+	rw.flows[stream] = f
+	rw.flowMu.Unlock()
+	return f
+}
+
+func (rw *replyWriter) dropFlow(stream uint64) {
+	rw.flowMu.Lock()
+	delete(rw.flows, stream)
+	rw.flowMu.Unlock()
+}
+
+// credit routes an arriving CREDIT frame to its stream's window; credit
+// for an already-finished stream is ignored.
+func (rw *replyWriter) credit(stream uint64, n int) {
+	rw.flowMu.Lock()
+	f := rw.flows[stream]
+	rw.flowMu.Unlock()
+	if f != nil {
+		f.credit(n)
+	}
+}
+
+// closeFlows unblocks every chunk writer when the connection dies.
+func (rw *replyWriter) closeFlows() {
+	rw.flowMu.Lock()
+	flows := make([]*streamFlow, 0, len(rw.flows))
+	for _, f := range rw.flows {
+		flows = append(flows, f)
+	}
+	rw.flowMu.Unlock()
+	for _, f := range flows {
+		f.close()
+	}
 }
 
 func (o *ORB) execute(rq *request) *reply {
@@ -474,7 +829,35 @@ func (o *ORB) getConn(ctx context.Context, addr string) (*poolConn, error) {
 	if err != nil {
 		return nil, err
 	}
-	pc = newPoolConn(conn, &o.stats)
+	pc = newPoolConnIdle(conn, &o.stats)
+	if o.wireV2.Load() && !o.knownLegacy(addr) {
+		// Probe for v2 synchronously, before the connection is published
+		// or its read loop starts — no concurrent sender can slip a v1
+		// frame into the handshake. The dial context bounds the exchange:
+		// expiry closes the connection out from under the blocked read.
+		done := make(chan struct{})
+		var v2 bool
+		var herr error
+		go func() {
+			v2, herr = pc.handshake()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-dctx.Done():
+			conn.Close()
+			<-done
+			herr = dctx.Err()
+		}
+		if herr != nil {
+			conn.Close()
+			return nil, herr
+		}
+		if !v2 {
+			o.markLegacy(addr)
+		}
+	}
+	pc.start()
 
 	o.poolMu.Lock()
 	if existing, ok := o.pool[addr]; ok && !existing.dead() {
@@ -485,6 +868,9 @@ func (o *ORB) getConn(ctx context.Context, addr string) (*poolConn, error) {
 	}
 	o.pool[addr] = pc
 	o.poolMu.Unlock()
+	if pc.v2 {
+		o.stats.v2conns.Add(1)
+	}
 	return pc, nil
 }
 
@@ -559,12 +945,17 @@ func (o *ORB) InvokeOnewayBatch(ctx context.Context, ref ObjRef, method string, 
 }
 
 // DropConn discards any pooled connection to addr, forcing the next
-// Invoke to redial. Used when a peer is believed restarted.
+// Invoke to redial. Used when a peer is believed restarted. The cached
+// version verdict is cleared with the connection: a peer that came back
+// upgraded gets a fresh v2 probe.
 func (o *ORB) DropConn(addr string) {
 	o.poolMu.Lock()
-	defer o.poolMu.Unlock()
 	if pc, ok := o.pool[addr]; ok {
 		pc.close(fmt.Errorf("orb: connection to %s dropped", addr))
 		delete(o.pool, addr)
 	}
+	o.poolMu.Unlock()
+	o.verMu.Lock()
+	delete(o.verCache, addr)
+	o.verMu.Unlock()
 }

@@ -1,0 +1,332 @@
+package orb
+
+// Protocol v2 payload encodings and the version handshake. The frame
+// layer (header grammar, chunking constants, compression, descriptor
+// splitting) lives in internal/wire; this file defines what travels
+// inside REQUEST / REPLY / END / CREDIT payloads and how a connection
+// negotiates up from v1. WIRE.md is the normative spec.
+
+import (
+	"context"
+	"encoding/binary"
+
+	"discover/internal/wire"
+)
+
+// The handshake pseudo-object. A v2-capable client's first request on a
+// fresh connection is a plain v1 invocation of key wireControlKey, method
+// helloMethod; a v2-capable server intercepts it before servant dispatch
+// and acknowledges, after which both sides switch to v2 framing. A v1
+// server has no such servant and fails the call with OBJECT_NOT_EXIST —
+// which is the fallback signal: the connection simply continues in v1.
+const (
+	wireControlKey = "__wire"
+	helloMethod    = "hello"
+	helloMagic     = "DWP2"
+	wireV2Version  = 2
+)
+
+// helloReq is the gob-encoded argument of the handshake invocation.
+type helloReq struct {
+	Magic      string // helloMagic, distinguishing the probe from a stray call
+	MaxVersion int    // highest protocol version the client speaks
+}
+
+// helloAck is the gob-encoded result: the version the connection will
+// speak from the next frame on.
+type helloAck struct {
+	Version int
+}
+
+// v2 target encodings: the leading byte of a REQUEST payload. Like
+// descriptor interning, (key, method) pairs are defined once per
+// connection and referenced by id thereafter — for the steady federation
+// traffic this replaces two length-prefixed strings with one or two
+// bytes per request.
+const (
+	targetRef = 0x00 // uvarint id of a previously defined target
+	targetDef = 0x01 // uvarint id, then key and method strings
+
+	maxTargetEntries = 4096
+)
+
+// v2 blob encodings: the tag that precedes args (REQUEST) and body
+// (single-frame REPLY) blobs. Chunked bodies are always raw — a DEF whose
+// bytes were spread across interleaved chunks could be referenced before
+// it completes, so interning applies only to payloads written whole under
+// the connection's write lock.
+const (
+	blobRaw = 0x00 // varint length, then a self-describing gob stream
+	blobDef = 0x01 // uvarint id, varint length, full gob stream defining the id
+	blobRef = 0x02 // uvarint id, varint length, value segment only
+)
+
+// targetTable is the sender half of target interning, guarded by the
+// connection's write lock. The two-level map keeps the hot lookup
+// allocation-free.
+type targetTable struct {
+	ids  map[string]map[string]uint64 // key -> method -> id
+	next uint64
+}
+
+func newTargetTable() *targetTable {
+	return &targetTable{ids: make(map[string]map[string]uint64)}
+}
+
+// appendTarget appends the target encoding for (key, method), defining a
+// new id when the pair is first seen and the table has room.
+func (t *targetTable) appendTarget(buf []byte, key, method string) []byte {
+	if methods := t.ids[key]; methods != nil {
+		if id, ok := methods[method]; ok {
+			buf = append(buf, targetRef)
+			return appendUv(buf, id)
+		}
+	}
+	if t.next >= maxTargetEntries {
+		// Table full: send an inline definition with id 0, which receivers
+		// treat as "do not remember".
+		buf = append(buf, targetDef)
+		buf = appendUv(buf, 0)
+		buf = appendStr(buf, key)
+		return appendStr(buf, method)
+	}
+	t.next++
+	methods := t.ids[key]
+	if methods == nil {
+		methods = make(map[string]uint64)
+		t.ids[key] = methods
+	}
+	methods[method] = t.next
+	buf = append(buf, targetDef)
+	buf = appendUv(buf, t.next)
+	buf = appendStr(buf, key)
+	return appendStr(buf, method)
+}
+
+// targetDefs is the receiver half, touched only by the connection's read
+// loop.
+type targetDefs struct {
+	byID map[uint64][2]string // id -> {key, method}
+}
+
+func newTargetDefs() *targetDefs {
+	return &targetDefs{byID: make(map[uint64][2]string)}
+}
+
+// readTarget consumes a target encoding and returns the key and method.
+func (t *targetDefs) readTarget(r *frameReader) (key, method string, err error) {
+	tag, err := r.u8()
+	if err != nil {
+		return "", "", err
+	}
+	switch tag {
+	case targetRef:
+		id, err := r.uv()
+		if err != nil {
+			return "", "", err
+		}
+		km, ok := t.byID[id]
+		if !ok {
+			return "", "", errBadFrame
+		}
+		return km[0], km[1], nil
+	case targetDef:
+		id, err := r.uv()
+		if err != nil {
+			return "", "", err
+		}
+		if key, err = r.str(); err != nil {
+			return "", "", err
+		}
+		if method, err = r.str(); err != nil {
+			return "", "", err
+		}
+		if id != 0 {
+			if id != uint64(len(t.byID))+1 || id > maxTargetEntries {
+				return "", "", errBadFrame
+			}
+			t.byID[id] = [2]string{key, method}
+		}
+		return key, method, nil
+	default:
+		return "", "", errBadFrame
+	}
+}
+
+func appendUv(dst []byte, v uint64) []byte {
+	var b [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(b[:], v)
+	return append(dst, b[:n]...)
+}
+
+// uv reads one uvarint from the frame.
+func (r *frameReader) uv() (uint64, error) {
+	v, sz := binary.Uvarint(r.src[r.off:])
+	if sz <= 0 {
+		return 0, errBadFrame
+	}
+	r.off += sz
+	return v, nil
+}
+
+// appendV2Blob appends a tagged blob, interning its descriptor prefix
+// through it (guarded by the connection's write lock). defs/hits are
+// incremented on the stats block for the wire counters.
+func appendV2Blob(buf []byte, it *wire.InternTable, stats *orbStats, full []byte) []byte {
+	id, descLen, def, ok := it.Intern(full)
+	switch {
+	case !ok:
+		buf = append(buf, blobRaw)
+		return appendBlob(buf, full)
+	case def:
+		stats.internDefs.Add(1)
+		buf = append(buf, blobDef)
+		buf = appendUv(buf, id)
+		return appendBlob(buf, full)
+	default:
+		stats.internHits.Add(1)
+		buf = append(buf, blobRef)
+		buf = appendUv(buf, id)
+		return appendBlob(buf, full[descLen:])
+	}
+}
+
+// readV2Blob consumes a tagged blob and returns a complete gob stream —
+// for a REF, the remembered descriptor prefix is re-joined with the
+// value bytes.
+func readV2Blob(r *frameReader, defs *wire.InternDefs) ([]byte, error) {
+	tag, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case blobRaw:
+		return r.blob()
+	case blobDef:
+		id, err := r.uv()
+		if err != nil {
+			return nil, err
+		}
+		full, err := r.blob()
+		if err != nil {
+			return nil, err
+		}
+		if err := defs.Define(id, full); err != nil {
+			return nil, errBadFrame
+		}
+		return full, nil
+	case blobRef:
+		id, err := r.uv()
+		if err != nil {
+			return nil, err
+		}
+		value, err := r.blob()
+		if err != nil {
+			return nil, err
+		}
+		prefix, ok := defs.Resolve(id)
+		if !ok {
+			return nil, errBadFrame
+		}
+		joined := make([]byte, 0, len(prefix)+len(value))
+		joined = append(joined, prefix...)
+		return append(joined, value...), nil
+	default:
+		return nil, errBadFrame
+	}
+}
+
+// appendRequestV2 appends a v2 REQUEST payload: target, tagged args blob,
+// optional trace trailer.
+func appendRequestV2(buf []byte, tt *targetTable, it *wire.InternTable, stats *orbStats, rq *request) []byte {
+	buf = tt.appendTarget(buf, rq.key, rq.method)
+	buf = appendV2Blob(buf, it, stats, rq.args)
+	return wire.AppendTraceMeta(buf, wire.TraceMeta{Trace: rq.trace})
+}
+
+// decodeRequestV2 parses a v2 REQUEST payload. The stream id from the
+// frame header is the request id.
+func decodeRequestV2(p []byte, stream uint64, oneway bool, td *targetDefs, defs *wire.InternDefs) (*request, error) {
+	r := &frameReader{src: p}
+	rq := &request{id: stream, oneway: oneway}
+	var err error
+	if rq.key, rq.method, err = td.readTarget(r); err != nil {
+		return nil, err
+	}
+	if rq.args, err = readV2Blob(r, defs); err != nil {
+		return nil, err
+	}
+	if m, ok := wire.ParseTraceMeta(p[r.off:]); ok {
+		rq.trace = m.Trace
+	}
+	return rq, nil
+}
+
+// appendReplyV2 appends a single-frame v2 REPLY payload: status, tagged
+// body blob, optional trace trailer.
+func appendReplyV2(buf []byte, it *wire.InternTable, stats *orbStats, rp *reply) []byte {
+	buf = append(buf, rp.status)
+	buf = appendV2Blob(buf, it, stats, rp.body)
+	return wire.AppendTraceMeta(buf, wire.TraceMeta{Trace: rp.trace, ServantNanos: rp.servantNanos})
+}
+
+// decodeReplyV2 parses a single-frame v2 REPLY payload.
+func decodeReplyV2(p []byte, stream uint64, defs *wire.InternDefs) (*reply, error) {
+	r := &frameReader{src: p}
+	rp := &reply{id: stream}
+	st, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	rp.status = st
+	if rp.body, err = readV2Blob(r, defs); err != nil {
+		return nil, err
+	}
+	if m, ok := wire.ParseTraceMeta(p[r.off:]); ok {
+		rp.trace = m.Trace
+		rp.servantNanos = m.ServantNanos
+	}
+	return rp, nil
+}
+
+// appendEndV2 appends an END payload: the status of a chunked reply whose
+// body already travelled as raw CHUNK frames, plus the trace trailer.
+func appendEndV2(buf []byte, rp *reply) []byte {
+	buf = append(buf, rp.status)
+	return wire.AppendTraceMeta(buf, wire.TraceMeta{Trace: rp.trace, ServantNanos: rp.servantNanos})
+}
+
+// decodeEndV2 parses an END payload into the reply carrying the
+// reassembled body.
+func decodeEndV2(p []byte, stream uint64, body []byte) (*reply, error) {
+	r := &frameReader{src: p}
+	rp := &reply{id: stream, body: body}
+	st, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	rp.status = st
+	if m, ok := wire.ParseTraceMeta(p[r.off:]); ok {
+		rp.trace = m.Trace
+		rp.servantNanos = m.ServantNanos
+	}
+	return rp, nil
+}
+
+// bulkKey marks a context as a bulk exchange.
+type bulkKey struct{}
+
+// WithBulk marks ctx as a bulk exchange: on a v2 connection the request
+// is flagged V2FlagBulk, both the request args and the reply may be
+// flate-compressed, and large reply bodies stream as chunks. Bulk is
+// strictly opt-in so latency-sensitive small-message paths (relay
+// batching in particular) never pay compression costs.
+func WithBulk(ctx context.Context) context.Context {
+	return context.WithValue(ctx, bulkKey{}, true)
+}
+
+// IsBulk reports whether ctx was marked by WithBulk.
+func IsBulk(ctx context.Context) bool {
+	b, _ := ctx.Value(bulkKey{}).(bool)
+	return b
+}

@@ -1,0 +1,362 @@
+package orb
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoServant echoes args for "echo" and returns a caller-sized blob for
+// "blob" (args = decimal byte count).
+type echoServant struct{}
+
+func (echoServant) Dispatch(method string, args []byte) ([]byte, error) {
+	size := func() int {
+		var s []byte
+		var n int
+		if Unmarshal(args, &s) == nil {
+			fmt.Sscanf(string(s), "%d", &n)
+		}
+		return n
+	}
+	switch method {
+	case "echo":
+		return args, nil
+	case "blob":
+		body := make([]byte, size())
+		for i := range body {
+			body[i] = byte(i)
+		}
+		return Marshal(body)
+	case "text":
+		return Marshal([]byte(strings.Repeat("compressible directory entry ", size())))
+	case "boom":
+		return nil, errors.New("kaboom")
+	}
+	return nil, &RemoteError{Code: CodeNoMethod, Msg: method}
+}
+
+func newV2ServerORB(t *testing.T) *ORB {
+	t.Helper()
+	o := New()
+	if err := o.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { o.Close() })
+	o.Register("obj", echoServant{})
+	return o
+}
+
+type v2pair struct {
+	client, server *ORB
+	ref            ObjRef
+}
+
+func newV2Pair(t *testing.T) v2pair {
+	t.Helper()
+	server := newV2ServerORB(t)
+	client := New()
+	t.Cleanup(func() { client.Close() })
+	return v2pair{client: client, server: server, ref: server.Ref("obj")}
+}
+
+type rawEcho struct {
+	A int
+	B string
+}
+
+func TestV2Negotiation(t *testing.T) {
+	p := newV2Pair(t)
+	var out rawEcho
+	if err := p.client.Invoke(context.Background(), p.ref, "echo",
+		rawEcho{A: 1, B: "x"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	st := p.client.Stats()
+	if st.V2Conns != 1 {
+		t.Fatalf("V2Conns = %d, want 1", st.V2Conns)
+	}
+	if st.BytesV2 == 0 {
+		t.Fatal("no v2 bytes counted after a v2 invocation")
+	}
+	// The gob args of the first call defined a descriptor; repeats hit it.
+	if st.InternDefs == 0 {
+		t.Fatal("no descriptor definitions counted")
+	}
+	for i := 0; i < 5; i++ {
+		if err := p.client.Invoke(context.Background(), p.ref, "echo",
+			rawEcho{A: i, B: "y"}, &out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st2 := p.client.Stats()
+	if st2.InternHits < 4 {
+		t.Fatalf("InternHits = %d after repeated same-type calls", st2.InternHits)
+	}
+	// Interning must shrink repeat requests: later identical calls cost
+	// fewer bytes than the first (which shipped the descriptor + target).
+	perCall := (st2.BytesV2 - st.BytesV2) / 5
+	if perCall >= st.BytesV2 {
+		t.Fatalf("repeat call bytes %d not below first-call bytes %d", perCall, st.BytesV2)
+	}
+}
+
+func TestV2FallbackToLegacyPeer(t *testing.T) {
+	server := newV2ServerORB(t)
+	server.SetWireV2(false) // a pre-v2 peer: hello hits OBJECT_NOT_EXIST
+	client := New()
+	defer client.Close()
+
+	var out rawEcho
+	if err := client.Invoke(context.Background(), server.Ref("obj"), "echo",
+		rawEcho{A: 7, B: "legacy"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.A != 7 {
+		t.Fatalf("echo over v1 fallback: %+v", out)
+	}
+	st := client.Stats()
+	if st.V2Conns != 0 {
+		t.Fatalf("V2Conns = %d against a legacy peer", st.V2Conns)
+	}
+	if st.BytesV1 == 0 || st.BytesV2 != 0 {
+		t.Fatalf("byte accounting: v1=%d v2=%d", st.BytesV1, st.BytesV2)
+	}
+	if !client.knownLegacy(server.Addr()) {
+		t.Fatal("failed probe not cached")
+	}
+	// More invocations must not re-probe (stay on v1, keep working).
+	for i := 0; i < 3; i++ {
+		if err := client.Invoke(context.Background(), server.Ref("obj"), "echo",
+			rawEcho{A: i}, &out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// DropConn clears the verdict: an upgraded peer gets probed afresh.
+	client.DropConn(server.Addr())
+	if client.knownLegacy(server.Addr()) {
+		t.Fatal("DropConn kept the legacy verdict")
+	}
+	server.SetWireV2(true)
+	if err := client.Invoke(context.Background(), server.Ref("obj"), "echo",
+		rawEcho{A: 9}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if client.Stats().V2Conns != 1 {
+		t.Fatal("upgraded peer not re-negotiated to v2")
+	}
+}
+
+func TestV2DisabledClient(t *testing.T) {
+	server := newV2ServerORB(t)
+	client := New()
+	defer client.Close()
+	client.SetWireV2(false) // client kill switch: no probe at all
+
+	var out rawEcho
+	if err := client.Invoke(context.Background(), server.Ref("obj"), "echo",
+		rawEcho{A: 3}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if st := client.Stats(); st.V2Conns != 0 || st.BytesV2 != 0 {
+		t.Fatalf("disabled client still spoke v2: %+v", st)
+	}
+}
+
+func TestV2ChunkedReply(t *testing.T) {
+	p := newV2Pair(t)
+	// A 1.5 MiB body: far above V2ChunkSize, so it streams as chunks.
+	var out []byte
+	if err := p.client.Invoke(context.Background(), p.ref, "blob",
+		[]byte("1500000"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1500000 {
+		t.Fatalf("body length %d", len(out))
+	}
+	for i := 0; i < len(out); i += 100003 {
+		if out[i] != byte(i) {
+			t.Fatalf("body corrupted at %d", i)
+		}
+	}
+	// Errors still arrive while streaming works.
+	err := p.client.Invoke(context.Background(), p.ref, "boom", []byte{}, nil)
+	if !IsRemote(err, CodeApplication) {
+		t.Fatalf("boom: %v", err)
+	}
+}
+
+func TestV2BulkCompression(t *testing.T) {
+	p := newV2Pair(t)
+	probe := New()
+	defer probe.Close()
+
+	// The same highly compressible reply with and without WithBulk.
+	var plainOut, bulkOut []byte
+	if err := probe.Invoke(context.Background(), p.ref, "text", []byte("2000"), &plainOut); err != nil {
+		t.Fatal(err)
+	}
+	plainBytes := serverV2Bytes(p.server)
+	if err := p.client.Invoke(WithBulk(context.Background()), p.ref, "text", []byte("2000"), &bulkOut); err != nil {
+		t.Fatal(err)
+	}
+	bulkBytes := serverV2Bytes(p.server) - plainBytes
+	if !bytes.Equal(plainOut, bulkOut) {
+		t.Fatal("bulk reply differs from plain reply")
+	}
+	if p.server.Stats().Compressed == 0 {
+		t.Fatal("bulk reply was not compressed")
+	}
+	if bulkBytes*2 > plainBytes {
+		t.Fatalf("compressed reply %d bytes vs plain %d: expected <50%%", bulkBytes, plainBytes)
+	}
+}
+
+// serverV2Bytes reads the server ORB's cumulative v2 bytes written.
+func serverV2Bytes(o *ORB) uint64 { return o.Stats().BytesV2 }
+
+func TestV2CancelMidStreamDoesNotWedgeConnection(t *testing.T) {
+	p := newV2Pair(t)
+	// Cancel a bulk streamed reply mid-flight. The client keeps crediting
+	// abandoned streams, so the server-side chunk writer must complete and
+	// the connection must remain usable for subsequent invocations.
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+	}()
+	var out []byte
+	err := p.client.Invoke(ctx, p.ref, "blob", []byte("8000000"), &out)
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled invoke: %v", err)
+	}
+	// Whether or not the cancel won the race, the connection must still
+	// serve invocations afterwards.
+	deadline, cancel2 := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel2()
+	var echo rawEcho
+	for i := 0; i < 20; i++ {
+		if err := p.client.Invoke(deadline, p.ref, "echo", rawEcho{A: i}, &echo); err != nil {
+			t.Fatalf("post-cancel invoke %d: %v", i, err)
+		}
+	}
+}
+
+func TestV2TraceTrailerPropagates(t *testing.T) {
+	p := newV2Pair(t)
+	// Send a traced request straight through roundTrip so the echoed
+	// trailer is observable.
+	ctx := context.Background()
+	var out rawEcho
+	if err := p.client.Invoke(ctx, p.ref, "echo", rawEcho{A: 1}, &out); err != nil {
+		t.Fatal(err)
+	}
+	pc, err := p.client.getConn(ctx, p.ref.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pc.v2 {
+		t.Fatal("pooled connection did not negotiate v2")
+	}
+	args, _ := Marshal(rawEcho{A: 2})
+	_, meta, err := pc.roundTrip(ctx, "obj", "echo", args, 0xDEC0DE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Trace != 0xDEC0DE {
+		t.Fatalf("trace trailer not echoed over v2: %x", meta.Trace)
+	}
+}
+
+// TestV2PipeliningHammer drives many concurrent invocations — small
+// echoes, large streamed blobs, bulk compressed texts, oneways — over one
+// pooled connection under the race detector.
+func TestV2PipeliningHammer(t *testing.T) {
+	p := newV2Pair(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				switch (w + i) % 4 {
+				case 0:
+					var out rawEcho
+					in := rawEcho{A: w*1000 + i, B: "hammer"}
+					if err := p.client.Invoke(ctx, p.ref, "echo", in, &out); err != nil {
+						errs <- err
+						return
+					}
+					if out != in {
+						errs <- fmt.Errorf("echo mismatch: %+v vs %+v", in, out)
+						return
+					}
+				case 1:
+					var out []byte
+					if err := p.client.Invoke(ctx, p.ref, "blob", []byte("200000"), &out); err != nil {
+						errs <- err
+						return
+					}
+					if len(out) != 200000 {
+						errs <- fmt.Errorf("blob length %d", len(out))
+						return
+					}
+				case 2:
+					var out []byte
+					if err := p.client.Invoke(WithBulk(ctx), p.ref, "text", []byte("500"), &out); err != nil {
+						errs <- err
+						return
+					}
+				case 3:
+					if err := p.client.InvokeOneway(ctx, p.ref, "echo", rawEcho{A: i}); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// Everything above multiplexed over exactly one negotiated connection.
+	if st := p.client.Stats(); st.V2Conns != 1 {
+		t.Fatalf("V2Conns = %d, want 1", st.V2Conns)
+	}
+}
+
+func TestV2OnewayBatchAndInterning(t *testing.T) {
+	p := newV2Pair(t)
+	ctx := context.Background()
+	ins := make([]any, 16)
+	for i := range ins {
+		ins[i] = rawEcho{A: i, B: "batch"}
+	}
+	if err := p.client.InvokeOnewayBatch(ctx, p.ref, "echo", ins); err != nil {
+		t.Fatal(err)
+	}
+	// Round trip after the batch proves FIFO delivery and a live conn.
+	var out rawEcho
+	if err := p.client.Invoke(ctx, p.ref, "echo", rawEcho{A: -1}, &out); err != nil {
+		t.Fatal(err)
+	}
+	st := p.client.Stats()
+	if st.InternHits < 14 {
+		t.Fatalf("batch did not hit the descriptor table: hits=%d", st.InternHits)
+	}
+	if st.Writes > 3 {
+		t.Fatalf("batch coalescing regressed: %d writes", st.Writes)
+	}
+}

@@ -1,0 +1,89 @@
+package wire
+
+// Optional per-frame compression for bulk v2 payloads. A compressed
+// payload is
+//
+//	rawLen(uvarint) deflate-block
+//
+// flagged by V2FlagCompressed in the frame header. Compression is
+// strictly opt-in (the ORB applies it only to exchanges marked bulk) and
+// strictly profitable: CompressPayload reports ok=false when the result
+// would not be smaller, so the flag never costs bytes on the wire.
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"io"
+	"sync"
+)
+
+// CompressMin is the smallest payload worth attempting to compress;
+// below it the flate header overhead dominates.
+const CompressMin = 512
+
+// ErrCompressed is returned when a compressed payload is malformed or
+// its declared raw length is wrong or over the frame bound.
+var ErrCompressed = errors.New("wire: malformed compressed payload")
+
+var (
+	flateWriterPool = sync.Pool{New: func() any {
+		w, _ := flate.NewWriter(io.Discard, flate.BestSpeed)
+		return w
+	}}
+	flateReaderPool = sync.Pool{New: func() any {
+		return flate.NewReader(bytes.NewReader(nil))
+	}}
+)
+
+// CompressPayload appends the compressed form of raw to dst. ok=false
+// means compression was not attempted or not profitable and dst is
+// returned unchanged — the caller sends raw without V2FlagCompressed.
+func CompressPayload(dst, raw []byte) (out []byte, ok bool) {
+	if len(raw) < CompressMin {
+		return dst, false
+	}
+	mark := len(dst)
+	dst = appendUvarint(dst, uint64(len(raw)))
+	var buf bytes.Buffer
+	buf.Grow(len(raw) / 2)
+	w := flateWriterPool.Get().(*flate.Writer)
+	w.Reset(&buf)
+	_, werr := w.Write(raw)
+	cerr := w.Close()
+	flateWriterPool.Put(w)
+	if werr != nil || cerr != nil {
+		return dst[:mark], false
+	}
+	if len(dst)-mark+buf.Len() >= len(raw) {
+		return dst[:mark], false
+	}
+	return append(dst, buf.Bytes()...), true
+}
+
+// DecompressPayload inflates a payload produced by CompressPayload. The
+// declared raw length is validated against maxLen before any allocation
+// and against the actual inflated size after, so a lying peer cannot
+// balloon memory or smuggle trailing garbage.
+func DecompressPayload(payload []byte, maxLen int) ([]byte, error) {
+	rawLen, n := binary.Uvarint(payload)
+	if n <= 0 || rawLen == 0 || rawLen > uint64(maxLen) {
+		return nil, ErrCompressed
+	}
+	fr := flateReaderPool.Get().(io.ReadCloser)
+	defer flateReaderPool.Put(fr)
+	if err := fr.(flate.Resetter).Reset(bytes.NewReader(payload[n:]), nil); err != nil {
+		return nil, ErrCompressed
+	}
+	raw := make([]byte, rawLen)
+	if _, err := io.ReadFull(fr, raw); err != nil {
+		return nil, ErrCompressed
+	}
+	// The stream must end exactly at rawLen.
+	var probe [1]byte
+	if m, _ := fr.Read(probe[:]); m != 0 {
+		return nil, ErrCompressed
+	}
+	return raw, nil
+}

@@ -1,5 +1,8 @@
-// Package wire defines the message envelope and codecs shared by every
-// DISCOVER communication channel.
+// Package wire defines the message envelope, codecs, and both wire
+// protocol generations shared by every DISCOVER communication channel.
+// WIRE.md at the repository root is the normative byte-level
+// specification of everything here; scripts/wiredrift cross-checks its
+// tables against this package's constants.
 //
 // The original DISCOVER prototype shipped serialized Java objects and let
 // clients discriminate message types with reflection. Here the envelope is
@@ -11,7 +14,38 @@
 //   - BinaryCodec, the analogue of the paper's "more optimized, custom
 //     protocol using TCP sockets" (compact, hand-rolled field encoding).
 //
-// Frames on a stream are length-prefixed; see Framer and Conn.
+// # Protocol v1
+//
+// v1 frames a stream with a fixed 4-byte big-endian length prefix
+// (WriteFrame, ReadFrame, Conn) and carries one complete message per
+// frame. Inter-server request/reply payloads are gob-encoded per call,
+// which re-ships type descriptors on every message — the dominant cost
+// for the small control messages that make up most federation traffic.
+// An optional TraceMeta trailer ("DTRC") rides after any payload; see
+// AppendTraceMeta and ParseTraceMeta.
+//
+// # Protocol v2
+//
+// v2 is negotiated per connection (the handshake lives in internal/orb;
+// this package supplies the mechanics) and replaces the framing and the
+// per-message descriptor cost:
+//
+//   - Varint-packed frame headers carrying an explicit frame type and a
+//     stream id, so frames from concurrent requests interleave on one
+//     connection (AppendV2Header, ParseV2Header, ReadV2Frame).
+//   - Descriptor interning: each side splits gob payloads at the
+//     descriptor/value boundary (SplitGobValue), ships each distinct
+//     descriptor prefix once as a DEF, and thereafter sends only a
+//     varint id plus the value bytes (InternTable, InternDefs).
+//   - Streamed replies: a reply body larger than V2ChunkSize leaves as
+//     CHUNK frames terminated by an END frame, with per-stream
+//     flow-control credit (V2StreamWindow) so a bulk reply cannot
+//     head-of-line-block small concurrent invocations.
+//   - Optional per-frame compression for bulk payloads (CompressPayload,
+//     DecompressPayload), flagged by V2FlagCompressed.
+//
+// The DTRC trailer carries over to v2 unchanged, as trailing bytes of
+// REQUEST, REPLY, and END payloads.
 package wire
 
 import (

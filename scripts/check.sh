@@ -21,6 +21,11 @@ go run ./scripts/doclinkcheck
 # match the route table and code registry in internal/server.
 go run ./scripts/apidrift
 
+# Wire contract: WIRE.md's frame-type, flag, status, error-code and
+# message-kind tables must match the constants in internal/wire and
+# internal/orb.
+go run ./scripts/wiredrift
+
 # Observability smoke: boot a domain, drive a sampled command, fetch its
 # trace back and scrape /metrics as Prometheus text.
 go run ./scripts/metricssmoke
