@@ -142,6 +142,12 @@ var all = []experiment{
 		}
 		return experiments.RunW1(3000, 2<<20)
 	}},
+	{"G1", func(q bool) (experiments.Result, error) {
+		if q {
+			return experiments.RunG1([]int{16, 48})
+		}
+		return experiments.RunG1([]int{50, 200})
+	}},
 }
 
 // benchReport is the shape of the -json output file: every experiment's
@@ -253,6 +259,19 @@ func main() {
 				failures++
 			} else {
 				fmt.Println("benchharness: wrote BENCH_W1.json")
+			}
+		}
+		// G1's compact epidemic-directory record rides along whenever G1 ran.
+		if snap, ok := experiments.G1LastSnapshot(); ok {
+			data, err := json.MarshalIndent(snap, "", "  ")
+			if err == nil {
+				err = os.WriteFile("BENCH_G1.json", append(data, '\n'), 0o644)
+			}
+			if err != nil {
+				fmt.Printf("benchharness: writing BENCH_G1.json: %v\n", err)
+				failures++
+			} else {
+				fmt.Println("benchharness: wrote BENCH_G1.json")
 			}
 		}
 	}

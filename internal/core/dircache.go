@@ -98,6 +98,7 @@ type dirCache struct {
 
 	hits, staleServes, misses, coalesced, unavailableServes dirCounter
 	eventInvalidations, healthInvalidations                 dirCounter
+	peerInvalidations                                       dirCounter
 }
 
 func newDirCache(serverName string, ttl time.Duration) *dirCache {
@@ -113,6 +114,7 @@ func newDirCache(serverName string, ttl time.Duration) *dirCache {
 		{&c.unavailableServes, "discover_dircache_unavailable_serves_total"},
 		{&c.eventInvalidations, "discover_dircache_event_invalidations_total"},
 		{&c.healthInvalidations, "discover_dircache_health_invalidations_total"},
+		{&c.peerInvalidations, "discover_dircache_peer_invalidations_total"},
 	} {
 		reg.c.metric = telemetry.GetCounter(reg.name, "server", serverName)
 	}
@@ -274,6 +276,26 @@ func (c *dirCache) invalidatePeer(peer string, byEvent bool) {
 	}
 }
 
+// Invalidate is the generic eager-invalidation entry point for callers
+// outside the cache's own event and health hooks: the gossip layer calls
+// it when an applied remote delta or a membership transition makes a
+// peer's cached listings stale, and future subsystems can do the same
+// without growing invalidatePeer's reason enum. Identical staleness
+// semantics — data is kept as the degraded-mode fallback — but counted
+// separately (peerInvalidations).
+func (c *dirCache) Invalidate(peer string) {
+	var n uint64
+	c.mu.Lock()
+	for k, e := range c.entries {
+		if k.peer == peer && !e.fetched.IsZero() {
+			e.fetched = time.Time{}
+			n++
+		}
+	}
+	c.mu.Unlock()
+	c.peerInvalidations.add(n)
+}
+
 // dropPeer removes every listing cached for a peer that left the
 // federation for good (lease lapsed past keep-through-miss). Open flights
 // are released so no follower waits on a fetch that will never complete.
@@ -306,5 +328,6 @@ func (c *dirCache) stats() server.DirectoryStats {
 		UnavailableServes:   c.unavailableServes.value(),
 		EventInvalidations:  c.eventInvalidations.value(),
 		HealthInvalidations: c.healthInvalidations.value(),
+		PeerInvalidations:   c.peerInvalidations.value(),
 	}
 }

@@ -53,6 +53,57 @@ func TestDirCacheTTLJitterSpread(t *testing.T) {
 	}
 }
 
+// TestDirCacheInvalidate: the generic entry point drops freshness for
+// every listing cached for the peer — across users — while keeping the
+// data as the degraded-mode fallback, and it counts separately from the
+// event/health invalidation reasons.
+func TestDirCacheInvalidate(t *testing.T) {
+	c := newDirCache("invalidate-test", time.Hour)
+	for _, k := range []dirKey{{"p1", "alice"}, {"p1", "bob"}, {"p2", "alice"}} {
+		p := c.plan(k.peer, k.user, false)
+		if p.state != dirFetch {
+			t.Fatalf("first plan for %v: state %v", k, p.state)
+		}
+		c.complete(k.peer, k.user, []server.AppInfo{{ID: k.peer + "#1"}}, nil)
+	}
+
+	c.Invalidate("p1")
+
+	// Both of p1's user listings are stale now; p2's stays fresh.
+	if p := c.plan("p1", "alice", false); p.state != dirFetch {
+		t.Fatalf("p1/alice after Invalidate: state %v, want fetch", p.state)
+	}
+	if p := c.plan("p1", "bob", false); p.state != dirFetch {
+		t.Fatalf("p1/bob after Invalidate: state %v, want fetch", p.state)
+	}
+	if p := c.plan("p2", "alice", false); p.state != dirFresh {
+		t.Fatalf("p2/alice after Invalidate(p1): state %v, want fresh", p.state)
+	}
+
+	// The data survives as the degraded fallback: a breaker-open serve
+	// still returns the listing, marked Unavailable.
+	if p := c.plan("p1", "alice", true); p.state != dirUnavailable ||
+		len(p.apps) != 1 || !p.apps[0].Unavailable {
+		t.Fatalf("invalidated entry lost its degraded fallback: %+v", p)
+	}
+
+	st := c.stats()
+	if st.PeerInvalidations != 2 {
+		t.Fatalf("PeerInvalidations = %d, want 2", st.PeerInvalidations)
+	}
+	if st.EventInvalidations != 0 || st.HealthInvalidations != 0 {
+		t.Fatalf("Invalidate leaked into other reasons: %+v", st)
+	}
+
+	// Invalidating an already-invalid peer (or an unknown one) is a no-op
+	// that does not inflate the counter.
+	c.Invalidate("p1")
+	c.Invalidate("nobody")
+	if got := c.stats().PeerInvalidations; got != 2 {
+		t.Fatalf("no-op Invalidate moved the counter to %d", got)
+	}
+}
+
 // TestDirCacheJitterNeverWidensPastBound: the effective TTL stays within
 // ±10% of the configured window, so jitter cannot stretch staleness
 // beyond what DESIGN §4f promises.

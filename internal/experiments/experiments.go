@@ -123,6 +123,17 @@ type FederationConfig struct {
 	// a pre-v2 peer for mixed-version federation experiments (W1).
 	WireV1Domains []string
 
+	// Epidemic-directory knobs (experiment G1). GossipEnabled turns the
+	// gossip replica on in every domain; GossipPeriod < 0 disables the
+	// background loop so the harness drives lockstep rounds through
+	// Sub.GossipNow(). Each domain's gossip randomness (peer selection,
+	// jitter) is seeded from the simulated network's deterministic RNG,
+	// keyed by domain name, so runs replay.
+	GossipEnabled bool
+	GossipPeriod  time.Duration
+	GossipFanout  int
+	GossipTimeout time.Duration
+
 	// Durability knobs (experiment R2). Domains named in StorageDirs run
 	// with a file-backed WAL + snapshots rooted at the mapped directory;
 	// everyone else stays in-memory. SnapshotEvery/WalSyncEvery pass
@@ -270,6 +281,11 @@ func (f *Federation) addDomain(name string, site netsim.Site, cfg FederationConf
 		DirCacheTTL:    cfg.DirCacheTTL,
 		OfferTTL:       cfg.OfferTTL,
 		DiscoverEvery:  cfg.DiscoverEvery,
+		GossipEnabled:  cfg.GossipEnabled,
+		GossipPeriod:   cfg.GossipPeriod,
+		GossipFanout:   cfg.GossipFanout,
+		GossipTimeout:  cfg.GossipTimeout,
+		GossipRand:     f.Net.DeterministicRand(name),
 		Props:          map[string]string{"site": string(site)},
 		Logf:           quiet,
 	})

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"discover/internal/netsim"
+)
+
+func TestG1EpidemicDirectory(t *testing.T) {
+	res, err := RunG1([]int{8, 24})
+	checkResult(t, res, err)
+}
+
+// TestGossipConvergenceSmoke runs the epidemic directory free-running —
+// real period loop, no lockstep driver — through the full availability
+// cycle: an application registers and becomes visible federation-wide,
+// its origin is partitioned away and the replica serves the app marked
+// Unavailable once membership declares the origin dead, and after the
+// heal the recovery probes resurrect it. scripts/check.sh runs this
+// race-enabled as the gossip convergence smoke.
+func TestGossipConvergenceSmoke(t *testing.T) {
+	const n = 8
+	domains := make([]struct {
+		Name string
+		Site netsim.Site
+	}, n)
+	for i := range domains {
+		name := fmt.Sprintf("gs%d", i)
+		domains[i] = DomainAt(name, netsim.Site(name))
+	}
+	fed, err := NewFederation(FederationConfig{
+		Domains:        domains,
+		GossipEnabled:  true,
+		GossipPeriod:   20 * time.Millisecond,
+		GossipFanout:   3,
+		GossipTimeout:  100 * time.Millisecond,
+		HeartbeatEvery: time.Hour,
+		OfferTTL:       time.Hour,
+		DiscoverEvery:  time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fed.Close()
+	fed.Net.SetRandSeed(11)
+	ctx := context.Background()
+
+	d0, dx := fed.Domains[0], fed.Domains[5]
+	sess, err := AttachApp(d0, "smoke-app", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	appID := sess.AppID()
+
+	// appState polls dx's listing for the app; it returns the
+	// Unavailable flag and whether the app is listed at all.
+	appState := func() (listed, unavailable bool) {
+		for _, a := range dx.Sub.RemoteApps(ctx, "alice") {
+			if a.ID == appID {
+				return true, a.Unavailable
+			}
+		}
+		return false, false
+	}
+	waitFor := func(what string, d time.Duration, pred func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(d)
+		for time.Now().Before(deadline) {
+			if pred() {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Fatalf("timed out waiting for %s", what)
+	}
+
+	// Require the record in dx's *replica*, not just in a listing: before
+	// dx bootstraps, RemoteApps is fan-out-served and would show the app
+	// while the gossip record is still only at its origin — partitioning
+	// at that instant would strand it there.
+	inReplica := func() bool {
+		return g1AppEverywhere([]*Domain{dx}, d0.Name, appID, true)
+	}
+	waitFor("app replicated to "+dx.Name, 10*time.Second, func() bool {
+		listed, unavailable := appState()
+		return inReplica() && listed && !unavailable
+	})
+
+	// Cut the origin off from everyone: membership must declare it dead
+	// and the replica must keep the listing, degraded.
+	for _, d := range fed.Domains[1:] {
+		fed.Net.Partition(d0.Site, d.Site)
+	}
+	waitFor("app marked unavailable after partition", 15*time.Second, func() bool {
+		listed, unavailable := appState()
+		return listed && unavailable
+	})
+
+	for _, d := range fed.Domains[1:] {
+		fed.Net.Heal(d0.Site, d.Site)
+	}
+	waitFor("app available again after heal", 15*time.Second, func() bool {
+		listed, unavailable := appState()
+		return listed && !unavailable
+	})
+}

@@ -1,0 +1,143 @@
+package gossip
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestGossipChurnUnderLoad is the satellite race test: free-running nodes
+// gossip while one mutator flips partitions, one restarts a member, the
+// directory churns, and reader goroutines hammer the replica. Run under
+// -race; at the end the network heals and everything must re-converge.
+func TestGossipChurnUnderLoad(t *testing.T) {
+	const domains = 6
+	m := newMesh(t, domains, 31, func(_ string, o *Options) {
+		o.Period = 2 * time.Millisecond
+		o.DeadAfter = 2
+		o.DeadProbeEvery = 2
+		o.TombstoneTTL = 50 * time.Millisecond
+	})
+	for _, name := range m.names {
+		m.nodes[name].Start()
+	}
+	defer func() {
+		for _, name := range m.names {
+			m.nodes[name].Stop()
+		}
+	}()
+
+	var stopped atomic.Bool
+	var wg sync.WaitGroup
+	rng := rand.New(rand.NewSource(77))
+	var rngMu sync.Mutex
+	intn := func(n int) int {
+		rngMu.Lock()
+		defer rngMu.Unlock()
+		return rng.Intn(n)
+	}
+
+	// Directory churn: random registers and closes at random origins.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stopped.Load() {
+			name := m.names[intn(domains)]
+			if intn(2) == 0 {
+				m.dirs[name].set([]AppRecord{{
+					ID: fmt.Sprintf("%s#%d", name, intn(3)), Name: "churn", Kind: "k",
+					Grants: map[string]string{"alice": "view"},
+				}}, []string{"alice"})
+			} else {
+				m.dirs[name].set(nil, nil)
+			}
+			time.Sleep(3 * time.Millisecond)
+		}
+	}()
+
+	// Partition churn: cut and heal random pairs.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stopped.Load() {
+			a, b := m.names[intn(domains)], m.names[intn(domains)]
+			if a != b {
+				m.net.partition(a, b)
+				time.Sleep(5 * time.Millisecond)
+				m.net.heal(a, b)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	// Leave/join churn: isolate one member (leave) and bring it back.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stopped.Load() {
+			m.net.isolate("d03", true)
+			time.Sleep(10 * time.Millisecond)
+			m.net.isolate("d03", false)
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+
+	// Listing load: readers hammer the replica from several goroutines.
+	var reads atomic.Uint64
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for !stopped.Load() {
+				n := m.nodes[m.names[i%domains]]
+				for _, od := range n.Directory() {
+					_ = od.Apps
+					_ = od.Users
+				}
+				_ = n.Members()
+				_ = n.Stats()
+				reads.Add(1)
+			}
+		}(i)
+	}
+
+	time.Sleep(400 * time.Millisecond)
+	stopped.Store(true)
+	wg.Wait()
+	if reads.Load() == 0 {
+		t.Fatal("readers made no progress")
+	}
+
+	// Heal everything, freeze the directory, stop the loops, and drive
+	// lockstep rounds: the survivors must converge.
+	for _, a := range m.names {
+		for _, b := range m.names {
+			if a != b {
+				m.net.heal(a, b)
+			}
+		}
+	}
+	final := []AppRecord{{ID: "d00#9", Name: "final", Kind: "k"}}
+	m.dirs["d00"].set(final, nil)
+	for i := 1; i < domains; i++ {
+		m.dirs[m.names[i]].set(nil, nil)
+	}
+	for _, name := range m.names {
+		m.nodes[name].Stop()
+	}
+	r := m.roundsUntil(t, 200, "re-converged after churn", func() bool {
+		if !m.converged() {
+			return false
+		}
+		for _, name := range m.names {
+			if !m.appVisible(name, "d00", "d00#9") {
+				return false
+			}
+		}
+		return true
+	})
+	t.Logf("converged %d rounds after churn stopped (%d reads)", r, reads.Load())
+}

@@ -1,0 +1,206 @@
+// Package gossip implements the epidemic federation directory: SWIM-style
+// membership (alive/suspect/dead with incarnation numbers, rumor
+// piggybacking, refutation) plus anti-entropy replication of each domain's
+// application and user directories.
+//
+// Every domain is the sole *origin* for its own directory entries, which it
+// publishes as an append-only sequence of records (live entries and
+// tombstones) numbered by a per-origin sequence counter. Replicas merge
+// records with a last-writer-wins rule keyed on (origin, key, seq) — a join
+// semilattice, so merging is commutative, associative and idempotent and
+// replicas converge to identical directories regardless of delta arrival
+// order (see prop_test.go).
+//
+// Each round a node picks k random peers and exchanges a constant-size
+// digest: a 64-bit root hash folded incrementally over every record and
+// membership entry it holds. Equal hashes — the steady state — end the
+// exchange after one small RPC carrying only piggybacked rumors. On a
+// mismatch the pair runs a push-pull sync driven by per-origin version
+// vectors, shipping exactly the records the other side is missing, so WAN
+// cost per round is proportional to *changes*, not to federation size.
+//
+// Tombstones are garbage-collected after TombstoneTTL. The merge rule's
+// below-watermark guard (see replica.apply) keeps a GC'd deletion from
+// resurrecting: an incoming record whose key is unknown and whose sequence
+// number is at or below the origin's synced watermark has already been
+// superseded or collected, and is dropped.
+package gossip
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"sort"
+)
+
+// Kind distinguishes the two directory record spaces.
+type Kind uint8
+
+const (
+	// KindApp records one shared application: key is the application id,
+	// App carries its registration and per-user grants.
+	KindApp Kind = iota
+	// KindUser records one logged-in user at the origin: key is the user.
+	KindUser
+)
+
+// Record is one replicated directory entry: a live entry or a tombstone in
+// an origin's append-only publication sequence.
+type Record struct {
+	Origin  string
+	Seq     uint64 // position in the origin's publication sequence
+	Kind    Kind
+	Key     string // application id (KindApp) or user name (KindUser)
+	Deleted bool   // tombstone: the entry was closed / logged out
+	Stamp   int64  // origin clock, unix nanos; drives tombstone GC only
+	App     *AppEntry
+}
+
+// AppEntry is the replicated payload of a live application record: enough
+// for any replica to serve a per-user filtered listing locally.
+type AppEntry struct {
+	Name   string
+	Kind   string
+	Grants map[string]string // user → privilege name; absent = no access
+}
+
+// AppRecord is the flat form of one local application handed to the node
+// by its Snapshot callback and back out of Directory listings.
+type AppRecord struct {
+	ID     string
+	Name   string
+	Kind   string
+	Grants map[string]string
+}
+
+// Status is a member's liveness verdict.
+type Status uint8
+
+const (
+	StatusAlive Status = iota
+	StatusSuspect
+	StatusDead
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusAlive:
+		return "alive"
+	case StatusSuspect:
+		return "suspect"
+	default:
+		return "dead"
+	}
+}
+
+// Member is one row of the replicated membership table.
+type Member struct {
+	Name        string
+	Addr        string
+	Incarnation uint64
+	Status      Status
+}
+
+// recKey is the replica map key for a record: the kind byte disambiguates
+// an application id from an equal user name.
+func recKey(kind Kind, key string) string { return string([]byte{byte(kind)}) + key }
+
+// hash folds one record into 64 bits (FNV-1a). The root hash is the XOR of
+// all record and member hashes, maintained incrementally, so two replicas
+// holding the same sets hash equal no matter how the sets were assembled.
+func (r Record) hash() uint64 {
+	h := fnv.New64a()
+	var b [binary.MaxVarintLen64]byte
+	writeStr := func(s string) {
+		h.Write([]byte(s))
+		h.Write([]byte{0})
+	}
+	writeU := func(v uint64) {
+		n := binary.PutUvarint(b[:], v)
+		h.Write(b[:n])
+	}
+	writeStr(r.Origin)
+	writeU(r.Seq)
+	writeU(uint64(r.Kind))
+	writeStr(r.Key)
+	if r.Deleted {
+		h.Write([]byte{1})
+	} else {
+		h.Write([]byte{0})
+	}
+	writeU(uint64(r.Stamp))
+	if r.App != nil {
+		writeStr(r.App.Name)
+		writeStr(r.App.Kind)
+		users := make([]string, 0, len(r.App.Grants))
+		for u := range r.App.Grants {
+			users = append(users, u)
+		}
+		sort.Strings(users)
+		for _, u := range users {
+			writeStr(u)
+			writeStr(r.App.Grants[u])
+		}
+	}
+	return h.Sum64()
+}
+
+// hash folds one membership row into 64 bits.
+func (m Member) hash() uint64 {
+	h := fnv.New64a()
+	var b [binary.MaxVarintLen64]byte
+	h.Write([]byte(m.Name))
+	h.Write([]byte{0})
+	h.Write([]byte(m.Addr))
+	h.Write([]byte{0, byte(m.Status)})
+	n := binary.PutUvarint(b[:], m.Incarnation)
+	h.Write(b[:n])
+	return h.Sum64()
+}
+
+// supersedes reports whether record a should replace record b for the same
+// (origin, key). Higher sequence wins; on a sequence tie a tombstone beats
+// a live record and the content hash breaks the remaining tie, keeping the
+// order total so merge stays commutative.
+func (a Record) supersedes(b Record) bool {
+	if a.Seq != b.Seq {
+		return a.Seq > b.Seq
+	}
+	if a.Deleted != b.Deleted {
+		return a.Deleted
+	}
+	return a.hash() > b.hash()
+}
+
+// supersedes reports whether membership row a should replace row b. Higher
+// incarnation wins; at equal incarnation the worse status wins (SWIM's
+// precedence: dead > suspect > alive), and the content hash breaks the
+// remaining tie (e.g. an address change at the same incarnation)
+// deterministically.
+func (a Member) supersedes(b Member) bool {
+	if a.Incarnation != b.Incarnation {
+		return a.Incarnation > b.Incarnation
+	}
+	if a.Status != b.Status {
+		return a.Status > b.Status
+	}
+	return a.hash() > b.hash()
+}
+
+// appEntryEqual compares the replicated payloads of two live records.
+func appEntryEqual(a, b *AppEntry) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	if a.Name != b.Name || a.Kind != b.Kind || len(a.Grants) != len(b.Grants) {
+		return false
+	}
+	for u, p := range a.Grants {
+		if b.Grants[u] != p {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,423 @@
+package gossip
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// memNet wires nodes together with direct method-call transports; cut
+// pairs fail as if the network dropped them.
+type memNet struct {
+	mu    sync.Mutex
+	nodes map[string]*Node
+	cut   map[string]bool // "a|b" (ordered pair) → unreachable
+}
+
+func newMemNet() *memNet {
+	return &memNet{nodes: make(map[string]*Node), cut: make(map[string]bool)}
+}
+
+func (mn *memNet) lookup(from, to string) (*Node, error) {
+	mn.mu.Lock()
+	defer mn.mu.Unlock()
+	if mn.cut[from+"|"+to] || mn.cut[to+"|"+from] {
+		return nil, fmt.Errorf("memnet: %s-%s partitioned", from, to)
+	}
+	n, ok := mn.nodes[to]
+	if !ok {
+		return nil, fmt.Errorf("memnet: %s unreachable", to)
+	}
+	return n, nil
+}
+
+func (mn *memNet) partition(a, b string) {
+	mn.mu.Lock()
+	mn.cut[a+"|"+b] = true
+	mn.mu.Unlock()
+}
+
+func (mn *memNet) heal(a, b string) {
+	mn.mu.Lock()
+	delete(mn.cut, a+"|"+b)
+	delete(mn.cut, b+"|"+a)
+	mn.mu.Unlock()
+}
+
+func (mn *memNet) isolate(name string, broken bool) {
+	mn.mu.Lock()
+	for other := range mn.nodes {
+		if other == name {
+			continue
+		}
+		if broken {
+			mn.cut[name+"|"+other] = true
+			mn.cut[other+"|"+name] = true
+		} else {
+			delete(mn.cut, name+"|"+other)
+			delete(mn.cut, other+"|"+name)
+		}
+	}
+	mn.mu.Unlock()
+}
+
+type memTransport struct {
+	net  *memNet
+	self string
+}
+
+func (t memTransport) Exchange(_ context.Context, name, _ string, req *ExchangeReq) (*ExchangeResp, error) {
+	n, err := t.net.lookup(t.self, name)
+	if err != nil {
+		return nil, err
+	}
+	return n.HandleExchange(req), nil
+}
+
+func (t memTransport) Sync(_ context.Context, name, _ string, req *SyncReq) (*SyncResp, error) {
+	n, err := t.net.lookup(t.self, name)
+	if err != nil {
+		return nil, err
+	}
+	return n.HandleSync(req), nil
+}
+
+// testDir is a mutable per-node snapshot source.
+type testDir struct {
+	mu    sync.Mutex
+	apps  []AppRecord
+	users []string
+}
+
+func (d *testDir) snapshot() ([]AppRecord, []string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]AppRecord(nil), d.apps...), append([]string(nil), d.users...)
+}
+
+func (d *testDir) set(apps []AppRecord, users []string) {
+	d.mu.Lock()
+	d.apps, d.users = apps, users
+	d.mu.Unlock()
+}
+
+type mesh struct {
+	net   *memNet
+	names []string
+	nodes map[string]*Node
+	dirs  map[string]*testDir
+}
+
+func newMesh(t *testing.T, count int, seed int64, tweak func(name string, o *Options)) *mesh {
+	t.Helper()
+	m := &mesh{net: newMemNet(), nodes: make(map[string]*Node), dirs: make(map[string]*testDir)}
+	for i := 0; i < count; i++ {
+		m.names = append(m.names, fmt.Sprintf("d%02d", i))
+	}
+	for i, name := range m.names {
+		m.addNode(name, seed+int64(i), tweak)
+	}
+	for _, a := range m.names {
+		for _, b := range m.names {
+			if a != b {
+				m.nodes[a].Seed(b, "addr:"+b)
+			}
+		}
+	}
+	return m
+}
+
+func (m *mesh) addNode(name string, seed int64, tweak func(name string, o *Options)) *Node {
+	dir := &testDir{}
+	opts := Options{
+		Self:   name,
+		Addr:   "addr:" + name,
+		Period: -1, // driven
+		Fanout: 3,
+		Rand:   rand.New(rand.NewSource(seed)),
+		Logf:   func(string, ...any) {},
+	}
+	opts.Snapshot = dir.snapshot
+	opts.Transport = memTransport{net: m.net, self: name}
+	if tweak != nil {
+		tweak(name, &opts)
+	}
+	n := NewNode(opts)
+	m.net.mu.Lock()
+	m.net.nodes[name] = n
+	m.net.mu.Unlock()
+	m.nodes[name] = n
+	m.dirs[name] = dir
+	return n
+}
+
+// roundsUntil drives lockstep rounds until pred holds, failing after max.
+func (m *mesh) roundsUntil(t *testing.T, max int, what string, pred func() bool) int {
+	t.Helper()
+	for i := 1; i <= max; i++ {
+		for _, name := range m.names {
+			m.nodes[name].RunRound()
+		}
+		if pred() {
+			return i
+		}
+	}
+	t.Fatalf("not %s after %d rounds", what, max)
+	return 0
+}
+
+func (m *mesh) converged() bool {
+	var h uint64
+	for i, name := range m.names {
+		nh := m.nodes[name].RootHash()
+		if i == 0 {
+			h = nh
+		} else if nh != h {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *mesh) appVisible(at, origin, appID string) bool {
+	for _, od := range m.nodes[at].Directory() {
+		if od.Origin != origin {
+			continue
+		}
+		for _, a := range od.Apps {
+			if a.ID == appID {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func TestGossipConvergesAndListsApps(t *testing.T) {
+	m := newMesh(t, 10, 42, nil)
+	appID := "d00#1"
+	m.dirs["d00"].set([]AppRecord{{
+		ID: appID, Name: "sim", Kind: "batch",
+		Grants: map[string]string{"alice": "interact", "bob": "view"},
+	}}, []string{"alice"})
+
+	r := m.roundsUntil(t, 40, "converged with the app visible", func() bool {
+		if !m.converged() {
+			return false
+		}
+		for _, name := range m.names[1:] {
+			if !m.appVisible(name, "d00", appID) {
+				return false
+			}
+		}
+		return true
+	})
+	t.Logf("app visible everywhere after %d rounds", r)
+
+	// Every replica carries the grant map and the logged-in user.
+	for _, od := range m.nodes["d09"].Directory() {
+		if od.Origin != "d00" {
+			continue
+		}
+		if od.Apps[0].Grants["alice"] != "interact" {
+			t.Fatalf("grants not replicated: %+v", od.Apps[0].Grants)
+		}
+		if len(od.Users) != 1 || od.Users[0] != "alice" {
+			t.Fatalf("users not replicated: %v", od.Users)
+		}
+	}
+
+	// Close the app and log the user out: tombstones spread, entry vanishes.
+	m.dirs["d00"].set(nil, nil)
+	r = m.roundsUntil(t, 40, "tombstones everywhere", func() bool {
+		if !m.converged() {
+			return false
+		}
+		for _, name := range m.names {
+			if m.appVisible(name, "d00", appID) {
+				return false
+			}
+		}
+		return true
+	})
+	t.Logf("app tombstoned everywhere after %d rounds", r)
+	if st := m.nodes["d05"].Stats(); st.Tombstones == 0 {
+		t.Fatal("expected live tombstones before GC")
+	}
+}
+
+func TestGossipTombstoneGC(t *testing.T) {
+	m := newMesh(t, 3, 7, func(_ string, o *Options) {
+		o.TombstoneTTL = time.Millisecond
+	})
+	m.dirs["d00"].set([]AppRecord{{ID: "d00#1", Name: "x", Kind: "k"}}, nil)
+	m.roundsUntil(t, 20, "app everywhere", func() bool {
+		return m.converged() && m.appVisible("d02", "d00", "d00#1")
+	})
+	m.dirs["d00"].set(nil, nil)
+	m.roundsUntil(t, 20, "tombstone everywhere", func() bool {
+		return m.converged() && !m.appVisible("d02", "d00", "d00#1")
+	})
+	time.Sleep(5 * time.Millisecond)
+	m.roundsUntil(t, 40, "tombstones collected and re-converged", func() bool {
+		if !m.converged() {
+			return false
+		}
+		for _, name := range m.names {
+			if m.nodes[name].Stats().Tombstones != 0 {
+				return false
+			}
+		}
+		return true
+	})
+	if m.appVisible("d01", "d00", "d00#1") {
+		t.Fatal("GC resurrected a deleted app")
+	}
+}
+
+func TestGossipMembershipDeathAndRefutation(t *testing.T) {
+	m := newMesh(t, 6, 99, func(_ string, o *Options) {
+		o.DeadAfter = 2
+	})
+	m.roundsUntil(t, 20, "converged", m.converged)
+
+	m.net.isolate("d00", true)
+	m.roundsUntil(t, 60, "d00 declared dead everywhere", func() bool {
+		for _, name := range m.names[1:] {
+			for _, mem := range m.nodes[name].Members() {
+				if mem.Name == "d00" && mem.Status != StatusDead {
+					return false
+				}
+			}
+		}
+		return true
+	})
+
+	m.net.isolate("d00", false)
+	m.roundsUntil(t, 80, "d00 alive everywhere again", func() bool {
+		if !m.converged() {
+			return false
+		}
+		for _, name := range m.names {
+			for _, mem := range m.nodes[name].Members() {
+				if mem.Name == "d00" && mem.Status != StatusAlive {
+					return false
+				}
+			}
+		}
+		return true
+	})
+	// Refutation must have bumped d00's incarnation past the initial 0.
+	if st := m.nodes["d00"].Stats(); st.Incarnation == 0 {
+		t.Fatal("expected an incarnation bump from refutation")
+	}
+}
+
+func TestGossipRestartAdoptsSequence(t *testing.T) {
+	m := newMesh(t, 4, 5, nil)
+	m.dirs["d00"].set([]AppRecord{{ID: "d00#1", Name: "old", Kind: "k"}}, nil)
+	m.roundsUntil(t, 30, "old app everywhere", func() bool {
+		return m.converged() && m.appVisible("d03", "d00", "d00#1")
+	})
+
+	// d00 restarts with a fresh (empty) replica and a different app. Its
+	// first publication must continue the old sequence — recovered through
+	// bootstrap sync — so the old record is tombstoned, not resurrected.
+	n := m.addNode("d00", 1234, nil)
+	m.dirs["d00"].set([]AppRecord{{ID: "d00#2", Name: "new", Kind: "k"}}, nil)
+	for _, b := range m.names[1:] {
+		n.Seed(b, "addr:"+b)
+	}
+	m.roundsUntil(t, 60, "new app everywhere, old one gone", func() bool {
+		if !m.converged() {
+			return false
+		}
+		for _, name := range m.names[1:] {
+			if m.appVisible(name, "d00", "d00#1") || !m.appVisible(name, "d00", "d00#2") {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func TestGossipPartitionedHalvesReconverge(t *testing.T) {
+	m := newMesh(t, 8, 17, func(_ string, o *Options) {
+		o.DeadAfter = 2
+		o.DeadProbeEvery = 2
+	})
+	m.roundsUntil(t, 20, "converged", m.converged)
+
+	// Split 0-3 from 4-7; register an app on each side during the split.
+	for _, a := range m.names[:4] {
+		for _, b := range m.names[4:] {
+			m.net.partition(a, b)
+		}
+	}
+	m.dirs["d01"].set([]AppRecord{{ID: "d01#1", Name: "left", Kind: "k"}}, nil)
+	m.dirs["d05"].set([]AppRecord{{ID: "d05#1", Name: "right", Kind: "k"}}, nil)
+	m.roundsUntil(t, 60, "each side sees only its own app", func() bool {
+		return m.appVisible("d03", "d01", "d01#1") && !m.appVisible("d03", "d05", "d05#1") &&
+			m.appVisible("d07", "d05", "d05#1") && !m.appVisible("d07", "d01", "d01#1")
+	})
+
+	for _, a := range m.names[:4] {
+		for _, b := range m.names[4:] {
+			m.net.heal(a, b)
+		}
+	}
+	r := m.roundsUntil(t, 120, "re-converged with both apps everywhere", func() bool {
+		if !m.converged() {
+			return false
+		}
+		for _, name := range m.names {
+			if !m.appVisible(name, "d01", "d01#1") || !m.appVisible(name, "d05", "d05#1") {
+				return false
+			}
+		}
+		for _, name := range m.names {
+			for _, mem := range m.nodes[name].Members() {
+				if mem.Status != StatusAlive {
+					return false
+				}
+			}
+		}
+		return true
+	})
+	t.Logf("re-converged %d rounds after heal", r)
+}
+
+func TestRumorQueueSupersedeAndRetire(t *testing.T) {
+	var rq rumorQueue
+	r1 := Record{Origin: "a", Seq: 1, Key: "x"}
+	rq.push("k1", nil, &r1, 2)
+	r2 := Record{Origin: "a", Seq: 2, Key: "x"}
+	rq.push("k1", nil, &r2, 2) // supersedes in place
+	_, recs := rq.take(10)
+	if len(recs) != 1 || recs[0].Seq != 2 {
+		t.Fatalf("superseded rumor not delivered: %+v", recs)
+	}
+	_, recs = rq.take(10)
+	if len(recs) != 1 {
+		t.Fatalf("second transmit missing: %+v", recs)
+	}
+	if ms, recs := rq.take(10); len(ms) != 0 || len(recs) != 0 {
+		t.Fatal("rumor outlived its transmit budget")
+	}
+}
+
+func TestGossipStandaloneBecomesReady(t *testing.T) {
+	m := &mesh{net: newMemNet(), nodes: make(map[string]*Node), dirs: make(map[string]*testDir)}
+	m.names = []string{"solo"}
+	n := m.addNode("solo", 1, nil)
+	if n.Ready() {
+		t.Fatal("ready before any round")
+	}
+	n.RunRound()
+	if !n.Ready() {
+		t.Fatal("a peerless domain should be trivially converged")
+	}
+}

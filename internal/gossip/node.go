@@ -1,0 +1,909 @@
+package gossip
+
+import (
+	"context"
+	"log"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"discover/internal/telemetry"
+)
+
+// Defaults for Options fields left zero.
+const (
+	DefaultPeriod         = time.Second
+	DefaultFanout         = 3
+	DefaultTimeout        = 2 * time.Second
+	DefaultTombstoneTTL   = 10 * time.Minute
+	DefaultPurgeAfter     = 30 * time.Minute
+	DefaultRumorTransmits = 6
+	DefaultMaxPiggyback   = 24
+	DefaultForceSyncEvery = 16
+	DefaultDeadAfter      = 4
+	DefaultDeadProbeEvery = 4
+)
+
+// Transport carries the two gossip RPCs. The core substrate implements it
+// over the ORB (riding the v2 wire with bulk compression); tests implement
+// it with direct method calls.
+type Transport interface {
+	Exchange(ctx context.Context, name, addr string, req *ExchangeReq) (*ExchangeResp, error)
+	Sync(ctx context.Context, name, addr string, req *SyncReq) (*SyncResp, error)
+}
+
+// ExchangeReq opens one gossip round with a peer: the caller's identity,
+// its root hash, and a bounded batch of piggybacked rumors. In the
+// converged steady state this and its response are the round's entire WAN
+// cost — constant-size, independent of federation size.
+type ExchangeReq struct {
+	From    string
+	Addr    string
+	Inc     uint64
+	Hash    uint64
+	YouWere Status // the caller's prior verdict of the recipient (refutation trigger)
+	Members []Member
+	Records []Record
+}
+
+// ExchangeResp answers an exchange. Match reports whether the root hashes
+// agreed after the request's rumors were applied; on a mismatch Digest
+// carries the responder's version vector so the caller can run a sync.
+type ExchangeResp struct {
+	From    string
+	Addr    string
+	Inc     uint64
+	Hash    uint64
+	Match   bool
+	YouWere Status // the responder's prior verdict of the caller
+	Members []Member
+	Records []Record
+	Digest  map[string]uint64
+}
+
+// SyncReq is the push half of an anti-entropy sync. UpTo is the caller's
+// version vector, serving double duty: a watermark assertion ("I have
+// processed every origin's stream this far" — safe for the responder to
+// adopt once the pushed Records land) and the pull request the responder
+// answers deltas against. A WatermarkOnly sync is the forced periodic
+// variant sent when the root hashes already matched: replicas are
+// provably identical, so it carries no records and no member list — just
+// the watermarks that let tombstone GC advance — keeping the steady-state
+// forced-sync cost to one O(origins) map per cycle instead of three plus
+// a membership table each way.
+type SyncReq struct {
+	From          string
+	Addr          string
+	Inc           uint64
+	Records       []Record
+	UpTo          map[string]uint64
+	Members       []Member
+	WatermarkOnly bool
+}
+
+// SyncResp is the pull half: what the caller is missing, the responder's
+// watermarks, and its membership table — all empty on a WatermarkOnly
+// request, where the caller already has everything.
+type SyncResp struct {
+	From    string
+	Records []Record
+	UpTo    map[string]uint64
+	Members []Member
+}
+
+// Options configures a Node.
+type Options struct {
+	Self string // this domain's server name (the origin id)
+	Addr string // this domain's ORB address, gossiped with membership
+
+	Period time.Duration // round period; < 0 disables the loop (rounds are driven via RunRound)
+	Fanout int           // peers contacted per round
+	// Rand seeds peer selection and jitter. Under simulation pass
+	// netsim's DeterministicRand so runs are reproducible; nil falls back
+	// to a time-seeded source.
+	Rand           *rand.Rand
+	Timeout        time.Duration // per-RPC budget handed to the Transport
+	TombstoneTTL   time.Duration // tombstone retention before GC
+	PurgeAfter     time.Duration // dead-member retention before purge
+	RumorTransmits int           // times each rumor is piggybacked before it retires
+	MaxPiggyback   int           // rumor batch bound per message
+	ForceSyncEvery int           // rounds between forced syncs despite matching hashes
+	DeadAfter      int           // consecutive local exchange failures before a peer is declared dead
+	DeadProbeEvery int           // rounds between recovery probes of a suspect/dead member
+
+	Transport Transport
+	// Snapshot returns the local directory to publish at the start of each
+	// round: the domain's shared applications (with grant maps) and
+	// logged-in users.
+	Snapshot func() (apps []AppRecord, users []string)
+	// OnApply reports applied remote deltas, per origin, after each
+	// exchange or sync: records that became live and records that were
+	// tombstoned. Called outside the node lock.
+	OnApply func(origin string, added, removed []Record)
+	// OnMemberUp / OnMemberDown report local membership transitions into
+	// and out of StatusDead, outside the node lock.
+	OnMemberUp   func(m Member)
+	OnMemberDown func(m Member)
+	Logf         func(format string, args ...any)
+}
+
+// counter pairs a local atomic (for Stats) with the exported telemetry
+// series, mirroring the directory-cache counters.
+type counter struct {
+	n atomic.Uint64
+	t *telemetry.Counter
+}
+
+func (c *counter) inc()         { c.add(1) }
+func (c *counter) add(n uint64) { c.n.Add(n); c.t.Add(n) }
+func (c *counter) load() uint64 { return c.n.Load() }
+
+// Node is one domain's gossip endpoint. Create it with NewNode, wire the
+// transport's servant to HandleExchange/HandleSync, then Start it (or
+// drive rounds explicitly with RunRound under simulation).
+type Node struct {
+	opts Options
+
+	mu     sync.Mutex // guards rep, rumors, failStreak, inc
+	rep    *replica
+	rumors rumorQueue
+	// failStreak counts consecutive failed exchanges *we* initiated to a
+	// member; DeadAfter of them escalate suspect → dead locally.
+	failStreak map[string]int
+	inc        uint64 // own incarnation
+
+	roundMu sync.Mutex // serializes rounds (loop vs RunRound callers)
+	randMu  sync.Mutex
+	rng     *rand.Rand
+
+	ready  atomic.Bool // first successful exchange (or no peers) completed
+	roundN atomic.Uint64
+
+	rounds, exchangesOK, exchangesFailed counter
+	syncs, recordsSent, recordsApplied   counter
+	rumorsSent, tombstonesGCed           counter
+	refutations                          counter
+	roundHist                            *telemetry.Histogram
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// Stats is a point-in-time snapshot of the node for GET /api/stats.
+type Stats struct {
+	Self        string
+	Ready       bool
+	Incarnation uint64
+	Members     int
+	Alive       int
+	Suspect     int
+	Dead        int
+	Origins     int
+	Records     int
+	Tombstones  int
+	RootHash    uint64
+
+	Rounds          uint64
+	ExchangesOK     uint64
+	ExchangesFailed uint64
+	Syncs           uint64
+	RecordsSent     uint64
+	RecordsApplied  uint64
+	RumorsSent      uint64
+	TombstonesGCed  uint64
+	Refutations     uint64
+}
+
+// NewNode creates a node; it is inert until Start (or RunRound).
+func NewNode(opts Options) *Node {
+	if opts.Period == 0 {
+		opts.Period = DefaultPeriod
+	}
+	if opts.Fanout <= 0 {
+		opts.Fanout = DefaultFanout
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = DefaultTimeout
+	}
+	if opts.TombstoneTTL <= 0 {
+		opts.TombstoneTTL = DefaultTombstoneTTL
+	}
+	if opts.PurgeAfter <= 0 {
+		opts.PurgeAfter = DefaultPurgeAfter
+	}
+	if opts.RumorTransmits <= 0 {
+		opts.RumorTransmits = DefaultRumorTransmits
+	}
+	if opts.MaxPiggyback <= 0 {
+		opts.MaxPiggyback = DefaultMaxPiggyback
+	}
+	if opts.ForceSyncEvery <= 0 {
+		opts.ForceSyncEvery = DefaultForceSyncEvery
+	}
+	if opts.DeadAfter <= 0 {
+		opts.DeadAfter = DefaultDeadAfter
+	}
+	if opts.DeadProbeEvery <= 0 {
+		opts.DeadProbeEvery = DefaultDeadProbeEvery
+	}
+	if opts.Logf == nil {
+		opts.Logf = log.Printf
+	}
+	rng := opts.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	n := &Node{
+		opts:       opts,
+		rep:        newReplica(opts.Self),
+		failStreak: make(map[string]int),
+		rng:        rng,
+		stop:       make(chan struct{}),
+	}
+	lbl := []string{"server", opts.Self}
+	n.rounds.t = telemetry.GetCounter("discover_gossip_rounds_total", lbl...)
+	n.exchangesOK.t = telemetry.GetCounter("discover_gossip_exchanges_total", lbl...)
+	n.exchangesFailed.t = telemetry.GetCounter("discover_gossip_exchange_failures_total", lbl...)
+	n.syncs.t = telemetry.GetCounter("discover_gossip_syncs_total", lbl...)
+	n.recordsSent.t = telemetry.GetCounter("discover_gossip_records_sent_total", lbl...)
+	n.recordsApplied.t = telemetry.GetCounter("discover_gossip_records_applied_total", lbl...)
+	n.rumorsSent.t = telemetry.GetCounter("discover_gossip_rumors_sent_total", lbl...)
+	n.tombstonesGCed.t = telemetry.GetCounter("discover_gossip_tombstones_gced_total", lbl...)
+	n.refutations.t = telemetry.GetCounter("discover_gossip_refutations_total", lbl...)
+	n.roundHist = telemetry.GetHistogram("discover_gossip_round_seconds", lbl...)
+	n.mu.Lock()
+	n.rep.applyMember(Member{Name: opts.Self, Addr: opts.Addr, Status: StatusAlive})
+	n.mu.Unlock()
+	return n
+}
+
+// Start launches the background round loop (no-op when Period < 0).
+func (n *Node) Start() {
+	if n.opts.Period < 0 {
+		return
+	}
+	n.wg.Add(1)
+	go n.loop()
+}
+
+// Stop halts the loop and waits for in-flight rounds.
+func (n *Node) Stop() {
+	n.stopOnce.Do(func() { close(n.stop) })
+	n.wg.Wait()
+}
+
+func (n *Node) loop() {
+	defer n.wg.Done()
+	for {
+		n.randMu.Lock()
+		jitter := time.Duration(float64(n.opts.Period) * (0.75 + 0.5*n.rng.Float64()))
+		n.randMu.Unlock()
+		select {
+		case <-n.stop:
+			return
+		case <-time.After(jitter):
+		}
+		n.RunRound()
+	}
+}
+
+// Ready reports whether the node finished bootstrapping: its first
+// successful exchange completed (or it found no peers to exchange with).
+// Listings fall back to scatter-gather fan-out until then.
+func (n *Node) Ready() bool { return n.ready.Load() }
+
+// Seed introduces a peer learned out-of-band (trader discovery). It only
+// fills gaps — a known member's gossiped state always wins.
+func (n *Node) Seed(name, addr string) {
+	if name == n.opts.Self {
+		return
+	}
+	n.mu.Lock()
+	if _, ok := n.rep.members[name]; !ok {
+		n.rep.applyMember(Member{Name: name, Addr: addr, Status: StatusAlive})
+	}
+	n.mu.Unlock()
+}
+
+// ObserveDead force-marks a member dead at its current incarnation — the
+// bridge from the substrate's failure detector (a peer whose breaker
+// opened is not worth gossiping with) — and rumors the verdict.
+func (n *Node) ObserveDead(name string) {
+	if name == n.opts.Self {
+		return
+	}
+	n.mu.Lock()
+	m, ok := n.rep.members[name]
+	if !ok || m.Status == StatusDead {
+		n.mu.Unlock()
+		return
+	}
+	m.Status = StatusDead
+	n.rep.applyMember(m)
+	n.pushMemberRumorLocked(m)
+	n.mu.Unlock()
+	if n.opts.OnMemberDown != nil {
+		n.opts.OnMemberDown(m)
+	}
+}
+
+// RunRound executes one gossip round synchronously: publish the local
+// snapshot, garbage-collect, pick fanout random alive peers (plus an
+// occasional recovery probe of a suspect/dead one) and exchange with each.
+// The experiment harness drives rounds in lockstep through this method.
+func (n *Node) RunRound() {
+	n.roundMu.Lock()
+	defer n.roundMu.Unlock()
+	start := time.Now()
+	round := n.roundN.Add(1)
+	n.rounds.inc()
+
+	if n.Ready() && n.opts.Snapshot != nil {
+		apps, users := n.opts.Snapshot()
+		n.PublishNow(apps, users)
+	}
+
+	targets := n.pickTargets(round)
+	if len(targets) == 0 {
+		// Nobody to talk to: a standalone domain is trivially converged.
+		n.ready.Store(true)
+	}
+	var wg sync.WaitGroup
+	for _, m := range targets {
+		m := m
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n.gossipWith(m, round)
+		}()
+	}
+	wg.Wait()
+
+	n.mu.Lock()
+	now := time.Now().UnixNano()
+	gone := n.rep.gcTombstones(now, int64(n.opts.TombstoneTTL))
+	n.rep.purgeDead(now, int64(n.opts.PurgeAfter))
+	n.mu.Unlock()
+	if gone > 0 {
+		n.tombstonesGCed.add(uint64(gone))
+	}
+	n.roundHist.Observe(time.Since(start))
+}
+
+// PublishNow diffs the given local snapshot against the previous
+// publication and rumors the changes immediately. The substrate calls it
+// from application lifecycle events so a register/close starts spreading
+// on the very next round instead of waiting for the periodic publish.
+// Before bootstrap completes it is a no-op: a restarted origin must first
+// recover its old records (and sequence counter) through sync, or it
+// would re-issue stale sequence numbers.
+func (n *Node) PublishNow(apps []AppRecord, users []string) {
+	if !n.Ready() {
+		return
+	}
+	n.mu.Lock()
+	appended := n.rep.publish(apps, users, time.Now().UnixNano())
+	for _, rec := range appended {
+		n.pushRecordRumorLocked(rec)
+	}
+	n.mu.Unlock()
+}
+
+// pickTargets chooses this round's partners: Fanout distinct alive members
+// at random, plus — every DeadProbeEvery rounds — one random suspect/dead
+// member as a recovery probe, so partitions re-merge after healing even
+// when both sides consider each other dead.
+func (n *Node) pickTargets(round uint64) []Member {
+	n.mu.Lock()
+	var alive, down []Member
+	for _, m := range n.rep.members {
+		if m.Name == n.opts.Self || m.Addr == "" {
+			continue
+		}
+		if m.Status == StatusAlive {
+			alive = append(alive, m)
+		} else {
+			down = append(down, m)
+		}
+	}
+	n.mu.Unlock()
+	sort.Slice(alive, func(i, j int) bool { return alive[i].Name < alive[j].Name })
+	sort.Slice(down, func(i, j int) bool { return down[i].Name < down[j].Name })
+
+	n.randMu.Lock()
+	defer n.randMu.Unlock()
+	var targets []Member
+	if len(alive) > 0 {
+		k := n.opts.Fanout
+		if k > len(alive) {
+			k = len(alive)
+		}
+		for _, i := range n.rng.Perm(len(alive))[:k] {
+			targets = append(targets, alive[i])
+		}
+	}
+	if len(down) > 0 && (round%uint64(n.opts.DeadProbeEvery) == 0 || len(alive) == 0) {
+		targets = append(targets, down[n.rng.Intn(len(down))])
+	}
+	return targets
+}
+
+// gossipWith runs the exchange (and, on a hash mismatch or a forced
+// round, the follow-up sync) against one member.
+func (n *Node) gossipWith(m Member, round uint64) {
+	n.mu.Lock()
+	req := &ExchangeReq{
+		From: n.opts.Self, Addr: n.opts.Addr, Inc: n.inc,
+		Hash: n.rep.rootHash,
+	}
+	if cur, ok := n.rep.members[m.Name]; ok {
+		req.YouWere = cur.Status
+	}
+	req.Members, req.Records = n.rumors.take(n.opts.MaxPiggyback)
+	n.mu.Unlock()
+	n.rumorsSent.add(uint64(len(req.Members) + len(req.Records)))
+
+	ctx, cancel := context.WithTimeout(context.Background(), n.opts.Timeout)
+	resp, err := n.opts.Transport.Exchange(ctx, m.Name, m.Addr, req)
+	cancel()
+	if err != nil {
+		n.exchangesFailed.inc()
+		n.noteExchangeFailure(m)
+		return
+	}
+	n.exchangesOK.inc()
+	d := newDiff()
+	n.mu.Lock()
+	delete(n.failStreak, m.Name)
+	if resp.YouWere != StatusAlive {
+		// The partner had us suspected or dead: refute with a fresh
+		// incarnation so the stale verdict is superseded everywhere.
+		n.refuteLocked()
+	}
+	n.applyContactLocked(resp.From, resp.Addr, resp.Inc, d)
+	n.applyBatchLocked(resp.Members, resp.Records, d)
+	forced := n.opts.ForceSyncEvery > 0 && round%uint64(n.opts.ForceSyncEvery) == 0
+	needSync := !resp.Match || forced
+	var sreq *SyncReq
+	if needSync {
+		sreq = &SyncReq{
+			From: n.opts.Self, Addr: n.opts.Addr, Inc: n.inc,
+			UpTo: n.rep.vv(),
+		}
+		if resp.Match {
+			// A forced sync on matching hashes only advances watermarks:
+			// the replicas are identical, so records and the membership
+			// table would be dead weight. vv() reflects synced watermarks,
+			// which rumors never advance, so the map still describes the
+			// matched state even though rumors were just applied above.
+			sreq.WatermarkOnly = true
+		} else {
+			sreq.Records = n.rep.deltasSince(resp.Digest)
+			sreq.Members = n.rep.memberList()
+		}
+	}
+	n.mu.Unlock()
+	d.deliver(n)
+
+	if !needSync {
+		n.ready.Store(true)
+		return
+	}
+	n.syncs.inc()
+	n.recordsSent.add(uint64(len(sreq.Records)))
+	ctx, cancel = context.WithTimeout(context.Background(), n.opts.Timeout)
+	sresp, err := n.opts.Transport.Sync(ctx, m.Name, m.Addr, sreq)
+	cancel()
+	if err != nil {
+		n.noteExchangeFailure(m)
+		return
+	}
+	d = newDiff()
+	n.mu.Lock()
+	delete(n.failStreak, m.Name)
+	n.applyBatchLocked(sresp.Members, sresp.Records, d)
+	n.rep.applyUpTo(sresp.UpTo)
+	n.mu.Unlock()
+	d.deliver(n)
+	n.ready.Store(true)
+}
+
+// HandleExchange is the servant side of ExchangeReq.
+func (n *Node) HandleExchange(req *ExchangeReq) *ExchangeResp {
+	d := newDiff()
+	n.mu.Lock()
+	youWere := StatusAlive
+	if cur, ok := n.rep.members[req.From]; ok {
+		youWere = cur.Status
+	}
+	if req.YouWere != StatusAlive {
+		n.refuteLocked()
+	}
+	n.applyContactLocked(req.From, req.Addr, req.Inc, d)
+	n.applyBatchLocked(req.Members, req.Records, d)
+	resp := &ExchangeResp{
+		From: n.opts.Self, Addr: n.opts.Addr, Inc: n.inc,
+		Hash:    n.rep.rootHash,
+		Match:   n.rep.rootHash == req.Hash,
+		YouWere: youWere,
+	}
+	resp.Members, resp.Records = n.rumors.take(n.opts.MaxPiggyback)
+	if !resp.Match {
+		resp.Digest = n.rep.vv()
+	}
+	n.mu.Unlock()
+	n.rumorsSent.add(uint64(len(resp.Members) + len(resp.Records)))
+	d.deliver(n)
+	if resp.Match {
+		// A matching inbound hash proves we are as converged as the caller.
+		n.ready.Store(true)
+	}
+	return resp
+}
+
+// HandleSync is the servant side of SyncReq.
+func (n *Node) HandleSync(req *SyncReq) *SyncResp {
+	d := newDiff()
+	n.mu.Lock()
+	n.applyContactLocked(req.From, req.Addr, req.Inc, d)
+	n.applyBatchLocked(req.Members, req.Records, d)
+	n.rep.applyUpTo(req.UpTo)
+	resp := &SyncResp{From: n.opts.Self}
+	if !req.WatermarkOnly {
+		resp.Records = n.rep.deltasSince(req.UpTo)
+		resp.UpTo = n.rep.vv()
+		resp.Members = n.rep.memberList()
+	}
+	n.mu.Unlock()
+	n.recordsSent.add(uint64(len(resp.Records)))
+	d.deliver(n)
+	// The push half of an inbound sync carried everything we were missing.
+	n.ready.Store(true)
+	return resp
+}
+
+// applyContactLocked records direct evidence that a peer is alive: a
+// message from it just arrived. Direct contact overrides rumored
+// suspect/dead verdicts — installed through forceMember, bypassing the
+// supersedes order, because first-hand observation outranks any rumor.
+func (n *Node) applyContactLocked(name, addr string, inc uint64, d *diffSet) {
+	if name == "" || name == n.opts.Self {
+		return
+	}
+	cur, ok := n.rep.members[name]
+	m := Member{Name: name, Addr: addr, Incarnation: inc, Status: StatusAlive}
+	if ok && cur.Incarnation > m.Incarnation {
+		m.Incarnation = cur.Incarnation
+		if m.Addr == "" {
+			m.Addr = cur.Addr
+		}
+	}
+	if ok && cur == m {
+		return
+	}
+	n.rep.forceMember(m)
+	delete(n.failStreak, name)
+	n.pushMemberRumorLocked(m)
+	if ok && cur.Status == StatusDead {
+		d.up = append(d.up, m)
+	}
+}
+
+// applyBatchLocked merges rumored/synced members and records, queueing
+// re-rumors for anything that changed state and collecting the directory
+// and membership diff for post-unlock callback delivery.
+func (n *Node) applyBatchLocked(members []Member, records []Record, d *diffSet) {
+	for _, m := range members {
+		n.applyMemberLocked(m, d)
+	}
+	applied := 0
+	for _, rec := range records {
+		switch n.rep.apply(rec) {
+		case applyAdded:
+			applied++
+			n.pushRecordRumorLocked(rec)
+			d.add(rec)
+		case applyRemoved:
+			applied++
+			n.pushRecordRumorLocked(rec)
+			d.remove(rec)
+		case applySilent:
+			applied++
+			n.pushRecordRumorLocked(rec)
+		}
+	}
+	if applied > 0 {
+		n.recordsApplied.add(uint64(applied))
+	}
+}
+
+// refuteLocked reasserts liveness under a fresh incarnation, superseding
+// every suspect/dead row about us in circulation (our incarnation only
+// ever grows here, so inc+1 outranks anything others can hold).
+func (n *Node) refuteLocked() {
+	n.inc++
+	n.refutations.inc()
+	self := Member{Name: n.opts.Self, Addr: n.opts.Addr, Incarnation: n.inc, Status: StatusAlive}
+	n.rep.applyMember(self)
+	n.pushMemberRumorLocked(self)
+}
+
+// applyMemberLocked merges one rumored membership row, handling
+// self-refutation: seeing ourselves suspected or dead (or our name at a
+// foreign address) bumps our incarnation and reasserts an alive row that
+// supersedes the rumor everywhere it has spread.
+func (n *Node) applyMemberLocked(m Member, d *diffSet) {
+	if m.Name == n.opts.Self {
+		if m.Status == StatusAlive && m.Addr == n.opts.Addr && m.Incarnation <= n.inc {
+			return
+		}
+		if m.Incarnation >= n.inc {
+			n.inc = m.Incarnation + 1
+			n.refutations.inc()
+		}
+		self := Member{Name: n.opts.Self, Addr: n.opts.Addr, Incarnation: n.inc, Status: StatusAlive}
+		n.rep.applyMember(self)
+		n.pushMemberRumorLocked(self)
+		return
+	}
+	cur, known := n.rep.members[m.Name]
+	if n.rep.applyMember(m) {
+		n.pushMemberRumorLocked(m)
+		if known && m.Status != cur.Status {
+			switch {
+			case m.Status == StatusDead:
+				d.down = append(d.down, m)
+			case cur.Status == StatusDead && m.Status == StatusAlive:
+				d.up = append(d.up, m)
+			}
+		}
+	}
+}
+
+// noteExchangeFailure marks a failed partner suspect (dead after
+// DeadAfter consecutive failures) at its current incarnation and rumors
+// the verdict — the SWIM refutation path clears false positives.
+func (n *Node) noteExchangeFailure(m Member) {
+	n.mu.Lock()
+	n.failStreak[m.Name]++
+	streak := n.failStreak[m.Name]
+	cur, ok := n.rep.members[m.Name]
+	if !ok {
+		n.mu.Unlock()
+		return
+	}
+	verdict := StatusSuspect
+	if streak >= n.opts.DeadAfter {
+		verdict = StatusDead
+	}
+	wasDead := cur.Status == StatusDead
+	if cur.Status < verdict {
+		cur.Status = verdict
+		n.rep.applyMember(cur)
+		n.pushMemberRumorLocked(cur)
+	}
+	n.mu.Unlock()
+	if verdict == StatusDead && !wasDead && n.opts.OnMemberDown != nil {
+		n.opts.OnMemberDown(cur)
+	}
+}
+
+// OriginDir is one origin's slice of a Directory listing.
+type OriginDir struct {
+	Origin string
+	Status Status
+	Apps   []AppRecord
+	Users  []string
+}
+
+// Directory snapshots the converged replica, one entry per origin holding
+// live records, sorted by origin. Grant maps are shared read-only with the
+// replica (records are replaced wholesale, never mutated in place).
+func (n *Node) Directory() []OriginDir {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]OriginDir, 0, len(n.rep.origins))
+	for name, st := range n.rep.origins {
+		od := OriginDir{Origin: name, Status: StatusAlive}
+		if m, ok := n.rep.members[name]; ok {
+			od.Status = m.Status
+		}
+		for _, rec := range st.records {
+			if rec.Deleted {
+				continue
+			}
+			switch rec.Kind {
+			case KindApp:
+				a := AppRecord{ID: rec.Key}
+				if rec.App != nil {
+					a.Name, a.Kind, a.Grants = rec.App.Name, rec.App.Kind, rec.App.Grants
+				}
+				od.Apps = append(od.Apps, a)
+			case KindUser:
+				od.Users = append(od.Users, rec.Key)
+			}
+		}
+		if len(od.Apps) == 0 && len(od.Users) == 0 {
+			continue
+		}
+		sort.Slice(od.Apps, func(i, j int) bool { return od.Apps[i].ID < od.Apps[j].ID })
+		sort.Strings(od.Users)
+		out = append(out, od)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Origin < out[j].Origin })
+	return out
+}
+
+// Members snapshots the membership table, sorted by name.
+func (n *Node) Members() []Member {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rep.memberList()
+}
+
+// RootHash exposes the replica's root hash — equal hashes across a
+// federation mean converged replicas (the experiment's convergence probe).
+func (n *Node) RootHash() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rep.rootHash
+}
+
+// Stats snapshots the node.
+func (n *Node) Stats() Stats {
+	n.mu.Lock()
+	st := Stats{
+		Self:        n.opts.Self,
+		Incarnation: n.inc,
+		RootHash:    n.rep.rootHash,
+		Members:     len(n.rep.members),
+	}
+	for _, m := range n.rep.members {
+		switch m.Status {
+		case StatusAlive:
+			st.Alive++
+		case StatusSuspect:
+			st.Suspect++
+		default:
+			st.Dead++
+		}
+	}
+	st.Origins, st.Records, st.Tombstones = n.rep.counts()
+	n.mu.Unlock()
+	st.Ready = n.Ready()
+	st.Rounds = n.rounds.load()
+	st.ExchangesOK = n.exchangesOK.load()
+	st.ExchangesFailed = n.exchangesFailed.load()
+	st.Syncs = n.syncs.load()
+	st.RecordsSent = n.recordsSent.load()
+	st.RecordsApplied = n.recordsApplied.load()
+	st.RumorsSent = n.rumorsSent.load()
+	st.TombstonesGCed = n.tombstonesGCed.load()
+	st.Refutations = n.refutations.load()
+	return st
+}
+
+// ---------------------------------------------------------------------------
+// Rumor queue and diff collection.
+// ---------------------------------------------------------------------------
+
+// rumorQueue is a FIFO of state changes still worth piggybacking, each
+// retransmitted RumorTransmits times. A newer rumor for the same subject
+// supersedes the queued one in place. FIFO order (rather than map
+// iteration) keeps seeded runs deterministic.
+type rumorQueue struct {
+	q   []*rumorEntry
+	idx map[string]*rumorEntry
+}
+
+type rumorEntry struct {
+	key  string
+	mem  *Member
+	rec  *Record
+	left int
+}
+
+func (rq *rumorQueue) push(key string, mem *Member, rec *Record, transmits int) {
+	if rq.idx == nil {
+		rq.idx = make(map[string]*rumorEntry)
+	}
+	if e, ok := rq.idx[key]; ok {
+		e.mem, e.rec, e.left = mem, rec, transmits
+		return
+	}
+	e := &rumorEntry{key: key, mem: mem, rec: rec, left: transmits}
+	rq.idx[key] = e
+	rq.q = append(rq.q, e)
+}
+
+// take pops up to max rumors round-robin: taken entries with transmit
+// budget left move to the back of the queue.
+func (rq *rumorQueue) take(max int) ([]Member, []Record) {
+	var members []Member
+	var records []Record
+	n := len(rq.q)
+	if n == 0 {
+		return nil, nil
+	}
+	if max > n {
+		max = n
+	}
+	taken := rq.q[:max]
+	rq.q = rq.q[max:]
+	for _, e := range taken {
+		if e.mem != nil {
+			members = append(members, *e.mem)
+		} else {
+			records = append(records, *e.rec)
+		}
+		e.left--
+		if e.left > 0 {
+			rq.q = append(rq.q, e)
+		} else {
+			delete(rq.idx, e.key)
+		}
+	}
+	return members, records
+}
+
+func (n *Node) pushMemberRumorLocked(m Member) {
+	mm := m
+	n.rumors.push("m\x00"+m.Name, &mm, nil, n.opts.RumorTransmits)
+}
+
+func (n *Node) pushRecordRumorLocked(rec Record) {
+	rr := rec
+	n.rumors.push("r\x00"+rec.Origin+"\x00"+recKey(rec.Kind, rec.Key), nil, &rr, n.opts.RumorTransmits)
+}
+
+// diffSet accumulates directory effects and membership transitions while
+// the node lock is held, for callback delivery after it is released.
+type diffSet struct {
+	added   map[string][]Record
+	removed map[string][]Record
+	up      []Member
+	down    []Member
+}
+
+func newDiff() *diffSet {
+	return &diffSet{added: make(map[string][]Record), removed: make(map[string][]Record)}
+}
+
+func (d *diffSet) add(rec Record)    { d.added[rec.Origin] = append(d.added[rec.Origin], rec) }
+func (d *diffSet) remove(rec Record) { d.removed[rec.Origin] = append(d.removed[rec.Origin], rec) }
+
+func (d *diffSet) deliver(n *Node) {
+	if n.opts.OnMemberDown != nil {
+		for _, m := range d.down {
+			n.opts.OnMemberDown(m)
+		}
+	}
+	if n.opts.OnMemberUp != nil {
+		for _, m := range d.up {
+			n.opts.OnMemberUp(m)
+		}
+	}
+	if n.opts.OnApply == nil {
+		return
+	}
+	origins := make(map[string]bool)
+	for o := range d.added {
+		origins[o] = true
+	}
+	for o := range d.removed {
+		origins[o] = true
+	}
+	names := make([]string, 0, len(origins))
+	for o := range origins {
+		if o != n.opts.Self {
+			names = append(names, o)
+		}
+	}
+	sort.Strings(names)
+	for _, o := range names {
+		n.opts.OnApply(o, d.added[o], d.removed[o])
+	}
+}

@@ -1,0 +1,145 @@
+package gossip
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// genHistory builds a plausible multi-origin record history: per origin a
+// strictly increasing sequence of creates, updates and deletes over a
+// small key space, exactly what publications produce.
+func genHistory(rng *rand.Rand) []Record {
+	var out []Record
+	for o := 0; o < 4; o++ {
+		origin := fmt.Sprintf("o%d", o)
+		seq := uint64(0)
+		for i := 0; i < 15; i++ {
+			seq++
+			rec := Record{Origin: origin, Seq: seq, Stamp: int64(seq)}
+			if rng.Intn(4) == 0 {
+				rec.Kind = KindUser
+				rec.Key = fmt.Sprintf("user%d", rng.Intn(3))
+			} else {
+				rec.Kind = KindApp
+				rec.Key = fmt.Sprintf("%s#%d", origin, rng.Intn(4))
+				rec.App = &AppEntry{
+					Name:   fmt.Sprintf("app-%d", rng.Intn(3)),
+					Kind:   "sim",
+					Grants: map[string]string{"alice": "interact"},
+				}
+			}
+			if rng.Intn(3) == 0 {
+				rec.Deleted = true
+				rec.App = nil
+			}
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+func genMembers(rng *rand.Rand) []Member {
+	var out []Member
+	for i := 0; i < 30; i++ {
+		out = append(out, Member{
+			Name:        fmt.Sprintf("m%d", rng.Intn(5)),
+			Addr:        fmt.Sprintf("addr%d", rng.Intn(2)),
+			Incarnation: uint64(rng.Intn(4)),
+			Status:      Status(rng.Intn(3)),
+		})
+	}
+	return out
+}
+
+func replicaFingerprint(r *replica) (uint64, map[string]Record, map[string]Member) {
+	recs := make(map[string]Record)
+	for origin, st := range r.origins {
+		for key, rec := range st.records {
+			recs[origin+"|"+key] = rec
+		}
+	}
+	return r.rootHash, recs, r.members
+}
+
+// TestMergeConvergesUnderAnyOrder is the satellite property test: applying
+// the same record and membership history in shuffled order, duplicated,
+// and split into arbitrary batches (commutativity, idempotence,
+// associativity) always converges replicas to identical directories and
+// root hashes. 8 seeds.
+func TestMergeConvergesUnderAnyOrder(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			history := genHistory(rng)
+			members := genMembers(rng)
+
+			apply := func(r *replica, recs []Record, mems []Member) {
+				for _, rec := range recs {
+					r.apply(rec)
+				}
+				for _, m := range mems {
+					r.applyMember(m)
+				}
+			}
+
+			ref := newReplica("ref")
+			apply(ref, history, members)
+			refHash, refRecs, refMems := replicaFingerprint(ref)
+
+			for variant := 0; variant < 6; variant++ {
+				recs := append([]Record(nil), history...)
+				mems := append([]Member(nil), members...)
+				rng.Shuffle(len(recs), func(i, j int) { recs[i], recs[j] = recs[j], recs[i] })
+				rng.Shuffle(len(mems), func(i, j int) { mems[i], mems[j] = mems[j], mems[i] })
+				// Idempotence: re-apply a random prefix a second time.
+				recs = append(recs, recs[:rng.Intn(len(recs))]...)
+				mems = append(mems, mems[:rng.Intn(len(mems))]...)
+
+				r := newReplica("ref")
+				// Associativity: deliver in randomly sized batches.
+				for len(recs) > 0 || len(mems) > 0 {
+					nr := rng.Intn(len(recs) + 1)
+					nm := rng.Intn(len(mems) + 1)
+					apply(r, recs[:nr], mems[:nm])
+					recs, mems = recs[nr:], mems[nm:]
+				}
+				h, rr, rm := replicaFingerprint(r)
+				if h != refHash {
+					t.Fatalf("variant %d: root hash %x != reference %x", variant, h, refHash)
+				}
+				if !reflect.DeepEqual(rr, refRecs) {
+					t.Fatalf("variant %d: records diverged", variant)
+				}
+				if !reflect.DeepEqual(rm, refMems) {
+					t.Fatalf("variant %d: members diverged", variant)
+				}
+			}
+		})
+	}
+}
+
+// TestAntiResurrectionGuard pins the below-watermark drop rule: once a
+// tombstone has been applied and garbage-collected under a synced
+// watermark, a straggler copy of the old live record must not resurrect
+// the entry.
+func TestAntiResurrectionGuard(t *testing.T) {
+	r := newReplica("me")
+	live := Record{Origin: "o1", Seq: 3, Kind: KindApp, Key: "o1#1",
+		App: &AppEntry{Name: "x", Kind: "k"}}
+	dead := Record{Origin: "o1", Seq: 5, Kind: KindApp, Key: "o1#1", Deleted: true}
+	r.apply(dead)
+	r.applyUpTo(map[string]uint64{"o1": 5})
+	r.gcTombstones(1<<62, 0) // collect immediately
+	if v := r.apply(live); v != applyNoop {
+		t.Fatalf("stale live record resurrected a GC'd deletion (verdict %d)", v)
+	}
+	// A genuinely new record above the watermark is still accepted.
+	fresh := Record{Origin: "o1", Seq: 6, Kind: KindApp, Key: "o1#1",
+		App: &AppEntry{Name: "y", Kind: "k"}}
+	if v := r.apply(fresh); v != applyAdded {
+		t.Fatalf("fresh record rejected (verdict %d)", v)
+	}
+}

@@ -1,0 +1,310 @@
+package gossip
+
+import "sort"
+
+// originState is one origin's slice of the replica: its records keyed by
+// (kind, key) plus the anti-entropy watermark.
+type originState struct {
+	records map[string]Record
+	// synced is the version-vector watermark: this replica holds the
+	// latest record for every key whose most recent change has Seq ≤
+	// synced. Rumor-applied records above the watermark do NOT advance it
+	// (they prove nothing about the gap below them); only a completed
+	// sync, which ships every missing record up to the sender's own
+	// watermark, may raise it.
+	synced uint64
+	// maxSeq is the highest sequence number ever seen for this origin —
+	// the restart-adoption point for the origin's own counter.
+	maxSeq uint64
+}
+
+// replica is the merged directory: every origin's records, the membership
+// table, and the incrementally maintained root hash over both. All access
+// is serialized by the owning Node's mutex.
+type replica struct {
+	self      string
+	origins   map[string]*originState
+	members   map[string]Member
+	deadSince map[string]int64 // member → unix nanos when first seen dead
+	rootHash  uint64
+	nextSeq   uint64 // self-origin publication counter
+}
+
+func newReplica(self string) *replica {
+	return &replica{
+		self:      self,
+		origins:   make(map[string]*originState),
+		members:   make(map[string]Member),
+		deadSince: make(map[string]int64),
+	}
+}
+
+func (r *replica) origin(name string) *originState {
+	st, ok := r.origins[name]
+	if !ok {
+		st = &originState{records: make(map[string]Record)}
+		r.origins[name] = st
+	}
+	return st
+}
+
+// applyVerdict classifies the outcome of merging one record.
+type applyVerdict uint8
+
+const (
+	applyNoop    applyVerdict = iota
+	applyAdded                // key became (or changed while) live
+	applyRemoved              // key went from live to tombstoned
+	applySilent               // state changed without a directory effect
+)
+
+// apply merges one record by the supersedes order. The below-watermark
+// guard is the anti-resurrection rule: a record for an unknown key at or
+// below the origin's synced watermark was already superseded or its
+// tombstone was garbage-collected — adopting it would resurrect a deleted
+// entry — so it is dropped.
+func (r *replica) apply(rec Record) applyVerdict {
+	st := r.origin(rec.Origin)
+	cur, ok := st.records[recKey(rec.Kind, rec.Key)]
+	if ok && !rec.supersedes(cur) {
+		return applyNoop
+	}
+	if !ok && rec.Seq <= st.synced {
+		return applyNoop
+	}
+	if rec.Seq > st.maxSeq {
+		st.maxSeq = rec.Seq
+	}
+	key := recKey(rec.Kind, rec.Key)
+	if ok {
+		r.rootHash ^= cur.hash()
+	}
+	st.records[key] = rec
+	r.rootHash ^= rec.hash()
+	switch {
+	case !rec.Deleted:
+		return applyAdded
+	case ok && !cur.Deleted:
+		return applyRemoved
+	default:
+		return applySilent
+	}
+}
+
+// applyMember merges one membership row by the supersedes order.
+func (r *replica) applyMember(m Member) bool {
+	cur, ok := r.members[m.Name]
+	if ok && !m.supersedes(cur) {
+		return false
+	}
+	if ok {
+		r.rootHash ^= cur.hash()
+	}
+	r.members[m.Name] = m
+	r.rootHash ^= m.hash()
+	return true
+}
+
+// forceMember installs a membership row bypassing the supersedes order —
+// the direct-contact override: a message from the peer just arrived, which
+// outranks any rumor about it.
+func (r *replica) forceMember(m Member) {
+	if cur, ok := r.members[m.Name]; ok {
+		if cur == m {
+			return
+		}
+		r.rootHash ^= cur.hash()
+	}
+	r.members[m.Name] = m
+	r.rootHash ^= m.hash()
+}
+
+// vv snapshots the per-origin synced watermarks — the digest a sync
+// partner answers with "everything you are missing".
+func (r *replica) vv() map[string]uint64 {
+	out := make(map[string]uint64, len(r.origins))
+	for name, st := range r.origins {
+		out[name] = st.synced
+	}
+	return out
+}
+
+// deltasSince collects every record above the partner's watermark, in a
+// deterministic (origin, seq, key) order.
+func (r *replica) deltasSince(digest map[string]uint64) []Record {
+	var out []Record
+	for name, st := range r.origins {
+		floor := digest[name]
+		for _, rec := range st.records {
+			if rec.Seq > floor {
+				out = append(out, rec)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Origin != b.Origin {
+			return a.Origin < b.Origin
+		}
+		if a.Seq != b.Seq {
+			return a.Seq < b.Seq
+		}
+		return recKey(a.Kind, a.Key) < recKey(b.Kind, b.Key)
+	})
+	return out
+}
+
+// applyUpTo raises the synced watermarks after a completed sync: the
+// partner shipped every record it holds above our floor, so we now hold
+// everything *it* held up to its own watermark. Must run after the
+// records themselves were applied, or the anti-resurrection guard would
+// swallow them.
+func (r *replica) applyUpTo(upTo map[string]uint64) {
+	for name, seq := range upTo {
+		st := r.origin(name)
+		if seq > st.synced {
+			st.synced = seq
+		}
+	}
+}
+
+// memberList snapshots the full membership table, sorted by name.
+func (r *replica) memberList() []Member {
+	out := make([]Member, 0, len(r.members))
+	for _, m := range r.members {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// publish appends the difference between the origin's previous publication
+// and the snapshot now desired: fresh records for new or changed entries,
+// tombstones for vanished ones. Returns the appended records (already
+// applied locally). The publication counter adopts maxSeq first, so a
+// restarted origin that recovered its old records through bootstrap sync
+// continues its sequence instead of re-issuing stale numbers.
+func (r *replica) publish(apps []AppRecord, users []string, now int64) []Record {
+	st := r.origin(r.self)
+	if st.maxSeq > r.nextSeq {
+		r.nextSeq = st.maxSeq
+	}
+	desired := make(map[string]Record, len(apps)+len(users))
+	for _, a := range apps {
+		desired[recKey(KindApp, a.ID)] = Record{
+			Origin: r.self, Kind: KindApp, Key: a.ID,
+			App: &AppEntry{Name: a.Name, Kind: a.Kind, Grants: a.Grants},
+		}
+	}
+	for _, u := range users {
+		desired[recKey(KindUser, u)] = Record{Origin: r.self, Kind: KindUser, Key: u}
+	}
+	var appended []Record
+	add := func(rec Record) {
+		r.nextSeq++
+		rec.Seq = r.nextSeq
+		rec.Stamp = now
+		r.apply(rec)
+		appended = append(appended, rec)
+	}
+	// Deterministic appending order keeps seeded runs reproducible.
+	keys := make([]string, 0, len(st.records))
+	for k := range st.records {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		cur := st.records[k]
+		if cur.Deleted {
+			continue
+		}
+		if _, ok := desired[k]; !ok {
+			add(Record{Origin: r.self, Kind: cur.Kind, Key: cur.Key, Deleted: true})
+		}
+	}
+	keys = keys[:0]
+	for k := range desired {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		want := desired[k]
+		cur, ok := st.records[k]
+		if ok && !cur.Deleted && cur.Kind == want.Kind && appEntryEqual(cur.App, want.App) {
+			continue
+		}
+		add(want)
+	}
+	// The origin is authoritative for itself: its watermark is its counter.
+	if r.nextSeq > st.synced {
+		st.synced = r.nextSeq
+	}
+	return appended
+}
+
+// gcTombstones drops tombstones older than ttl. Replicas collect at
+// slightly different times, so the root hashes diverge for about a round
+// and the next exchange runs one futile sync — bounded, and cheaper than
+// carrying dead keys forever.
+func (r *replica) gcTombstones(now, ttlNanos int64) int {
+	dropped := 0
+	for _, st := range r.origins {
+		for key, rec := range st.records {
+			if rec.Deleted && now-rec.Stamp > ttlNanos {
+				delete(st.records, key)
+				r.rootHash ^= rec.hash()
+				dropped++
+			}
+		}
+	}
+	return dropped
+}
+
+// purgeDead removes members dead for longer than after, along with their
+// origin state; deadSince tracks the first local sighting. Returns purged
+// names. The origin itself is never purged from its own replica.
+func (r *replica) purgeDead(now, afterNanos int64) []string {
+	var purged []string
+	for name, m := range r.members {
+		if m.Status != StatusDead {
+			delete(r.deadSince, name)
+			continue
+		}
+		since, ok := r.deadSince[name]
+		if !ok {
+			r.deadSince[name] = now
+			continue
+		}
+		if now-since <= afterNanos || name == r.self {
+			continue
+		}
+		r.rootHash ^= m.hash()
+		delete(r.members, name)
+		delete(r.deadSince, name)
+		if st, ok := r.origins[name]; ok && name != r.self {
+			for _, rec := range st.records {
+				r.rootHash ^= rec.hash()
+			}
+			delete(r.origins, name)
+		}
+		purged = append(purged, name)
+	}
+	return purged
+}
+
+// counts returns origins, records, tombstones held.
+func (r *replica) counts() (origins, records, tombstones int) {
+	for _, st := range r.origins {
+		if len(st.records) == 0 {
+			continue
+		}
+		origins++
+		for _, rec := range st.records {
+			records++
+			if rec.Deleted {
+				tombstones++
+			}
+		}
+	}
+	return
+}

@@ -1,0 +1,47 @@
+package netsim
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"sync"
+)
+
+// Simulated experiments must be replayable: a gossip run whose peer
+// selection and jitter draws differ between invocations cannot produce
+// comparable BENCH numbers, and a convergence failure that depends on the
+// host's entropy cannot be debugged. The Network therefore owns one seed
+// and derives per-consumer rand.Rand streams from it, keyed by name, so
+// every domain in a simulation gets an independent but reproducible
+// stream regardless of the order domains start in.
+
+// SetRandSeed fixes the base seed for DeterministicRand streams. Calling
+// it again reseeds future streams; streams already handed out keep their
+// sequence. The zero Network defaults to seed 0, which is as
+// deterministic as any other.
+func (n *Network) SetRandSeed(seed int64) {
+	n.rmu.Lock()
+	n.randSeed = seed
+	n.rmu.Unlock()
+}
+
+// DeterministicRand derives a reproducible random stream for one named
+// consumer (conventionally the domain name). The stream seed is the FNV-1a
+// hash of the name folded with the network seed, so two consumers never
+// share a sequence and the same (seed, name) pair always replays the same
+// draws. The returned Rand is NOT safe for concurrent use — hand it to
+// exactly one consumer (gossip.Options.Rand serializes its own draws).
+func (n *Network) DeterministicRand(name string) *rand.Rand {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	n.rmu.Lock()
+	seed := n.randSeed
+	n.rmu.Unlock()
+	return rand.New(rand.NewSource(seed ^ int64(h.Sum64())))
+}
+
+// randState is embedded in Network; it lives here to keep the shaping
+// code free of RNG concerns.
+type randState struct {
+	rmu      sync.Mutex
+	randSeed int64
+}

@@ -1,0 +1,48 @@
+package netsim
+
+import "testing"
+
+func drawSeq(n *Network, name string, count int) []int64 {
+	r := n.DeterministicRand(name)
+	out := make([]int64, count)
+	for i := range out {
+		out[i] = r.Int63()
+	}
+	return out
+}
+
+func seqEqual(a, b []int64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDeterministicRandReplays: the same (seed, name) pair replays the
+// same draw sequence across networks; distinct names and distinct seeds
+// diverge. This is what makes simulated gossip runs reproducible.
+func TestDeterministicRandReplays(t *testing.T) {
+	n1 := New(nil)
+	n1.SetRandSeed(42)
+	n2 := New(nil)
+	n2.SetRandSeed(42)
+
+	a := drawSeq(n1, "rutgers", 16)
+	if !seqEqual(a, drawSeq(n2, "rutgers", 16)) {
+		t.Fatalf("same seed and name produced different sequences")
+	}
+	// A second stream for the same name on the same network replays too:
+	// a restarted domain resumes the identical schedule.
+	if !seqEqual(a, drawSeq(n1, "rutgers", 16)) {
+		t.Fatalf("re-derived stream diverged from the first")
+	}
+	if seqEqual(a, drawSeq(n1, "caltech", 16)) {
+		t.Fatalf("distinct names share one sequence")
+	}
+	n2.SetRandSeed(43)
+	if seqEqual(a, drawSeq(n2, "rutgers", 16)) {
+		t.Fatalf("distinct seeds share one sequence")
+	}
+}

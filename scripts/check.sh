@@ -44,6 +44,14 @@ go run ./scripts/metricssmoke
 # them.
 go test -race -p 1 -count=1 -run 'Chaos|R1|R2|P1|S2' ./internal/core/ ./internal/experiments/
 
+# Gossip smoke: the epidemic directory's full availability cycle —
+# free-running convergence, partition-degraded listings, heal and
+# recovery — plus the merge property tests and the membership churn
+# test rerun uncached under the race detector (timing-sensitive like
+# the chaos batch above).
+go test -race -count=1 -run 'TestGossipConvergenceSmoke|TestMergeConvergesUnderAnyOrder|TestGossipChurnUnderLoad' \
+    ./internal/experiments/ ./internal/gossip/
+
 # Durability smoke: the storage fuzz/property pair (WAL crash-point fuzz,
 # archive replay determinism) and the server kill-recover path rerun
 # uncached under the race detector.
