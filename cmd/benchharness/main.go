@@ -148,6 +148,12 @@ var all = []experiment{
 		}
 		return experiments.RunG1([]int{50, 200})
 	}},
+	{"C1", func(q bool) (experiments.Result, error) {
+		if q {
+			return experiments.RunC1(200)
+		}
+		return experiments.RunC1(1000)
+	}},
 }
 
 // benchReport is the shape of the -json output file: every experiment's
@@ -272,6 +278,20 @@ func main() {
 				failures++
 			} else {
 				fmt.Println("benchharness: wrote BENCH_G1.json")
+			}
+		}
+		// C1's compact replicated-collaboration record rides along
+		// whenever C1 ran.
+		if snap, ok := experiments.C1LastSnapshot(); ok {
+			data, err := json.MarshalIndent(snap, "", "  ")
+			if err == nil {
+				err = os.WriteFile("BENCH_C1.json", append(data, '\n'), 0o644)
+			}
+			if err != nil {
+				fmt.Printf("benchharness: writing BENCH_C1.json: %v\n", err)
+				failures++
+			} else {
+				fmt.Println("benchharness: wrote BENCH_C1.json")
 			}
 		}
 	}

@@ -182,8 +182,7 @@ func TestChat(t *testing.T) {
 func TestWhiteboardReplayForLatecomers(t *testing.T) {
 	g, sinks := setupGroup(t)
 	for i := 0; i < 3; i++ {
-		stroke := &wire.Message{Kind: wire.KindWhiteboard, App: "app#1", Client: "c1", Data: []byte{byte(i)}}
-		g.Whiteboard("c1", stroke)
+		g.Whiteboard("c1", []byte{byte(i)})
 	}
 	if g.WhiteboardLen() != 3 {
 		t.Fatalf("retained %d strokes", g.WhiteboardLen())

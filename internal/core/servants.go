@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 
+	"discover/internal/collab"
 	"discover/internal/orb"
 	"discover/internal/server"
 	"discover/internal/wire"
@@ -55,7 +56,26 @@ type (
 		From string
 	}
 	collabResp struct{}
-	pollReq    struct {
+	// collabSyncReq/Resp are the pull leg of collab anti-entropy: the
+	// requester sends its watermark vector and receives every op it is
+	// missing plus the watermarks it may adopt afterwards.
+	collabSyncReq struct {
+		From string            // requesting server
+		VV   map[string]uint64 // requester's per-origin watermark vector
+	}
+	collabSyncResp struct {
+		Ops []collab.Op
+		VV  map[string]uint64
+	}
+	// collabPushReq is the push leg: ops the requester holds that the
+	// host's answered vector showed it was missing.
+	collabPushReq struct {
+		From string
+		Ops  []collab.Op
+		VV   map[string]uint64
+	}
+	collabPushResp struct{}
+	pollReq        struct {
 		SinceSeq uint64
 		From     string // polling server, for resource accounting
 	}
@@ -203,11 +223,28 @@ func (s *Substrate) proxyServant(appID string) orb.Servant {
 			return lockResp{Granted: granted, Holder: holder}, nil
 		}),
 		"collab": orb.Handler(func(r collabReq) (collabResp, error) {
-			if err := s.meter(r.From, r.Msg.ApproxSize()); err != nil {
-				return collabResp{}, err
+			// Membership replication (join/leave/sub-switch ops) is
+			// middleware bookkeeping the CRDT log needs to converge; only
+			// user-originated traffic (chat, strokes, view shares) draws
+			// down the origin domain's access-policy budget.
+			if r.Msg.Kind != wire.KindJoin && r.Msg.Kind != wire.KindLeave {
+				if err := s.meter(r.From, r.Msg.ApproxSize()); err != nil {
+					return collabResp{}, err
+				}
 			}
 			s.srv.DeliverCollabFromPeer(appID, r.Msg, r.From)
 			return collabResp{}, nil
+		}),
+		// collabSync/collabPush are the two legs of the replicated-log
+		// anti-entropy exchange (DESIGN §4l). Like membership ops above,
+		// they are replication bookkeeping and bypass the policy meter.
+		"collabSync": orb.Handler(func(r collabSyncReq) (collabSyncResp, error) {
+			ops, upTo := s.srv.CollabDeltas(appID, r.VV)
+			return collabSyncResp{Ops: ops, VV: upTo}, nil
+		}),
+		"collabPush": orb.Handler(func(r collabPushReq) (collabPushResp, error) {
+			s.srv.CollabApply(appID, r.Ops, r.VV, r.From)
+			return collabPushResp{}, nil
 		}),
 		"pollUpdates": orb.Handler(func(r pollReq) (pollResp, error) {
 			if err := s.meter(r.From, 0); err != nil {

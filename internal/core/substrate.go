@@ -103,6 +103,10 @@ type Substrate struct {
 	gossipServed dirCounter
 	fanoutServed dirCounter
 
+	// Collaboration-log anti-entropy counters (DESIGN §4l).
+	collabSyncs   *telemetry.Counter // exchanges completed against a host
+	collabSyncOps *telemetry.Counter // ops transferred by those exchanges
+
 	mu      sync.Mutex
 	peers   map[string]peerInfo     // by server name
 	relays  map[string]*relaySender // by peer name (host side, push mode)
@@ -184,6 +188,8 @@ func New(cfg Config) (*Substrate, error) {
 	s.fanWorkers.Store(int64(cfg.FanoutWorkers))
 	s.gossipServed.metric = telemetry.GetCounter("discover_listings_gossip_served_total", "server", cfg.Server.Name())
 	s.fanoutServed.metric = telemetry.GetCounter("discover_listings_fanout_served_total", "server", cfg.Server.Name())
+	s.collabSyncs = telemetry.GetCounter("discover_collab_syncs_total", "server", cfg.Server.Name())
+	s.collabSyncOps = telemetry.GetCounter("discover_collab_sync_ops_total", "server", cfg.Server.Name())
 	s.health.onDown = s.peerWentDown
 	s.health.onRecovered = s.peerRecovered
 	if cfg.GossipEnabled {
@@ -357,6 +363,12 @@ func (s *Substrate) reassertSubscriptions(peer string) {
 		}, nil)
 		if err != nil {
 			s.cfg.Logf("core %s: re-subscribe %s at %s: %v", s.srv.Name(), appID, p.name, err)
+			continue
+		}
+		// Anti-entropy closes whatever gap opened while the relay was
+		// down: pull what the host saw, push what only we saw.
+		if err := s.SyncCollabApp(nil, appID); err != nil {
+			s.cfg.Logf("core %s: collab resync %s: %v", s.srv.Name(), appID, err)
 		}
 	}
 }
@@ -780,6 +792,57 @@ func (s *Substrate) ForwardCollab(ctx context.Context, appID string, m *wire.Mes
 		collabReq{Msg: m, From: s.srv.Name()}, nil)
 }
 
+// SyncCollabApp runs one anti-entropy exchange for the application's
+// replicated collaboration log against its host server: pull every op we
+// are missing (the host splices evicted history from its WAL), then push
+// any op only we hold — after a partition heals, one exchange per side
+// makes the logs byte-identical regardless of what the relays dropped.
+func (s *Substrate) SyncCollabApp(ctx context.Context, appID string) error {
+	p, err := s.peerFor(appID)
+	if err != nil {
+		return err
+	}
+	var resp collabSyncResp
+	err = s.invokePeer(ctx, p, s.proxyRef(p, appID), "collabSync",
+		collabSyncReq{From: s.srv.Name(), VV: s.srv.CollabVV(appID)}, &resp)
+	if err != nil {
+		return err
+	}
+	applied := s.srv.CollabApply(appID, resp.Ops, resp.VV, p.name)
+	s.collabSyncs.Inc()
+	s.collabSyncOps.Add(uint64(applied))
+	if ops, upTo := s.srv.CollabDeltas(appID, resp.VV); len(ops) > 0 {
+		if err := s.invokePeer(ctx, p, s.proxyRef(p, appID), "collabPush",
+			collabPushReq{From: s.srv.Name(), Ops: ops, VV: upTo}, nil); err != nil {
+			return err
+		}
+		s.collabSyncOps.Add(uint64(len(ops)))
+	}
+	return nil
+}
+
+// CollabSyncNow synchronously runs one anti-entropy exchange for every
+// subscribed application, in deterministic order. Convergence tests
+// (experiment C1) drive replication in lockstep with it, the way
+// GossipNow drives directory rounds.
+func (s *Substrate) CollabSyncNow() {
+	s.mu.Lock()
+	apps := make([]string, 0, len(s.subs)+len(s.polls))
+	for appID := range s.subs {
+		apps = append(apps, appID)
+	}
+	for appID := range s.polls {
+		apps = append(apps, appID)
+	}
+	s.mu.Unlock()
+	sort.Strings(apps)
+	for _, appID := range apps {
+		if err := s.SyncCollabApp(nil, appID); err != nil {
+			s.cfg.Logf("core %s: collab sync %s: %v", s.srv.Name(), appID, err)
+		}
+	}
+}
+
 // Subscribe arranges for the application's group traffic to reach this
 // server: a push relay at the host (Push mode) or a local poller (Poll
 // mode). Idempotent.
@@ -805,6 +868,12 @@ func (s *Substrate) Subscribe(ctx context.Context, appID string) error {
 		s.mu.Lock()
 		s.subs[appID] = true
 		s.mu.Unlock()
+		// First subscription: pull the group's replicated log so
+		// latecomer clients replay history locally, with no per-client
+		// catch-up invocations against the host.
+		if err := s.SyncCollabApp(ctx, appID); err != nil {
+			s.cfg.Logf("core %s: collab sync %s: %v", s.srv.Name(), appID, err)
+		}
 		return nil
 	default: // Poll
 		s.mu.Lock()

@@ -1,0 +1,10 @@
+package experiments
+
+import "testing"
+
+// TestC1CollabChaos is the CI-sized run of experiment C1; scripts/check.sh
+// also runs it race-enabled as the replicated-collaboration smoke.
+func TestC1CollabChaos(t *testing.T) {
+	res, err := RunC1(64)
+	checkResult(t, res, err)
+}

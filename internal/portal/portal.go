@@ -117,6 +117,9 @@ var (
 	ErrPeerDown        error = &sentinelError{"peer_down", "portal: peer server down"}
 	ErrPeerSuspect     error = &sentinelError{"peer_suspect", "portal: peer server suspect"}
 	ErrNotFound        error = &sentinelError{"not_found", "portal: not found"}
+	ErrCollabDisabled  error = &sentinelError{"collab_disabled", "portal: collaboration disabled"}
+	ErrGroupNotFound   error = &sentinelError{"group_not_found", "portal: collaboration group not found"}
+	ErrBadWatermark    error = &sentinelError{"bad_watermark", "portal: whiteboard watermark out of range"}
 	ErrInternal        error = &sentinelError{"internal", "portal: internal server error"}
 )
 
@@ -418,6 +421,25 @@ func (c *Client) SetCollaboration(ctx context.Context, enabled bool) error {
 // JoinSubGroup moves into a named sub-group ("" = main group).
 func (c *Client) JoinSubGroup(ctx context.Context, sub string) error {
 	return c.post(ctx, "/api/v1/collab", server.CollabRequest{ClientID: c.ClientID(), Sub: &sub}, nil)
+}
+
+// CollabInfo reads the typed collaboration resource: this session's
+// mode, the local membership view, and the converged CRDT view of the
+// whole cross-domain group with its replication watermarks.
+func (c *Client) CollabInfo(ctx context.Context) (server.CollabInfoResponse, error) {
+	var cr server.CollabInfoResponse
+	err := c.get(ctx, "/api/v1/session/"+url.PathEscape(c.ClientID())+"/collab", &cr)
+	return cr, err
+}
+
+// WhiteboardSince replays whiteboard strokes past a watermark (0 =
+// everything). Pass the returned Watermark back to resume incrementally,
+// the way Last-Event-ID resumes the SSE stream.
+func (c *Client) WhiteboardSince(ctx context.Context, from uint64) (server.WhiteboardResponse, error) {
+	var wr server.WhiteboardResponse
+	path := fmt.Sprintf("/api/v1/session/%s/whiteboard?from=%d", url.PathEscape(c.ClientID()), from)
+	err := c.get(ctx, path, &wr)
+	return wr, err
 }
 
 // Replay fetches the archived interaction log from a sequence number.

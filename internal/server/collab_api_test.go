@@ -1,0 +1,147 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/url"
+	"testing"
+)
+
+// collabSetup logs in, connects to the deployment's app, and returns the
+// client id.
+func collabSetup(t *testing.T, c *httpClient) (string, string) {
+	t.Helper()
+	lr, _ := c.login("alice", "pw")
+	var apps AppsResponse
+	c.get("/api/v1/apps?client="+lr.ClientID, &apps)
+	if len(apps.Apps) != 1 {
+		t.Fatalf("apps = %+v", apps)
+	}
+	appID := apps.Apps[0].ID
+	if code := c.post("/api/v1/connect", ConnectRequest{ClientID: lr.ClientID, App: appID}, nil); code != 200 {
+		t.Fatalf("connect -> %d", code)
+	}
+	return lr.ClientID, appID
+}
+
+// TestCollabResource exercises GET /api/v1/session/{id}/collab: the
+// session's own mode, the converged membership fold, and the log
+// summary.
+func TestCollabResource(t *testing.T) {
+	_, c := deployHTTP(t)
+	clientID, appID := collabSetup(t, c)
+
+	var info CollabInfoResponse
+	if code := c.get("/api/v1/session/"+url.PathEscape(clientID)+"/collab", &info); code != 200 {
+		t.Fatalf("collab -> %d", code)
+	}
+	if info.App != appID || !info.Enabled || info.Sub != "" {
+		t.Fatalf("collab info = %+v", info)
+	}
+	if len(info.Group) != 1 || info.Group[0].Client != clientID || info.Group[0].Origin != "rutgers" {
+		t.Fatalf("converged members = %+v", info.Group)
+	}
+	if info.Log.Origin != "rutgers" || info.Log.Ops == 0 || info.Log.Hash == "" {
+		t.Fatalf("log summary = %+v", info.Log)
+	}
+
+	// Sub-group switch and disable both surface in the resource.
+	sub, off := "ops-room", false
+	c.post("/api/v1/collab", CollabRequest{ClientID: clientID, Sub: &sub}, nil)
+	c.post("/api/v1/collab", CollabRequest{ClientID: clientID, Enabled: &off}, nil)
+	c.get("/api/v1/session/"+url.PathEscape(clientID)+"/collab", &info)
+	if info.Enabled || info.Sub != sub {
+		t.Fatalf("after switch: %+v", info)
+	}
+	if len(info.Group) != 1 || info.Group[0].Sub != sub {
+		t.Fatalf("fold missed sub switch: %+v", info.Group)
+	}
+
+	// Unknown session → session_not_found envelope.
+	var er ErrorResponse
+	if code := c.get("/api/v1/session/nope/collab", &er); code != http.StatusUnauthorized ||
+		er.Error.Code != CodeSessionNotFound {
+		t.Fatalf("unknown session -> %d %+v", code, er)
+	}
+}
+
+// TestWhiteboardWatermarkReplay exercises GET
+// /api/v1/session/{id}/whiteboard: full replay at from=0, incremental
+// resume from the returned watermark, and bad_watermark on malformed or
+// ahead-of-head values.
+func TestWhiteboardWatermarkReplay(t *testing.T) {
+	_, c := deployHTTP(t)
+	clientID, _ := collabSetup(t, c)
+
+	for i := 0; i < 5; i++ {
+		code := c.post("/api/v1/whiteboard", WhiteboardRequest{ClientID: clientID, Stroke: []byte{byte(i)}}, nil)
+		if code != 200 {
+			t.Fatalf("stroke %d -> %d", i, code)
+		}
+	}
+
+	var wb WhiteboardResponse
+	if code := c.get("/api/v1/session/"+url.PathEscape(clientID)+"/whiteboard", &wb); code != 200 {
+		t.Fatalf("whiteboard -> %d", code)
+	}
+	if len(wb.Strokes) != 5 || wb.Missed != 0 {
+		t.Fatalf("full replay = %+v", wb)
+	}
+	for i, st := range wb.Strokes {
+		if st.Data[0] != byte(i) || st.Origin != "rutgers" {
+			t.Fatalf("stroke %d = %+v", i, st)
+		}
+	}
+
+	// Resume from the watermark: only newer strokes.
+	c.post("/api/v1/whiteboard", WhiteboardRequest{ClientID: clientID, Stroke: []byte{9}}, nil)
+	var inc WhiteboardResponse
+	c.get(fmt.Sprintf("/api/v1/session/%s/whiteboard?from=%d", url.PathEscape(clientID), wb.Watermark), &inc)
+	if len(inc.Strokes) != 1 || inc.Strokes[0].Data[0] != 9 {
+		t.Fatalf("incremental replay = %+v", inc)
+	}
+	// Caught up: empty, same watermark.
+	var empty WhiteboardResponse
+	c.get(fmt.Sprintf("/api/v1/session/%s/whiteboard?from=%d", url.PathEscape(clientID), inc.Watermark), &empty)
+	if len(empty.Strokes) != 0 || empty.Watermark != inc.Watermark {
+		t.Fatalf("caught-up replay = %+v", empty)
+	}
+
+	// Malformed and ahead-of-head watermarks → bad_watermark envelope.
+	var er ErrorResponse
+	if code := c.get("/api/v1/session/"+url.PathEscape(clientID)+"/whiteboard?from=banana", &er); code != http.StatusBadRequest ||
+		er.Error.Code != CodeBadWatermark {
+		t.Fatalf("malformed watermark -> %d %+v", code, er)
+	}
+	if code := c.get(fmt.Sprintf("/api/v1/session/%s/whiteboard?from=%d", url.PathEscape(clientID), inc.Watermark+100), &er); code != http.StatusBadRequest ||
+		er.Error.Code != CodeBadWatermark {
+		t.Fatalf("future watermark -> %d %+v", code, er)
+	}
+}
+
+// TestCollabErrorCodes pins the new registry entries' envelopes:
+// collab_disabled (409) on mutations from a disabled session, and
+// not_connected for sessions with no app.
+func TestCollabErrorCodes(t *testing.T) {
+	_, c := deployHTTP(t)
+	clientID, _ := collabSetup(t, c)
+
+	off := false
+	c.post("/api/v1/collab", CollabRequest{ClientID: clientID, Enabled: &off}, nil)
+	var er ErrorResponse
+	if code := c.post("/api/v1/chat", ChatRequest{ClientID: clientID, Text: "hi"}, &er); code != http.StatusConflict ||
+		er.Error.Code != CodeCollabDisabled {
+		t.Fatalf("disabled chat -> %d %+v", code, er)
+	}
+	if code := c.post("/api/v1/whiteboard", WhiteboardRequest{ClientID: clientID, Stroke: []byte{1}}, &er); code != http.StatusConflict ||
+		er.Error.Code != CodeCollabDisabled {
+		t.Fatalf("disabled whiteboard -> %d %+v", code, er)
+	}
+
+	// A session that never connected has no group to read.
+	lr, _ := c.login("bob", "pw")
+	if code := c.get("/api/v1/session/"+url.PathEscape(lr.ClientID)+"/collab", &er); code != http.StatusNotFound ||
+		er.Error.Code != CodeNotConnected {
+		t.Fatalf("unconnected collab -> %d %+v", code, er)
+	}
+}

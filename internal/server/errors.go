@@ -54,6 +54,15 @@ const (
 	CodePeerSuspect ErrCode = "peer_suspect"
 	// CodeNotFound: a resource (trace, record table) does not exist.
 	CodeNotFound ErrCode = "not_found"
+	// CodeCollabDisabled: the session disabled collaboration, so chat and
+	// whiteboard mutations are rejected (explicit view shares still pass).
+	CodeCollabDisabled ErrCode = "collab_disabled"
+	// CodeGroupNotFound: the session's application has no live
+	// collaboration group (the application exited).
+	CodeGroupNotFound ErrCode = "group_not_found"
+	// CodeBadWatermark: a whiteboard replay watermark is malformed or
+	// ahead of the log's head.
+	CodeBadWatermark ErrCode = "bad_watermark"
 	// CodeInternal: unclassified server-side failure.
 	CodeInternal ErrCode = "internal"
 )
@@ -69,8 +78,12 @@ func (c ErrCode) httpStatus() int {
 		return http.StatusForbidden
 	case CodeAppNotFound, CodeNotConnected, CodeNotFound:
 		return http.StatusNotFound
-	case CodeLockHeld:
+	case CodeLockHeld, CodeCollabDisabled:
 		return http.StatusConflict
+	case CodeGroupNotFound:
+		return http.StatusNotFound
+	case CodeBadWatermark:
+		return http.StatusBadRequest
 	case CodeRateLimited, CodeOverloaded:
 		return http.StatusTooManyRequests
 	case CodeShuttingDown, CodePeerDown, CodePeerSuspect:
@@ -87,9 +100,30 @@ func ErrorCodes() []ErrCode {
 		CodeBadRequest, CodeUnauthorized, CodeSessionNotFound, CodeForbidden,
 		CodeAppNotFound, CodeNotConnected, CodeLockHeld, CodeRateLimited,
 		CodeOverloaded, CodeShuttingDown, CodePeerDown, CodePeerSuspect,
-		CodeNotFound, CodeInternal,
+		CodeNotFound, CodeCollabDisabled, CodeGroupNotFound, CodeBadWatermark,
+		CodeInternal,
 	}
 }
+
+// Collaboration sentinels: coded errors the ops layer returns and the
+// HTTP edge maps straight into the envelope.
+var (
+	// ErrCollabDisabled rejects chat/whiteboard mutations from a session
+	// that switched collaboration off.
+	ErrCollabDisabled error = &codedError{
+		msg: "server: collaboration disabled for this session", code: CodeCollabDisabled,
+	}
+	// ErrGroupNotFound reports a vanished collaboration group (the
+	// application exited while the session was still attached).
+	ErrGroupNotFound error = &codedError{
+		msg: "server: collaboration group not found", code: CodeGroupNotFound,
+	}
+	// ErrBadWatermark reports a whiteboard replay watermark that is
+	// malformed or ahead of the log head.
+	ErrBadWatermark error = &codedError{
+		msg: "server: whiteboard watermark out of range", code: CodeBadWatermark,
+	}
+)
 
 // Coder is implemented by errors that carry their own API error code
 // (e.g. the substrate's ErrPeerDown). writeErr honors it anywhere in the

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
@@ -10,6 +11,7 @@ import (
 
 	"discover/internal/archive"
 	"discover/internal/auth"
+	"discover/internal/collab"
 	"discover/internal/session"
 	"discover/internal/telemetry"
 	"discover/internal/wire"
@@ -103,6 +105,28 @@ type (
 		Enabled  *bool   `json:"enabled,omitempty"`
 		Sub      *string `json:"sub,omitempty"`
 	}
+	// CollabInfoResponse is the typed collaboration resource: the
+	// session's own mode, the local membership view, and the converged
+	// CRDT view of the whole cross-domain group with its replication
+	// watermarks.
+	CollabInfoResponse struct {
+		App     string               `json:"app"`
+		Enabled bool                 `json:"enabled"`
+		Sub     string               `json:"sub,omitempty"`
+		Members []string             `json:"members"`
+		Relays  []string             `json:"relays,omitempty"`
+		Group   []collab.MemberState `json:"group"`
+		Log     CollabLogStats       `json:"log"`
+	}
+	// WhiteboardResponse replays whiteboard strokes past a watermark.
+	// Watermark is the log head: pass it back as ?from= to resume.
+	// Missed counts evicted strokes that could not be spliced back from
+	// the WAL (memory-only domains past the retention cap).
+	WhiteboardResponse struct {
+		Strokes   []collab.StrokeEntry `json:"strokes"`
+		Watermark uint64               `json:"watermark"`
+		Missed    int                  `json:"missed,omitempty"`
+	}
 	// ReplayResponse returns archived interaction entries.
 	ReplayResponse struct {
 		Entries []archive.Entry `json:"entries"`
@@ -190,6 +214,8 @@ func (s *Server) Routes() []apiRoute {
 		{Method: "POST", Path: "/whiteboard", handler: s.handleWhiteboard},
 		{Method: "POST", Path: "/share", handler: s.handleShare},
 		{Method: "POST", Path: "/collab", handler: s.handleCollab},
+		{Method: "GET", Path: "/session/{id}/collab", handler: s.handleSessionCollab},
+		{Method: "GET", Path: "/session/{id}/whiteboard", handler: s.handleSessionWhiteboard},
 		{Method: "GET", Path: "/replay", handler: s.handleReplay},
 		{Method: "GET", Path: "/records", handler: s.handleRecords},
 		{Method: "GET", Path: "/users", handler: s.handleUsers},
@@ -435,6 +461,34 @@ type AppStats struct {
 	Members    []string `json:"members"`
 	Relays     []string `json:"relays"`
 	LogLen     int      `json:"applicationLogLen"`
+	// Collab summarizes the group's replicated CRDT op log.
+	Collab *CollabLogStats `json:"collab,omitempty"`
+}
+
+// CollabLogStats is the JSON shape of one group's replicated op log:
+// the order-independent state hash (equal across domains means the
+// replicas converged), op/stroke/chat counts split by in-memory
+// retention, and per-origin (seen, synced) watermarks.
+type CollabLogStats struct {
+	Origin     string                         `json:"origin"`
+	Ops        int                            `json:"ops"`
+	Retained   int                            `json:"retained"`
+	Evicted    int                            `json:"evicted"`
+	Strokes    int                            `json:"strokes"`
+	Chats      int                            `json:"chats"`
+	ApplyHead  uint64                         `json:"applyHead"`
+	Hash       string                         `json:"hash"`
+	Watermarks map[string]collab.LogWatermark `json:"watermarks,omitempty"`
+}
+
+// collabLogStats renders a log summary for the stats and collab APIs.
+func collabLogStats(info collab.LogInfo) CollabLogStats {
+	return CollabLogStats{
+		Origin: info.Origin, Ops: info.Ops, Retained: info.Retained,
+		Evicted: info.Evicted, Strokes: info.Strokes, Chats: info.Chats,
+		ApplyHead: info.ApplyHead, Hash: fmt.Sprintf("%016x", info.Hash),
+		Watermarks: info.Watermarks,
+	}
 }
 
 // SessionStats describes one client session's delivery buffer.
@@ -469,6 +523,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		if holder, held := s.locks.Holder(id); held {
 			as.LockHolder = holder
 		}
+		cls := collabLogStats(g.LogInfo())
+		as.Collab = &cls
 		resp.Apps = append(resp.Apps, as)
 	}
 	for _, sess := range s.sessions.List() {
@@ -813,12 +869,86 @@ func (s *Server) handleCollab(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if req.Sub != nil {
-		if err := s.JoinSubGroup(sess, *req.Sub); err != nil {
+		if err := s.JoinSubGroup(r.Context(), sess, *req.Sub); err != nil {
 			s.writeErr(w, err)
 			return
 		}
 	}
 	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+// handleSessionCollab serves the typed collaboration resource. A session
+// that switched collaboration off can still read it (the resource is how
+// a portal decides whether to switch back on); only a session with no
+// live group gets an error.
+func (s *Server) handleSessionCollab(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookupSession(w, r.PathValue("id"))
+	if !ok {
+		return
+	}
+	appID := sess.App()
+	if appID == "" {
+		s.writeErr(w, ErrNotConnected)
+		return
+	}
+	g, found := s.hub.Lookup(appID)
+	if !found {
+		s.writeErr(w, ErrGroupNotFound)
+		return
+	}
+	enabled, sub, _ := g.Member(sess.ClientID)
+	resp := CollabInfoResponse{
+		App: appID, Enabled: enabled, Sub: sub,
+		Members: g.Members(), Relays: g.Relays(),
+		Group: g.ConvergedMembers(),
+		Log:   collabLogStats(g.LogInfo()),
+	}
+	if resp.Members == nil {
+		resp.Members = []string{}
+	}
+	if resp.Group == nil {
+		resp.Group = []collab.MemberState{}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSessionWhiteboard replays whiteboard strokes with ApplySeq past
+// the ?from= watermark (0 = everything), in this domain's apply order.
+// The returned watermark resumes the next call, exactly like SSE event
+// ids resume a stream.
+func (s *Server) handleSessionWhiteboard(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookupSession(w, r.PathValue("id"))
+	if !ok {
+		return
+	}
+	appID := sess.App()
+	if appID == "" {
+		s.writeErr(w, ErrNotConnected)
+		return
+	}
+	g, found := s.hub.Lookup(appID)
+	if !found {
+		s.writeErr(w, ErrGroupNotFound)
+		return
+	}
+	var from uint64
+	if raw := r.URL.Query().Get("from"); raw != "" {
+		v, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			s.writeErr(w, ErrBadWatermark)
+			return
+		}
+		from = v
+	}
+	if from > g.ApplyHead() {
+		s.writeErr(w, ErrBadWatermark)
+		return
+	}
+	strokes, last, missed := g.StrokesSince(from)
+	if strokes == nil {
+		strokes = []collab.StrokeEntry{}
+	}
+	writeJSON(w, http.StatusOK, WhiteboardResponse{Strokes: strokes, Watermark: last, Missed: missed})
 }
 
 func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {

@@ -8,6 +8,7 @@ import (
 
 	"discover/internal/archive"
 	"discover/internal/auth"
+	"discover/internal/collab"
 	"discover/internal/recorddb"
 	"discover/internal/session"
 	"discover/internal/telemetry"
@@ -101,8 +102,24 @@ func (s *Server) ConnectApp(ctx context.Context, sess *session.Session, appID st
 		cap = s.auth.MintCapability(sess.User, appID, priv)
 	}
 	sess.Connect(appID, cap)
-	s.hub.Group(appID).Join(sess.ClientID, func(m *wire.Message) { sess.Buffer.Push(m) })
+	g := s.hub.Group(appID)
+	g.Join(sess.ClientID, func(m *wire.Message) { sess.Buffer.Push(m) })
+	// Membership is replicated group state: append the join op and push
+	// it toward the rest of the federation's replicas.
+	s.disseminateMembership(ctx, appID, g, g.NoteJoin(sess.ClientID))
 	return cap, nil
+}
+
+// disseminateMembership routes a membership op (join/leave/sub-switch)
+// to peer-server replicas: at the host server straight to the relays, at
+// a member server through the host. Membership ops are replica traffic,
+// not client-visible messages, so they never enter local FIFOs.
+func (s *Server) disseminateMembership(ctx context.Context, appID string, g *collab.Group, m *wire.Message) {
+	if ServerOfApp(appID) == s.cfg.Name {
+		g.RelayBroadcast(m, "")
+		return
+	}
+	s.collabForward(ctx, appID, m)
 }
 
 // DisconnectApp leaves the application's collaboration group and releases
@@ -113,7 +130,9 @@ func (s *Server) DisconnectApp(ctx context.Context, sess *session.Session) {
 	if appID == "" {
 		return
 	}
-	s.hub.Group(appID).Leave(sess.ClientID)
+	g := s.hub.Group(appID)
+	g.Leave(sess.ClientID)
+	s.disseminateMembership(ctx, appID, g, g.NoteLeave(sess.ClientID))
 	if ServerOfApp(appID) == s.cfg.Name {
 		s.locks.ReleaseAllOwnedBy(sess.ClientID)
 	} else if fed := s.federation(); fed != nil {
@@ -216,31 +235,50 @@ func (s *Server) collabForward(ctx context.Context, appID string, m *wire.Messag
 	}
 }
 
-// Chat sends a chat line to the session's collaboration (sub-)group,
-// across servers when the group spans them.
-func (s *Server) Chat(ctx context.Context, sess *session.Session, text string) error {
+// collabGroup resolves the session's live collaboration group and checks
+// the session may mutate shared state through it.
+func (s *Server) collabGroup(sess *session.Session) (*collab.Group, string, error) {
 	appID := sess.App()
 	if appID == "" {
-		return ErrNotConnected
+		return nil, "", ErrNotConnected
 	}
-	g := s.hub.Group(appID)
-	g.Chat(sess.ClientID, sess.User, text)
-	m := &wire.Message{Kind: wire.KindChat, App: appID, Client: sess.ClientID, Text: text}
-	m.Set("user", sess.User)
+	g, ok := s.hub.Lookup(appID)
+	if !ok {
+		return nil, "", ErrGroupNotFound
+	}
+	enabled, _, member := g.Member(sess.ClientID)
+	if !member {
+		return nil, "", ErrNotConnected
+	}
+	if !enabled {
+		return nil, "", ErrCollabDisabled
+	}
+	return g, appID, nil
+}
+
+// Chat sends a chat line to the session's collaboration (sub-)group,
+// across servers when the group spans them. The line becomes a
+// replicated op; the forwarded message carries its identity so every
+// replica merges it exactly once.
+func (s *Server) Chat(ctx context.Context, sess *session.Session, text string) error {
+	g, appID, err := s.collabGroup(sess)
+	if err != nil {
+		return err
+	}
+	m, _ := g.Chat(sess.ClientID, sess.User, text)
 	s.edgeSpan(ctx, "chat "+appID)
 	s.collabForward(ctx, appID, m)
 	return nil
 }
 
-// Whiteboard adds a stroke, retained for latecomers and broadcast across
-// the group.
+// Whiteboard adds a stroke as a replicated op, retained (bounded, with
+// journal fallback) for latecomers and broadcast across the group.
 func (s *Server) Whiteboard(ctx context.Context, sess *session.Session, stroke []byte) error {
-	appID := sess.App()
-	if appID == "" {
-		return ErrNotConnected
+	g, appID, err := s.collabGroup(sess)
+	if err != nil {
+		return err
 	}
-	m := &wire.Message{Kind: wire.KindWhiteboard, App: appID, Client: sess.ClientID, Data: stroke}
-	s.hub.Group(appID).Whiteboard(sess.ClientID, m)
+	m, _ := g.Whiteboard(sess.ClientID, stroke)
 	s.edgeSpan(ctx, "whiteboard "+appID)
 	s.collabForward(ctx, appID, m)
 	return nil
@@ -272,27 +310,38 @@ func (s *Server) SetCollaboration(sess *session.Session, enabled bool) error {
 	return nil
 }
 
-// JoinSubGroup moves the session into a named sub-group ("" = main).
-func (s *Server) JoinSubGroup(sess *session.Session, sub string) error {
+// JoinSubGroup moves the session into a named sub-group ("" = main) and
+// replicates the switch so every domain's converged membership agrees.
+func (s *Server) JoinSubGroup(ctx context.Context, sess *session.Session, sub string) error {
 	appID := sess.App()
 	if appID == "" {
 		return ErrNotConnected
 	}
-	if !s.hub.Group(appID).JoinSub(sess.ClientID, sub) {
+	g := s.hub.Group(appID)
+	if !g.JoinSub(sess.ClientID, sub) {
 		return ErrNotConnected
 	}
+	s.disseminateMembership(ctx, appID, g, g.NoteSub(sess.ClientID, sub))
 	return nil
 }
 
-// DeliverCollabFromPeer fans a collaboration message that arrived from a
-// peer server out to this (host) server's group: local members plus every
-// relay except the origin.
+// DeliverCollabFromPeer merges a collaboration message that arrived from
+// a peer server into the replicated log and fans it out to this (host)
+// server's group: local members plus every relay except the origin.
+// Duplicates — a relay echo overlapping an anti-entropy sync — merge as
+// no-ops and are not re-broadcast.
 func (s *Server) DeliverCollabFromPeer(appID string, m *wire.Message, fromServer string) {
 	g := s.hub.Group(appID)
-	if m.Kind == wire.KindWhiteboard {
-		g.RecordStroke(m)
+	if !g.ApplyWire(m) {
+		return
 	}
-	g.BroadcastUpdate(m, "relay/"+fromServer)
+	switch m.Kind {
+	case wire.KindJoin, wire.KindLeave:
+		// Membership ops replicate between servers only.
+		g.RelayBroadcast(m, fromServer)
+	default:
+		g.BroadcastUpdate(m, "relay/"+fromServer)
+	}
 }
 
 // Replay returns the session's application interaction log from a

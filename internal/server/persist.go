@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"discover/internal/collab"
 	"discover/internal/recorddb"
 	"discover/internal/session"
 	"discover/internal/storage"
@@ -151,6 +152,13 @@ type domainSnapshot struct {
 	Locks          map[string]string // app -> holder
 	Archive        []byte            // archive.Store.SaveAll image
 	Tables         []recorddb.TableDump
+	Collab         []collabSnap // per-group replicated op logs
+}
+
+// collabSnap is one collaboration group's replicated-log image.
+type collabSnap struct {
+	App string
+	Log collab.LogSnapshot
 }
 
 // sessionSnap is one session's durable state: identity, the encoded
@@ -198,6 +206,10 @@ func (s *Server) snapshotNow() error {
 	sort.Slice(snap.Sessions, func(i, j int) bool {
 		return snap.Sessions[i].ClientID < snap.Sessions[j].ClientID
 	})
+	for _, app := range s.hub.Groups() {
+		g := s.hub.Group(app)
+		snap.Collab = append(snap.Collab, collabSnap{App: app, Log: g.SnapshotLog()})
+	}
 	var arch bytes.Buffer
 	if err := s.store.SaveAll(&arch); err != nil {
 		return err
@@ -290,5 +302,83 @@ func (s *Server) walSplice(clientID string, fromSeq, lost uint64) []session.Entr
 		return nil
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// collabOpEvent converts a replicated collaboration op to its WAL event.
+func collabOpEvent(app string, op collab.Op) storage.CollabOpEvent {
+	return storage.CollabOpEvent{
+		App: app, Origin: op.Origin, Seq: op.Seq, Clock: op.Clock,
+		Kind: uint8(op.Kind), Client: op.Client, User: op.User,
+		Sub: op.Sub, Text: op.Text, Data: op.Data, ApplySeq: op.ApplySeq,
+	}
+}
+
+// opFromCollabEvent is the inverse of collabOpEvent.
+func opFromCollabEvent(ev storage.CollabOpEvent) collab.Op {
+	return collab.Op{
+		Origin: ev.Origin, Seq: ev.Seq, Clock: ev.Clock,
+		Kind: collab.OpKind(ev.Kind), Client: ev.Client, User: ev.User,
+		Sub: ev.Sub, Text: ev.Text, Data: ev.Data, ApplySeq: ev.ApplySeq,
+	}
+}
+
+// collabWalScan walks the retained WAL and hands every collaboration op
+// recorded for app to keep. Returns false on a memory-only domain or a
+// read error, so callers can distinguish "no storage" from "no match".
+func (s *Server) collabWalScan(app string, keep func(collab.Op)) bool {
+	ds := s.storage
+	if ds == nil {
+		return false
+	}
+	err := ds.backend.Replay(0, func(rec storage.Record) error {
+		if rec.Kind != storage.KindCollabOp {
+			return nil
+		}
+		var ev storage.CollabOpEvent
+		if storage.Decode(rec, &ev) != nil {
+			return nil
+		}
+		if ev.App != app {
+			return nil
+		}
+		keep(opFromCollabEvent(ev))
+		return nil
+	})
+	return err == nil
+}
+
+// collabSpliceRange recovers ops the in-memory log evicted, addressed by
+// replica-invariant identity: every journaled op for (app, origin) with
+// Seq in [from, to]. Anti-entropy delta exchange uses it to serve sync
+// requests that reach below the memory floor. Compaction keeps the scan
+// bounded to roughly one snapshot interval of traffic.
+func (s *Server) collabSpliceRange(app, origin string, from, to uint64) []collab.Op {
+	var out []collab.Op
+	if !s.collabWalScan(app, func(op collab.Op) {
+		if op.Origin == origin && op.Seq >= from && op.Seq <= to {
+			out = append(out, op)
+		}
+	}) {
+		return nil
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// collabSpliceApply recovers evicted ops by this domain's local apply
+// order: every journaled op for app with ApplySeq in (fromApply,
+// toApply]. Whiteboard watermark replay uses it when a latecomer's
+// resume point fell past the in-memory window.
+func (s *Server) collabSpliceApply(app string, fromApply, toApply uint64) []collab.Op {
+	var out []collab.Op
+	if !s.collabWalScan(app, func(op collab.Op) {
+		if op.ApplySeq > fromApply && op.ApplySeq <= toApply {
+			out = append(out, op)
+		}
+	}) {
+		return nil
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ApplySeq < out[j].ApplySeq })
 	return out
 }

@@ -73,6 +73,9 @@ func (s *Server) recoverFromStorage() error {
 			}
 		}
 		s.db.Restore(snap.Tables)
+		for _, cs := range snap.Collab {
+			s.hub.Group(cs.App).RestoreLog(cs.Log)
+		}
 	}
 
 	// Replay the log past the snapshot. Records that fail to decode are
@@ -162,6 +165,12 @@ func (s *Server) recoverFromStorage() error {
 			if t, err := s.db.Lookup(ev.Table); err == nil {
 				t.ApplyDelete(ev.ID)
 			}
+		case storage.KindCollabOp:
+			var ev storage.CollabOpEvent
+			if storage.Decode(rec, &ev) != nil {
+				return nil
+			}
+			s.hub.Group(ev.App).RestoreOp(opFromCollabEvent(ev))
 		}
 		return nil
 	})

@@ -139,6 +139,11 @@ type Config struct {
 	Storage       storage.Backend // WAL + snapshot backend (nil = no durability)
 	SnapshotEvery time.Duration   // snapshot/compaction cadence (0 = default)
 	WalSyncEvery  time.Duration   // WAL group-fsync cadence (0 = storage default)
+
+	// Collaboration: per-group replicated-op-log retention cap. Ops past
+	// the cap are evicted from memory once covered by the anti-entropy
+	// watermark (and journaled, on durable domains); 0 keeps the default.
+	CollabMemCap int
 }
 
 // Server is one interaction/collaboration server instance.
@@ -202,7 +207,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:      cfg,
 		auth:     auth.NewService(cfg.Name, authOpts...),
 		sessions: session.NewManager(cfg.Name, sessOpts...),
-		hub:      collab.NewHub(),
+		hub:      collab.NewHub(collab.WithOrigin(cfg.Name), collab.WithMemCap(cfg.CollabMemCap)),
 		locks:    lockmgr.NewManager(lockOpts...),
 		store:    archive.NewStore(cfg.ArchiveLimit),
 		db:       recorddb.New(),
@@ -227,6 +232,14 @@ func New(cfg Config) (*Server, error) {
 			ds.journal.Close()
 			return nil, err
 		}
+		// Wire the collab log to the WAL only after recovery so restored
+		// ops are not re-journaled; from here on every newly applied op is
+		// recorded and evicted ops can be spliced back for replay or sync.
+		s.hub.SetOpSink(func(app string, op collab.Op) {
+			ds.journal.Record(storage.KindCollabOp, collabOpEvent(app, op))
+		})
+		s.hub.SetFetchRange(s.collabSpliceRange)
+		s.hub.SetFetchApply(s.collabSpliceApply)
 		ds.startSnapshotter(s)
 	}
 	return s, nil
@@ -486,11 +499,54 @@ func (s *Server) deliverRemote(g *collab.Group, appID string, m *wire.Message, f
 		s.recordResponse(appID, m)
 		g.ShareResponse(m.Client, m)
 	case wire.KindChat, wire.KindWhiteboard, wire.KindViewShare:
-		if m.Kind == wire.KindWhiteboard {
-			g.RecordStroke(m) // latecomers here replay the shared board
+		// Merge into the replicated group log; a duplicate (relay
+		// re-delivery overlapping anti-entropy sync) is not re-broadcast.
+		if g.ApplyWire(m) {
+			g.BroadcastUpdate(m, "relay/"+fromServer)
 		}
-		g.BroadcastUpdate(m, "relay/"+fromServer)
+	case wire.KindJoin, wire.KindLeave:
+		// Membership ops update the converged fold only — they are
+		// replica traffic, never client-visible.
+		g.ApplyWire(m)
 	}
+}
+
+// CollabVV returns the app group's anti-entropy watermark vector.
+func (s *Server) CollabVV(appID string) map[string]uint64 {
+	return s.hub.Group(appID).LogVV()
+}
+
+// CollabDeltas serves one side of a collab anti-entropy exchange: every
+// op a partner with watermark vector vv is missing (spliced from the WAL
+// below the eviction horizon) plus the watermarks it may adopt.
+func (s *Server) CollabDeltas(appID string, vv map[string]uint64) ([]collab.Op, map[string]uint64) {
+	g, ok := s.hub.Lookup(appID)
+	if !ok {
+		return nil, nil
+	}
+	ops, upTo, _ := g.LogDeltas(vv)
+	return ops, upTo
+}
+
+// CollabApply merges a batch of ops received from a peer (the other side
+// of the exchange), adopts the accompanying watermarks, and fans newly
+// learned ops out locally: strokes/chat to local members (plus relays
+// except the sending peer, when we are the host), membership ops to
+// relays only. Returns how many ops were new.
+func (s *Server) CollabApply(appID string, ops []collab.Op, upTo map[string]uint64, fromServer string) int {
+	g := s.hub.Group(appID)
+	fresh := g.ApplyOps(ops)
+	g.LogApplyUpTo(upTo)
+	for _, op := range fresh {
+		m := g.OpMessage(op)
+		switch m.Kind {
+		case wire.KindJoin, wire.KindLeave:
+			g.RelayBroadcast(m, fromServer)
+		default:
+			g.BroadcastUpdate(m, "relay/"+fromServer)
+		}
+	}
+	return len(fresh)
 }
 
 // HandleControlEvent processes a control-channel event from a peer

@@ -112,6 +112,7 @@ const (
 	KindRecordInsert      = "record.insert"
 	KindRecordGrant       = "record.grant"
 	KindRecordDelete      = "record.delete"
+	KindCollabOp          = "collab.op"
 )
 
 // Archive log families, tagged on archive.append events so replay can
@@ -206,4 +207,24 @@ type RecordGrantEvent struct {
 type RecordDeleteEvent struct {
 	Table string `json:"table"`
 	ID    string `json:"id"`
+}
+
+// CollabOpEvent records one replicated collaboration-group op (stroke,
+// chat line, membership change) as applied at this domain. Origin/Seq is
+// the op's replica-invariant identity; ApplySeq is this domain's local
+// apply watermark, persisted so HTTP whiteboard resume tokens survive a
+// restart and so evicted ops can be spliced back from the WAL by either
+// coordinate.
+type CollabOpEvent struct {
+	App      string `json:"app"`
+	Origin   string `json:"origin"`
+	Seq      uint64 `json:"seq"`
+	Clock    uint64 `json:"clock"`
+	Kind     uint8  `json:"kind"`
+	Client   string `json:"client,omitempty"`
+	User     string `json:"user,omitempty"`
+	Sub      string `json:"sub,omitempty"`
+	Text     string `json:"text,omitempty"`
+	Data     []byte `json:"data,omitempty"`
+	ApplySeq uint64 `json:"applySeq"`
 }

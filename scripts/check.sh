@@ -52,6 +52,13 @@ go test -race -p 1 -count=1 -run 'Chaos|R1|R2|P1|S2' ./internal/core/ ./internal
 go test -race -count=1 -run 'TestGossipConvergenceSmoke|TestMergeConvergesUnderAnyOrder|TestGossipChurnUnderLoad' \
     ./internal/experiments/ ./internal/gossip/
 
+# Collaboration smoke: experiment C1 (replicated group log under churn
+# and partition, latecomer replay) plus the CRDT merge property tests and
+# the churn hammer rerun uncached under the race detector — the hammer
+# exists precisely for -race.
+go test -race -count=1 -run 'TestC1CollabChaos|TestCollabMergeConvergesUnderAnyOrder|TestChurnHammer|TestCollabAntiResurrectionGuard|TestCollabEvictionSplicesFromJournal|TestCollabSnapshotRestoreRoundtrip' \
+    ./internal/experiments/ ./internal/collab/
+
 # Durability smoke: the storage fuzz/property pair (WAL crash-point fuzz,
 # archive replay determinism) and the server kill-recover path rerun
 # uncached under the race detector.
