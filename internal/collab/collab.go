@@ -509,14 +509,18 @@ func (g *Group) NoteSub(clientID, sub string) *wire.Message {
 // Messages without op identity (legacy peers, hand-built strokes) cannot
 // be deduplicated; whiteboard strokes among them are adopted as local
 // ops so latecomer replay still sees them, and they always report new.
+// The adopted identity is stamped onto the message in place, so the
+// caller's re-broadcast carries it and downstream replicas dedupe on
+// this server's copy instead of each minting their own.
 func (g *Group) ApplyWire(m *wire.Message) bool {
 	op, ok := opFromMessage(m)
 	if !ok {
 		if m.Kind == wire.KindWhiteboard {
 			g.mu.Lock()
-			g.log.append(OpStroke, m.Client, "", "", "", m.Data, 0)
+			adopted := g.log.append(OpStroke, m.Client, "", "", "", m.Data, 0)
 			g.mu.Unlock()
 			g.metricLocal()
+			stampOp(m, adopted)
 		}
 		return true
 	}
@@ -742,11 +746,39 @@ func opMessage(app string, op Op) *wire.Message {
 	default:
 		m = &wire.Message{Kind: wire.KindWhiteboard, App: app, Client: op.Client, Data: op.Data}
 	}
+	stampOp(m, op)
+	return m
+}
+
+// stampOp writes the op's replica-invariant identity onto a wire message.
+func stampOp(m *wire.Message, op Op) {
 	m.Set(paramOrigin, op.Origin)
 	m.SetInt(paramSeq, int64(op.Seq))
 	m.SetInt(paramClock, int64(op.Clock))
 	m.SetInt(paramKind, int64(op.Kind))
-	return m
+}
+
+// MembershipWire reports whether m is genuine membership replication
+// bookkeeping: a join/leave-kinded message with no user payload whose
+// op-kind stamp, when present, names a membership op. The substrate uses
+// it to decide which collab traffic is exempt from the access-policy
+// meter — anything else (or anything smuggling payload under a
+// membership kind) is charged like user traffic.
+func MembershipWire(m *wire.Message) bool {
+	if m == nil || (m.Kind != wire.KindJoin && m.Kind != wire.KindLeave) {
+		return false
+	}
+	if len(m.Data) != 0 || m.Text != "" {
+		return false
+	}
+	if kind, ok := m.GetInt(paramKind); ok {
+		switch OpKind(kind) {
+		case OpJoin, OpLeave, OpSub:
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 func opFromMessage(m *wire.Message) (Op, bool) {

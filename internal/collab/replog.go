@@ -151,6 +151,7 @@ type opLog struct {
 	evictedStrokes int
 	chats          int
 	evictedMaxApp  uint64 // highest ApplySeq among evicted ops
+	clearedApp     uint64 // strokes with ApplySeq <= clearedApp were erased by clear
 }
 
 type opKey struct {
@@ -256,8 +257,13 @@ func (l *opLog) insert(op Op, st *originLog) {
 
 // restore re-applies an op recovered from snapshot or WAL, preserving
 // its original local apply stamp so HTTP watermarks stay valid across a
-// crash (the SSE splice property). Watermarks are advanced to cover it:
-// recovery replays the full retained history, so nothing below is lost.
+// crash (the SSE splice property). The anti-entropy watermark advances
+// only over a contiguous restored prefix: relay delivery can leave
+// per-origin gaps (apply has no contiguity check), and raising synced
+// past a gap would make the anti-resurrection guard in apply and the
+// sync floor in deltasSince reject the missing ops forever. Gapped ops
+// stay above the watermark so the next anti-entropy exchange repairs
+// them.
 func (l *opLog) restore(op Op) bool {
 	st := l.originState(op.Origin)
 	if op.Seq <= st.evictedTo {
@@ -265,6 +271,9 @@ func (l *opLog) restore(op Op) bool {
 	}
 	if _, dup := st.ops[op.Seq]; dup {
 		return false
+	}
+	if op.Kind == OpStroke && op.ApplySeq <= l.clearedApp {
+		return false // stroke erased by a clear the snapshot already covers
 	}
 	if op.Clock > l.clock {
 		l.clock = op.Clock
@@ -276,8 +285,14 @@ func (l *opLog) restore(op Op) bool {
 	if op.Seq > st.maxSeq {
 		st.maxSeq = op.Seq
 	}
-	if op.Seq > st.synced {
+	if op.Seq == st.synced+1 {
 		st.synced = op.Seq
+		for { // extend over ops restored out of per-origin order
+			if _, held := st.ops[st.synced+1]; !held {
+				break
+			}
+			st.synced++
+		}
 	}
 	if op.Origin == l.self && op.Seq > l.nextSeq {
 		l.nextSeq = op.Seq
@@ -518,15 +533,27 @@ type StrokeEntry struct {
 // could not be spliced (memory-only domain past its cap).
 func (l *opLog) strokesSince(from uint64) (entries []StrokeEntry, last uint64, missed int) {
 	last = l.applySeq
-	if from < l.evictedMaxApp {
+	floor := from
+	if l.clearedApp > floor {
+		floor = l.clearedApp // strokes at/below the clear marker were erased
+	}
+	if floor < l.evictedMaxApp {
 		var spliced []Op
 		if l.fetchApply != nil {
-			spliced = l.fetchApply(from, l.evictedMaxApp)
+			spliced = l.fetchApply(floor, l.evictedMaxApp)
 		}
 		found := 0
 		for _, op := range spliced {
-			if op.Kind != OpStroke || op.ApplySeq <= from || op.ApplySeq > l.evictedMaxApp {
+			if op.Kind != OpStroke || op.ApplySeq <= floor || op.ApplySeq > l.evictedMaxApp {
 				continue
+			}
+			// Eviction is contiguous per origin but not in ApplySeq, so the
+			// WAL range can cover ops still retained; skip them or the live
+			// scan below would return the same stroke twice.
+			if st, ok := l.origins[op.Origin]; ok {
+				if _, held := st.ops[op.Seq]; held {
+					continue
+				}
 			}
 			entries = append(entries, strokeEntry(op))
 			found++
@@ -534,19 +561,17 @@ func (l *opLog) strokesSince(from uint64) (entries []StrokeEntry, last uint64, m
 		if from == 0 && found < l.evictedStrokes {
 			missed = l.evictedStrokes - found
 		}
-		sort.Slice(entries, func(i, j int) bool { return entries[i].Watermark < entries[j].Watermark })
 	}
-	var live []StrokeEntry
 	for _, k := range l.order {
 		st := l.origins[k.origin]
 		op, ok := st.ops[k.seq]
-		if !ok || op.Kind != OpStroke || op.ApplySeq <= from {
+		if !ok || op.Kind != OpStroke || op.ApplySeq <= floor {
 			continue
 		}
-		live = append(live, strokeEntry(op))
+		entries = append(entries, strokeEntry(op))
 	}
-	sort.Slice(live, func(i, j int) bool { return live[i].Watermark < live[j].Watermark })
-	return append(entries, live...), last, missed
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Watermark < entries[j].Watermark })
+	return entries, last, missed
 }
 
 func strokeEntry(op Op) StrokeEntry {
@@ -557,6 +582,10 @@ func strokeEntry(op Op) StrokeEntry {
 // local administrative reset kept for compatibility with the pre-log
 // whiteboard API. It intentionally diverges this replica (the strokes
 // leave the hash); cross-domain groups should not use it mid-session.
+// The clear marker (current apply watermark) keeps strokesSince from
+// splicing the erased strokes back out of the WAL, and restore from
+// resurrecting them when a later snapshot carries the marker across a
+// crash.
 func (l *opLog) clearStrokes() {
 	for _, st := range l.origins {
 		for seq, op := range st.ops {
@@ -569,6 +598,7 @@ func (l *opLog) clearStrokes() {
 	}
 	l.strokes = 0
 	l.evictedStrokes = 0
+	l.clearedApp = l.applySeq
 }
 
 // MemberFoldSnap is the gob image of one membership LWW register.
@@ -581,38 +611,40 @@ type MemberFoldSnap struct {
 
 // LogSnapshot is the gob image of one group's log for domain snapshots.
 type LogSnapshot struct {
-	Ops       []Op
-	Members   []MemberFoldSnap
-	Synced    map[string]uint64
-	EvictedTo map[string]uint64
-	MaxSeq    map[string]uint64
-	NextSeq   uint64
-	Clock     uint64
-	ApplySeq  uint64
-	Hash      uint64
-	Evicted   int
-	Strokes   int
-	EvStrokes int
-	Chats     int
-	EvMaxApp  uint64
+	Ops        []Op
+	Members    []MemberFoldSnap
+	Synced     map[string]uint64
+	EvictedTo  map[string]uint64
+	MaxSeq     map[string]uint64
+	NextSeq    uint64
+	Clock      uint64
+	ApplySeq   uint64
+	Hash       uint64
+	Evicted    int
+	Strokes    int
+	EvStrokes  int
+	Chats      int
+	EvMaxApp   uint64
+	ClearedApp uint64
 }
 
 // snapshotLog captures the retained window plus enough bookkeeping to
 // resume watermarks, eviction horizons and the hash over evicted ops.
 func (l *opLog) snapshotLog() LogSnapshot {
 	snap := LogSnapshot{
-		Synced:    make(map[string]uint64, len(l.origins)),
-		EvictedTo: make(map[string]uint64, len(l.origins)),
-		MaxSeq:    make(map[string]uint64, len(l.origins)),
-		NextSeq:   l.nextSeq,
-		Clock:     l.clock,
-		ApplySeq:  l.applySeq,
-		Hash:      l.rootHash,
-		Evicted:   l.evicted,
-		Strokes:   l.strokes,
-		EvStrokes: l.evictedStrokes,
-		Chats:     l.chats,
-		EvMaxApp:  l.evictedMaxApp,
+		Synced:     make(map[string]uint64, len(l.origins)),
+		EvictedTo:  make(map[string]uint64, len(l.origins)),
+		MaxSeq:     make(map[string]uint64, len(l.origins)),
+		NextSeq:    l.nextSeq,
+		Clock:      l.clock,
+		ApplySeq:   l.applySeq,
+		Hash:       l.rootHash,
+		Evicted:    l.evicted,
+		Strokes:    l.strokes,
+		EvStrokes:  l.evictedStrokes,
+		Chats:      l.chats,
+		EvMaxApp:   l.evictedMaxApp,
+		ClearedApp: l.clearedApp,
 	}
 	for _, k := range l.order {
 		if op, ok := l.origins[k.origin].ops[k.seq]; ok {
@@ -648,6 +680,7 @@ func (l *opLog) restoreLog(snap LogSnapshot) {
 	l.evictedStrokes = snap.EvStrokes
 	l.chats = snap.Chats
 	l.evictedMaxApp = snap.EvMaxApp
+	l.clearedApp = snap.ClearedApp
 	for name, synced := range snap.Synced {
 		st := l.originState(name)
 		st.synced = synced

@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"reflect"
 	"testing"
+
+	"discover/internal/wire"
 )
 
 // genOps builds a plausible multi-origin op history: per origin a hub
@@ -262,4 +264,227 @@ func TestCollabSnapshotRestoreRoundtrip(t *testing.T) {
 		t.Errorf("%d ops re-applied as fresh after restore", len(fresh))
 	}
 	sameState(t, "restored+replayed", want, fingerprint(restored))
+}
+
+// TestCollabRestoreKeepsWatermarkBelowGaps pins the crash-recovery half
+// of the convergence guarantee: relay delivery can leave per-origin gaps
+// (apply has no contiguity check), and WAL replay must not raise the
+// anti-entropy watermark past such a gap — otherwise the
+// anti-resurrection guard would reject the missing ops forever and the
+// replica would silently diverge.
+func TestCollabRestoreKeepsWatermarkBelowGaps(t *testing.T) {
+	src := NewHub(WithOrigin("src")).Group("app#1")
+	for i := 0; i < 4; i++ {
+		src.Chat("c1", "alice", fmt.Sprintf("line %d", i))
+	}
+	all, _, _ := src.LogDeltas(map[string]uint64{})
+
+	var wal []Op
+	h := NewHub(WithOrigin("home"))
+	h.SetOpSink(func(app string, op Op) { wal = append(wal, op) })
+	g := h.Group("app#1")
+	g.ApplyOps([]Op{all[0], all[1], all[3]}) // seq 3 lost by the relay
+
+	// Crash: replay the WAL into a fresh replica.
+	rec := NewHub(WithOrigin("home")).Group("app#1")
+	for _, op := range wal {
+		rec.RestoreOp(op)
+	}
+	if vv := rec.LogVV(); vv["src"] != 2 {
+		t.Fatalf("restored watermark = %d, want 2 (must not skip the gap at seq 3)", vv["src"])
+	}
+	// The next anti-entropy exchange repairs the gap and the replica
+	// converges with the origin.
+	if fresh := rec.ApplyOps([]Op{all[2]}); len(fresh) != 1 {
+		t.Fatalf("gap op rejected after restore: %d applied as fresh", len(fresh))
+	}
+	if rec.LogHash() != src.LogHash() {
+		t.Errorf("replica hash %016x != origin %016x after gap repair", rec.LogHash(), src.LogHash())
+	}
+
+	// Ops restored out of per-origin order (relay delivered 4 before
+	// anti-entropy supplied 3) still yield a full contiguous watermark.
+	rec2 := NewHub(WithOrigin("home")).Group("app#1")
+	for _, op := range []Op{all[0], all[1], all[3], all[2]} {
+		rec2.RestoreOp(op)
+	}
+	if vv := rec2.LogVV(); vv["src"] != 4 {
+		t.Errorf("out-of-order restore watermark = %d, want 4", vv["src"])
+	}
+}
+
+// journalHub builds a durable-domain hub: every applied op is journaled,
+// and both splice hooks read the shared journal back.
+func journalHub(journal map[string][]Op, opts ...HubOption) *Hub {
+	h := NewHub(opts...)
+	h.SetOpSink(func(app string, op Op) { journal[app] = append(journal[app], op) })
+	h.SetFetchRange(func(app, origin string, from, to uint64) []Op {
+		var out []Op
+		for _, op := range journal[app] {
+			if op.Origin == origin && op.Seq > from && op.Seq <= to {
+				out = append(out, op)
+			}
+		}
+		return out
+	})
+	h.SetFetchApply(func(app string, fromApply, toApply uint64) []Op {
+		var out []Op
+		for _, op := range journal[app] {
+			if op.ApplySeq > fromApply && op.ApplySeq <= toApply {
+				out = append(out, op)
+			}
+		}
+		return out
+	})
+	return h
+}
+
+// TestCollabStrokeReplayNoDuplicateAcrossSplice pins the eviction/WAL
+// seam: eviction is contiguous per origin but not in local apply order,
+// so the WAL range below evictedMaxApp can cover strokes still retained
+// in memory (remote ops above their origin's watermark). Replay must
+// return each stroke exactly once, in watermark order.
+func TestCollabStrokeReplayNoDuplicateAcrossSplice(t *testing.T) {
+	journal := make(map[string][]Op)
+	g := journalHub(journal, WithOrigin("home"), WithMemCap(3)).Group("app#1")
+
+	// Remote strokes stay above their origin's watermark (no applyUpTo),
+	// so they are retained while later local strokes evict around them.
+	remote := NewHub(WithOrigin("far")).Group("app#1")
+	remote.Whiteboard("c9", []byte{0xa0})
+	remote.Whiteboard("c9", []byte{0xa1})
+	rOps, _, _ := remote.LogDeltas(map[string]uint64{})
+	g.ApplyOps(rOps)
+
+	for i := 0; i < 6; i++ {
+		g.Whiteboard("c1", []byte{byte(i)})
+	}
+	if info := g.LogInfo(); info.Evicted == 0 || info.Retained > 3 {
+		t.Fatalf("expected evictions around the retained remote ops: %+v", info)
+	}
+
+	strokes, _, missed := g.StrokesSince(0)
+	if missed != 0 {
+		t.Fatalf("missed=%d with a journal splice available", missed)
+	}
+	seen := make(map[string]bool)
+	for _, s := range strokes {
+		k := fmt.Sprintf("%s/%d", s.Origin, s.Seq)
+		if seen[k] {
+			t.Fatalf("stroke %s replayed twice", k)
+		}
+		seen[k] = true
+	}
+	if len(strokes) != 8 {
+		t.Fatalf("replayed %d strokes, want 8", len(strokes))
+	}
+	for i := 1; i < len(strokes); i++ {
+		if strokes[i-1].Watermark >= strokes[i].Watermark {
+			t.Fatalf("replay out of watermark order at %d: %+v", i, strokes)
+		}
+	}
+}
+
+// TestCollabClearWhiteboardSuppressesWalSplice: on a durable domain,
+// ClearWhiteboard must actually clear — erased strokes stay erased
+// through journal-spliced replay, and the clear marker survives a
+// snapshot + WAL-replay recovery.
+func TestCollabClearWhiteboardSuppressesWalSplice(t *testing.T) {
+	journal := make(map[string][]Op)
+	g := journalHub(journal, WithOrigin("home"), WithMemCap(3)).Group("app#1")
+	for i := 0; i < 6; i++ {
+		g.Whiteboard("c1", []byte{byte(i)}) // evicts half into the WAL
+	}
+
+	g.ClearWhiteboard()
+	if strokes, _, missed := g.StrokesSince(0); len(strokes) != 0 || missed != 0 {
+		t.Fatalf("cleared whiteboard replayed %d strokes (missed %d)", len(strokes), missed)
+	}
+	if n := g.WhiteboardLen(); n != 0 {
+		t.Errorf("WhiteboardLen after clear = %d", n)
+	}
+
+	g.Whiteboard("c1", []byte{0xee})
+	strokes, _, _ := g.StrokesSince(0)
+	if len(strokes) != 1 || strokes[0].Data[0] != 0xee {
+		t.Fatalf("post-clear replay = %+v, want only the new stroke", strokes)
+	}
+
+	// Crash recovery: snapshot carries the clear marker, and WAL replay
+	// of the erased strokes must not resurrect them.
+	rec := journalHub(journal, WithOrigin("home")).Group("app#1")
+	rec.RestoreLog(g.SnapshotLog())
+	for _, op := range journal["app#1"] {
+		rec.RestoreOp(op)
+	}
+	strokes, _, _ = rec.StrokesSince(0)
+	if len(strokes) != 1 || strokes[0].Data[0] != 0xee {
+		t.Fatalf("post-recovery replay = %+v, want only the new stroke", strokes)
+	}
+	if n := rec.WhiteboardLen(); n != 1 {
+		t.Errorf("recovered WhiteboardLen = %d, want 1", n)
+	}
+}
+
+// TestCollabLegacyStrokeAdoptionStampsIdentity: an identity-less
+// whiteboard message is adopted as a local op exactly once, and the
+// adopted identity is stamped onto the message so the re-broadcast
+// dedupes downstream instead of every replica minting its own copy.
+func TestCollabLegacyStrokeAdoptionStampsIdentity(t *testing.T) {
+	host := NewHub(WithOrigin("host")).Group("app#1")
+	m := &wire.Message{Kind: wire.KindWhiteboard, App: "app#1", Client: "legacy/c1", Data: []byte{7}}
+	if !host.ApplyWire(m) {
+		t.Fatal("legacy stroke not adopted")
+	}
+	if origin, _ := m.Get(paramOrigin); origin != "host" {
+		t.Fatalf("adopted stroke stamped with origin %q, want host", origin)
+	}
+	// The host's own echo of the stamped message is a duplicate.
+	if host.ApplyWire(m) {
+		t.Error("host re-applied its own adopted stroke")
+	}
+	// Downstream replica: first delivery applies, re-delivery dedupes.
+	down := NewHub(WithOrigin("down")).Group("app#1")
+	if !down.ApplyWire(m) {
+		t.Fatal("stamped stroke rejected downstream")
+	}
+	if down.ApplyWire(m) {
+		t.Error("duplicate stamped stroke re-applied downstream")
+	}
+	if n := down.WhiteboardLen(); n != 1 {
+		t.Errorf("downstream strokes = %d, want 1", n)
+	}
+}
+
+// TestMembershipWireValidation pins the meter-exemption predicate:
+// genuine membership bookkeeping passes, anything carrying payload or a
+// non-membership op stamp does not.
+func TestMembershipWireValidation(t *testing.T) {
+	g := NewHub(WithOrigin("home")).Group("app#1")
+	for _, m := range []*wire.Message{
+		g.NoteJoin("home/c1"),
+		g.NoteLeave("home/c1"),
+		g.NoteSub("home/c1", "team-a"),
+		{Kind: wire.KindJoin, App: "app#1", Client: "home/c2"}, // legacy, identity-less
+	} {
+		if !MembershipWire(m) {
+			t.Errorf("genuine membership message rejected: %v", m)
+		}
+	}
+	chat, _ := g.Chat("home/c1", "alice", "hello")
+	stroke, _ := g.Whiteboard("home/c1", []byte{1})
+	forged := &wire.Message{Kind: wire.KindJoin, App: "app#1", Client: "home/c2"}
+	stampOp(forged, Op{Origin: "home", Seq: 99, Clock: 99, Kind: OpChat})
+	for _, m := range []*wire.Message{
+		chat,
+		stroke,
+		{Kind: wire.KindJoin, App: "app#1", Client: "c", Data: []byte("bulk payload")},
+		{Kind: wire.KindLeave, App: "app#1", Client: "c", Text: "bulk payload"},
+		forged,
+		nil,
+	} {
+		if MembershipWire(m) {
+			t.Errorf("non-membership message accepted: %v", m)
+		}
+	}
 }

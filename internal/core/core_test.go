@@ -874,6 +874,46 @@ func TestResourcePolicyThrottlesPeer(t *testing.T) {
 	}
 }
 
+// TestCollabMeterExemptionValidated pins the membership exemption of the
+// collab relay path: genuine payload-free membership bookkeeping bypasses
+// the access-policy meter even with the peer's budget exhausted, while a
+// message that merely tags bulk data with a membership kind is metered
+// and denied.
+func TestCollabMeterExemptionValidated(t *testing.T) {
+	n := newTestNet(t)
+	a := n.addDomain("rutgers", Push)
+	b := n.addDomain("caltech", Push)
+	as := n.attachApp(a, "wave", defaultUsers())
+	n.discoverAll()
+	appID := as.AppID()
+
+	// A byte budget too small for any bulk payload.
+	a.sub.Accounting().SetPolicy("caltech", policy.Policy{BytesPerSec: 1, ByteBurst: 16})
+
+	proxy := orb.ObjRef{Addr: a.orb.Addr(), Key: ProxyKey(appID)}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	join := &wire.Message{Kind: wire.KindJoin, App: appID, Client: "caltech/c1"}
+	for i := 0; i < 3; i++ {
+		if err := b.orb.Invoke(ctx, proxy, "collab",
+			collabReq{Msg: join, From: "caltech"}, nil); err != nil {
+			t.Fatalf("genuine membership message hit the meter: %v", err)
+		}
+	}
+
+	forged := &wire.Message{Kind: wire.KindJoin, App: appID, Client: "caltech/c1",
+		Data: make([]byte, 4096)}
+	err := b.orb.Invoke(ctx, proxy, "collab", collabReq{Msg: forged, From: "caltech"}, nil)
+	if err == nil {
+		t.Fatal("bulk data tagged as a join bypassed the meter")
+	}
+	var re *orb.RemoteError
+	if !errors.As(err, &re) || re.Code != CodePolicy {
+		t.Errorf("forged join error = %v, want code %s", err, CodePolicy)
+	}
+}
+
 func TestPollModeFiltersForeignResponses(t *testing.T) {
 	n := newTestNet(t)
 	a := n.addDomain("rutgers", Poll)

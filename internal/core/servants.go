@@ -193,6 +193,11 @@ func (s *Substrate) controlServant() orb.Servant {
 // policy (§6.3 resource utilization).
 const CodePolicy = "RESOURCE_POLICY"
 
+// maxMembershipWire bounds the meter exemption for membership
+// replication messages: they carry only ids and the op identity stamp,
+// so anything larger is charged against the peer's budget.
+const maxMembershipWire = 1024
+
 // meter applies the host's per-peer resource accounting; the principal is
 // the peer server on whose behalf the request arrives.
 func (s *Substrate) meter(principal string, bytes int) error {
@@ -226,9 +231,15 @@ func (s *Substrate) proxyServant(appID string) orb.Servant {
 			// Membership replication (join/leave/sub-switch ops) is
 			// middleware bookkeeping the CRDT log needs to converge; only
 			// user-originated traffic (chat, strokes, view shares) draws
-			// down the origin domain's access-policy budget.
-			if r.Msg.Kind != wire.KindJoin && r.Msg.Kind != wire.KindLeave {
-				if err := s.meter(r.From, r.Msg.ApproxSize()); err != nil {
+			// down the origin domain's access-policy budget. The exemption
+			// is validated, not taken on the peer's word: the message must
+			// be payload-free with a membership op stamp and small enough
+			// for pure bookkeeping, or it is metered like any other
+			// traffic — a peer cannot bypass its budget by tagging bulk
+			// data as a join.
+			size := r.Msg.ApproxSize()
+			if !collab.MembershipWire(r.Msg) || size > maxMembershipWire {
+				if err := s.meter(r.From, size); err != nil {
 					return collabResp{}, err
 				}
 			}

@@ -120,15 +120,23 @@ func TestDeliverRemoteMessageFansOutLocally(t *testing.T) {
 	}
 
 	// A whiteboard stroke from the peer is recorded for latecomers.
+	// Adopting the identity-less stroke stamps this server's op identity
+	// onto the message, so redelivering the stamped copy is a dedup, not
+	// a second stroke.
 	stroke := &wire.Message{Kind: wire.KindWhiteboard, App: remoteID, Client: "caltech/client-1", Data: []byte{1}}
 	d.srv.DeliverRemoteMessage(remoteID, stroke, "caltech")
 	if d.srv.Hub().Group(remoteID).WhiteboardLen() != 1 {
 		t.Error("relayed stroke not recorded")
 	}
+	d.srv.DeliverRemoteMessage(remoteID, stroke, "caltech")
+	if d.srv.Hub().Group(remoteID).WhiteboardLen() != 1 {
+		t.Error("redelivered stamped stroke was double-counted")
+	}
 
 	// DeliverCollabFromPeer (the host side of forwarded collab) reaches
 	// local members and records strokes too.
-	d.srv.DeliverCollabFromPeer(remoteID, stroke, "utexas")
+	stroke2 := &wire.Message{Kind: wire.KindWhiteboard, App: remoteID, Client: "utexas/client-9", Data: []byte{2}}
+	d.srv.DeliverCollabFromPeer(remoteID, stroke2, "utexas")
 	if d.srv.Hub().Group(remoteID).WhiteboardLen() != 2 {
 		t.Error("DeliverCollabFromPeer did not record the stroke")
 	}
